@@ -1,0 +1,120 @@
+//! Baseline scheduling configurations for ablation studies.
+//!
+//! The paper motivates MPDP against two simpler designs (§1–2): commercial
+//! RTOSes that "adopt simple priority-based preemptive scheduling in
+//! multiprocessor solutions" (periodic tasks always at full priority,
+//! aperiodics in the background), and purely reactive designs that always
+//! favour external events. Both are expressible as degenerate promotion
+//! modes of the same MPDP machinery, which makes the comparison honest: the
+//! queues, kernel, and overheads are identical, only the promotion policy
+//! changes.
+//!
+//! | Baseline | Promotion | Hard guarantee | Aperiodic service |
+//! |---|---|---|---|
+//! | [`background_service`] | at release | yes | background only |
+//! | [`aperiodic_first`] | never | **no** | immediate |
+//! | MPDP ([`crate::tool::prepare`]) | at `U_i = D_i − W_i` | yes | near-immediate |
+//!
+//! # Examples
+//!
+//! ```
+//! use mpdp_analysis::baselines::background_service;
+//! use mpdp_workload::automotive_task_set;
+//! use mpdp_core::time::{Cycles, DEFAULT_TICK};
+//!
+//! # fn main() -> Result<(), mpdp_core::TaskSetError> {
+//! let set = automotive_task_set(0.5, 2, DEFAULT_TICK);
+//! let table = background_service(set.periodic, set.aperiodic, 2)?;
+//! assert!(table.promotions().iter().all(|&p| p == Cycles::ZERO));
+//! # Ok(())
+//! # }
+//! ```
+
+use mpdp_core::error::TaskSetError;
+use mpdp_core::task::{AperiodicTask, PeriodicTask, TaskTable};
+
+use crate::tool::{prepare, PromotionMode, ToolOptions};
+
+/// Partitioned fixed-priority scheduling with background aperiodic service:
+/// every periodic job is promoted at release, so aperiodic tasks only run on
+/// processors with no ready periodic work.
+///
+/// # Errors
+///
+/// Same failure modes as [`prepare`].
+pub fn background_service(
+    periodic: Vec<PeriodicTask>,
+    aperiodic: Vec<AperiodicTask>,
+    n_procs: usize,
+) -> Result<TaskTable, TaskSetError> {
+    prepare(
+        periodic,
+        aperiodic,
+        n_procs,
+        ToolOptions::new().with_promotion_mode(PromotionMode::Immediate),
+    )
+}
+
+/// The reactive-at-any-cost configuration: periodic tasks are never
+/// promoted, so aperiodic work always preempts them. Periodic deadlines can
+/// and will be missed under load — this baseline exists to demonstrate why
+/// MPDP's promotions are necessary.
+///
+/// # Errors
+///
+/// Same failure modes as [`prepare`].
+pub fn aperiodic_first(
+    periodic: Vec<PeriodicTask>,
+    aperiodic: Vec<AperiodicTask>,
+    n_procs: usize,
+) -> Result<TaskTable, TaskSetError> {
+    prepare(
+        periodic,
+        aperiodic,
+        n_procs,
+        ToolOptions::new().with_promotion_mode(PromotionMode::Never),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_core::time::{Cycles, DEFAULT_TICK};
+    use mpdp_workload::automotive_task_set;
+
+    #[test]
+    fn background_promotes_at_release() {
+        let set = automotive_task_set(0.4, 2, DEFAULT_TICK);
+        let table = background_service(set.periodic, set.aperiodic, 2).unwrap();
+        assert!(table.promotions().iter().all(|&p| p == Cycles::ZERO));
+    }
+
+    #[test]
+    fn aperiodic_first_never_promotes_within_deadline() {
+        let set = automotive_task_set(0.4, 2, DEFAULT_TICK);
+        let table = aperiodic_first(set.periodic, set.aperiodic, 2).unwrap();
+        for (i, t) in table.periodic().iter().enumerate() {
+            assert!(table.promotion(i) >= t.deadline());
+        }
+    }
+
+    #[test]
+    fn mpdp_promotions_sit_between_the_baselines() {
+        let set = automotive_task_set(0.5, 2, DEFAULT_TICK);
+        let mpdp = prepare(
+            set.periodic.clone(),
+            set.aperiodic.clone(),
+            2,
+            ToolOptions::new(),
+        )
+        .unwrap();
+        let bg = background_service(set.periodic.clone(), set.aperiodic.clone(), 2).unwrap();
+        let af = aperiodic_first(set.periodic, set.aperiodic, 2).unwrap();
+        for i in 0..mpdp.periodic().len() {
+            assert!(mpdp.promotion(i) >= bg.promotion(i));
+            assert!(mpdp.promotion(i) <= af.promotion(i));
+        }
+        // And strictly above zero for at least one task (slack exists).
+        assert!(mpdp.promotions().iter().any(|&p| p > Cycles::ZERO));
+    }
+}

@@ -1,0 +1,287 @@
+//! The offline configuration tool.
+//!
+//! "Promotion time and schedulability have been calculated using the
+//! recurrent formula through an in-house tool that takes in input worst case
+//! execution times, period and deadlines of the tasks and produces the task
+//! tables with processor assignments and all the required information for
+//! both our target architecture and the simulator" (paper §5).
+//!
+//! [`prepare`] is that tool: partition → response-time analysis → promotion
+//! times → validated [`TaskTable`]. Options cover the realities the paper
+//! discusses:
+//!
+//! * **WCET margin** — the paper determines worst-case responses "taking in
+//!   account an overhead for the context switching"; the margin inflates
+//!   WCETs *for analysis only* so promotions carry an overhead budget.
+//! * **Tick quantization** — the prototype applies releases and promotions
+//!   during scheduling cycles; flooring each promotion offset to the tick
+//!   grid makes the analysis honest about that (promoting *earlier* than
+//!   `U_i` is always deadline-safe, only aperiodic responsiveness pays).
+//! * **Promotion mode** — `Computed` is MPDP; `Immediate` and `Never`
+//!   degenerate the dual-priority scheme into the ablation baselines (see
+//!   [`crate::baselines`]).
+
+use mpdp_core::error::TaskSetError;
+use mpdp_core::rta;
+use mpdp_core::task::{AperiodicTask, PeriodicTask, TaskTable};
+use mpdp_core::time::Cycles;
+
+use crate::partition::{partition, PartitionHeuristic};
+
+/// How promotion offsets are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PromotionMode {
+    /// MPDP: `U_i = D_i − W_i` from the response-time recurrence.
+    #[default]
+    Computed,
+    /// Promote at release (`U_i = 0`): the dual-priority scheme collapses to
+    /// partitioned fixed-priority scheduling with aperiodic tasks served in
+    /// the background — the classic pre-MPDP design.
+    Immediate,
+    /// Never promote: aperiodic tasks always outrank periodic ones. No hard
+    /// guarantee survives; exists to demonstrate *why* promotion matters.
+    Never,
+}
+
+/// Options for [`prepare`].
+#[derive(Debug, Clone, Copy)]
+pub struct ToolOptions {
+    /// Partitioning heuristic (default: worst-fit decreasing).
+    pub heuristic: PartitionHeuristic,
+    /// Analysis-only WCET inflation factor `≥ 1.0` budgeting kernel
+    /// overheads and bus contention (default `1.0` — the pure algorithm).
+    pub wcet_margin: f64,
+    /// Floor promotion offsets to multiples of this tick (default: no
+    /// quantization).
+    pub quantize_to: Option<Cycles>,
+    /// Promotion mode (default: [`PromotionMode::Computed`]).
+    pub promotion_mode: PromotionMode,
+}
+
+impl Default for ToolOptions {
+    fn default() -> Self {
+        ToolOptions {
+            heuristic: PartitionHeuristic::default(),
+            wcet_margin: 1.0,
+            quantize_to: None,
+            promotion_mode: PromotionMode::default(),
+        }
+    }
+}
+
+impl ToolOptions {
+    /// Default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the partitioning heuristic.
+    pub fn with_heuristic(mut self, heuristic: PartitionHeuristic) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Sets the analysis-only WCET margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin < 1.0` or not finite.
+    pub fn with_wcet_margin(mut self, margin: f64) -> Self {
+        assert!(
+            margin.is_finite() && margin >= 1.0,
+            "margin must be ≥ 1.0, got {margin}"
+        );
+        self.wcet_margin = margin;
+        self
+    }
+
+    /// Floors promotion offsets to multiples of `tick`.
+    pub fn with_quantization(mut self, tick: Cycles) -> Self {
+        self.quantize_to = Some(tick);
+        self
+    }
+
+    /// Sets the promotion mode.
+    pub fn with_promotion_mode(mut self, mode: PromotionMode) -> Self {
+        self.promotion_mode = mode;
+        self
+    }
+}
+
+/// Runs the offline tool: partitions `periodic` over `n_procs` processors,
+/// computes worst-case responses and promotion offsets (under the margin),
+/// applies quantization and the promotion mode, and assembles the validated
+/// [`TaskTable`] both simulators consume.
+///
+/// # Errors
+///
+/// Partitioning failures, RTA unschedulability (with the margin applied),
+/// and table-validation errors, all as [`TaskSetError`].
+pub fn prepare(
+    periodic: Vec<PeriodicTask>,
+    aperiodic: Vec<AperiodicTask>,
+    n_procs: usize,
+    options: ToolOptions,
+) -> Result<TaskTable, TaskSetError> {
+    // Inflate for analysis (partition admission + RTA). A task whose
+    // inflated WCET exceeds its deadline has no room for the overhead
+    // budget and is honestly rejected by the response-time analysis.
+    let inflated: Vec<PeriodicTask> = periodic
+        .iter()
+        .map(|t| {
+            let c = t.wcet().scale(options.wcet_margin);
+            PeriodicTask::new(t.id(), t.name(), c, t.period())
+                .with_deadline(t.deadline())
+                .with_offset(t.offset())
+                .with_priorities(t.priorities().low, t.priorities().high)
+                .with_profile(*t.profile())
+                .with_stack_words(t.stack_words())
+        })
+        .collect();
+
+    let assigned_inflated = partition(inflated, n_procs, options.heuristic)?;
+    let results = rta::analyze(&assigned_inflated, n_procs)?;
+
+    let promotions: Vec<Cycles> = results
+        .iter()
+        .zip(&assigned_inflated)
+        .map(|(r, t)| match options.promotion_mode {
+            PromotionMode::Immediate => Cycles::ZERO,
+            // "Never" is approximated by an offset past the deadline: the
+            // job completes or misses before it would ever promote.
+            PromotionMode::Never => t.period(),
+            PromotionMode::Computed => match options.quantize_to {
+                Some(tick) => Cycles::new(r.promotion.as_u64() / tick.as_u64() * tick.as_u64()),
+                None => r.promotion,
+            },
+        })
+        .collect();
+
+    // Real table: original WCETs, computed assignments.
+    let assigned: Vec<PeriodicTask> = periodic
+        .into_iter()
+        .zip(&assigned_inflated)
+        .map(|(t, a)| t.with_processor(a.processor()))
+        .collect();
+    TaskTable::new(assigned, aperiodic, promotions, n_procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_core::ids::TaskId;
+    use mpdp_core::priority::Priority;
+    use mpdp_core::time::DEFAULT_TICK;
+    use mpdp_workload::automotive_task_set;
+
+    fn t(id: u32, c: u64, period: u64) -> PeriodicTask {
+        PeriodicTask::new(
+            TaskId::new(id),
+            format!("t{id}"),
+            Cycles::new(c),
+            Cycles::new(period),
+        )
+        .with_priorities(Priority::new(100 - id), Priority::new(100 - id))
+    }
+
+    #[test]
+    fn prepares_the_automotive_workload() {
+        for m in [2usize, 3, 4] {
+            for u in [0.4, 0.5, 0.6] {
+                let set = automotive_task_set(u, m, DEFAULT_TICK);
+                let table = prepare(
+                    set.periodic,
+                    set.aperiodic,
+                    m,
+                    ToolOptions::new().with_quantization(DEFAULT_TICK),
+                )
+                .unwrap_or_else(|e| panic!("m={m} u={u}: {e}"));
+                assert_eq!(table.periodic().len(), 18);
+                assert_eq!(table.n_procs(), m);
+                for (i, _) in table.periodic().iter().enumerate() {
+                    assert_eq!(
+                        table.promotion(i).as_u64() % DEFAULT_TICK.as_u64(),
+                        0,
+                        "promotions quantized"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn margin_shrinks_promotions() {
+        let tasks = vec![t(0, 20, 100), t(1, 30, 200)];
+        let plain = prepare(tasks.clone(), vec![], 1, ToolOptions::new()).unwrap();
+        let margined = prepare(tasks, vec![], 1, ToolOptions::new().with_wcet_margin(1.5)).unwrap();
+        for i in 0..2 {
+            assert!(
+                margined.promotion(i) <= plain.promotion(i),
+                "margin must promote earlier"
+            );
+            // Execution demand is untouched.
+            assert_eq!(margined.periodic()[i].wcet(), plain.periodic()[i].wcet());
+        }
+    }
+
+    #[test]
+    fn immediate_mode_zeroes_promotions() {
+        let table = prepare(
+            vec![t(0, 20, 100)],
+            vec![],
+            1,
+            ToolOptions::new().with_promotion_mode(PromotionMode::Immediate),
+        )
+        .unwrap();
+        assert_eq!(table.promotion(0), Cycles::ZERO);
+    }
+
+    #[test]
+    fn never_mode_pushes_promotions_past_deadline() {
+        let table = prepare(
+            vec![t(0, 20, 100)],
+            vec![],
+            1,
+            ToolOptions::new().with_promotion_mode(PromotionMode::Never),
+        )
+        .unwrap();
+        assert!(table.promotion(0) >= table.periodic()[0].deadline());
+    }
+
+    #[test]
+    fn margin_can_reveal_unschedulability() {
+        // 70% per task fits alone, but a 1.5× margin makes it 105% > D:
+        // there is no room for the overhead budget, so the tool refuses.
+        let err = prepare(
+            vec![t(0, 70, 100)],
+            vec![],
+            1,
+            ToolOptions::new().with_wcet_margin(1.5),
+        );
+        assert!(err.is_err());
+        // With a margin that still fits, the promotion slack shrinks to
+        // exactly the remaining headroom.
+        let table = prepare(
+            vec![t(0, 70, 100)],
+            vec![],
+            1,
+            ToolOptions::new().with_wcet_margin(1.2),
+        )
+        .unwrap();
+        assert_eq!(table.promotion(0), Cycles::new(16)); // 100 − 84
+    }
+
+    #[test]
+    fn quantization_floors_not_rounds() {
+        let tasks = vec![t(0, 30, 1000)];
+        let table = prepare(
+            tasks,
+            vec![],
+            1,
+            ToolOptions::new().with_quantization(Cycles::new(400)),
+        )
+        .unwrap();
+        // U = 1000 − 30 = 970 → floor to 800.
+        assert_eq!(table.promotion(0), Cycles::new(800));
+    }
+}

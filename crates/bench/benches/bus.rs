@@ -1,0 +1,47 @@
+//! Criterion bench: the cycle-accurate OPB arbiter and the analytic
+//! contention model (the prototype simulator calls the latter on every
+//! activity change).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mpdp_core::ids::ProcId;
+use mpdp_hw::bus::{Arbiter, ArbitrationPolicy};
+use mpdp_hw::contention::ContentionModel;
+
+fn bench_arbiter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiter");
+    for policy in [
+        ArbitrationPolicy::FixedPriority,
+        ArbitrationPolicy::RoundRobin,
+    ] {
+        group.bench_function(
+            BenchmarkId::new("drain_400tx", format!("{policy:?}")),
+            |b| {
+                b.iter(|| {
+                    let mut bus = Arbiter::new(4, policy);
+                    for i in 0..400u64 {
+                        bus.push_request(ProcId::new((i % 4) as u32), 12, i);
+                    }
+                    black_box(bus.drain().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_contention_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention");
+    for n in [2usize, 4, 8] {
+        let rates: Vec<f64> = (0..n).map(|i| 0.01 + 0.005 * i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("speeds", n), &rates, |b, rates| {
+            let model = ContentionModel::new();
+            b.iter(|| black_box(model.speeds(black_box(rates))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbiter, bench_contention_model);
+criterion_main!(benches);

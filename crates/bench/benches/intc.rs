@@ -1,0 +1,76 @@
+//! Criterion bench: interrupt-controller dispatch — raise, route,
+//! acknowledge, end-of-interrupt — under distribution, booking, and
+//! broadcast configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mpdp_core::ids::{PeripheralId, ProcId};
+use mpdp_core::time::Cycles;
+use mpdp_intc::MpInterruptController;
+
+fn serve_all(intc: &mut MpInterruptController, n_procs: usize, now: Cycles) -> usize {
+    let mut served = 0;
+    loop {
+        let mut progressed = false;
+        for p in 0..n_procs {
+            let proc = ProcId::new(p as u32);
+            if intc.signaled(proc).is_some() {
+                intc.acknowledge(proc, now);
+                intc.end_of_interrupt(proc, now);
+                served += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return served;
+        }
+    }
+}
+
+fn bench_distribution(c: &mut Criterion) {
+    c.bench_function("intc/distribute_serve_32", |b| {
+        b.iter(|| {
+            let mut intc = MpInterruptController::new(4, 8, Cycles::new(1000));
+            for i in 0..32u32 {
+                intc.raise_peripheral(PeripheralId::new(i % 8), Cycles::new(u64::from(i)));
+            }
+            black_box(serve_all(&mut intc, 4, Cycles::new(100)))
+        });
+    });
+}
+
+fn bench_booked(c: &mut Criterion) {
+    c.bench_function("intc/booked_serve_32", |b| {
+        b.iter(|| {
+            let mut intc = MpInterruptController::new(4, 8, Cycles::new(1000));
+            for per in 0..8u32 {
+                intc.book(PeripheralId::new(per), Some(ProcId::new(per % 4)));
+            }
+            for i in 0..32u32 {
+                intc.raise_peripheral(PeripheralId::new(i % 8), Cycles::new(u64::from(i)));
+            }
+            black_box(serve_all(&mut intc, 4, Cycles::new(100)))
+        });
+    });
+}
+
+fn bench_ipi(c: &mut Criterion) {
+    c.bench_function("intc/ipi_round_trip", |b| {
+        b.iter(|| {
+            let mut intc = MpInterruptController::new(4, 1, Cycles::new(1000));
+            for i in 0..16u32 {
+                intc.raise_ipi(
+                    ProcId::new(i % 4),
+                    ProcId::new((i + 1) % 4),
+                    i,
+                    Cycles::new(u64::from(i)),
+                );
+            }
+            black_box(serve_all(&mut intc, 4, Cycles::new(100)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_distribution, bench_booked, bench_ipi);
+criterion_main!(benches);

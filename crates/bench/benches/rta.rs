@@ -1,0 +1,50 @@
+//! Criterion bench: the response-time recurrence and the offline tool.
+//!
+//! The paper runs the analysis offline on a host, but its cost still matters
+//! for design-space exploration (re-analysing every candidate partition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mpdp_analysis::tool::{prepare, ToolOptions};
+use mpdp_core::rta::analyze;
+use mpdp_core::time::DEFAULT_TICK;
+use mpdp_workload::automotive_task_set;
+use mpdp_workload::taskgen::{random_task_set, TaskGenConfig};
+
+fn bench_rta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rta");
+    for n_tasks in [4usize, 16, 64] {
+        let tasks = random_task_set(&TaskGenConfig::new(n_tasks, 0.7).with_seed(7));
+        group.bench_with_input(BenchmarkId::new("analyze", n_tasks), &tasks, |b, tasks| {
+            b.iter(|| analyze(black_box(tasks), 1).expect("schedulable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_offline_tool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_tool");
+    for n_procs in [2usize, 4] {
+        let set = automotive_task_set(0.5, n_procs, DEFAULT_TICK);
+        group.bench_with_input(
+            BenchmarkId::new("prepare_automotive", n_procs),
+            &set,
+            |b, set| {
+                b.iter(|| {
+                    prepare(
+                        black_box(set.periodic.clone()),
+                        set.aperiodic.clone(),
+                        n_procs,
+                        ToolOptions::new().with_quantization(DEFAULT_TICK),
+                    )
+                    .expect("schedulable")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rta, bench_offline_tool);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: end-to-end simulator throughput — how many platform
+//! seconds per wall second each stack sustains on the paper's workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mpdp_analysis::tool::{prepare, ToolOptions};
+use mpdp_core::policy::MpdpPolicy;
+use mpdp_core::task::TaskTable;
+use mpdp_core::time::{Cycles, DEFAULT_TICK};
+use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp_sim::theoretical::{run_theoretical, TheoreticalConfig};
+use mpdp_workload::automotive_task_set;
+
+fn table(n_procs: usize) -> TaskTable {
+    let set = automotive_task_set(0.5, n_procs, DEFAULT_TICK);
+    prepare(
+        set.periodic,
+        set.aperiodic,
+        n_procs,
+        ToolOptions::new()
+            .with_quantization(DEFAULT_TICK)
+            .with_wcet_margin(1.15),
+    )
+    .expect("schedulable")
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let horizon = Cycles::from_secs(5);
+    let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+    let mut group = c.benchmark_group("simulate_5s_platform_time");
+    group.throughput(Throughput::Elements(horizon.as_u64()));
+    for n_procs in [2usize, 4] {
+        let t = table(n_procs);
+        group.bench_function(BenchmarkId::new("theoretical", n_procs), |b| {
+            b.iter(|| {
+                black_box(run_theoretical(
+                    MpdpPolicy::new(t.clone()),
+                    &arrivals,
+                    TheoreticalConfig::new(horizon),
+                ))
+            });
+        });
+        group.bench_function(BenchmarkId::new("prototype", n_procs), |b| {
+            b.iter(|| {
+                black_box(run_prototype(
+                    MpdpPolicy::new(t.clone()),
+                    &arrivals,
+                    PrototypeConfig::new(horizon),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Ablation: **why dual priority?** MPDP against the two degenerate
+//! policies the paper positions itself against (§1–2): partitioned
+//! fixed-priority with background aperiodic service (commercial-RTOS
+//! style), and a purely reactive aperiodic-first design.
+//!
+//! All three run on identical kernel mechanics and identical workloads; the
+//! only difference is the promotion policy, so the comparison isolates the
+//! scheduling idea itself.
+//!
+//! Run with `cargo run --release -p mpdp-bench --bin ablate_baseline`.
+
+use mpdp_analysis::baselines::{aperiodic_first, background_service};
+use mpdp_analysis::polling::{polling_server, ServerKind};
+use mpdp_analysis::tool::{prepare, ToolOptions};
+use mpdp_bench::experiment::ExperimentConfig;
+use mpdp_core::policy::MpdpPolicy;
+use mpdp_core::task::TaskTable;
+use mpdp_core::time::Cycles;
+use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp_workload::automotive_task_set;
+
+fn table_for(
+    policy_name: &str,
+    n_procs: usize,
+    utilization: f64,
+    config: &ExperimentConfig,
+) -> TaskTable {
+    let set = automotive_task_set(utilization, n_procs, config.tick);
+    match policy_name {
+        "mpdp" => prepare(
+            set.periodic,
+            set.aperiodic,
+            n_procs,
+            ToolOptions::new()
+                .with_quantization(config.tick)
+                .with_wcet_margin(config.wcet_margin),
+        )
+        .expect("schedulable"),
+        "background" => {
+            background_service(set.periodic, set.aperiodic, n_procs).expect("schedulable")
+        }
+        "aperiodic-first" => {
+            aperiodic_first(set.periodic, set.aperiodic, n_procs).expect("schedulable")
+        }
+        other => unreachable!("unknown policy {other}"),
+    }
+}
+
+fn main() {
+    let config = ExperimentConfig::new();
+    let n_procs = 2;
+
+    println!("== scheduling-policy ablation: 2 processors ==");
+    println!(
+        "{:<16} {:>6} {:>12} {:>14} {:>10}",
+        "policy", "util", "susan (s)", "periodic done", "misses"
+    );
+
+    for utilization in [0.4, 0.6] {
+        // A denser aperiodic stream than Figure 4, to stress the policies'
+        // aperiodic service while periodic load runs. Arrivals fall
+        // mid-period of the 1 s servers, so the polling/deferrable
+        // distinction (discard vs keep the budget) is visible.
+        let arrivals: Vec<(Cycles, usize)> = (0..3)
+            .map(|i| (Cycles::from_millis(1350 + 8000 * i), 0usize))
+            .collect();
+        let proto = || PrototypeConfig::new(Cycles::from_secs(40)).with_tick(config.tick);
+
+        for policy_name in [
+            "mpdp",
+            "background",
+            "aperiodic-first",
+            "polling-server",
+            "deferrable-srv",
+        ] {
+            let outcome = if policy_name == "polling-server" || policy_name == "deferrable-srv" {
+                let set = automotive_task_set(utilization, n_procs, config.tick);
+                // A generous server: 40% of one processor.
+                match polling_server(
+                    set.periodic,
+                    set.aperiodic,
+                    n_procs,
+                    config.tick * 4,
+                    config.tick * 10,
+                ) {
+                    Ok(policy) => {
+                        let kind = if policy_name == "deferrable-srv" {
+                            ServerKind::Deferrable
+                        } else {
+                            ServerKind::Polling
+                        };
+                        run_prototype(policy.with_kind(kind), &arrivals, proto())
+                    }
+                    Err(e) => {
+                        println!(
+                            "{:<16} {:>5.0}%  (server not admissible: {e})",
+                            policy_name,
+                            utilization * 100.0
+                        );
+                        continue;
+                    }
+                }
+            } else {
+                let table = table_for(policy_name, n_procs, utilization, &config);
+                run_prototype(MpdpPolicy::new(table), &arrivals, proto())
+            };
+            let susan = mpdp_core::ids::TaskId::new(18);
+            let response = outcome
+                .trace
+                .mean_response(susan)
+                .map_or(f64::NAN, |c| c.as_secs_f64());
+            let periodic_done = outcome
+                .trace
+                .completions
+                .iter()
+                .filter(|c| c.deadline.is_some())
+                .count();
+            println!(
+                "{:<16} {:>5.0}% {:>12.3} {:>14} {:>10}",
+                policy_name,
+                utilization * 100.0,
+                response,
+                periodic_done,
+                outcome.trace.deadline_misses()
+            );
+        }
+    }
+    println!();
+    println!("expected: background service degrades aperiodic response (susan waits for");
+    println!("idle periods); aperiodic-first gives the best response but misses periodic");
+    println!("deadlines under load; the servers bound interference but throttle susan to");
+    println!("their budget (40% of one CPU -> slowest responses; deferrable <= polling");
+    println!("because kept budget starts service earlier); MPDP gets near-best response");
+    println!("with zero misses.");
+}

@@ -1,0 +1,92 @@
+//! Ablation: **instruction-cache effectiveness**.
+//!
+//! The paper's platform relies on the per-core I-cache "bringing down access
+//! latency from 12 to 1 clock cycle in case of hit". This sweep varies the
+//! I-cache hit rate of every task and measures the aperiodic response —
+//! lower hit rates mean more OPB traffic, more contention, and slower
+//! everything. A trace-driven check with the real direct-mapped cache model
+//! calibrates which hit rates are plausible.
+//!
+//! Run with `cargo run --release -p mpdp-bench --bin ablate_cache`.
+
+use mpdp_analysis::tool::{prepare, ToolOptions};
+use mpdp_bench::experiment::ExperimentConfig;
+use mpdp_core::policy::MpdpPolicy;
+use mpdp_core::task::MemoryProfile;
+use mpdp_core::time::Cycles;
+use mpdp_hw::cache::DirectMappedCache;
+use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp_workload::automotive_task_set;
+
+fn main() {
+    let config = ExperimentConfig::new();
+    let n_procs = 2;
+    let utilization = 0.4;
+
+    // Calibration: what hit rates does the modeled 2 KiB direct-mapped
+    // cache actually deliver on loop-heavy instruction traces?
+    let mut cache = DirectMappedCache::new(64, 8);
+    let tight_loop = cache.hit_rate_of_trace((0..200u64).cycle().take(100_000));
+    let big_loop = cache.hit_rate_of_trace((0..2000u64).cycle().take(100_000));
+    println!("== I-cache ablation: 2 processors, 40% utilization ==");
+    println!("trace-driven calibration (64 lines x 8 words):");
+    println!("  200-word loop body:  hit rate {tight_loop:.4}");
+    println!("  2000-word loop body: hit rate {big_loop:.4} (capacity misses)");
+    println!();
+    println!("{:<10} {:>10} {:>8}", "hit rate", "susan (s)", "misses");
+
+    for hit_rate in [0.999, 0.99, 0.97, 0.95, 0.92] {
+        let mut set = automotive_task_set(utilization, n_procs, config.tick);
+        set.periodic = set
+            .periodic
+            .iter()
+            .map(|t| {
+                let profile = MemoryProfile {
+                    icache_hit_rate: hit_rate,
+                    ..*t.profile()
+                };
+                t.clone().with_profile(profile)
+            })
+            .collect();
+        set.aperiodic = set
+            .aperiodic
+            .iter()
+            .map(|t| {
+                let profile = MemoryProfile {
+                    icache_hit_rate: hit_rate,
+                    ..*t.profile()
+                };
+                t.clone().with_profile(profile)
+            })
+            .collect();
+        let table = prepare(
+            set.periodic,
+            set.aperiodic,
+            n_procs,
+            ToolOptions::new()
+                .with_quantization(config.tick)
+                .with_wcet_margin(config.wcet_margin),
+        )
+        .expect("schedulable at 40%");
+        let susan = table.aperiodic()[0].id();
+        let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+        let outcome = run_prototype(
+            MpdpPolicy::new(table),
+            &arrivals,
+            PrototypeConfig::new(Cycles::from_secs(14)).with_tick(config.tick),
+        );
+        let response = outcome
+            .trace
+            .mean_response(susan)
+            .map_or(f64::NAN, |c| c.as_secs_f64());
+        println!(
+            "{:<10} {:>10.3} {:>8}",
+            format!("{:.1}%", hit_rate * 100.0),
+            response,
+            outcome.trace.deadline_misses()
+        );
+    }
+    println!();
+    println!("expected: response degrades convexly as the hit rate falls — every miss is");
+    println!("a 12-cycle bus transaction that also queues behind everyone else's misses.");
+}

@@ -1,0 +1,70 @@
+//! Ablation: **the multiprocessor interrupt controller vs the stock
+//! single-target controller**, plus the effect of peripheral booking.
+//!
+//! The paper motivates its controller by noting that "when multiple
+//! processors are used, the standard interrupt controller integrated in the
+//! Xilinx Embedded Developer Kit is ineffective, since it only permits to
+//! propagate multiple interrupts to a single processor". This experiment
+//! runs the same workload with (a) full distribution, (b) everything pinned
+//! to processor 0, and (c) distribution with the camera peripheral booked
+//! to processor 1, and compares aperiodic response and interrupt handling.
+//!
+//! Run with `cargo run --release -p mpdp-bench --bin ablate_intc`.
+
+use mpdp_bench::experiment::{arrival_schedule, build_table, ExperimentConfig};
+use mpdp_core::ids::{PeripheralId, ProcId};
+use mpdp_core::policy::MpdpPolicy;
+use mpdp_core::time::Cycles;
+use mpdp_sim::prototype::{PrototypeConfig, PrototypeSim};
+
+fn main() {
+    let config = ExperimentConfig::new();
+    let n_procs = 3;
+    let utilization = 0.5;
+    let arrivals = arrival_schedule(&config);
+    let horizon =
+        arrivals.last().expect("arrivals").0 + config.activation_gap + Cycles::from_secs(5);
+
+    println!("== INTC ablation: 3 processors, 50% utilization ==");
+    println!(
+        "{:<28} {:>10} {:>8} {:>8} {:>9} {:>8}",
+        "configuration", "susan (s)", "misses", "acks", "timeouts", "ipis"
+    );
+
+    for (name, pin, booked) in [
+        ("multiprocessor distribution", None, false),
+        ("pinned to P0 (stock INTC)", Some(ProcId::new(0)), false),
+        ("distribution + booking->P1", None, true),
+    ] {
+        let table = build_table(n_procs, utilization, &config);
+        let susan = table.aperiodic()[0].id();
+        let mut proto_config = PrototypeConfig::new(horizon).with_tick(config.tick);
+        if let Some(p) = pin {
+            proto_config = proto_config.with_pinned_interrupts(p);
+        }
+        let mut sim = PrototypeSim::new(MpdpPolicy::new(table), proto_config);
+        if booked {
+            // The camera (peripheral 0 — the susan trigger) is booked to P1,
+            // as one would for an IP-core read-back path.
+            sim.intc_mut()
+                .book(PeripheralId::new(0), Some(ProcId::new(1)));
+        }
+        let outcome = sim.run(&arrivals);
+        let response = outcome
+            .trace
+            .mean_response(susan)
+            .map_or(f64::NAN, |c| c.as_secs_f64());
+        println!(
+            "{:<28} {:>10.3} {:>8} {:>8} {:>9} {:>8}",
+            name,
+            response,
+            outcome.trace.deadline_misses(),
+            outcome.intc.acknowledged,
+            outcome.intc.timeouts,
+            outcome.kernel.ipis
+        );
+    }
+    println!();
+    println!("expected: pinning serializes scheduling + release ISRs on P0, degrading");
+    println!("aperiodic response; booking only changes which processor runs the release ISR.");
+}

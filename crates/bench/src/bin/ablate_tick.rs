@@ -1,0 +1,68 @@
+//! Ablation: **scheduling-period sensitivity**.
+//!
+//! The paper fixes the tick at 0.1 s ("Scheduling phase is triggered each
+//! 0.1 seconds by the system timer"). This sweep shows the trade-off that
+//! choice navigates: a faster tick reacts sooner (promotions and releases
+//! land closer to their nominal instants) but burns more kernel cycles and
+//! bus traffic; a slower tick quantizes promotions so coarsely the offline
+//! analysis loses most of its slack.
+//!
+//! Run with `cargo run --release -p mpdp-bench --bin ablate_tick`.
+
+use mpdp_analysis::tool::{prepare, ToolOptions};
+use mpdp_bench::experiment::ExperimentConfig;
+use mpdp_core::policy::MpdpPolicy;
+use mpdp_core::time::Cycles;
+use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp_workload::automotive_task_set;
+
+fn main() {
+    let base = ExperimentConfig::new();
+    let n_procs = 2;
+    let utilization = 0.5;
+
+    println!("== tick-period ablation: 2 processors, 50% utilization ==");
+    println!(
+        "{:<10} {:>10} {:>8} {:>12} {:>10}",
+        "tick", "susan (s)", "misses", "sched passes", "switches"
+    );
+
+    for tick_ms in [10u64, 50, 100, 200, 500] {
+        let tick = Cycles::from_millis(tick_ms);
+        // Periods are synthesized on the same grid so every tick choice is
+        // given its best case.
+        let set = automotive_task_set(utilization, n_procs, tick);
+        let table = prepare(
+            set.periodic,
+            set.aperiodic,
+            n_procs,
+            ToolOptions::new()
+                .with_quantization(tick)
+                .with_wcet_margin(base.wcet_margin),
+        )
+        .expect("schedulable at 50%");
+        let susan = table.aperiodic()[0].id();
+        let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+        let outcome = run_prototype(
+            MpdpPolicy::new(table),
+            &arrivals,
+            PrototypeConfig::new(Cycles::from_secs(12)).with_tick(tick),
+        );
+        let response = outcome
+            .trace
+            .mean_response(susan)
+            .map_or(f64::NAN, |c| c.as_secs_f64());
+        println!(
+            "{:<10} {:>10.3} {:>8} {:>12} {:>10}",
+            format!("{tick_ms} ms"),
+            response,
+            outcome.trace.deadline_misses(),
+            outcome.kernel.sched_passes,
+            outcome.kernel.context_switches
+        );
+    }
+    println!();
+    println!("expected: scheduling passes scale inversely with the tick; response is");
+    println!("largely tick-insensitive while the system has slack (MPDP serves aperiodics");
+    println!("on arrival and on completion, not only at ticks).");
+}

@@ -1,0 +1,90 @@
+//! Regenerates **Figure 2** — "The conceptual organization of the
+//! MultiProcessor Dual Priority scheduler. There is a global ready queue for
+//! low priority periodic and aperiodic tasks and a local ready queue for
+//! high priority task" — by building the paper's experiment workload,
+//! advancing the scheduler to an interesting instant, and printing the live
+//! queue contents.
+//!
+//! Run with `cargo run -p mpdp-bench --bin fig2_queues`.
+
+use mpdp_bench::experiment::{build_table, ExperimentConfig};
+use mpdp_core::ids::{proc_ids, JobId};
+use mpdp_core::policy::{JobClass, MpdpPolicy};
+use mpdp_core::time::{Cycles, DEFAULT_TICK};
+
+fn name_of(policy: &MpdpPolicy, job: JobId) -> String {
+    match policy.job(job).class {
+        JobClass::Periodic { task_index } => policy.table().periodic()[task_index].name().into(),
+        JobClass::Aperiodic { task_index } => policy.table().aperiodic()[task_index].name().into(),
+    }
+}
+
+fn main() {
+    let config = ExperimentConfig::new();
+    let table = build_table(2, 0.5, &config);
+    let mut policy = MpdpPolicy::new(table);
+
+    // Advance to an instant where all four queue kinds are populated:
+    // release everything, let one tick of promotions land, inject the
+    // aperiodic, and run a few completions.
+    policy.release_due(Cycles::ZERO);
+    let desired = policy.assign();
+    for (p, d) in desired.iter().enumerate() {
+        policy.set_running(proc_ids(2).nth(p).expect("two processors"), *d);
+    }
+    policy.release_aperiodic(0, DEFAULT_TICK);
+    policy.promote_due(DEFAULT_TICK * 40);
+
+    println!("== Figure 2: MPDP queue organization (live snapshot, t = 4 s) ==");
+    println!();
+    println!("GLOBAL  Aperiodic Ready Queue (middle band, FIFO):");
+    let live: Vec<JobId> = policy.live_jobs().collect();
+    for job in &live {
+        let j = policy.job(*job);
+        if !j.is_periodic() && !policy.is_running(*job) {
+            println!("    {} ({})", job, name_of(&policy, *job));
+        }
+    }
+    println!();
+    println!("GLOBAL  Periodic Ready Queue (lower band, fixed low priorities):");
+    for job in &live {
+        let j = policy.job(*job);
+        if j.is_periodic() && !j.promoted && !policy.is_running(*job) {
+            println!(
+                "    {} ({}) low-prio {}",
+                job,
+                name_of(&policy, *job),
+                match j.class {
+                    JobClass::Periodic { task_index } => policy.table().periodic()[task_index]
+                        .priorities()
+                        .low
+                        .level(),
+                    JobClass::Aperiodic { .. } => unreachable!(),
+                }
+            );
+        }
+    }
+    println!();
+    for proc in proc_ids(policy.n_procs()) {
+        println!("LOCAL   High Priority Ready Queue of {proc} (upper band):");
+        for job in &live {
+            let j = policy.job(*job);
+            let promoted_here = j.promoted
+                && matches!(j.class, JobClass::Periodic { task_index }
+                    if policy.table().periodic()[task_index].processor() == proc);
+            if promoted_here && !policy.is_running(*job) {
+                println!("    {} ({})", job, name_of(&policy, *job));
+            }
+        }
+        match policy.running_on(proc) {
+            Some(job) => println!("    >> running: {} ({})", job, name_of(&policy, job)),
+            None => println!("    >> running: idle"),
+        }
+    }
+    println!();
+    println!(
+        "Waiting Periodic Queue: next release at {:?}",
+        policy.next_release_time()
+    );
+    println!("next promotion due at:  {:?}", policy.next_promotion_time());
+}

@@ -1,0 +1,124 @@
+//! Regenerates **Figure 4** — "Response time in seconds of an aperiodic task
+//! on our system with different periodic utilization and different number of
+//! processors" — plus the §5 in-text slowdown matrix ("the real 2 processors
+//! architecture is respectively 7%, 8% and 12% slower ... the prototype is
+//! 15%, 22% and 27% slower ... 25% worse than the optimal response time").
+//!
+//! Run with `cargo run --release -p mpdp-bench --bin fig4_response_time`.
+
+use mpdp_bench::experiment::{fig4_sweep, ExperimentConfig};
+
+fn main() {
+    // Optional: `fig4_response_time --csv out.csv` also writes the grid as
+    // CSV for external plotting.
+    let args: Vec<String> = std::env::args().collect();
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let config = ExperimentConfig::new();
+    eprintln!(
+        "figure 4: mean response of susan-large (aperiodic), {} activations per cell ...",
+        config.activations
+    );
+    let points = fig4_sweep(&config);
+
+    println!("== Figure 4: aperiodic response time (seconds) ==");
+    println!(
+        "{:<6} {:>10} {:>12} {:>8} {:>8}",
+        "arch", "util", "series", "resp", "misses"
+    );
+    for p in &points {
+        println!(
+            "{:<6} {:>9.0}% {:>12} {:>8.3} {:>8}",
+            format!("{}P", p.n_procs),
+            p.utilization * 100.0,
+            "theoretical",
+            p.theoretical_s,
+            "-"
+        );
+        println!(
+            "{:<6} {:>9.0}% {:>12} {:>8.3} {:>8}",
+            format!("{}P", p.n_procs),
+            p.utilization * 100.0,
+            "real",
+            p.real_s,
+            p.misses
+        );
+    }
+
+    println!();
+    println!("== §5 slowdown matrix: real vs theoretical (paper: 2P 7/8/12%, 3P 15/22/27%, 4P ≈25% @60%) ==");
+    print!("{:<6}", "");
+    for u in [40, 50, 60] {
+        print!(" {u:>7}%");
+    }
+    println!();
+    for m in [2usize, 3, 4] {
+        print!("{:<6}", format!("{m}P"));
+        for u in [0.4, 0.5, 0.6] {
+            let p = points
+                .iter()
+                .find(|p| p.n_procs == m && (p.utilization - u).abs() < 1e-9)
+                .expect("sweep covers every cell");
+            print!(" {:>7.1}%", p.slowdown_pct());
+        }
+        println!();
+    }
+
+    println!();
+    println!("== bar series (for plotting; matches the paper's x-axis grouping) ==");
+    for u in [0.4, 0.5, 0.6] {
+        let theo: Vec<String> = [2usize, 3, 4]
+            .iter()
+            .map(|&m| {
+                format!(
+                    "{:.3}",
+                    points
+                        .iter()
+                        .find(|p| p.n_procs == m && (p.utilization - u).abs() < 1e-9)
+                        .expect("cell")
+                        .theoretical_s
+                )
+            })
+            .collect();
+        let real: Vec<String> = [2usize, 3, 4]
+            .iter()
+            .map(|&m| {
+                format!(
+                    "{:.3}",
+                    points
+                        .iter()
+                        .find(|p| p.n_procs == m && (p.utilization - u).abs() < 1e-9)
+                        .expect("cell")
+                        .real_s
+                )
+            })
+            .collect();
+        println!(
+            "{:>2.0}%  2P/3P/4P theoretical: {}   real: {}",
+            u * 100.0,
+            theo.join(" "),
+            real.join(" ")
+        );
+    }
+
+    if let Some(path) = csv_path {
+        let mut csv =
+            String::from("n_procs,utilization,theoretical_s,real_s,slowdown_pct,misses\n");
+        for p in &points {
+            csv.push_str(&format!(
+                "{},{:.2},{:.6},{:.6},{:.3},{}\n",
+                p.n_procs,
+                p.utilization,
+                p.theoretical_s,
+                p.real_s,
+                p.slowdown_pct(),
+                p.misses
+            ));
+        }
+        std::fs::write(&path, csv).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

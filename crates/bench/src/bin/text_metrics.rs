@@ -1,0 +1,89 @@
+//! Regenerates the §5 **in-text numbers**:
+//!
+//! * "The aperiodic task, on a single processor architecture, should execute
+//!   in 5.438 seconds with the given dataset at 50 MHz."
+//! * "the algorithm should execute the aperiodic task with very limited
+//!   response times, almost near the execution time ... with the only
+//!   overheads of context switching when moving the task on free processors
+//!   (10.32 seconds in the worst case)."
+//! * "On 4 processors, with a 60% workload, our architecture can reach a
+//!   response time of 6.843 seconds" (the highest Real bar of Figure 4).
+//!
+//! Run with `cargo run --release -p mpdp-bench --bin text_metrics`.
+
+use mpdp_bench::experiment::{arrival_schedule, build_table, fig4_point, ExperimentConfig};
+use mpdp_core::policy::MpdpPolicy;
+use mpdp_core::time::Cycles;
+use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp_workload::wcet::{BenchSpec, Dataset, Program};
+
+fn main() {
+    let config = ExperimentConfig::new();
+    let susan = BenchSpec::new(Program::Susan, Dataset::Large);
+
+    println!("== §5 in-text metrics ==");
+    println!(
+        "susan-large execution demand:        {:.3} s  (paper: 5.438 s at 50 MHz)",
+        susan.wcet().as_secs_f64()
+    );
+
+    // Single-processor response with no periodic workload: the pure
+    // execution plus interrupt/switch overheads on the prototype stack.
+    let mut lone_table = build_table(1, 0.05, &config);
+    let susan_id = lone_table.aperiodic()[0].id();
+    let _ = &mut lone_table;
+    let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+    let lone = run_prototype(
+        MpdpPolicy::new(lone_table),
+        &arrivals,
+        PrototypeConfig::new(Cycles::from_secs(10)).with_tick(config.tick),
+    );
+    println!(
+        "1-processor response (5% bg load):   {:.3} s  (execution + interrupt/switch overheads)",
+        lone.trace
+            .mean_response(susan_id)
+            .expect("susan completes")
+            .as_secs_f64()
+    );
+
+    // Worst-case response observed across the full Figure 4 grid on the
+    // prototype (the paper's 10.32 s "worst case" with context switching).
+    let mut worst = 0.0f64;
+    let mut worst_cell = (0usize, 0.0f64);
+    for n_procs in [2usize, 3, 4] {
+        for utilization in [0.4, 0.5, 0.6] {
+            let table = build_table(n_procs, utilization, &config);
+            let id = table.aperiodic()[0].id();
+            let arrivals = arrival_schedule(&config);
+            let horizon =
+                arrivals.last().expect("arrivals").0 + config.activation_gap + Cycles::from_secs(5);
+            let outcome = run_prototype(
+                MpdpPolicy::new(table),
+                &arrivals,
+                PrototypeConfig::new(horizon).with_tick(config.tick),
+            );
+            let max = outcome
+                .trace
+                .max_response(id)
+                .expect("susan completes")
+                .as_secs_f64();
+            if max > worst {
+                worst = max;
+                worst_cell = (n_procs, utilization);
+            }
+        }
+    }
+    println!(
+        "worst-case response across the grid: {:.3} s  at {}P/{:.0}%  (paper: 10.32 s worst case)",
+        worst,
+        worst_cell.0,
+        worst_cell.1 * 100.0
+    );
+
+    let p4_60 = fig4_point(4, 0.6, &config);
+    println!(
+        "4P at 60% workload:                  {:.3} s mean, {:+.1}% vs theoretical  (paper: 6.843 s, 25% worse)",
+        p4_60.real_s,
+        p4_60.slowdown_pct()
+    );
+}

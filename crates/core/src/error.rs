@@ -1,0 +1,95 @@
+//! Error types for task-set construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{ProcId, TaskId};
+
+/// Errors produced while building or validating task sets and task tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TaskSetError {
+    /// A task's WCET is zero.
+    ZeroWcet(TaskId),
+    /// A periodic task's period is zero.
+    ZeroPeriod(TaskId),
+    /// A periodic task's deadline is zero or exceeds its period
+    /// (the MPDP analysis assumes constrained deadlines, `D ≤ T`).
+    InvalidDeadline(TaskId),
+    /// A periodic task's WCET exceeds its deadline — trivially unschedulable.
+    WcetExceedsDeadline(TaskId),
+    /// Two tasks share the same id.
+    DuplicateTaskId(TaskId),
+    /// Two periodic tasks on the same processor share a high-band priority
+    /// level, which would make the upper-band order ambiguous.
+    DuplicateHighPriority(ProcId, TaskId, TaskId),
+    /// A task references a processor outside the platform.
+    UnknownProcessor(TaskId, ProcId),
+    /// The task set is not schedulable: the response-time recurrence exceeded
+    /// the task's deadline on its assigned processor.
+    Unschedulable(TaskId),
+    /// A partitioning heuristic could not fit every task on the processors.
+    PartitioningFailed(TaskId),
+}
+
+impl fmt::Display for TaskSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskSetError::ZeroWcet(t) => write!(f, "task {t} has zero worst-case execution time"),
+            TaskSetError::ZeroPeriod(t) => write!(f, "task {t} has zero period"),
+            TaskSetError::InvalidDeadline(t) => {
+                write!(
+                    f,
+                    "task {t} has a zero deadline or a deadline beyond its period"
+                )
+            }
+            TaskSetError::WcetExceedsDeadline(t) => {
+                write!(
+                    f,
+                    "task {t} has a worst-case execution time beyond its deadline"
+                )
+            }
+            TaskSetError::DuplicateTaskId(t) => write!(f, "duplicate task id {t}"),
+            TaskSetError::DuplicateHighPriority(p, a, b) => write!(
+                f,
+                "tasks {a} and {b} share a high-band priority level on processor {p}"
+            ),
+            TaskSetError::UnknownProcessor(t, p) => {
+                write!(f, "task {t} is assigned to unknown processor {p}")
+            }
+            TaskSetError::Unschedulable(t) => write!(
+                f,
+                "task {t} is unschedulable: worst-case response exceeds its deadline"
+            ),
+            TaskSetError::PartitioningFailed(t) => {
+                write!(
+                    f,
+                    "no processor could accommodate task {t} during partitioning"
+                )
+            }
+        }
+    }
+}
+
+impl Error for TaskSetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = TaskSetError::Unschedulable(TaskId::new(3));
+        let msg = format!("{e}");
+        assert!(msg.contains("T3"));
+        assert!(msg.starts_with("task"));
+        let e = TaskSetError::DuplicateHighPriority(ProcId::new(1), TaskId::new(0), TaskId::new(2));
+        assert!(format!("{e}").contains("P1"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TaskSetError>();
+    }
+}

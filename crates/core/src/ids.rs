@@ -1,0 +1,120 @@
+//! Identifier newtypes for tasks, jobs, processors, and peripherals.
+//!
+//! These exist so that "processor 2" and "task 2" can never be confused at a
+//! call site, and so that collections indexed by one kind of id advertise it
+//! in their signatures.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpdp_core::ids::{ProcId, TaskId};
+//!
+//! let cpu = ProcId::new(0);
+//! let task = TaskId::new(7);
+//! assert_eq!(cpu.index(), 0);
+//! assert_eq!(format!("{task}"), "T7");
+//! ```
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw index, usable for `Vec` indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn as_u32(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a *task* (a periodic or aperiodic specification).
+    TaskId,
+    "T"
+);
+id_type!(
+    /// Identifies a *job* (one activation of a task at runtime).
+    JobId,
+    "J"
+);
+id_type!(
+    /// Identifies a processor (MicroBlaze soft core in the paper).
+    ProcId,
+    "P"
+);
+id_type!(
+    /// Identifies a peripheral attached to the interrupt controller (CAN
+    /// interface, camera, system timer, ...).
+    PeripheralId,
+    "per"
+);
+
+/// Iterator over the first `n` processor ids, `P0..P(n-1)`.
+///
+/// # Examples
+///
+/// ```
+/// use mpdp_core::ids::{proc_ids, ProcId};
+/// let ids: Vec<ProcId> = proc_ids(3).collect();
+/// assert_eq!(ids, vec![ProcId::new(0), ProcId::new(1), ProcId::new(2)]);
+/// ```
+pub fn proc_ids(n: usize) -> impl Iterator<Item = ProcId> {
+    (0..n as u32).map(ProcId::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(format!("{}", TaskId::new(3)), "T3");
+        assert_eq!(format!("{}", JobId::new(9)), "J9");
+        assert_eq!(format!("{}", ProcId::new(1)), "P1");
+        assert_eq!(format!("{}", PeripheralId::new(0)), "per0");
+    }
+
+    #[test]
+    fn ordering_and_indexing() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+        assert_eq!(ProcId::new(5).index(), 5);
+        assert_eq!(ProcId::from(2u32).as_u32(), 2);
+    }
+
+    #[test]
+    fn proc_ids_iterates() {
+        assert_eq!(proc_ids(0).count(), 0);
+        assert_eq!(proc_ids(4).last(), Some(ProcId::new(3)));
+    }
+}

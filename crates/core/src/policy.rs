@@ -1,0 +1,804 @@
+//! The Multiprocessor Dual Priority (MPDP) scheduling policy as a pure,
+//! platform-independent state machine.
+//!
+//! Both the theoretical simulator and the prototype microkernel drive this
+//! same state machine — exactly as the paper's theoretical simulator "adopts
+//! the same approach of the scheduling kernel of the target architecture".
+//! The state machine owns the job bookkeeping and the four queue kinds; the
+//! caller owns *time* and *work* (when releases, promotions, and completions
+//! happen, and how fast jobs progress, which is where overheads and
+//! contention enter).
+//!
+//! Queue discipline (paper §4.1–4.2):
+//!
+//! * unpromoted periodic jobs sit in the global Periodic Ready Queue at their
+//!   fixed lower-band priority and may execute on *any* processor;
+//! * aperiodic jobs sit in the global Aperiodic Ready Queue in FIFO order
+//!   (middle band — they beat unpromoted periodics);
+//! * at its promotion time a periodic job moves to the High Priority Local
+//!   Ready Queue of its design-time processor and from then on runs only
+//!   there (upper band — it beats everything else);
+//! * a processor with pending promoted work may not serve the global queues.
+//!
+//! Jobs remain in their queue while running; the `running` map is a view
+//! saying which queued job each processor currently executes. This makes
+//! [`MpdpPolicy::assign`] a pure function of queue contents.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpdp_core::policy::MpdpPolicy;
+//! use mpdp_core::task::{PeriodicTask, AperiodicTask, TaskTable};
+//! use mpdp_core::rta::build_task_table;
+//! use mpdp_core::time::Cycles;
+//! use mpdp_core::ids::TaskId;
+//! use mpdp_core::priority::Priority;
+//!
+//! # fn main() -> Result<(), mpdp_core::error::TaskSetError> {
+//! let t0 = PeriodicTask::new(TaskId::new(0), "t0", Cycles::new(10), Cycles::new(100))
+//!     .with_priorities(Priority::new(0), Priority::new(3));
+//! let table = build_task_table(vec![t0], vec![], 1)?;
+//! let mut policy = MpdpPolicy::new(table);
+//! let released = policy.release_due(Cycles::ZERO);
+//! assert_eq!(released.len(), 1);
+//! let desired = policy.assign();
+//! assert_eq!(desired[0], Some(released[0]));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use crate::ids::{JobId, ProcId};
+use crate::queue::{
+    AperiodicReadyQueue, HighPrioLocalQueue, PeriodicReadyQueue, WaitingPeriodicQueue,
+};
+use crate::task::TaskTable;
+use crate::time::Cycles;
+
+/// Whether a job is an activation of a periodic or an aperiodic task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobClass {
+    /// Activation of `table.periodic()[task_index]`.
+    Periodic {
+        /// Index into [`TaskTable::periodic`].
+        task_index: usize,
+    },
+    /// Activation of `table.aperiodic()[task_index]`.
+    Aperiodic {
+        /// Index into [`TaskTable::aperiodic`].
+        task_index: usize,
+    },
+}
+
+/// Runtime record of one job (one activation of a task).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// This job's id.
+    pub id: JobId,
+    /// Periodic or aperiodic, and which task.
+    pub class: JobClass,
+    /// Nominal release instant (for periodic jobs, the theoretical release,
+    /// even if the scheduler only noticed it at a later tick).
+    pub release: Cycles,
+    /// Absolute deadline (`release + D`); `None` for soft aperiodic jobs.
+    pub absolute_deadline: Option<Cycles>,
+    /// Absolute promotion instant; `None` for aperiodic jobs and for jobs
+    /// already promoted.
+    pub promotion_at: Option<Cycles>,
+    /// Whether the job has been promoted to the upper band.
+    pub promoted: bool,
+    /// Last processor this job executed on (`None` if it never ran) — used
+    /// for migration-avoiding assignment.
+    pub last_proc: Option<ProcId>,
+}
+
+impl Job {
+    /// Whether this is a periodic (hard) job.
+    pub fn is_periodic(&self) -> bool {
+        matches!(self.class, JobClass::Periodic { .. })
+    }
+}
+
+/// One context-switch decision produced by diffing the current running map
+/// against a desired assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchAction {
+    /// The processor whose task changes.
+    pub proc: ProcId,
+    /// The job it was running (to be saved), if any.
+    pub save: Option<JobId>,
+    /// The job it should run next (to be restored), if any.
+    pub restore: Option<JobId>,
+}
+
+impl fmt::Display for SwitchAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.save, self.restore) {
+            (Some(s), Some(r)) => write!(f, "{}: {} -> {}", self.proc, s, r),
+            (Some(s), None) => write!(f, "{}: {} -> idle", self.proc, s),
+            (None, Some(r)) => write!(f, "{}: idle -> {}", self.proc, r),
+            (None, None) => write!(f, "{}: idle", self.proc),
+        }
+    }
+}
+
+/// The interface a scheduling policy presents to the simulators.
+///
+/// Both the theoretical and the prototype simulator drive a policy through
+/// this trait, so alternative policies (the baselines in `mpdp-analysis`)
+/// can be swapped in for ablation studies. The policy owns job bookkeeping
+/// and queue state; the driver owns time and work progress.
+pub trait Scheduler {
+    /// The task table being executed.
+    fn table(&self) -> &TaskTable;
+    /// Number of processors.
+    fn n_procs(&self) -> usize;
+    /// The record of a live job.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `id` is not live.
+    fn job(&self, id: JobId) -> &Job;
+    /// Releases periodic tasks due at or before `now`; returns new job ids.
+    fn release_due(&mut self, now: Cycles) -> Vec<JobId>;
+    /// Releases an aperiodic job (ISR path).
+    fn release_aperiodic(&mut self, task_index: usize, now: Cycles) -> JobId;
+    /// Applies promotions due at or before `now` (no-op for single-band
+    /// policies); returns promoted job ids.
+    fn promote_due(&mut self, now: Cycles) -> Vec<JobId>;
+    /// Earliest pending promotion instant, if the policy promotes.
+    fn next_promotion_time(&self) -> Option<Cycles>;
+    /// Earliest parked periodic release.
+    fn next_release_time(&self) -> Option<Cycles>;
+    /// Records which job a processor executes.
+    fn set_running(&mut self, proc: ProcId, job: Option<JobId>);
+    /// The current running map.
+    fn running(&self) -> &[Option<JobId>];
+    /// Completes a job, returning its final record.
+    fn complete(&mut self, id: JobId, now: Cycles) -> Job;
+    /// Desired processor → job assignment under this policy.
+    fn assign(&self) -> Vec<Option<JobId>>;
+    /// Local pick for a single idle processor (completion path).
+    fn pick_for_idle(&self, proc: ProcId) -> Option<JobId>;
+    /// Notification that `job` executed for `amount` of work ending at
+    /// `now`; used by budget-based policies (polling servers). Default:
+    /// no-op.
+    fn on_progress(&mut self, job: JobId, amount: Cycles, now: Cycles) {
+        let _ = (job, amount, now);
+    }
+
+    /// The next instant at which this policy's internal state changes on its
+    /// own (e.g. a server budget replenishment). Simulators wake up and run
+    /// a scheduling pass at this instant. Default: never.
+    fn next_internal_event(&self) -> Option<Cycles> {
+        None
+    }
+
+    /// Diffs the current running map against a desired assignment, yielding
+    /// context-switch actions for processors whose job changes.
+    fn diff(&self, desired: &[Option<JobId>]) -> Vec<SwitchAction> {
+        assert_eq!(desired.len(), self.n_procs(), "one slot per processor");
+        let mut actions = Vec::new();
+        for (p, (cur, want)) in self.running().iter().zip(desired).enumerate() {
+            if cur != want {
+                actions.push(SwitchAction {
+                    proc: ProcId::new(p as u32),
+                    save: *cur,
+                    restore: *want,
+                });
+            }
+        }
+        actions
+    }
+}
+
+/// The MPDP scheduling state machine.
+///
+/// See the [module documentation](self) for the queue discipline and the
+/// division of labour between the policy and its caller.
+#[derive(Debug, Clone)]
+pub struct MpdpPolicy {
+    table: TaskTable,
+    jobs: Vec<Option<Job>>,
+    /// Nominal next release per periodic task.
+    next_release: Vec<Cycles>,
+    wpq: WaitingPeriodicQueue,
+    prq: PeriodicReadyQueue,
+    arq: AperiodicReadyQueue,
+    hplrq: Vec<HighPrioLocalQueue>,
+    running: Vec<Option<JobId>>,
+}
+
+impl MpdpPolicy {
+    /// Creates the initial state: every periodic task parked in the Waiting
+    /// Periodic Queue at its first-release offset; all processors idle.
+    pub fn new(table: TaskTable) -> Self {
+        let n_procs = table.n_procs();
+        let mut wpq = WaitingPeriodicQueue::new();
+        let mut next_release = Vec::with_capacity(table.periodic().len());
+        for (i, t) in table.periodic().iter().enumerate() {
+            wpq.push(i, t.offset());
+            next_release.push(t.offset());
+        }
+        MpdpPolicy {
+            table,
+            jobs: Vec::new(),
+            next_release,
+            wpq,
+            prq: PeriodicReadyQueue::new(),
+            arq: AperiodicReadyQueue::new(),
+            hplrq: (0..n_procs).map(|_| HighPrioLocalQueue::new()).collect(),
+            running: vec![None; n_procs],
+        }
+    }
+
+    /// The task table this policy executes.
+    pub fn table(&self) -> &TaskTable {
+        &self.table
+    }
+
+    /// Number of processors.
+    pub fn n_procs(&self) -> usize {
+        self.running.len()
+    }
+
+    /// The job record for a live job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live job.
+    pub fn job(&self, id: JobId) -> &Job {
+        self.jobs[id.index()]
+            .as_ref()
+            .expect("job id refers to a completed or unknown job")
+    }
+
+    /// The job a processor currently executes, if any.
+    pub fn running_on(&self, proc: ProcId) -> Option<JobId> {
+        self.running[proc.index()]
+    }
+
+    /// The current running map, indexed by processor.
+    pub fn running(&self) -> &[Option<JobId>] {
+        &self.running
+    }
+
+    /// Ids of all live jobs (queued or running).
+    pub fn live_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.jobs
+            .iter()
+            .filter_map(|slot| slot.as_ref().map(|j| j.id))
+    }
+
+    /// Releases every periodic task whose nominal release time is `≤ now`,
+    /// creating jobs in the Periodic Ready Queue. Returns the new job ids.
+    ///
+    /// Deadlines and promotion instants are computed from the *nominal*
+    /// release, so a scheduler that only checks at ticks (like the paper's
+    /// prototype) does not gain slack by noticing releases late.
+    pub fn release_due(&mut self, now: Cycles) -> Vec<JobId> {
+        let due = self.wpq.pop_due(now);
+        let mut out = Vec::with_capacity(due.len());
+        for task_index in due {
+            let release = self.next_release[task_index];
+            let spec = &self.table.periodic()[task_index];
+            let job_id = JobId::new(self.jobs.len() as u32);
+            let job = Job {
+                id: job_id,
+                class: JobClass::Periodic { task_index },
+                release,
+                absolute_deadline: Some(release + spec.deadline()),
+                promotion_at: Some(release + self.table.promotion(task_index)),
+                promoted: false,
+                last_proc: None,
+            };
+            self.jobs.push(Some(job));
+            self.prq.push(job_id, spec.priorities().low);
+            out.push(job_id);
+        }
+        out
+    }
+
+    /// Releases an aperiodic job (called from the peripheral ISR path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task_index` is out of range for [`TaskTable::aperiodic`].
+    pub fn release_aperiodic(&mut self, task_index: usize, now: Cycles) -> JobId {
+        assert!(
+            task_index < self.table.aperiodic().len(),
+            "aperiodic task index {task_index} out of range"
+        );
+        let job_id = JobId::new(self.jobs.len() as u32);
+        let job = Job {
+            id: job_id,
+            class: JobClass::Aperiodic { task_index },
+            release: now,
+            absolute_deadline: None,
+            promotion_at: None,
+            promoted: false,
+            last_proc: None,
+        };
+        self.jobs.push(Some(job));
+        self.arq.push(job_id);
+        job_id
+    }
+
+    /// Promotes every periodic job whose promotion instant is `≤ now`,
+    /// moving it from the Periodic Ready Queue to the High Priority Local
+    /// Ready Queue of its design-time processor. Returns the promoted ids.
+    pub fn promote_due(&mut self, now: Cycles) -> Vec<JobId> {
+        let due: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter_map(|slot| slot.as_ref())
+            .filter(|j| !j.promoted && j.promotion_at.is_some_and(|p| p <= now))
+            .map(|j| j.id)
+            .collect();
+        for &id in &due {
+            let (task_index, proc, high) = {
+                let job = self.job(id);
+                let JobClass::Periodic { task_index } = job.class else {
+                    unreachable!("only periodic jobs have promotion instants")
+                };
+                let spec = &self.table.periodic()[task_index];
+                (task_index, spec.processor(), spec.priorities().high)
+            };
+            let _ = task_index;
+            self.prq.remove(id);
+            self.hplrq[proc.index()].push(id, high);
+            let job = self.jobs[id.index()].as_mut().expect("live job");
+            job.promoted = true;
+            job.promotion_at = None;
+        }
+        due
+    }
+
+    /// The earliest pending promotion instant among live unpromoted jobs.
+    pub fn next_promotion_time(&self) -> Option<Cycles> {
+        self.jobs
+            .iter()
+            .filter_map(|slot| slot.as_ref())
+            .filter_map(|j| j.promotion_at)
+            .min()
+    }
+
+    /// The earliest nominal release time parked in the Waiting Periodic
+    /// Queue.
+    pub fn next_release_time(&self) -> Option<Cycles> {
+        self.wpq.next_release()
+    }
+
+    /// Records that `proc` now executes `job` (or idles on `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is not live or is already running on another
+    /// processor.
+    pub fn set_running(&mut self, proc: ProcId, job: Option<JobId>) {
+        if let Some(id) = job {
+            assert!(
+                self.jobs[id.index()].is_some(),
+                "cannot run completed job {id}"
+            );
+            for (p, slot) in self.running.iter().enumerate() {
+                if p != proc.index() && *slot == Some(id) {
+                    panic!("job {id} is already running on P{p}");
+                }
+            }
+            let j = self.jobs[id.index()].as_mut().expect("live job");
+            j.last_proc = Some(proc);
+        }
+        self.running[proc.index()] = job;
+    }
+
+    /// Completes a job: removes it from every queue and the running map.
+    /// Periodic tasks are re-parked in the Waiting Periodic Queue for their
+    /// next nominal release. Returns the final job record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live job.
+    pub fn complete(&mut self, id: JobId, _now: Cycles) -> Job {
+        let job = self.jobs[id.index()]
+            .take()
+            .expect("completing a job that is not live");
+        self.prq.remove(id);
+        self.arq.remove(id);
+        for q in &mut self.hplrq {
+            q.remove(id);
+        }
+        for slot in &mut self.running {
+            if *slot == Some(id) {
+                *slot = None;
+            }
+        }
+        if let JobClass::Periodic { task_index } = job.class {
+            let next = self.next_release[task_index] + self.table.periodic()[task_index].period();
+            self.next_release[task_index] = next;
+            self.wpq.push(task_index, next);
+        }
+        job
+    }
+
+    /// Computes the MPDP-desired assignment of jobs to processors as a pure
+    /// function of the current queues:
+    ///
+    /// 1. every processor with promoted work gets the top of its own High
+    ///    Priority Local Ready Queue;
+    /// 2. remaining processors serve the Aperiodic Ready Queue in FIFO
+    ///    order, then the Periodic Ready Queue in priority order;
+    /// 3. global jobs are placed with affinity — a job keeps the processor
+    ///    it last ran on when that processor is available — so that context
+    ///    switches happen "only when necessary" (§5).
+    pub fn assign(&self) -> Vec<Option<JobId>> {
+        let m = self.n_procs();
+        let mut desired: Vec<Option<JobId>> = self.hplrq.iter().map(|q| q.peek()).collect();
+        debug_assert_eq!(desired.len(), m);
+        let n_free = desired.iter().filter(|d| d.is_none()).count();
+        let globals: Vec<JobId> = self
+            .arq
+            .iter()
+            .chain(self.prq.iter())
+            .take(n_free)
+            .collect();
+        // Affinity pass: place each selected global job on its last
+        // processor when that slot is still free.
+        let mut deferred = Vec::new();
+        for id in globals {
+            let last = self.job(id).last_proc;
+            match last {
+                Some(p) if desired[p.index()].is_none() => desired[p.index()] = Some(id),
+                _ => deferred.push(id),
+            }
+        }
+        // Remaining jobs go to the lowest-index free processors.
+        let mut free = desired
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_none())
+            .map(|(p, _)| p)
+            .collect::<Vec<_>>()
+            .into_iter();
+        for id in deferred {
+            let p = free.next().expect("one free slot per selected global job");
+            desired[p] = Some(id);
+        }
+        desired
+    }
+
+    /// Picks the next job for a single idle processor without disturbing the
+    /// rest of the system — the paper's completion path: "If a processor
+    /// completes execution of its current task, it will not wait until the
+    /// next scheduling cycle but it will automatically check if there is an
+    /// available task to run, following the priority rules."
+    ///
+    /// Returns the top of the processor's own High Priority Local Ready
+    /// Queue, else the oldest *not currently running* aperiodic job, else the
+    /// most urgent *not currently running* unpromoted periodic job.
+    pub fn pick_for_idle(&self, proc: ProcId) -> Option<JobId> {
+        if let Some(j) = self.hplrq[proc.index()].peek() {
+            if !self.is_running(j) {
+                return Some(j);
+            }
+        }
+        self.arq
+            .iter()
+            .find(|&j| !self.is_running(j))
+            .or_else(|| self.prq.iter().find(|&j| !self.is_running(j)))
+    }
+
+    /// Whether `job` is currently executing on some processor.
+    pub fn is_running(&self, job: JobId) -> bool {
+        self.running.contains(&Some(job))
+    }
+
+    /// The oldest live aperiodic job (head of the Aperiodic Ready Queue),
+    /// whether or not it is currently running.
+    pub fn next_aperiodic(&self) -> Option<JobId> {
+        self.arq.peek()
+    }
+
+    /// [`MpdpPolicy::pick_for_idle`] with middle-band (aperiodic) jobs
+    /// excluded — used by server-based policies that gate aperiodic service
+    /// on a budget.
+    pub fn pick_periodic_for_idle(&self, proc: ProcId) -> Option<JobId> {
+        if let Some(j) = self.hplrq[proc.index()].peek() {
+            if !self.is_running(j) {
+                return Some(j);
+            }
+        }
+        self.prq.iter().find(|&j| !self.is_running(j))
+    }
+
+    /// Diffs the current running map against a desired assignment, yielding
+    /// the context-switch actions. Processors already running their desired
+    /// job produce no action ("the processor is not interrupted and can
+    /// continue its work").
+    pub fn diff(&self, desired: &[Option<JobId>]) -> Vec<SwitchAction> {
+        assert_eq!(desired.len(), self.n_procs(), "one slot per processor");
+        let mut actions = Vec::new();
+        for (p, (cur, want)) in self.running.iter().zip(desired).enumerate() {
+            if cur != want {
+                actions.push(SwitchAction {
+                    proc: ProcId::new(p as u32),
+                    save: *cur,
+                    restore: *want,
+                });
+            }
+        }
+        actions
+    }
+
+    /// Checks internal invariants; used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        // Every live job is in exactly one queue.
+        for slot in self.jobs.iter().filter_map(|s| s.as_ref()) {
+            let in_prq = self.prq.contains(slot.id) as usize;
+            let in_arq = self.arq.contains(slot.id) as usize;
+            let in_hp: usize = self
+                .hplrq
+                .iter()
+                .map(|q| q.contains(slot.id) as usize)
+                .sum();
+            assert_eq!(
+                in_prq + in_arq + in_hp,
+                1,
+                "job {} must be in exactly one queue",
+                slot.id
+            );
+            if slot.promoted {
+                assert_eq!(in_hp, 1, "promoted job {} must be in a HPLRQ", slot.id);
+            }
+        }
+        // No job runs on two processors.
+        for (i, a) in self.running.iter().enumerate() {
+            if let Some(job) = a {
+                assert!(
+                    self.jobs[job.index()].is_some(),
+                    "running job {job} must be live"
+                );
+                for b in &self.running[i + 1..] {
+                    assert_ne!(Some(*job), *b, "job {job} running on two processors");
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for MpdpPolicy {
+    fn table(&self) -> &TaskTable {
+        self.table()
+    }
+    fn n_procs(&self) -> usize {
+        self.n_procs()
+    }
+    fn job(&self, id: JobId) -> &Job {
+        self.job(id)
+    }
+    fn release_due(&mut self, now: Cycles) -> Vec<JobId> {
+        self.release_due(now)
+    }
+    fn release_aperiodic(&mut self, task_index: usize, now: Cycles) -> JobId {
+        self.release_aperiodic(task_index, now)
+    }
+    fn promote_due(&mut self, now: Cycles) -> Vec<JobId> {
+        self.promote_due(now)
+    }
+    fn next_promotion_time(&self) -> Option<Cycles> {
+        self.next_promotion_time()
+    }
+    fn next_release_time(&self) -> Option<Cycles> {
+        self.next_release_time()
+    }
+    fn set_running(&mut self, proc: ProcId, job: Option<JobId>) {
+        self.set_running(proc, job)
+    }
+    fn running(&self) -> &[Option<JobId>] {
+        self.running()
+    }
+    fn complete(&mut self, id: JobId, now: Cycles) -> Job {
+        self.complete(id, now)
+    }
+    fn assign(&self) -> Vec<Option<JobId>> {
+        self.assign()
+    }
+    fn pick_for_idle(&self, proc: ProcId) -> Option<JobId> {
+        self.pick_for_idle(proc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskId;
+    use crate::priority::Priority;
+    use crate::rta::build_task_table;
+    use crate::task::{AperiodicTask, PeriodicTask};
+
+    /// Two processors; three periodic tasks with the paper's Figure-3-style
+    /// priorities (low band 0/1, aperiodics at 2, high band 3/4) and two
+    /// aperiodic tasks.
+    fn fig3_like_table() -> TaskTable {
+        let p1 = PeriodicTask::new(TaskId::new(0), "P1", Cycles::new(40), Cycles::new(100))
+            .with_priorities(Priority::new(1), Priority::new(4))
+            .with_processor(ProcId::new(0));
+        let p2 = PeriodicTask::new(TaskId::new(1), "P2", Cycles::new(50), Cycles::new(100))
+            .with_priorities(Priority::new(0), Priority::new(3))
+            .with_processor(ProcId::new(1));
+        let p3 = PeriodicTask::new(TaskId::new(2), "P3", Cycles::new(30), Cycles::new(200))
+            .with_priorities(Priority::new(0), Priority::new(3))
+            .with_processor(ProcId::new(0));
+        let a1 = AperiodicTask::new(TaskId::new(3), "A1", Cycles::new(60));
+        let a2 = AperiodicTask::new(TaskId::new(4), "A2", Cycles::new(30));
+        build_task_table(vec![p1, p2, p3], vec![a1, a2], 2).expect("schedulable")
+    }
+
+    #[test]
+    fn initial_state_parks_all_periodics() {
+        let policy = MpdpPolicy::new(fig3_like_table());
+        assert_eq!(policy.next_release_time(), Some(Cycles::ZERO));
+        assert!(policy.assign().iter().all(Option::is_none));
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn release_creates_jobs_with_nominal_deadlines() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        assert_eq!(jobs.len(), 3);
+        let j = policy.job(jobs[0]);
+        assert_eq!(j.release, Cycles::ZERO);
+        assert_eq!(j.absolute_deadline, Some(Cycles::new(100)));
+        assert!(!j.promoted);
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn assign_prefers_aperiodics_over_unpromoted_periodics() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        policy.release_due(Cycles::ZERO);
+        let ap = policy.release_aperiodic(0, Cycles::ZERO);
+        let desired = policy.assign();
+        assert!(desired.contains(&Some(ap)), "aperiodic must get a slot");
+        // The other slot goes to the most urgent low-band periodic: P1
+        // (low prio 1 beats 0).
+        let other: Vec<JobId> = desired.iter().flatten().copied().collect();
+        assert_eq!(other.len(), 2);
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn promotion_moves_job_to_local_queue_and_beats_aperiodic() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        let a1 = policy.release_aperiodic(0, Cycles::ZERO);
+        let a2 = policy.release_aperiodic(1, Cycles::ZERO);
+        // Run both aperiodics.
+        policy.set_running(ProcId::new(0), Some(a1));
+        policy.set_running(ProcId::new(1), Some(a2));
+        // Force promotion of every periodic job.
+        let promoted = policy.promote_due(Cycles::new(1_000_000));
+        assert_eq!(promoted.len(), 3);
+        let desired = policy.assign();
+        // P0's HPLRQ has P1 (high 4) and P3 (high 3): P1 wins; P1's job id is
+        // jobs[0]. P1 (task 1 = "P2") is alone on processor 1.
+        assert_eq!(desired[0], Some(jobs[0]));
+        assert_eq!(desired[1], Some(jobs[1]));
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn promoted_job_must_run_on_its_design_time_processor() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        // "P2" (task index 1, assigned P1) starts on processor 0 (global
+        // low-band phase allows it).
+        policy.set_running(ProcId::new(0), Some(jobs[1]));
+        policy.promote_due(Cycles::new(1_000_000));
+        let desired = policy.assign();
+        // After promotion it must be scheduled on P1, its assigned processor.
+        assert_eq!(desired[1], Some(jobs[1]));
+        assert_ne!(desired[0], Some(jobs[1]));
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn affinity_keeps_running_jobs_in_place() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        let desired1 = policy.assign();
+        for (p, d) in desired1.iter().enumerate() {
+            policy.set_running(ProcId::new(p as u32), *d);
+        }
+        // Re-running assignment with unchanged state changes nothing.
+        let desired2 = policy.assign();
+        assert_eq!(desired1, desired2);
+        assert!(policy.diff(&desired2).is_empty());
+        let _ = jobs;
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn completion_reparks_periodic_for_next_period() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        policy.set_running(ProcId::new(0), Some(jobs[0]));
+        let done = policy.complete(jobs[0], Cycles::new(40));
+        assert!(done.is_periodic());
+        // Task 0 has period 100: next release at 100.
+        assert_eq!(policy.wpq_len(), 1);
+        assert_eq!(policy.next_release_time(), Some(Cycles::new(100)));
+        let released = policy.release_due(Cycles::new(100));
+        assert_eq!(released.len(), 1);
+        let j = policy.job(released[0]);
+        assert_eq!(j.release, Cycles::new(100));
+        assert_eq!(j.absolute_deadline, Some(Cycles::new(200)));
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn pick_for_idle_follows_band_order() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        let ap = policy.release_aperiodic(0, Cycles::ZERO);
+        // Nothing running: idle P0 should pick the aperiodic (middle band)
+        // over unpromoted periodics.
+        assert_eq!(policy.pick_for_idle(ProcId::new(0)), Some(ap));
+        // Promote P1's job: its HPLRQ entry wins on P0.
+        policy.promote_due(Cycles::new(1_000_000));
+        assert_eq!(policy.pick_for_idle(ProcId::new(0)), Some(jobs[0]));
+        // A job running elsewhere is not picked again.
+        policy.set_running(ProcId::new(1), Some(ap));
+        assert_ne!(policy.pick_for_idle(ProcId::new(0)), Some(ap));
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn diff_reports_only_changes() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        let desired = policy.assign();
+        let actions = policy.diff(&desired);
+        assert_eq!(actions.len(), desired.iter().flatten().count());
+        for a in &actions {
+            assert!(a.save.is_none());
+            assert!(a.restore.is_some());
+        }
+        let _ = jobs;
+    }
+
+    #[test]
+    #[should_panic(expected = "already running")]
+    fn running_same_job_twice_panics() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        policy.set_running(ProcId::new(0), Some(jobs[0]));
+        policy.set_running(ProcId::new(1), Some(jobs[0]));
+    }
+
+    #[test]
+    fn aperiodic_fifo_order_is_respected_in_assign() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let a1 = policy.release_aperiodic(0, Cycles::ZERO);
+        let a2 = policy.release_aperiodic(1, Cycles::new(5));
+        let desired = policy.assign();
+        // Both fit (two processors, no periodic released yet).
+        assert!(desired.contains(&Some(a1)) && desired.contains(&Some(a2)));
+        // Complete a1; a2 remains, new slot must pick a2 first.
+        policy.complete(a1, Cycles::new(10));
+        assert_eq!(policy.pick_for_idle(ProcId::new(0)), Some(a2));
+        policy.check_invariants();
+    }
+
+    impl MpdpPolicy {
+        fn wpq_len(&self) -> usize {
+            self.wpq.len()
+        }
+    }
+}

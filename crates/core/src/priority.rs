@@ -1,0 +1,215 @@
+//! The dual-priority band model (Davis & Wellings) as used by MPDP.
+//!
+//! Priorities are split into three bands. Periodic (hard) tasks hold one
+//! priority in the **Lower** band and one in the **Upper** band; they are
+//! released at their lower-band priority and *promoted* to their upper-band
+//! priority at a precomputed promotion time. Aperiodic (soft) tasks live in
+//! the **Middle** band, so they run ahead of un-promoted periodic work but
+//! never delay a promoted hard task.
+//!
+//! Numeric convention (matching the paper's Figure 3 table, where low-band
+//! periodic priorities are 0 and 1, the aperiodic band is 2, and high-band
+//! priorities are 3 and 4): **a larger number means a more urgent priority**,
+//! and the band dominates the number.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpdp_core::priority::{Band, BandedPriority, Priority};
+//!
+//! let low = BandedPriority::lower(Priority::new(1));
+//! let mid = BandedPriority::middle();
+//! let high = BandedPriority::upper(Priority::new(0));
+//! assert!(high > mid && mid > low); // band dominates the level
+//! ```
+
+use std::fmt;
+
+/// One of the three dual-priority bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Band {
+    /// Periodic tasks before promotion.
+    Lower,
+    /// Aperiodic (soft) tasks.
+    Middle,
+    /// Periodic tasks after promotion — hard guarantees live here.
+    Upper,
+}
+
+impl fmt::Display for Band {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Band::Lower => "lower",
+            Band::Middle => "middle",
+            Band::Upper => "upper",
+        })
+    }
+}
+
+/// A priority level within a band. Larger values are more urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Priority(u32);
+
+impl Priority {
+    /// Creates a priority level. Larger is more urgent.
+    #[inline]
+    pub const fn new(level: u32) -> Self {
+        Priority(level)
+    }
+
+    /// Returns the raw level.
+    #[inline]
+    pub const fn level(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Priority {
+    #[inline]
+    fn from(level: u32) -> Self {
+        Priority(level)
+    }
+}
+
+/// A fully-qualified priority: band plus level-within-band.
+///
+/// The `Ord` implementation makes the band dominate: any upper-band priority
+/// outranks any middle-band one, which outranks any lower-band one. Within
+/// the middle band the level is unused (aperiodic tasks are served FIFO by
+/// arrival, handled by the queues, not by this type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BandedPriority {
+    band: Band,
+    level: Priority,
+}
+
+impl BandedPriority {
+    /// A lower-band (pre-promotion periodic) priority.
+    #[inline]
+    pub const fn lower(level: Priority) -> Self {
+        BandedPriority {
+            band: Band::Lower,
+            level,
+        }
+    }
+
+    /// The middle-band (aperiodic) priority. All aperiodic tasks share it.
+    #[inline]
+    pub const fn middle() -> Self {
+        BandedPriority {
+            band: Band::Middle,
+            level: Priority::new(0),
+        }
+    }
+
+    /// An upper-band (post-promotion periodic) priority.
+    #[inline]
+    pub const fn upper(level: Priority) -> Self {
+        BandedPriority {
+            band: Band::Upper,
+            level,
+        }
+    }
+
+    /// The band of this priority.
+    #[inline]
+    pub const fn band(self) -> Band {
+        self.band
+    }
+
+    /// The level within the band.
+    #[inline]
+    pub const fn level(self) -> Priority {
+        self.level
+    }
+}
+
+impl fmt::Display for BandedPriority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.band, self.level)
+    }
+}
+
+/// The two fixed priorities assigned offline to a periodic task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DualPriority {
+    /// Priority held from release until promotion (lower band).
+    pub low: Priority,
+    /// Priority held from promotion until completion (upper band).
+    pub high: Priority,
+}
+
+impl DualPriority {
+    /// Creates a dual priority from its low-band and high-band levels.
+    #[inline]
+    pub const fn new(low: Priority, high: Priority) -> Self {
+        DualPriority { low, high }
+    }
+
+    /// The banded priority before promotion.
+    #[inline]
+    pub const fn before_promotion(self) -> BandedPriority {
+        BandedPriority::lower(self.low)
+    }
+
+    /// The banded priority after promotion.
+    #[inline]
+    pub const fn after_promotion(self) -> BandedPriority {
+        BandedPriority::upper(self.high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_ordering_dominates_level() {
+        let low_hi = BandedPriority::lower(Priority::new(1000));
+        let mid = BandedPriority::middle();
+        let up_lo = BandedPriority::upper(Priority::new(0));
+        assert!(up_lo > mid);
+        assert!(mid > low_hi);
+        assert!(up_lo > low_hi);
+    }
+
+    #[test]
+    fn within_band_larger_level_wins() {
+        let a = BandedPriority::upper(Priority::new(4));
+        let b = BandedPriority::upper(Priority::new(3));
+        assert!(a > b);
+        let c = BandedPriority::lower(Priority::new(1));
+        let d = BandedPriority::lower(Priority::new(0));
+        assert!(c > d);
+    }
+
+    #[test]
+    fn paper_figure3_numbering() {
+        // Priorities 0 and 1 for periodic tasks in low-priority mode, 2 for
+        // aperiodics, 3 and 4 in high-priority mode.
+        let p1 = DualPriority::new(Priority::new(1), Priority::new(4));
+        let p2 = DualPriority::new(Priority::new(0), Priority::new(3));
+        let aper = BandedPriority::middle();
+        assert!(p1.before_promotion() < aper);
+        assert!(p2.before_promotion() < aper);
+        assert!(p1.after_promotion() > aper);
+        assert!(p2.after_promotion() > aper);
+        assert!(p1.after_promotion() > p2.after_promotion());
+        assert!(p1.before_promotion() > p2.before_promotion());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            format!("{}", BandedPriority::upper(Priority::new(3))),
+            "upper:3"
+        );
+        assert_eq!(format!("{}", Band::Middle), "middle");
+    }
+}

@@ -1,0 +1,415 @@
+//! Simulated time, expressed in clock cycles of the target platform.
+//!
+//! The paper's prototype runs on a Virtex-II PRO at 50 MHz; every quantity in
+//! this workspace (periods, deadlines, WCETs, bus latencies, overheads) is a
+//! number of cycles of that clock. [`Cycles`] is a newtype so that cycle
+//! counts cannot be confused with other integers (task counts, priorities,
+//! addresses), and it provides saturating/checked arithmetic plus conversions
+//! to and from seconds for reporting.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpdp_core::time::{Cycles, CLOCK_HZ};
+//!
+//! let tick = Cycles::from_secs_f64(0.1); // the paper's scheduling period
+//! assert_eq!(tick.as_u64(), CLOCK_HZ / 10);
+//! assert!((tick.as_secs_f64() - 0.1).abs() < 1e-12);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// Clock frequency of the modeled platform (paper: 50 MHz on a Virtex-II PRO).
+pub const CLOCK_HZ: u64 = 50_000_000;
+
+/// The paper's scheduling period ("Scheduling phase is triggered each 0.1
+/// seconds by the system timer", §5).
+pub const DEFAULT_TICK: Cycles = Cycles::new(CLOCK_HZ / 10);
+
+/// A point in time or a duration, measured in clock cycles at [`CLOCK_HZ`].
+///
+/// `Cycles` is used both as an instant (cycles since system start) and as a
+/// duration; the type intentionally does not distinguish the two, mirroring
+/// how a hardware timer register works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles — the system start instant and the empty duration.
+    pub const ZERO: Cycles = Cycles(0);
+    /// The maximum representable instant, used as "never" by event queues.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Creates a cycle count from a raw `u64`.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycles(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Converts a duration in seconds to cycles, rounding to nearest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "seconds must be finite and non-negative, got {secs}"
+        );
+        Cycles((secs * CLOCK_HZ as f64).round() as u64)
+    }
+
+    /// Converts whole milliseconds to cycles.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Cycles(ms * (CLOCK_HZ / 1000))
+    }
+
+    /// Converts whole microseconds to cycles.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Cycles(us * (CLOCK_HZ / 1_000_000))
+    }
+
+    /// Converts whole seconds to cycles.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Cycles(secs * CLOCK_HZ)
+    }
+
+    /// Returns this cycle count as seconds of platform time.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / CLOCK_HZ as f64
+    }
+
+    /// Returns this cycle count as milliseconds of platform time.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1000.0 / CLOCK_HZ as f64
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition; clamps at [`Cycles::MAX`].
+    #[inline]
+    pub const fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: Cycles) -> Option<Cycles> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Cycles(v)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction, `None` on underflow.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Cycles) -> Option<Cycles> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Cycles(v)),
+            None => None,
+        }
+    }
+
+    /// Ceiling division of one duration by another: `⌈self / rhs⌉`.
+    ///
+    /// This is the interference term of the response-time recurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[inline]
+    pub const fn div_ceil(self, rhs: Cycles) -> u64 {
+        assert!(rhs.0 != 0, "division by zero cycles");
+        self.0.div_ceil(rhs.0)
+    }
+
+    /// Multiplies a duration by an integer count, saturating on overflow.
+    #[inline]
+    pub const fn saturating_mul(self, count: u64) -> Cycles {
+        Cycles(self.0.saturating_mul(count))
+    }
+
+    /// Scales this duration by a floating-point factor, rounding to nearest.
+    ///
+    /// Used by overhead models (e.g. the theoretical simulator's 2% inflation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Cycles {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        Cycles((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Returns the smaller of two instants/durations.
+    #[inline]
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two instants/durations.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns `true` if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Rounds an instant *up* to the next multiple of `quantum` (e.g. the next
+    /// scheduler tick at or after this instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    #[inline]
+    pub const fn next_multiple_of(self, quantum: Cycles) -> Cycles {
+        assert!(quantum.0 != 0, "quantum must be non-zero");
+        Cycles(self.0.next_multiple_of(quantum.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(
+            self.0
+                .checked_add(rhs.0)
+                .expect("cycle arithmetic overflow in add"),
+        )
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("cycle arithmetic underflow in sub"),
+        )
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(
+            self.0
+                .checked_mul(rhs)
+                .expect("cycle arithmetic overflow in mul"),
+        )
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Rem<Cycles> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn rem(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |acc, c| acc + c)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= CLOCK_HZ {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= CLOCK_HZ / 1000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}cy", self.0)
+        }
+    }
+}
+
+impl From<u64> for Cycles {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Cycles(raw)
+    }
+}
+
+impl From<Cycles> for u64 {
+    #[inline]
+    fn from(c: Cycles) -> u64 {
+        c.0
+    }
+}
+
+/// Greatest common divisor of two cycle counts.
+pub fn gcd(a: Cycles, b: Cycles) -> Cycles {
+    let (mut a, mut b) = (a.as_u64(), b.as_u64());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    Cycles::new(a)
+}
+
+/// Least common multiple of an iterator of periods — the **hyperperiod**
+/// after which a synchronous periodic schedule repeats. Saturates at
+/// [`Cycles::MAX`] on overflow (hyperperiods of co-prime periods explode).
+///
+/// Returns [`Cycles::ZERO`] for an empty iterator.
+pub fn hyperperiod<I: IntoIterator<Item = Cycles>>(periods: I) -> Cycles {
+    periods.into_iter().fold(Cycles::ZERO, |acc, p| {
+        if acc.is_zero() {
+            p
+        } else if p.is_zero() {
+            acc
+        } else {
+            let g = gcd(acc, p);
+            match (acc.as_u64() / g.as_u64()).checked_mul(p.as_u64()) {
+                Some(l) => Cycles::new(l),
+                None => Cycles::MAX,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Cycles::from_secs(1).as_u64(), CLOCK_HZ);
+        assert_eq!(Cycles::from_millis(1).as_u64(), CLOCK_HZ / 1000);
+        assert_eq!(Cycles::from_micros(1).as_u64(), CLOCK_HZ / 1_000_000);
+        let c = Cycles::from_secs_f64(5.438);
+        assert!((c.as_secs_f64() - 5.438).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_susan_runtime_in_cycles() {
+        // §5: "The aperiodic task, on a single processor architecture, should
+        // execute in 5.438 seconds with the given dataset at 50 MHz."
+        let susan = Cycles::from_secs_f64(5.438);
+        assert_eq!(susan.as_u64(), 271_900_000);
+    }
+
+    #[test]
+    fn default_tick_is_100ms() {
+        assert_eq!(DEFAULT_TICK.as_u64(), 5_000_000);
+        assert!((DEFAULT_TICK.as_secs_f64() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!((a + b).as_u64(), 13);
+        assert_eq!((a - b).as_u64(), 7);
+        assert_eq!((a * 2).as_u64(), 20);
+        assert_eq!((a / 2).as_u64(), 5);
+        assert_eq!((a % b).as_u64(), 1);
+        assert_eq!(a.div_ceil(b), 4);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn next_multiple_of_tick() {
+        let tick = Cycles::new(100);
+        assert_eq!(Cycles::new(0).next_multiple_of(tick).as_u64(), 0);
+        assert_eq!(Cycles::new(1).next_multiple_of(tick).as_u64(), 100);
+        assert_eq!(Cycles::new(100).next_multiple_of(tick).as_u64(), 100);
+        assert_eq!(Cycles::new(101).next_multiple_of(tick).as_u64(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Cycles::new(1) - Cycles::new(2);
+    }
+
+    #[test]
+    fn scale_rounds() {
+        assert_eq!(Cycles::new(100).scale(1.02).as_u64(), 102);
+        assert_eq!(Cycles::new(3).scale(0.5).as_u64(), 2); // round-to-nearest
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Cycles::new(10)), "10cy");
+        assert_eq!(format!("{}", Cycles::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", Cycles::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn gcd_and_hyperperiod() {
+        assert_eq!(gcd(Cycles::new(12), Cycles::new(18)), Cycles::new(6));
+        assert_eq!(gcd(Cycles::new(7), Cycles::new(13)), Cycles::new(1));
+        let hp = hyperperiod([Cycles::new(4), Cycles::new(6), Cycles::new(10)]);
+        assert_eq!(hp, Cycles::new(60));
+        assert_eq!(hyperperiod(std::iter::empty()), Cycles::ZERO);
+        assert_eq!(hyperperiod([Cycles::new(5)]), Cycles::new(5));
+        // Overflow saturates.
+        let huge = hyperperiod([Cycles::new(u64::MAX - 1), Cycles::new(u64::MAX - 2)]);
+        assert_eq!(huge, Cycles::MAX);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Cycles = [Cycles::new(1), Cycles::new(2), Cycles::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.as_u64(), 6);
+    }
+}

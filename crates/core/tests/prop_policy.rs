@@ -1,0 +1,170 @@
+//! Property tests for the MPDP policy state machine: structural invariants
+//! hold under arbitrary interleavings of releases, promotions, assignment,
+//! and completions.
+
+use proptest::prelude::*;
+
+use mpdp_core::ids::{ProcId, TaskId};
+use mpdp_core::policy::MpdpPolicy;
+use mpdp_core::priority::Priority;
+use mpdp_core::rta::build_task_table;
+use mpdp_core::task::{AperiodicTask, PeriodicTask};
+use mpdp_core::time::Cycles;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Advance(u64),
+    Aperiodic,
+    Assign,
+    CompleteOldest,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..5000).prop_map(Op::Advance),
+            Just(Op::Aperiodic),
+            Just(Op::Assign),
+            Just(Op::CompleteOldest),
+        ],
+        1..80,
+    )
+}
+
+fn build_policy(n_procs: usize, n_tasks: usize) -> MpdpPolicy {
+    let tasks: Vec<PeriodicTask> = (0..n_tasks)
+        .map(|i| {
+            let c = 100 * (i as u64 + 1);
+            let period = c * 20;
+            PeriodicTask::new(
+                TaskId::new(i as u32),
+                format!("t{i}"),
+                Cycles::new(c),
+                Cycles::new(period),
+            )
+            .with_priorities(
+                Priority::new((n_tasks - i) as u32),
+                Priority::new((n_tasks - i) as u32),
+            )
+            .with_processor(ProcId::new((i % n_procs) as u32))
+        })
+        .collect();
+    let aperiodic = vec![AperiodicTask::new(
+        TaskId::new(n_tasks as u32),
+        "ap",
+        Cycles::new(500),
+    )];
+    build_task_table(tasks, aperiodic, n_procs)
+        .map(MpdpPolicy::new)
+        .expect("low-utilization set is schedulable")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any operation sequence: every live job is in exactly one
+    /// queue, no job runs on two processors, the assignment is feasible
+    /// (each desired job live, no duplicates), and promoted jobs are only
+    /// ever assigned to their design-time processor.
+    #[test]
+    fn invariants_under_random_interleavings(
+        n_procs in 1usize..=4,
+        ops in arb_ops(),
+    ) {
+        let mut policy = build_policy(n_procs, 5);
+        let mut now = Cycles::ZERO;
+        for op in ops {
+            match op {
+                Op::Advance(dt) => {
+                    now += Cycles::new(dt);
+                    policy.release_due(now);
+                    policy.promote_due(now);
+                }
+                Op::Aperiodic => {
+                    policy.release_aperiodic(0, now);
+                }
+                Op::Assign => {
+                    let desired = policy.assign();
+                    // No duplicates.
+                    let mut seen = std::collections::HashSet::new();
+                    for d in desired.iter().flatten() {
+                        prop_assert!(seen.insert(*d), "job assigned to two processors");
+                    }
+                    // Promoted jobs only on their own processor.
+                    for (p, d) in desired.iter().enumerate() {
+                        if let Some(job) = d {
+                            let j = policy.job(*job);
+                            if j.promoted {
+                                if let mpdp_core::policy::JobClass::Periodic { task_index } = j.class {
+                                    prop_assert_eq!(
+                                        policy.table().periodic()[task_index].processor().index(),
+                                        p,
+                                        "promoted job on foreign processor"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // Apply it (two-phase to permit swaps).
+                    for p in 0..policy.n_procs() {
+                        policy.set_running(ProcId::new(p as u32), None);
+                    }
+                    for (p, d) in desired.iter().enumerate() {
+                        policy.set_running(ProcId::new(p as u32), *d);
+                    }
+                }
+                Op::CompleteOldest => {
+                    let running: Vec<_> = policy.running().iter().flatten().copied().collect();
+                    if let Some(&job) = running.first() {
+                        policy.complete(job, now);
+                    }
+                }
+            }
+            policy.check_invariants();
+        }
+    }
+
+    /// `pick_for_idle` never returns a job that is already running, and
+    /// respects the band order (upper > middle > lower).
+    #[test]
+    fn pick_for_idle_is_safe(
+        n_procs in 1usize..=3,
+        n_aperiodic in 0usize..3,
+        advance in 0u64..100_000,
+    ) {
+        let mut policy = build_policy(n_procs, 4);
+        let now = Cycles::new(advance);
+        policy.release_due(now);
+        policy.promote_due(now);
+        for _ in 0..n_aperiodic {
+            policy.release_aperiodic(0, now);
+        }
+        // Occupy processor 0 with the global best choice.
+        let desired = policy.assign();
+        if let Some(j) = desired[0] {
+            policy.set_running(ProcId::new(0), Some(j));
+        }
+        for p in 1..n_procs {
+            if let Some(pick) = policy.pick_for_idle(ProcId::new(p as u32)) {
+                prop_assert!(!policy.is_running(pick), "picked a running job");
+                let j = policy.job(pick);
+                // If an un-promoted periodic was picked, no promoted job for
+                // this processor may be waiting.
+                if j.is_periodic() && !j.promoted {
+                    for other in policy.live_jobs() {
+                        let o = policy.job(other);
+                        if o.promoted && !policy.is_running(other) {
+                            if let mpdp_core::policy::JobClass::Periodic { task_index } = o.class {
+                                prop_assert_ne!(
+                                    policy.table().periodic()[task_index].processor().index(),
+                                    p,
+                                    "skipped a waiting promoted job"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the response-time analysis and promotion computation.
+
+use proptest::prelude::*;
+
+use mpdp_core::ids::TaskId;
+use mpdp_core::priority::Priority;
+use mpdp_core::rta::{analyze, liu_layland_bound, worst_case_response};
+use mpdp_core::task::PeriodicTask;
+use mpdp_core::time::Cycles;
+
+/// A random single-processor task set with unique priorities; utilization is
+/// left unconstrained so both schedulable and unschedulable sets appear.
+fn arb_task_set(max_tasks: usize) -> impl Strategy<Value = Vec<PeriodicTask>> {
+    prop::collection::vec((1u64..500, 1u64..20), 1..=max_tasks).prop_map(|raw| {
+        let n = raw.len() as u32;
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (c, mult))| {
+                let period = c * (1 + mult);
+                PeriodicTask::new(
+                    TaskId::new(i as u32),
+                    format!("t{i}"),
+                    Cycles::new(c),
+                    Cycles::new(period),
+                )
+                // Shorter period does not necessarily mean higher priority
+                // here; the analysis must work for any priority order.
+                .with_priorities(Priority::new(n - i as u32), Priority::new(n - i as u32))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The fixed point is sound: W_i ≥ C_i, and W_i exactly satisfies the
+    /// recurrence (substituting W back reproduces W).
+    #[test]
+    fn response_is_a_true_fixed_point(tasks in arb_task_set(6)) {
+        let refs: Vec<&PeriodicTask> = tasks.iter().collect();
+        for i in 0..tasks.len() {
+            if let Ok(w) = worst_case_response(&refs, i) {
+                prop_assert!(w >= tasks[i].wcet());
+                prop_assert!(w <= tasks[i].deadline());
+                let mut rhs = tasks[i].wcet();
+                for j in &tasks {
+                    if j.priorities().high > tasks[i].priorities().high {
+                        rhs += j.wcet() * w.div_ceil(j.period());
+                    }
+                }
+                prop_assert_eq!(w, rhs, "W must satisfy the recurrence");
+            }
+        }
+    }
+
+    /// Promotions lie in [0, D] and the highest-priority task always has
+    /// W = C.
+    #[test]
+    fn promotions_bounded_by_deadline(tasks in arb_task_set(6)) {
+        if let Ok(results) = analyze(&tasks, 1) {
+            for (t, r) in tasks.iter().zip(&results) {
+                prop_assert!(r.promotion <= t.deadline());
+                prop_assert_eq!(r.promotion + r.response, t.deadline());
+            }
+            let top = tasks
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, t)| t.priorities().high)
+                .expect("non-empty")
+                .0;
+            prop_assert_eq!(results[top].response, tasks[top].wcet());
+        }
+    }
+
+    /// Adding a higher-priority task never decreases anyone's response.
+    #[test]
+    fn interference_is_monotone(tasks in arb_task_set(5), extra_c in 1u64..200, extra_t in 1u64..20) {
+        if let Ok(before) = analyze(&tasks, 1) {
+            let mut more = tasks.clone();
+            let period = extra_c * (1 + extra_t);
+            more.push(
+                PeriodicTask::new(
+                    TaskId::new(1000),
+                    "intruder",
+                    Cycles::new(extra_c),
+                    Cycles::new(period),
+                )
+                .with_priorities(Priority::new(1_000_000), Priority::new(1_000_000)),
+            );
+            if let Ok(after) = analyze(&more, 1) {
+                for (b, a) in before.iter().zip(&after) {
+                    prop_assert!(a.response >= b.response);
+                    prop_assert!(a.promotion <= b.promotion);
+                }
+            }
+        }
+    }
+
+    /// Sets under the Liu & Layland bound (with RM priority order) are
+    /// always accepted by the exact analysis.
+    #[test]
+    fn liu_layland_sets_pass(raw in prop::collection::vec((1u64..100, 20u64..60), 1..6)) {
+        let mut tasks: Vec<PeriodicTask> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, mult))| {
+                PeriodicTask::new(
+                    TaskId::new(i as u32),
+                    format!("t{i}"),
+                    Cycles::new(c),
+                    Cycles::new(c * mult),
+                )
+            })
+            .collect();
+        // Rate-monotonic priorities.
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        order.sort_by_key(|&i| tasks[i].period());
+        let n = tasks.len() as u32;
+        for (rank, &i) in order.iter().enumerate() {
+            tasks[i] = tasks[i]
+                .clone()
+                .with_priorities(Priority::new(n - rank as u32), Priority::new(n - rank as u32));
+        }
+        let total: f64 = tasks.iter().map(|t| t.utilization()).sum();
+        prop_assume!(total <= liu_layland_bound(tasks.len()));
+        prop_assert!(analyze(&tasks, 1).is_ok(), "LL-bounded RM set must be schedulable");
+    }
+}

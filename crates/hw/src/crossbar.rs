@@ -1,0 +1,180 @@
+//! The inter-processor crossbar (paper §3.1: "a Cross-Bar module that allows
+//! inter-processor communication for small data passing without using the
+//! shared bus").
+//!
+//! The crossbar provides one bounded FIFO channel per ordered processor pair.
+//! The microkernel uses it for small scheduler messages (e.g. the id of the
+//! task a processor must switch to), keeping that traffic off the OPB.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpdp_hw::crossbar::Crossbar;
+//! use mpdp_core::ids::ProcId;
+//!
+//! let mut xbar = Crossbar::new(2, 4);
+//! xbar.send(ProcId::new(0), ProcId::new(1), 0xCAFE).unwrap();
+//! assert_eq!(xbar.recv(ProcId::new(1), ProcId::new(0)), Some(0xCAFE));
+//! ```
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use mpdp_core::ids::ProcId;
+
+/// Cycles charged for one crossbar send or receive (register access).
+pub const XBAR_ACCESS_CYCLES: u32 = 2;
+
+/// Error returned when a crossbar channel is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelFullError {
+    /// Sending processor.
+    pub from: ProcId,
+    /// Receiving processor.
+    pub to: ProcId,
+}
+
+impl fmt::Display for ChannelFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "crossbar channel {} -> {} is full", self.from, self.to)
+    }
+}
+
+impl Error for ChannelFullError {}
+
+/// An N×N crossbar of bounded word FIFOs.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    n: usize,
+    capacity: usize,
+    /// Channel `from * n + to`.
+    channels: Vec<VecDeque<u32>>,
+    sent: u64,
+    received: u64,
+}
+
+impl Crossbar {
+    /// Creates a crossbar for `n_procs` processors with per-channel FIFO
+    /// depth `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_procs` or `capacity` is zero.
+    pub fn new(n_procs: usize, capacity: usize) -> Self {
+        assert!(n_procs > 0, "at least one processor");
+        assert!(capacity > 0, "channels need capacity");
+        Crossbar {
+            n: n_procs,
+            capacity,
+            channels: vec![VecDeque::new(); n_procs * n_procs],
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    fn channel_index(&self, from: ProcId, to: ProcId) -> usize {
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "processor out of range"
+        );
+        from.index() * self.n + to.index()
+    }
+
+    /// Sends one word from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelFullError`] when the FIFO is at capacity (the sender
+    /// must retry, as on the real device).
+    pub fn send(&mut self, from: ProcId, to: ProcId, word: u32) -> Result<(), ChannelFullError> {
+        let idx = self.channel_index(from, to);
+        if self.channels[idx].len() >= self.capacity {
+            return Err(ChannelFullError { from, to });
+        }
+        self.channels[idx].push_back(word);
+        self.sent += 1;
+        Ok(())
+    }
+
+    /// Receives the oldest word sent from `from` to `to`, if any.
+    pub fn recv(&mut self, to: ProcId, from: ProcId) -> Option<u32> {
+        let idx = self.channel_index(from, to);
+        let w = self.channels[idx].pop_front();
+        if w.is_some() {
+            self.received += 1;
+        }
+        w
+    }
+
+    /// Words currently queued from `from` to `to`.
+    pub fn depth(&self, from: ProcId, to: ProcId) -> usize {
+        self.channels[self.channel_index(from, to)].len()
+    }
+
+    /// Total words sent since creation.
+    pub fn total_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Total words received since creation.
+    pub fn total_received(&self) -> u64 {
+        self.received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_fifo_order() {
+        let mut x = Crossbar::new(3, 8);
+        x.send(ProcId::new(0), ProcId::new(2), 1).unwrap();
+        x.send(ProcId::new(0), ProcId::new(2), 2).unwrap();
+        assert_eq!(x.recv(ProcId::new(2), ProcId::new(0)), Some(1));
+        assert_eq!(x.recv(ProcId::new(2), ProcId::new(0)), Some(2));
+        assert_eq!(x.recv(ProcId::new(2), ProcId::new(0)), None);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut x = Crossbar::new(2, 1);
+        x.send(ProcId::new(0), ProcId::new(1), 10).unwrap();
+        x.send(ProcId::new(1), ProcId::new(0), 20).unwrap();
+        // Reverse direction is a different channel; both hold one word.
+        assert_eq!(x.depth(ProcId::new(0), ProcId::new(1)), 1);
+        assert_eq!(x.depth(ProcId::new(1), ProcId::new(0)), 1);
+        assert_eq!(x.recv(ProcId::new(0), ProcId::new(1)), Some(20));
+    }
+
+    #[test]
+    fn backpressure_when_full() {
+        let mut x = Crossbar::new(2, 2);
+        x.send(ProcId::new(0), ProcId::new(1), 1).unwrap();
+        x.send(ProcId::new(0), ProcId::new(1), 2).unwrap();
+        let err = x.send(ProcId::new(0), ProcId::new(1), 3).unwrap_err();
+        assert_eq!(err.from, ProcId::new(0));
+        assert_eq!(format!("{err}"), "crossbar channel P0 -> P1 is full");
+        // Draining one slot unblocks the sender.
+        x.recv(ProcId::new(1), ProcId::new(0));
+        assert!(x.send(ProcId::new(0), ProcId::new(1), 3).is_ok());
+    }
+
+    #[test]
+    fn counters() {
+        let mut x = Crossbar::new(2, 4);
+        x.send(ProcId::new(0), ProcId::new(1), 1).unwrap();
+        x.send(ProcId::new(0), ProcId::new(1), 2).unwrap();
+        x.recv(ProcId::new(1), ProcId::new(0));
+        assert_eq!(x.total_sent(), 2);
+        assert_eq!(x.total_received(), 1);
+    }
+
+    #[test]
+    fn loopback_allowed() {
+        let mut x = Crossbar::new(1, 4);
+        x.send(ProcId::new(0), ProcId::new(0), 5).unwrap();
+        assert_eq!(x.recv(ProcId::new(0), ProcId::new(0)), Some(5));
+    }
+}

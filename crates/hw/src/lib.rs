@@ -1,0 +1,49 @@
+//! # mpdp-hw — behavioural models of the FPGA MPSoC substrate
+//!
+//! Rust substitutes for the hardware the paper's prototype is built from
+//! (Virtex-II PRO @ 50 MHz, Xilinx EDK 8.2): the shared [OPB bus](bus) with a
+//! cycle-accurate arbiter and a scalable [analytic contention
+//! model](contention), the [memory hierarchy](mem) (local BRAMs, shared DDR
+//! with the context vector, boot BRAM), the per-processor [instruction
+//! cache](cache), the inter-processor [crossbar](mod@crossbar), the lock/barrier
+//! [synchronization engine](sync), and the [system timer](timer).
+//!
+//! See `DESIGN.md` at the workspace root for the substitution rationale:
+//! each model reproduces the *observable timing behaviour* the paper
+//! measures, not the RTL.
+//!
+//! ```
+//! use mpdp_hw::bus::{Arbiter, ArbitrationPolicy};
+//! use mpdp_hw::contention::ContentionModel;
+//! use mpdp_core::ids::ProcId;
+//!
+//! // Exact, per-transaction:
+//! let mut bus = Arbiter::new(2, ArbitrationPolicy::FixedPriority);
+//! bus.push_request(ProcId::new(0), 12, 0);
+//! assert_eq!(bus.drain().len(), 1);
+//!
+//! // Scalable, steady-state:
+//! let speeds = ContentionModel::new().speeds(&[0.02, 0.02]);
+//! assert!(speeds[0] < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cache;
+pub mod contention;
+pub mod crossbar;
+pub mod mem;
+pub mod processor;
+pub mod sync;
+pub mod timer;
+
+pub use bus::{Arbiter, ArbitrationPolicy, BusStats, Completion, MasterStats, DDR_SERVICE_CYCLES};
+pub use cache::{CacheStats, DirectMappedCache};
+pub use contention::ContentionModel;
+pub use crossbar::{ChannelFullError, Crossbar};
+pub use mem::{Memory, MemoryMap, Region, LOCAL_LATENCY, REGFILE_WORDS, SHARED_LATENCY};
+pub use processor::{Processor, RegisterFile};
+pub use sync::SyncEngine;
+pub use timer::SystemTimer;

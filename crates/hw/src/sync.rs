@@ -1,0 +1,228 @@
+//! The Synchronization Engine (paper §3.1: "an ad-hoc coprocessor
+//! (Synchronization Engine) that provides hardware support for lock and
+//! barrier synchronization primitives").
+//!
+//! The engine exposes a bank of hardware locks (test-and-set semantics with
+//! a waiting list served in request order) and a bank of barriers. The
+//! microkernel uses lock 0 to serialize access to the interrupt controller
+//! and scheduler data structures — the paper notes that "controller
+//! management is sequential, but the execution of the interrupt handlers is
+//! parallel", which is exactly what a lock around register access gives.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpdp_hw::sync::SyncEngine;
+//! use mpdp_core::ids::ProcId;
+//!
+//! let mut engine = SyncEngine::new(4, 2, 2);
+//! assert!(engine.try_lock(0, ProcId::new(0)));
+//! assert!(!engine.try_lock(0, ProcId::new(1))); // queued
+//! assert_eq!(engine.unlock(0, ProcId::new(0)), Some(ProcId::new(1)));
+//! ```
+
+use std::collections::VecDeque;
+
+use mpdp_core::ids::ProcId;
+
+/// Cycles charged for one lock/unlock/barrier register access.
+pub const SYNC_ACCESS_CYCLES: u32 = 3;
+
+/// State of one hardware lock.
+#[derive(Debug, Clone, Default)]
+struct Lock {
+    owner: Option<ProcId>,
+    waiters: VecDeque<ProcId>,
+}
+
+/// State of one hardware barrier.
+#[derive(Debug, Clone, Default)]
+struct Barrier {
+    arrived: Vec<ProcId>,
+}
+
+/// The lock/barrier coprocessor.
+#[derive(Debug, Clone)]
+pub struct SyncEngine {
+    n_procs: usize,
+    locks: Vec<Lock>,
+    barriers: Vec<Barrier>,
+    contended_acquires: u64,
+}
+
+impl SyncEngine {
+    /// Creates an engine for `n_procs` processors with `n_locks` locks and
+    /// `n_barriers` barriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_procs` is zero.
+    pub fn new(n_procs: usize, n_locks: usize, n_barriers: usize) -> Self {
+        assert!(n_procs > 0, "at least one processor");
+        SyncEngine {
+            n_procs,
+            locks: vec![Lock::default(); n_locks],
+            barriers: vec![Barrier::default(); n_barriers],
+            contended_acquires: 0,
+        }
+    }
+
+    /// Attempts to acquire lock `id` for `proc`. Returns `true` on success;
+    /// on failure the processor is queued and will be handed the lock by a
+    /// future [`SyncEngine::unlock`].
+    ///
+    /// Re-acquiring a lock already held by `proc` returns `true` (the
+    /// hardware register read is idempotent for the owner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `proc` is out of range.
+    pub fn try_lock(&mut self, id: usize, proc: ProcId) -> bool {
+        assert!(proc.index() < self.n_procs, "processor out of range");
+        let lock = &mut self.locks[id];
+        match lock.owner {
+            None => {
+                lock.owner = Some(proc);
+                true
+            }
+            Some(owner) if owner == proc => true,
+            Some(_) => {
+                if !lock.waiters.contains(&proc) {
+                    lock.waiters.push_back(proc);
+                }
+                self.contended_acquires += 1;
+                false
+            }
+        }
+    }
+
+    /// Releases lock `id`; if processors are waiting, ownership passes to
+    /// the oldest waiter, whose id is returned (the engine raises its grant
+    /// line, which the kernel observes by polling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` does not own the lock.
+    pub fn unlock(&mut self, id: usize, proc: ProcId) -> Option<ProcId> {
+        let lock = &mut self.locks[id];
+        assert_eq!(
+            lock.owner,
+            Some(proc),
+            "unlock by non-owner {proc} on lock {id}"
+        );
+        lock.owner = lock.waiters.pop_front();
+        lock.owner
+    }
+
+    /// Current owner of lock `id`.
+    pub fn owner(&self, id: usize) -> Option<ProcId> {
+        self.locks[id].owner
+    }
+
+    /// Number of processors queued on lock `id`.
+    pub fn waiters(&self, id: usize) -> usize {
+        self.locks[id].waiters.len()
+    }
+
+    /// Count of lock acquisitions that found the lock taken.
+    pub fn contended_acquires(&self) -> u64 {
+        self.contended_acquires
+    }
+
+    /// Signals that `proc` arrived at barrier `id` expecting `parties`
+    /// participants. Returns `true` for every caller once all parties have
+    /// arrived (the barrier then resets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero or exceeds the processor count, or if
+    /// `proc` arrives twice in the same round.
+    pub fn barrier_arrive(&mut self, id: usize, proc: ProcId, parties: usize) -> bool {
+        assert!(
+            parties > 0 && parties <= self.n_procs,
+            "parties must be in 1..=n_procs"
+        );
+        let barrier = &mut self.barriers[id];
+        assert!(
+            !barrier.arrived.contains(&proc),
+            "{proc} arrived twice at barrier {id}"
+        );
+        barrier.arrived.push(proc);
+        if barrier.arrived.len() == parties {
+            barrier.arrived.clear();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Processors currently waiting at barrier `id`.
+    pub fn barrier_waiting(&self, id: usize) -> usize {
+        self.barriers[id].arrived.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_hands_off_in_fifo_order() {
+        let mut e = SyncEngine::new(3, 1, 0);
+        assert!(e.try_lock(0, ProcId::new(0)));
+        assert!(!e.try_lock(0, ProcId::new(1)));
+        assert!(!e.try_lock(0, ProcId::new(2)));
+        assert_eq!(e.waiters(0), 2);
+        assert_eq!(e.unlock(0, ProcId::new(0)), Some(ProcId::new(1)));
+        assert_eq!(e.owner(0), Some(ProcId::new(1)));
+        assert_eq!(e.unlock(0, ProcId::new(1)), Some(ProcId::new(2)));
+        assert_eq!(e.unlock(0, ProcId::new(2)), None);
+        assert_eq!(e.contended_acquires(), 2);
+    }
+
+    #[test]
+    fn reacquire_by_owner_is_idempotent() {
+        let mut e = SyncEngine::new(2, 1, 0);
+        assert!(e.try_lock(0, ProcId::new(0)));
+        assert!(e.try_lock(0, ProcId::new(0)));
+        assert_eq!(e.waiters(0), 0);
+    }
+
+    #[test]
+    fn duplicate_waiter_not_queued_twice() {
+        let mut e = SyncEngine::new(2, 1, 0);
+        e.try_lock(0, ProcId::new(0));
+        e.try_lock(0, ProcId::new(1));
+        e.try_lock(0, ProcId::new(1));
+        assert_eq!(e.waiters(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn unlock_by_non_owner_panics() {
+        let mut e = SyncEngine::new(2, 1, 0);
+        e.try_lock(0, ProcId::new(0));
+        e.unlock(0, ProcId::new(1));
+    }
+
+    #[test]
+    fn barrier_releases_all_at_once() {
+        let mut e = SyncEngine::new(3, 0, 1);
+        assert!(!e.barrier_arrive(0, ProcId::new(0), 3));
+        assert!(!e.barrier_arrive(0, ProcId::new(1), 3));
+        assert_eq!(e.barrier_waiting(0), 2);
+        assert!(e.barrier_arrive(0, ProcId::new(2), 3));
+        // Barrier reset: reusable for the next round.
+        assert_eq!(e.barrier_waiting(0), 0);
+        assert!(!e.barrier_arrive(0, ProcId::new(0), 2));
+        assert!(e.barrier_arrive(0, ProcId::new(1), 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_panics() {
+        let mut e = SyncEngine::new(2, 0, 1);
+        e.barrier_arrive(0, ProcId::new(0), 2);
+        e.barrier_arrive(0, ProcId::new(0), 2);
+    }
+}

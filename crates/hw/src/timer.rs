@@ -1,0 +1,94 @@
+//! The system timer that paces the scheduler.
+//!
+//! The paper: "It forwards the signal triggered by the system timer, that
+//! determines the scheduling period and starts the scheduling cycle, to an
+//! available processor" and "Scheduling phase is triggered each 0.1 seconds
+//! by the system timer."
+//!
+//! # Examples
+//!
+//! ```
+//! use mpdp_hw::timer::SystemTimer;
+//! use mpdp_core::time::{Cycles, DEFAULT_TICK};
+//!
+//! let mut timer = SystemTimer::new(DEFAULT_TICK);
+//! assert_eq!(timer.next_fire(), Cycles::ZERO); // fires at t = 0
+//! timer.acknowledge();
+//! assert_eq!(timer.next_fire(), DEFAULT_TICK);
+//! ```
+
+use mpdp_core::time::Cycles;
+
+/// A free-running periodic timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemTimer {
+    period: Cycles,
+    next_fire: Cycles,
+    fired: u64,
+}
+
+impl SystemTimer {
+    /// Creates a timer with the given period; the first tick fires at time
+    /// zero (the boot scheduling cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: Cycles) -> Self {
+        assert!(!period.is_zero(), "timer period must be non-zero");
+        SystemTimer {
+            period,
+            next_fire: Cycles::ZERO,
+            fired: 0,
+        }
+    }
+
+    /// The timer period.
+    pub fn period(&self) -> Cycles {
+        self.period
+    }
+
+    /// The instant of the next pending tick.
+    pub fn next_fire(&self) -> Cycles {
+        self.next_fire
+    }
+
+    /// Number of ticks acknowledged so far.
+    pub fn ticks(&self) -> u64 {
+        self.fired
+    }
+
+    /// Whether a tick is due at or before `now`.
+    pub fn is_due(&self, now: Cycles) -> bool {
+        self.next_fire <= now
+    }
+
+    /// Acknowledges the pending tick, arming the next one.
+    pub fn acknowledge(&mut self) {
+        self.fired += 1;
+        self.next_fire += self.period;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_periodically_from_zero() {
+        let mut t = SystemTimer::new(Cycles::new(100));
+        assert!(t.is_due(Cycles::ZERO));
+        t.acknowledge();
+        assert!(!t.is_due(Cycles::new(99)));
+        assert!(t.is_due(Cycles::new(100)));
+        t.acknowledge();
+        assert_eq!(t.next_fire(), Cycles::new(200));
+        assert_eq!(t.ticks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        SystemTimer::new(Cycles::ZERO);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the hardware models: the analytic contention model
+//! against the cycle-accurate arbiter, arbiter conservation laws, and cache
+//! behaviour.
+
+use proptest::prelude::*;
+
+use mpdp_core::ids::ProcId;
+use mpdp_hw::bus::{Arbiter, ArbitrationPolicy};
+use mpdp_hw::cache::DirectMappedCache;
+use mpdp_hw::contention::ContentionModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Speeds are in (0, 1], symmetric inputs give symmetric outputs, and
+    /// utilization never exceeds capacity.
+    #[test]
+    fn contention_speeds_are_physical(rates in prop::collection::vec(0.0f64..0.08, 1..8)) {
+        let model = ContentionModel::new();
+        let speeds = model.speeds(&rates);
+        prop_assert_eq!(speeds.len(), rates.len());
+        for (&a, &x) in rates.iter().zip(&speeds) {
+            prop_assert!(x > 0.0 && x <= 1.0, "speed {x} out of range");
+            if a == 0.0 {
+                prop_assert!((x - 1.0).abs() < 1e-9, "zero-rate task stalled");
+            }
+        }
+        prop_assert!(model.utilization(&rates) <= 1.0 + 1e-6);
+    }
+
+    /// Adding a competitor never speeds anyone up — in the sub-capacity
+    /// regime. (Past saturation the capacity normalization redistributes
+    /// bandwidth and per-processor monotonicity is not guaranteed.)
+    #[test]
+    fn contention_is_monotone_in_load(
+        rates in prop::collection::vec(0.001f64..0.05, 1..5),
+        extra in 0.001f64..0.05,
+    ) {
+        let model = ContentionModel::new();
+        let offered: f64 = rates.iter().chain([&extra]).map(|a| a * model.service()).sum();
+        prop_assume!(offered < 0.9);
+        let before = model.speeds(&rates);
+        let mut more = rates.clone();
+        more.push(extra);
+        let after = model.speeds(&more);
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a <= &(b + 1e-9), "adding load sped someone up: {b} -> {a}");
+        }
+    }
+
+    /// The arbiter conserves work: total busy cycles equal total requested
+    /// service, and every transaction completes exactly once.
+    #[test]
+    fn arbiter_conserves_work(
+        requests in prop::collection::vec((0u32..4, 1u32..20), 1..40),
+        round_robin in any::<bool>(),
+    ) {
+        let policy = if round_robin {
+            ArbitrationPolicy::RoundRobin
+        } else {
+            ArbitrationPolicy::FixedPriority
+        };
+        let mut bus = Arbiter::new(4, policy);
+        let mut total: u64 = 0;
+        for (i, &(m, s)) in requests.iter().enumerate() {
+            bus.push_request(ProcId::new(m), s, i as u64);
+            total += u64::from(s);
+        }
+        let done = bus.drain();
+        prop_assert_eq!(done.len(), requests.len());
+        prop_assert_eq!(bus.stats().busy_cycles, total);
+        // Tags are a permutation of the inputs.
+        let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..requests.len() as u64).collect::<Vec<_>>());
+        // Waits are consistent: finish = issue + service + wait.
+        for c in &done {
+            let (_, s) = requests[c.tag as usize];
+            prop_assert_eq!(c.finished_at, c.issued_at + u64::from(s) + c.waited);
+        }
+    }
+
+    /// Per-master FIFO: a master's own transactions complete in issue order.
+    #[test]
+    fn arbiter_is_fifo_per_master(requests in prop::collection::vec((0u32..3, 1u32..10), 1..30)) {
+        let mut bus = Arbiter::new(3, ArbitrationPolicy::RoundRobin);
+        for (i, &(m, s)) in requests.iter().enumerate() {
+            bus.push_request(ProcId::new(m), s, i as u64);
+        }
+        let done = bus.drain();
+        for m in 0..3u32 {
+            let finished: Vec<u64> = done
+                .iter()
+                .filter(|c| c.master == ProcId::new(m))
+                .map(|c| c.tag)
+                .collect();
+            let mut sorted = finished.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(finished, sorted, "master {} reordered its transactions", m);
+        }
+    }
+
+    /// The analytic model brackets the arbiter measurement on symmetric
+    /// workloads in the light-load regime (the validation DESIGN.md
+    /// promises). At heavy load the arbiter microsim is a *closed* system
+    /// (one outstanding transaction per master) whose waits stay small,
+    /// while the analytic model deliberately keeps the open-system
+    /// saturation behaviour that reproduces the paper's 3P≈4P flattening.
+    #[test]
+    fn analytic_model_brackets_arbiter(n in 2usize..5, rate in 0.004f64..0.02) {
+        let rates = vec![rate; n];
+        let analytic = ContentionModel::new().speeds(&rates)[0];
+
+        // Drive the arbiter: each master issues a 12-cycle transaction every
+        // 1/rate work cycles and stalls only for the queueing wait.
+        let mut bus = Arbiter::new(n, ArbitrationPolicy::RoundRobin);
+        let cycles = 120_000u64;
+        let mut work = vec![0u64; n];
+        let mut credit = vec![0f64; n];
+        let mut stalled = vec![false; n];
+        for _ in 0..cycles {
+            for p in 0..n {
+                if stalled[p] {
+                    continue;
+                }
+                work[p] += 1;
+                credit[p] += rate;
+                if credit[p] >= 1.0 {
+                    credit[p] -= 1.0;
+                    bus.push_request(ProcId::new(p as u32), 12, p as u64);
+                    stalled[p] = true;
+                }
+            }
+            if let Some(c) = bus.step() {
+                stalled[c.master.index()] = false;
+                work[c.master.index()] += 12; // service is budgeted work
+            }
+        }
+        let measured = work[0] as f64 / cycles as f64;
+        prop_assert!(
+            (analytic - measured).abs() < 0.25,
+            "analytic {analytic} vs measured {measured}"
+        );
+    }
+
+    /// Cache: hit rate of a loop that fits is higher than one that thrashes,
+    /// and accesses are conserved.
+    #[test]
+    fn cache_capacity_ordering(lines_log in 3u32..7, wl in 1u64..64) {
+        let lines = 1usize << lines_log;
+        let capacity = lines as u64 * 8;
+        let mut cache = DirectMappedCache::new(lines, 8);
+        let fits = cache.hit_rate_of_trace((0..capacity / 2).cycle().take(20_000));
+        let thrashes = cache.hit_rate_of_trace((0..capacity * 4).cycle().take(20_000));
+        prop_assert!(fits >= thrashes);
+        let _ = wl;
+        prop_assert_eq!(cache.stats().accesses(), 20_000);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the multiprocessor interrupt controller: no interrupt
+//! is ever lost, booking is always honoured, and broadcast reaches every
+//! processor, under arbitrary raise/ack/EOI/timeout interleavings.
+
+use proptest::prelude::*;
+
+use mpdp_core::ids::{PeripheralId, ProcId};
+use mpdp_core::time::Cycles;
+use mpdp_intc::{InterruptSource, MpInterruptController};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Raise(u32),
+    AckAndFinish(u32),
+    Timeout,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..4).prop_map(Op::Raise),
+            (0u32..4).prop_map(Op::AckAndFinish),
+            Just(Op::Timeout),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Conservation: raised = acknowledged + still-signaled + still-pending
+    /// at every step and at quiescence; draining always terminates.
+    #[test]
+    fn no_interrupt_is_lost(n_procs in 1usize..=4, ops in arb_ops()) {
+        let mut intc = MpInterruptController::new(n_procs, 4, Cycles::new(1_000));
+        let mut now = Cycles::ZERO;
+        for op in ops {
+            now += Cycles::new(100);
+            match op {
+                Op::Raise(p) => intc.raise_peripheral(PeripheralId::new(p), now),
+                Op::AckAndFinish(p) => {
+                    let proc = ProcId::new(p % n_procs as u32);
+                    if intc.signaled(proc).is_some() {
+                        intc.acknowledge(proc, now);
+                        intc.end_of_interrupt(proc, now + Cycles::new(10));
+                    }
+                }
+                Op::Timeout => {
+                    if let Some(t) = intc.next_timeout() {
+                        intc.expire_timeouts(t);
+                    }
+                }
+            }
+            let stats = intc.stats();
+            let signaled_now = (0..n_procs)
+                .filter(|&p| intc.signaled(ProcId::new(p as u32)).is_some())
+                .count() as u64;
+            // Every raise is either served, currently signaled, or pending.
+            prop_assert_eq!(
+                stats.raised,
+                stats.acknowledged + signaled_now + intc.pending_count() as u64,
+                "interrupt lost or duplicated"
+            );
+        }
+        // Drain: keep serving until quiescent; must terminate.
+        let mut guard = 0;
+        loop {
+            let mut progressed = false;
+            for p in 0..n_procs {
+                let proc = ProcId::new(p as u32);
+                if intc.signaled(proc).is_some() {
+                    now += Cycles::new(10);
+                    intc.acknowledge(proc, now);
+                    intc.end_of_interrupt(proc, now);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not terminate");
+        }
+        prop_assert_eq!(intc.pending_count(), 0);
+        prop_assert_eq!(intc.stats().raised, intc.stats().acknowledged);
+    }
+
+    /// A booked peripheral is only ever signaled to its booked processor,
+    /// even through timeouts and re-routes.
+    #[test]
+    fn booking_is_always_honoured(
+        n_procs in 2usize..=4,
+        booked_proc in 0u32..4,
+        ops in arb_ops(),
+    ) {
+        let booked_proc = ProcId::new(booked_proc % n_procs as u32);
+        let booked_line = PeripheralId::new(0);
+        let mut intc = MpInterruptController::new(n_procs, 4, Cycles::new(500));
+        intc.book(booked_line, Some(booked_proc));
+        let mut now = Cycles::ZERO;
+        for op in ops {
+            now += Cycles::new(100);
+            match op {
+                Op::Raise(p) => intc.raise_peripheral(PeripheralId::new(p), now),
+                Op::AckAndFinish(p) => {
+                    let proc = ProcId::new(p % n_procs as u32);
+                    if intc.signaled(proc).is_some() {
+                        intc.acknowledge(proc, now);
+                        intc.end_of_interrupt(proc, now + Cycles::new(10));
+                    }
+                }
+                Op::Timeout => {
+                    if let Some(t) = intc.next_timeout() {
+                        intc.expire_timeouts(t);
+                    }
+                }
+            }
+            for p in 0..n_procs {
+                let proc = ProcId::new(p as u32);
+                if let Some(sig) = intc.signaled(proc) {
+                    if sig.source == InterruptSource::Peripheral(booked_line) {
+                        prop_assert_eq!(proc, booked_proc, "booked line leaked to {}", proc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Broadcast reaches every processor exactly once when all are free.
+    #[test]
+    fn broadcast_reaches_all(n_procs in 1usize..=4) {
+        let mut intc = MpInterruptController::new(n_procs, 1, Cycles::new(500));
+        intc.raise_timer_broadcast(Cycles::ZERO);
+        for p in 0..n_procs {
+            let sig = intc.signaled(ProcId::new(p as u32));
+            prop_assert_eq!(sig.map(|s| s.source), Some(InterruptSource::Timer));
+        }
+        prop_assert_eq!(intc.pending_count(), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The microkernel's cost model.
+//!
+//! Every kernel operation is charged in two currencies: **CPU cycles** spent
+//! on the executing processor, and **bus words** moved over the shared OPB
+//! (context traffic, controller register accesses). The prototype simulator
+//! turns bus words into time through the contention model, so kernel
+//! activity slows *other* processors too — the effect the paper measures.
+//!
+//! Default magnitudes are chosen for a lean microkernel on a 50 MHz
+//! single-issue core (a few hundred instructions per scheduling pass, a few
+//! dozen per queue operation) and are configurable for sensitivity studies
+//! (`ablate_switch_cost`).
+
+use mpdp_hw::mem::REGFILE_WORDS;
+
+/// Cost of one kernel operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCost {
+    /// Cycles executed on the local processor (no bus involvement).
+    pub cpu: u32,
+    /// 32-bit words transferred over the shared bus.
+    pub bus_words: u32,
+}
+
+impl KernelCost {
+    /// Component-wise sum.
+    pub fn plus(self, other: KernelCost) -> KernelCost {
+        KernelCost {
+            cpu: self.cpu + other.cpu,
+            bus_words: self.bus_words + other.bus_words,
+        }
+    }
+}
+
+/// Tunable per-operation costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCosts {
+    /// Fixed cost of entering the scheduling routine (ISR prologue, timer
+    /// acknowledge, scheduler lock).
+    pub sched_base: u32,
+    /// Added cost per task moved between queues during a scheduling pass
+    /// (release, promotion, or assignment change).
+    pub sched_per_task: u32,
+    /// ISR entry (vector dispatch, controller acknowledge).
+    pub isr_entry: u32,
+    /// ISR exit (end-of-interrupt, state restore).
+    pub isr_exit: u32,
+    /// Cost of sending one inter-processor interrupt (controller register
+    /// write under mutual exclusion).
+    pub ipi_send: u32,
+    /// Interrupt-controller register words touched per scheduling pass
+    /// (these cross the bus).
+    pub intc_words: u32,
+    /// Multiplier on context sizes, for `ablate_switch_cost` sweeps.
+    pub context_scale: f64,
+}
+
+impl Default for KernelCosts {
+    fn default() -> Self {
+        KernelCosts {
+            sched_base: 800,
+            sched_per_task: 60,
+            isr_entry: 150,
+            isr_exit: 100,
+            ipi_send: 80,
+            intc_words: 4,
+            context_scale: 1.0,
+        }
+    }
+}
+
+impl KernelCosts {
+    /// Default costs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scales context-switch traffic (1.0 = modeled sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative or not finite.
+    pub fn with_context_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "context scale must be non-negative"
+        );
+        self.context_scale = scale;
+        self
+    }
+
+    /// Words moved to *save* a task context: the register file plus the
+    /// task's stack, written to the context vector in shared DDR ("the
+    /// contexts are saved in shared memory ... the context switch primitive
+    /// ... loads the register file into the processor and the stack into the
+    /// local memory").
+    pub fn save_words(&self, stack_words: u32) -> u32 {
+        ((f64::from(REGFILE_WORDS + stack_words)) * self.context_scale).round() as u32
+    }
+
+    /// Words moved to *restore* a task context (same layout, opposite
+    /// direction).
+    pub fn restore_words(&self, stack_words: u32) -> u32 {
+        self.save_words(stack_words)
+    }
+
+    /// Cost of one scheduling pass that touched `tasks_moved` queue entries
+    /// and sent `ipis` inter-processor interrupts.
+    pub fn scheduling_pass(&self, tasks_moved: usize, ipis: usize) -> KernelCost {
+        KernelCost {
+            cpu: self.sched_base
+                + self.sched_per_task * tasks_moved as u32
+                + self.ipi_send * ipis as u32,
+            bus_words: self.intc_words + ipis as u32,
+        }
+    }
+
+    /// Cost of the aperiodic-release ISR (acknowledge, enqueue, assignment
+    /// check).
+    pub fn aperiodic_isr(&self) -> KernelCost {
+        KernelCost {
+            cpu: self.isr_entry + self.isr_exit + self.sched_per_task,
+            bus_words: self.intc_words,
+        }
+    }
+
+    /// Cost of a full context switch on one processor: save the outgoing
+    /// context (if any) and restore the incoming one (if any).
+    pub fn context_switch(
+        &self,
+        save_stack: Option<u32>,
+        restore_stack: Option<u32>,
+    ) -> KernelCost {
+        let words = save_stack.map_or(0, |s| self.save_words(s))
+            + restore_stack.map_or(0, |s| self.restore_words(s));
+        KernelCost {
+            cpu: self.isr_entry + self.isr_exit,
+            bus_words: words,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_words_cover_regfile_and_stack() {
+        let c = KernelCosts::default();
+        assert_eq!(c.save_words(512), REGFILE_WORDS + 512);
+        assert_eq!(c.restore_words(0), REGFILE_WORDS);
+    }
+
+    #[test]
+    fn context_scale_shrinks_traffic() {
+        let half = KernelCosts::default().with_context_scale(0.5);
+        assert_eq!(half.save_words(512), (REGFILE_WORDS + 512) / 2);
+        let zero = KernelCosts::default().with_context_scale(0.0);
+        assert_eq!(zero.context_switch(Some(512), Some(512)).bus_words, 0);
+    }
+
+    #[test]
+    fn scheduling_pass_cost_grows_with_work() {
+        let c = KernelCosts::default();
+        let idle = c.scheduling_pass(0, 0);
+        let busy = c.scheduling_pass(10, 3);
+        assert!(busy.cpu > idle.cpu);
+        assert!(busy.bus_words > idle.bus_words);
+        assert_eq!(idle.cpu, 800);
+    }
+
+    #[test]
+    fn switch_with_no_save_is_cheaper() {
+        let c = KernelCosts::default();
+        let cold = c.context_switch(None, Some(512));
+        let full = c.context_switch(Some(512), Some(512));
+        assert!(cold.bus_words < full.bus_words);
+        assert_eq!(full.bus_words, 2 * (REGFILE_WORDS + 512));
+    }
+
+    #[test]
+    fn plus_accumulates() {
+        let a = KernelCost {
+            cpu: 10,
+            bus_words: 2,
+        };
+        let b = KernelCost {
+            cpu: 5,
+            bus_words: 3,
+        };
+        assert_eq!(
+            a.plus(b),
+            KernelCost {
+                cpu: 15,
+                bus_words: 5
+            }
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # mpdp-sim — the two simulators the paper compares
+//!
+//! The paper evaluates its FPGA prototype against "the theoretical
+//! performance obtained with the simulation of the scheduling algorithm,
+//! observing the aspects that in an actual architecture can impact the
+//! performance". Both ends of that comparison live here:
+//!
+//! * [`theoretical`] — the idealized simulator: same MPDP policy, zero
+//!   contention, instantaneous switches, a single fractional overhead knob
+//!   (the paper's 2%);
+//! * [`prototype`] — the full stack: microkernel + multiprocessor interrupt
+//!   controller + timer over the modeled bus/memory platform, with explicit
+//!   context-switch traffic, scheduling-cycle costs, interrupt latency, and
+//!   bus contention;
+//! * [`trace`] — completions, deadline verdicts, response-time statistics,
+//!   activity segments;
+//! * [`gantt`] — ASCII schedule rendering (Figure 3).
+//!
+//! ```
+//! use mpdp_sim::theoretical::{run_theoretical, TheoreticalConfig};
+//! use mpdp_core::policy::MpdpPolicy;
+//! use mpdp_core::rta::build_task_table;
+//! use mpdp_core::task::PeriodicTask;
+//! use mpdp_core::ids::TaskId;
+//! use mpdp_core::priority::Priority;
+//! use mpdp_core::time::Cycles;
+//!
+//! # fn main() -> Result<(), mpdp_core::TaskSetError> {
+//! let t = PeriodicTask::new(TaskId::new(0), "diag", Cycles::new(1000), Cycles::new(100_000))
+//!     .with_priorities(Priority::new(0), Priority::new(1));
+//! let table = build_task_table(vec![t], vec![], 1)?;
+//! let outcome = run_theoretical(
+//!     MpdpPolicy::new(table),
+//!     &[],
+//!     TheoreticalConfig::new(Cycles::new(500_000)).with_tick(Cycles::new(100_000)),
+//! );
+//! assert_eq!(outcome.trace.deadline_misses(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod gantt;
+pub mod micro;
+pub mod prototype;
+pub mod stats;
+pub mod theoretical;
+pub mod trace;
+
+pub use export::{completions_csv, segments_csv};
+pub use gantt::render_gantt;
+pub use micro::{run_micro, AccessModel, MicroConfig, MicroResult, MicroTask};
+pub use prototype::{run_prototype, PrototypeConfig, PrototypeOutcome, PrototypeSim};
+pub use stats::{miss_ratio, proc_breakdowns, response_stats, ProcBreakdown, ResponseStats};
+pub use theoretical::{run_theoretical, SimOutcome, TheoreticalConfig};
+pub use trace::{CompletionRecord, Segment, SegmentKind, Trace};

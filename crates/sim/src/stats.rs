@@ -1,0 +1,215 @@
+//! Summary statistics over simulation traces: response-time distributions,
+//! per-processor time breakdowns, and throughput measures — the numbers a
+//! systems paper's evaluation section is made of.
+
+use mpdp_core::ids::{ProcId, TaskId};
+use mpdp_core::time::Cycles;
+
+use crate::trace::{SegmentKind, Trace};
+
+/// Distribution summary of a set of response times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseStats {
+    /// Number of completions.
+    pub count: usize,
+    /// Minimum response (seconds).
+    pub min_s: f64,
+    /// Mean response (seconds).
+    pub mean_s: f64,
+    /// Median (50th percentile) response (seconds).
+    pub p50_s: f64,
+    /// 95th percentile response (seconds).
+    pub p95_s: f64,
+    /// Maximum response (seconds).
+    pub max_s: f64,
+}
+
+/// Computes the response distribution of one task's completions, `None` if
+/// it never completed.
+pub fn response_stats(trace: &Trace, task: TaskId) -> Option<ResponseStats> {
+    let mut responses: Vec<f64> = trace
+        .completions_of(task)
+        .map(|c| c.response.as_secs_f64())
+        .collect();
+    if responses.is_empty() {
+        return None;
+    }
+    responses.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let count = responses.len();
+    let mean_s = responses.iter().sum::<f64>() / count as f64;
+    let pct = |q: f64| -> f64 {
+        let idx = ((count as f64 - 1.0) * q).round() as usize;
+        responses[idx]
+    };
+    Some(ResponseStats {
+        count,
+        min_s: responses[0],
+        mean_s,
+        p50_s: pct(0.50),
+        p95_s: pct(0.95),
+        max_s: responses[count - 1],
+    })
+}
+
+/// How one processor spent a window (requires segment recording).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcBreakdown {
+    /// The processor.
+    pub proc: ProcId,
+    /// Cycles executing task work.
+    pub task: Cycles,
+    /// Cycles in the scheduler or ISRs.
+    pub kernel: Cycles,
+    /// Cycles moving contexts.
+    pub switch: Cycles,
+    /// Idle cycles (window minus everything else).
+    pub idle: Cycles,
+}
+
+impl ProcBreakdown {
+    /// Busy fraction (task work over the whole window).
+    pub fn utilization(&self, window: Cycles) -> f64 {
+        if window.is_zero() {
+            0.0
+        } else {
+            self.task.as_u64() as f64 / window.as_u64() as f64
+        }
+    }
+
+    /// Overhead fraction: kernel + switch time over the whole window.
+    pub fn overhead_fraction(&self, window: Cycles) -> f64 {
+        if window.is_zero() {
+            0.0
+        } else {
+            (self.kernel + self.switch).as_u64() as f64 / window.as_u64() as f64
+        }
+    }
+}
+
+/// Computes per-processor time breakdowns over `[0, window)` from recorded
+/// segments.
+pub fn proc_breakdowns(trace: &Trace, n_procs: usize, window: Cycles) -> Vec<ProcBreakdown> {
+    let mut out: Vec<ProcBreakdown> = (0..n_procs)
+        .map(|p| ProcBreakdown {
+            proc: ProcId::new(p as u32),
+            task: Cycles::ZERO,
+            kernel: Cycles::ZERO,
+            switch: Cycles::ZERO,
+            idle: Cycles::ZERO,
+        })
+        .collect();
+    for s in &trace.segments {
+        let len = s.end.min(window).saturating_sub(s.start);
+        let slot = &mut out[s.proc.index()];
+        match s.kind {
+            SegmentKind::Task => slot.task += len,
+            SegmentKind::Kernel => slot.kernel += len,
+            SegmentKind::Switch => slot.switch += len,
+        }
+    }
+    for slot in &mut out {
+        slot.idle = window
+            .saturating_sub(slot.task)
+            .saturating_sub(slot.kernel)
+            .saturating_sub(slot.switch);
+    }
+    out
+}
+
+/// Hard-deadline miss ratio over all periodic completions.
+pub fn miss_ratio(trace: &Trace) -> f64 {
+    let hard: Vec<_> = trace
+        .completions
+        .iter()
+        .filter(|c| c.deadline.is_some())
+        .collect();
+    if hard.is_empty() {
+        0.0
+    } else {
+        hard.iter().filter(|c| !c.met).count() as f64 / hard.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Segment;
+    use mpdp_core::ids::JobId;
+    use mpdp_core::policy::{Job, JobClass};
+
+    fn push_completion(
+        trace: &mut Trace,
+        id: u32,
+        release: u64,
+        finish: u64,
+        deadline: Option<u64>,
+    ) {
+        trace.record_completion(
+            &Job {
+                id: JobId::new(id),
+                class: JobClass::Periodic { task_index: 0 },
+                release: Cycles::new(release),
+                absolute_deadline: deadline.map(Cycles::new),
+                promotion_at: None,
+                promoted: false,
+                last_proc: None,
+            },
+            TaskId::new(1),
+            Cycles::new(finish),
+        );
+    }
+
+    #[test]
+    fn response_distribution_quantiles() {
+        let mut trace = Trace::new();
+        for (i, resp) in [100u64, 200, 300, 400, 1000].iter().enumerate() {
+            push_completion(&mut trace, i as u32, 0, *resp, None);
+        }
+        let stats = response_stats(&trace, TaskId::new(1)).expect("completions");
+        assert_eq!(stats.count, 5);
+        assert!((stats.min_s - 100.0 / 5e7).abs() < 1e-12);
+        assert!((stats.max_s - 1000.0 / 5e7).abs() < 1e-12);
+        assert!((stats.p50_s - 300.0 / 5e7).abs() < 1e-12);
+        assert!((stats.mean_s - 400.0 / 5e7).abs() < 1e-12);
+        assert!(response_stats(&trace, TaskId::new(9)).is_none());
+    }
+
+    #[test]
+    fn breakdown_partitions_the_window() {
+        let mut trace = Trace::new();
+        let window = Cycles::new(1000);
+        for (start, end, kind) in [
+            (0u64, 600, SegmentKind::Task),
+            (600, 700, SegmentKind::Kernel),
+            (700, 750, SegmentKind::Switch),
+        ] {
+            trace.segments.push(Segment {
+                proc: ProcId::new(0),
+                job: None,
+                task: None,
+                start: Cycles::new(start),
+                end: Cycles::new(end),
+                kind,
+            });
+        }
+        let breakdown = &proc_breakdowns(&trace, 2, window)[0];
+        assert_eq!(breakdown.task, Cycles::new(600));
+        assert_eq!(breakdown.kernel, Cycles::new(100));
+        assert_eq!(breakdown.switch, Cycles::new(50));
+        assert_eq!(breakdown.idle, Cycles::new(250));
+        assert!((breakdown.utilization(window) - 0.6).abs() < 1e-12);
+        assert!((breakdown.overhead_fraction(window) - 0.15).abs() < 1e-12);
+        // Untouched processor is fully idle.
+        assert_eq!(proc_breakdowns(&trace, 2, window)[1].idle, window);
+    }
+
+    #[test]
+    fn miss_ratio_counts_only_hard_jobs() {
+        let mut trace = Trace::new();
+        push_completion(&mut trace, 0, 0, 50, Some(100)); // met
+        push_completion(&mut trace, 1, 0, 150, Some(100)); // missed
+        push_completion(&mut trace, 2, 0, 9999, None); // soft: ignored
+        assert!((miss_ratio(&trace) - 0.5).abs() < 1e-12);
+        assert_eq!(miss_ratio(&Trace::new()), 0.0);
+    }
+}

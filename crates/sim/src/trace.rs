@@ -1,0 +1,205 @@
+//! Execution traces and summary statistics shared by both simulators.
+
+use mpdp_core::ids::{JobId, ProcId, TaskId};
+use mpdp_core::policy::JobClass;
+use mpdp_core::time::Cycles;
+
+/// What a processor was doing during a trace segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// Executing task work.
+    Task,
+    /// Running the scheduling routine or an ISR.
+    Kernel,
+    /// Saving/restoring contexts.
+    Switch,
+}
+
+/// One contiguous activity interval on one processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// The processor.
+    pub proc: ProcId,
+    /// The job being executed (task segments) or served (switch segments),
+    /// if any.
+    pub job: Option<JobId>,
+    /// The task the job activates, if any.
+    pub task: Option<TaskId>,
+    /// Segment start.
+    pub start: Cycles,
+    /// Segment end (exclusive).
+    pub end: Cycles,
+    /// Activity kind.
+    pub kind: SegmentKind,
+}
+
+/// The final record of one completed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletionRecord {
+    /// The completed job.
+    pub job: JobId,
+    /// The task it activated.
+    pub task: TaskId,
+    /// Periodic or aperiodic.
+    pub class: JobClass,
+    /// Nominal release instant.
+    pub release: Cycles,
+    /// Completion instant.
+    pub finish: Cycles,
+    /// `finish − release`.
+    pub response: Cycles,
+    /// Absolute deadline, if hard.
+    pub deadline: Option<Cycles>,
+    /// Whether the deadline (if any) was met.
+    pub met: bool,
+}
+
+/// A full simulation trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Completions in finish order.
+    pub completions: Vec<CompletionRecord>,
+    /// Activity segments (only populated when segment recording is on).
+    pub segments: Vec<Segment>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completion at `finish`.
+    pub fn record_completion(
+        &mut self,
+        job: &mpdp_core::policy::Job,
+        task: TaskId,
+        finish: Cycles,
+    ) {
+        let met = job.absolute_deadline.is_none_or(|d| finish <= d);
+        self.completions.push(CompletionRecord {
+            job: job.id,
+            task,
+            class: job.class,
+            release: job.release,
+            finish,
+            response: finish - job.release,
+            deadline: job.absolute_deadline,
+            met,
+        });
+    }
+
+    /// Number of hard deadline misses.
+    pub fn deadline_misses(&self) -> usize {
+        self.completions
+            .iter()
+            .filter(|c| c.deadline.is_some() && !c.met)
+            .count()
+    }
+
+    /// Completions of a given task.
+    pub fn completions_of(&self, task: TaskId) -> impl Iterator<Item = &CompletionRecord> {
+        self.completions.iter().filter(move |c| c.task == task)
+    }
+
+    /// Mean response time of a task's completions, if it completed at all.
+    pub fn mean_response(&self, task: TaskId) -> Option<Cycles> {
+        let responses: Vec<u64> = self
+            .completions_of(task)
+            .map(|c| c.response.as_u64())
+            .collect();
+        if responses.is_empty() {
+            None
+        } else {
+            Some(Cycles::new(
+                responses.iter().sum::<u64>() / responses.len() as u64,
+            ))
+        }
+    }
+
+    /// Maximum response time of a task's completions.
+    pub fn max_response(&self, task: TaskId) -> Option<Cycles> {
+        self.completions_of(task).map(|c| c.response).max()
+    }
+
+    /// Total task-work cycles recorded in segments for `proc`.
+    pub fn busy_cycles(&self, proc: ProcId) -> Cycles {
+        self.segments
+            .iter()
+            .filter(|s| s.proc == proc && s.kind == SegmentKind::Task)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_core::policy::Job;
+
+    fn job(id: u32, release: u64, deadline: Option<u64>) -> Job {
+        Job {
+            id: JobId::new(id),
+            class: JobClass::Periodic { task_index: 0 },
+            release: Cycles::new(release),
+            absolute_deadline: deadline.map(Cycles::new),
+            promotion_at: None,
+            promoted: false,
+            last_proc: None,
+        }
+    }
+
+    #[test]
+    fn completion_records_response_and_deadline() {
+        let mut trace = Trace::new();
+        trace.record_completion(&job(0, 100, Some(300)), TaskId::new(7), Cycles::new(250));
+        trace.record_completion(&job(1, 100, Some(300)), TaskId::new(7), Cycles::new(350));
+        assert_eq!(trace.completions[0].response, Cycles::new(150));
+        assert!(trace.completions[0].met);
+        assert!(!trace.completions[1].met);
+        assert_eq!(trace.deadline_misses(), 1);
+    }
+
+    #[test]
+    fn soft_jobs_never_miss() {
+        let mut trace = Trace::new();
+        trace.record_completion(&job(0, 0, None), TaskId::new(1), Cycles::new(10_000));
+        assert_eq!(trace.deadline_misses(), 0);
+        assert!(trace.completions[0].met);
+    }
+
+    #[test]
+    fn per_task_statistics() {
+        let mut trace = Trace::new();
+        trace.record_completion(&job(0, 0, None), TaskId::new(5), Cycles::new(100));
+        trace.record_completion(&job(1, 100, None), TaskId::new(5), Cycles::new(400));
+        trace.record_completion(&job(2, 0, None), TaskId::new(9), Cycles::new(50));
+        assert_eq!(trace.mean_response(TaskId::new(5)), Some(Cycles::new(200)));
+        assert_eq!(trace.max_response(TaskId::new(5)), Some(Cycles::new(300)));
+        assert_eq!(trace.mean_response(TaskId::new(1)), None);
+        assert_eq!(trace.completions_of(TaskId::new(9)).count(), 1);
+    }
+
+    #[test]
+    fn busy_cycles_sums_task_segments_only() {
+        let mut trace = Trace::new();
+        trace.segments.push(Segment {
+            proc: ProcId::new(0),
+            job: Some(JobId::new(0)),
+            task: Some(TaskId::new(0)),
+            start: Cycles::new(0),
+            end: Cycles::new(100),
+            kind: SegmentKind::Task,
+        });
+        trace.segments.push(Segment {
+            proc: ProcId::new(0),
+            job: None,
+            task: None,
+            start: Cycles::new(100),
+            end: Cycles::new(150),
+            kind: SegmentKind::Kernel,
+        });
+        assert_eq!(trace.busy_cycles(ProcId::new(0)), Cycles::new(100));
+        assert_eq!(trace.busy_cycles(ProcId::new(1)), Cycles::ZERO);
+    }
+}

@@ -1,0 +1,207 @@
+//! The paper's experimental workload: "We run a total of 19 tasks on the
+//! system, 18 periodic and 1 aperiodic. The aperiodic task is the `susan`
+//! benchmark with the large dataset. ... All the other applications are
+//! executed as periodic benchmarks running in parallel on the system with
+//! different datasets (small and large). Periodic utilization is determined
+//! varying the periods of the applications in accordance to their critical
+//! deadline."
+//!
+//! [`automotive_task_set`] builds exactly that: the nine periodic programs ×
+//! two datasets = 18 periodic tasks, with periods synthesized so the system
+//! utilization hits a target (40%, 50%, 60% in Figure 4), plus the
+//! `susan`-large aperiodic task. Processor assignments are *not* chosen here
+//! — partitioning and promotion-time computation are the offline tool's job
+//! (`mpdp-analysis`), mirroring the paper's flow.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpdp_workload::auto_set::automotive_task_set;
+//! use mpdp_core::time::DEFAULT_TICK;
+//!
+//! let set = automotive_task_set(0.5, 2, DEFAULT_TICK);
+//! assert_eq!(set.periodic.len(), 18);
+//! assert_eq!(set.aperiodic.len(), 1);
+//! let total: f64 = set.periodic.iter().map(|t| t.utilization()).sum();
+//! assert!((total / 2.0 - 0.5).abs() < 0.05); // ≈ 50% of a 2-CPU system
+//! ```
+
+use mpdp_core::ids::TaskId;
+use mpdp_core::priority::Priority;
+use mpdp_core::task::{AperiodicTask, PeriodicTask};
+use mpdp_core::time::Cycles;
+
+use crate::wcet::{BenchSpec, Dataset, Program, PERIODIC_PROGRAMS};
+
+/// The 18-periodic + 1-aperiodic MiBench automotive workload.
+#[derive(Debug, Clone)]
+pub struct AutomotiveWorkload {
+    /// The 18 periodic tasks (processor assignments left at the default;
+    /// run the partitioner before building a task table).
+    pub periodic: Vec<PeriodicTask>,
+    /// The `susan`-large aperiodic task.
+    pub aperiodic: Vec<AperiodicTask>,
+}
+
+impl AutomotiveWorkload {
+    /// Total periodic utilization `Σ C/T`.
+    pub fn total_utilization(&self) -> f64 {
+        self.periodic.iter().map(PeriodicTask::utilization).sum()
+    }
+}
+
+/// Builds the paper's workload for a system of `n_procs` processors at the
+/// given `system_utilization` (fraction of total capacity, e.g. `0.5` for
+/// the 50% point of Figure 4).
+///
+/// Each task receives an equal utilization share `U·m/18`; its period is
+/// `C/u` rounded to the nearest scheduler-tick multiple (periods in the
+/// prototype are only observed at ticks), floored at one tick and at the
+/// WCET. Priorities are rate monotonic in both bands — shorter period ⇒
+/// numerically higher (= more urgent) priority — with globally unique
+/// levels.
+///
+/// # Panics
+///
+/// Panics if `system_utilization` is not in `(0, 1)`, `n_procs` is zero, or
+/// the tick is zero.
+pub fn automotive_task_set(
+    system_utilization: f64,
+    n_procs: usize,
+    tick: Cycles,
+) -> AutomotiveWorkload {
+    assert!(
+        system_utilization > 0.0 && system_utilization < 1.0,
+        "system utilization must be in (0, 1), got {system_utilization}"
+    );
+    assert!(n_procs > 0, "at least one processor");
+    assert!(!tick.is_zero(), "tick must be non-zero");
+
+    let specs: Vec<BenchSpec> = PERIODIC_PROGRAMS
+        .iter()
+        .flat_map(|&p| {
+            [Dataset::Small, Dataset::Large]
+                .iter()
+                .map(move |&d| BenchSpec::new(p, d))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let share = system_utilization * n_procs as f64 / specs.len() as f64;
+
+    // Synthesize periods.
+    let mut tasks: Vec<PeriodicTask> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let wcet = spec.wcet();
+            let raw_period = (wcet.as_u64() as f64 / share).round() as u64;
+            let ticks = (raw_period + tick.as_u64() / 2) / tick.as_u64();
+            let min_ticks = wcet.as_u64().div_ceil(tick.as_u64());
+            let period = tick * ticks.max(min_ticks).max(1);
+            PeriodicTask::new(TaskId::new(i as u32), spec.name(), wcet, period)
+                .with_profile(spec.profile())
+                .with_stack_words(spec.stack_words())
+        })
+        .collect();
+
+    // Rate-monotonic priorities, globally unique: rank 0 = shortest period.
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by_key(|&i| (tasks[i].period(), tasks[i].id()));
+    let n = tasks.len() as u32;
+    for (rank, &i) in order.iter().enumerate() {
+        let level = Priority::new(n - rank as u32); // larger = more urgent
+        tasks[i] = tasks[i].clone().with_priorities(level, level);
+    }
+
+    let susan = BenchSpec::new(Program::Susan, Dataset::Large);
+    let aperiodic = AperiodicTask::new(TaskId::new(n), susan.name(), susan.wcet())
+        .with_profile(susan.profile())
+        .with_stack_words(susan.stack_words());
+
+    AutomotiveWorkload {
+        periodic: tasks,
+        aperiodic: vec![aperiodic],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_core::time::DEFAULT_TICK;
+
+    #[test]
+    fn builds_18_plus_1_tasks() {
+        let set = automotive_task_set(0.4, 2, DEFAULT_TICK);
+        assert_eq!(set.periodic.len(), 18);
+        assert_eq!(set.aperiodic.len(), 1);
+        assert_eq!(set.aperiodic[0].name(), "susan_large");
+    }
+
+    #[test]
+    fn hits_utilization_targets_within_tolerance() {
+        for m in [2usize, 3, 4] {
+            for u in [0.4, 0.5, 0.6] {
+                let set = automotive_task_set(u, m, DEFAULT_TICK);
+                let sys = set.total_utilization() / m as f64;
+                assert!((sys - u).abs() < 0.05, "m={m} target={u} got {sys}");
+            }
+        }
+    }
+
+    #[test]
+    fn periods_are_tick_multiples_and_cover_wcet() {
+        let set = automotive_task_set(0.6, 4, DEFAULT_TICK);
+        for t in &set.periodic {
+            assert_eq!(
+                t.period().as_u64() % DEFAULT_TICK.as_u64(),
+                0,
+                "{} period {} not a tick multiple",
+                t.name(),
+                t.period()
+            );
+            assert!(t.period() >= t.wcet());
+        }
+    }
+
+    #[test]
+    fn priorities_are_rate_monotonic_and_unique() {
+        let set = automotive_task_set(0.5, 3, DEFAULT_TICK);
+        let mut levels: Vec<u32> = set
+            .periodic
+            .iter()
+            .map(|t| t.priorities().high.level())
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert_eq!(levels.len(), 18, "levels must be unique");
+        for a in &set.periodic {
+            for b in &set.periodic {
+                if a.period() < b.period() {
+                    assert!(
+                        a.priorities().high > b.priorities().high,
+                        "{} (T={}) must outrank {} (T={})",
+                        a.name(),
+                        a.period(),
+                        b.name(),
+                        b.period()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_target_means_shorter_periods() {
+        let lo = automotive_task_set(0.4, 2, DEFAULT_TICK);
+        let hi = automotive_task_set(0.6, 2, DEFAULT_TICK);
+        for (a, b) in lo.periodic.iter().zip(&hi.periodic) {
+            assert!(b.period() <= a.period(), "{}", a.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn rejects_full_utilization() {
+        automotive_task_set(1.0, 2, DEFAULT_TICK);
+    }
+}

@@ -1,0 +1,135 @@
+//! `basicmath` — "simple mathematical calculations not supported by dedicated
+//! hardware ... can be used to calculate road speed or other vector values"
+//! (MiBench automotive). Three programs: square roots, first derivative,
+//! angle conversion.
+//!
+//! These are real computations (used by the examples as the bodies of
+//! periodic tasks) whose operation counts also parameterize the WCET table.
+
+/// Integer square root by Newton's method, as `basicmath`'s `isqrt` does.
+///
+/// Returns `⌊√x⌋`.
+///
+/// # Examples
+///
+/// ```
+/// use mpdp_workload::kernels::basicmath::isqrt;
+/// assert_eq!(isqrt(0), 0);
+/// assert_eq!(isqrt(16), 4);
+/// assert_eq!(isqrt(17), 4);
+/// assert_eq!(isqrt(u64::MAX), 4294967295);
+/// ```
+pub fn isqrt(x: u64) -> u64 {
+    if x < 2 {
+        return x;
+    }
+    let mut guess = 1u64 << (x.ilog2() / 2 + 1);
+    loop {
+        let next = (guess + x / guess) / 2;
+        if next >= guess {
+            return guess;
+        }
+        guess = next;
+    }
+}
+
+/// The square-roots program: sums `⌊√k⌋` over `k in 0..n` (the benchmark
+/// computes roots of a long integer series).
+pub fn sqrt_series(n: u64) -> u64 {
+    (0..n).map(isqrt).sum()
+}
+
+/// First derivative of the cubic `a·x³ + b·x² + c·x + d` evaluated at `x`,
+/// mirroring the benchmark's polynomial-derivative program.
+pub fn cubic_derivative(a: f64, b: f64, c: f64, x: f64) -> f64 {
+    3.0 * a * x * x + 2.0 * b * x + c
+}
+
+/// Samples the derivative of a cubic over `n` points in `[x0, x1]` and
+/// returns the sum (keeps the optimizer honest, like the benchmark's output
+/// accumulation).
+pub fn derivative_sweep(a: f64, b: f64, c: f64, x0: f64, x1: f64, n: usize) -> f64 {
+    assert!(n > 0, "need at least one sample");
+    let step = (x1 - x0) / n as f64;
+    (0..n)
+        .map(|i| cubic_derivative(a, b, c, x0 + step * i as f64))
+        .sum()
+}
+
+/// Degrees → radians, the benchmark's angle-conversion kernel.
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * std::f64::consts::PI / 180.0
+}
+
+/// Radians → degrees.
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / std::f64::consts::PI
+}
+
+/// Converts a sweep of `n` angles (0..360° uniformly) to radians and back,
+/// returning the accumulated round-trip error — the benchmark loops over a
+/// large table of angles.
+pub fn angle_conversion_sweep(n: usize) -> f64 {
+    assert!(n > 0, "need at least one angle");
+    let mut err = 0.0;
+    for i in 0..n {
+        let deg = 360.0 * i as f64 / n as f64;
+        err += (rad_to_deg(deg_to_rad(deg)) - deg).abs();
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact_squares() {
+        for k in 0u64..1000 {
+            assert_eq!(isqrt(k * k), k);
+            if k > 0 {
+                assert_eq!(isqrt(k * k - 1), k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn isqrt_monotone() {
+        let mut prev = 0;
+        for x in 0..10_000u64 {
+            let r = isqrt(x);
+            assert!(r >= prev);
+            assert!(r * r <= x);
+            assert!((r + 1) * (r + 1) > x);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn sqrt_series_small_values() {
+        // ⌊√0⌋+⌊√1⌋+⌊√2⌋+⌊√3⌋+⌊√4⌋ = 0+1+1+1+2
+        assert_eq!(sqrt_series(5), 5);
+    }
+
+    #[test]
+    fn derivative_matches_analytic() {
+        // d/dx (x³) = 3x²  at x = 2 → 12.
+        assert!((cubic_derivative(1.0, 0.0, 0.0, 2.0) - 12.0).abs() < 1e-12);
+        // d/dx (2x² + 3x) at x = 1 → 7.
+        assert!((cubic_derivative(0.0, 2.0, 3.0, 1.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_sweep_of_linear_is_constant() {
+        // d/dx (c·x) = c everywhere: sum over n points = n·c.
+        let sum = derivative_sweep(0.0, 0.0, 5.0, -1.0, 1.0, 100);
+        assert!((sum - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_round_trip() {
+        assert!((deg_to_rad(180.0) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((rad_to_deg(std::f64::consts::PI / 2.0) - 90.0).abs() < 1e-12);
+        assert!(angle_conversion_sweep(1000) < 1e-9);
+    }
+}

@@ -1,0 +1,172 @@
+//! `bitcount` — "tests bit manipulation abilities of the processors and is
+//! linked to sensor activity checking" (MiBench automotive). The benchmark
+//! runs five different population-count algorithms over a stream of words;
+//! the paper instantiates each counter as its own periodic task.
+
+/// The five counting algorithms of the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Iterated shift-and-mask over every bit.
+    IteratedShift,
+    /// Kernighan's sparse loop (`x &= x - 1`).
+    Sparse,
+    /// 8-bit lookup table.
+    ByteTable,
+    /// 4-bit (nibble) lookup table.
+    NibbleTable,
+    /// Parallel reduction (tree of masked adds).
+    Parallel,
+}
+
+/// All five counters, in the benchmark's order.
+pub const ALL_COUNTERS: [Counter; 5] = [
+    Counter::IteratedShift,
+    Counter::Sparse,
+    Counter::ByteTable,
+    Counter::NibbleTable,
+    Counter::Parallel,
+];
+
+const BYTE_TABLE: [u8; 256] = {
+    let mut t = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = (i as u32).count_ones() as u8;
+        i += 1;
+    }
+    t
+};
+
+const NIBBLE_TABLE: [u8; 16] = [0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4];
+
+/// Population count by iterated shift.
+pub fn count_iterated(mut x: u32) -> u32 {
+    let mut n = 0;
+    while x != 0 {
+        n += x & 1;
+        x >>= 1;
+    }
+    n
+}
+
+/// Population count by Kernighan's sparse loop.
+pub fn count_sparse(mut x: u32) -> u32 {
+    let mut n = 0;
+    while x != 0 {
+        x &= x - 1;
+        n += 1;
+    }
+    n
+}
+
+/// Population count via an 8-bit lookup table.
+pub fn count_byte_table(x: u32) -> u32 {
+    x.to_le_bytes()
+        .iter()
+        .map(|&b| u32::from(BYTE_TABLE[b as usize]))
+        .sum()
+}
+
+/// Population count via a 4-bit lookup table.
+pub fn count_nibble_table(x: u32) -> u32 {
+    (0..8)
+        .map(|i| u32::from(NIBBLE_TABLE[((x >> (4 * i)) & 0xF) as usize]))
+        .sum()
+}
+
+/// Population count by parallel masked reduction.
+pub fn count_parallel(x: u32) -> u32 {
+    let x = x - ((x >> 1) & 0x5555_5555);
+    let x = (x & 0x3333_3333) + ((x >> 2) & 0x3333_3333);
+    let x = (x + (x >> 4)) & 0x0F0F_0F0F;
+    (x.wrapping_mul(0x0101_0101)) >> 24
+}
+
+impl Counter {
+    /// Runs this algorithm on one word.
+    pub fn count(self, x: u32) -> u32 {
+        match self {
+            Counter::IteratedShift => count_iterated(x),
+            Counter::Sparse => count_sparse(x),
+            Counter::ByteTable => count_byte_table(x),
+            Counter::NibbleTable => count_nibble_table(x),
+            Counter::Parallel => count_parallel(x),
+        }
+    }
+
+    /// Short benchmark-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::IteratedShift => "btbl_iter",
+            Counter::Sparse => "btbl_sparse",
+            Counter::ByteTable => "btbl_byte",
+            Counter::NibbleTable => "btbl_nibble",
+            Counter::Parallel => "btbl_parallel",
+        }
+    }
+}
+
+/// Runs one counter over the benchmark's pseudo-random word stream of length
+/// `n` and returns the total bit count (the benchmark prints this total).
+pub fn count_stream(counter: Counter, n: usize) -> u64 {
+    // The xorshift generator stands in for MiBench's `rand()` stream and is
+    // deterministic across platforms.
+    let mut state = 0x2545_F491u32;
+    let mut total = 0u64;
+    for _ in 0..n {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        total += u64::from(counter.count(state));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_agree_with_hardware_popcount() {
+        let samples = [
+            0u32,
+            1,
+            0xFFFF_FFFF,
+            0x8000_0000,
+            0xDEAD_BEEF,
+            0x0F0F_0F0F,
+            12345,
+            u32::MAX - 1,
+        ];
+        for &x in &samples {
+            let expected = x.count_ones();
+            for c in ALL_COUNTERS {
+                assert_eq!(c.count(x), expected, "{c:?} on {x:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_five_agree_on_a_stream() {
+        let reference = count_stream(Counter::Parallel, 1000);
+        for c in ALL_COUNTERS {
+            assert_eq!(count_stream(c, 1000), reference, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        assert_eq!(
+            count_stream(Counter::Sparse, 64),
+            count_stream(Counter::Sparse, 64)
+        );
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = ALL_COUNTERS.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

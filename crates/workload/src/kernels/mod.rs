@@ -1,0 +1,12 @@
+//! Real implementations of the MiBench automotive kernels.
+//!
+//! "In this benchmark set there are basically four groups of applications:
+//! `basicmath` ... `bitcount` ... `qsort` ... and finally `susan`" (paper
+//! §5). The examples run these as the bodies of periodic and aperiodic
+//! tasks; the simulators use the calibrated cycle counts from
+//! [`crate::wcet`].
+
+pub mod basicmath;
+pub mod bitcount;
+pub mod qsort;
+pub mod susan;

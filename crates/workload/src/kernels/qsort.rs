@@ -1,0 +1,167 @@
+//! `qsort` — "executes sorting of vectors, useful to organize data and
+//! priorities" (MiBench automotive). The benchmark sorts an array of strings
+//! (small dataset) or of 3-D points by magnitude (large dataset); we
+//! implement our own quicksort rather than call the standard library, since
+//! the algorithm *is* the benchmark.
+
+/// In-place quicksort by a key function (median-of-three pivot, insertion
+/// sort below a small threshold — the classic `qsort(3)` structure).
+///
+/// # Examples
+///
+/// ```
+/// use mpdp_workload::kernels::qsort::quicksort_by_key;
+/// let mut v = vec![3, 1, 2];
+/// quicksort_by_key(&mut v, |&x| x);
+/// assert_eq!(v, vec![1, 2, 3]);
+/// ```
+pub fn quicksort_by_key<T, K: Ord, F: Fn(&T) -> K>(slice: &mut [T], key: F) {
+    quicksort_inner(slice, &key);
+}
+
+const INSERTION_THRESHOLD: usize = 12;
+
+fn quicksort_inner<T, K: Ord, F: Fn(&T) -> K>(slice: &mut [T], key: &F) {
+    if slice.len() <= INSERTION_THRESHOLD {
+        insertion_sort(slice, key);
+        return;
+    }
+    let pivot_index = median_of_three(slice, key);
+    slice.swap(pivot_index, slice.len() - 1);
+    let mut store = 0;
+    for i in 0..slice.len() - 1 {
+        if key(&slice[i]) <= key(&slice[slice.len() - 1]) {
+            slice.swap(i, store);
+            store += 1;
+        }
+    }
+    let last = slice.len() - 1;
+    slice.swap(store, last);
+    let (lo, hi) = slice.split_at_mut(store);
+    quicksort_inner(lo, key);
+    quicksort_inner(&mut hi[1..], key);
+}
+
+fn insertion_sort<T, K: Ord, F: Fn(&T) -> K>(slice: &mut [T], key: &F) {
+    for i in 1..slice.len() {
+        let mut j = i;
+        while j > 0 && key(&slice[j - 1]) > key(&slice[j]) {
+            slice.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+fn median_of_three<T, K: Ord, F: Fn(&T) -> K>(slice: &mut [T], key: &F) -> usize {
+    let (a, b, c) = (0, slice.len() / 2, slice.len() - 1);
+    let (ka, kb, kc) = (key(&slice[a]), key(&slice[b]), key(&slice[c]));
+    if (ka <= kb && kb <= kc) || (kc <= kb && kb <= ka) {
+        b
+    } else if (kb <= ka && ka <= kc) || (kc <= ka && ka <= kb) {
+        a
+    } else {
+        c
+    }
+}
+
+/// The large-dataset workload: 3-D points sorted by squared magnitude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Point3 {
+    /// X component.
+    pub x: i32,
+    /// Y component.
+    pub y: i32,
+    /// Z component.
+    pub z: i32,
+}
+
+impl Point3 {
+    /// Squared Euclidean magnitude, the benchmark's sort key.
+    pub fn magnitude_sq(&self) -> i64 {
+        let (x, y, z) = (i64::from(self.x), i64::from(self.y), i64::from(self.z));
+        x * x + y * y + z * z
+    }
+}
+
+/// Generates the deterministic pseudo-random point cloud of length `n` the
+/// large dataset stands in for.
+pub fn point_cloud(n: usize) -> Vec<Point3> {
+    let mut state = 0x9E37_79B9u32;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        (state % 2001) as i32 - 1000
+    };
+    (0..n)
+        .map(|_| Point3 {
+            x: next(),
+            y: next(),
+            z: next(),
+        })
+        .collect()
+}
+
+/// Runs the large-dataset benchmark: sorts an `n`-point cloud by magnitude
+/// and returns a checksum of the result order.
+pub fn sort_points(n: usize) -> i64 {
+    let mut points = point_cloud(n);
+    quicksort_by_key(&mut points, Point3::magnitude_sq);
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.magnitude_sq() * (i as i64 % 7 + 1))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_integers() {
+        let mut v: Vec<i32> = (0..200).rev().collect();
+        quicksort_by_key(&mut v, |&x| x);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sorts_strings_like_small_dataset() {
+        let mut v = vec!["pear", "apple", "fig", "banana", "date"];
+        quicksort_by_key(&mut v, |s| s.to_string());
+        assert_eq!(v, vec!["apple", "banana", "date", "fig", "pear"]);
+    }
+
+    #[test]
+    fn handles_duplicates_and_empty() {
+        let mut v = vec![5, 5, 5, 1, 1];
+        quicksort_by_key(&mut v, |&x| x);
+        assert_eq!(v, vec![1, 1, 5, 5, 5]);
+        let mut e: Vec<i32> = vec![];
+        quicksort_by_key(&mut e, |&x| x);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn matches_std_sort_on_random_input() {
+        let mut ours: Vec<i64> = point_cloud(500).iter().map(Point3::magnitude_sq).collect();
+        let mut theirs = ours.clone();
+        quicksort_by_key(&mut ours, |&x| x);
+        theirs.sort_unstable();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn point_sort_is_deterministic() {
+        assert_eq!(sort_points(300), sort_points(300));
+    }
+
+    #[test]
+    fn point_sort_orders_by_magnitude() {
+        let mut pts = point_cloud(100);
+        quicksort_by_key(&mut pts, Point3::magnitude_sq);
+        assert!(pts
+            .windows(2)
+            .all(|w| w[0].magnitude_sq() <= w[1].magnitude_sq()));
+    }
+}

@@ -1,0 +1,284 @@
+//! `susan` — "an image recognition package that can recognize corners or
+//! edges and can smooth an image, useful for quality assurance video systems
+//! or car navigation systems" (MiBench automotive). The paper uses
+//! `susan` with the large dataset as *the* aperiodic task, triggered by the
+//! arrival of a camera frame.
+//!
+//! SUSAN (Smallest Univalue Segment Assimilating Nucleus) compares each
+//! pixel's brightness with a circular neighbourhood; pixels similar to the
+//! nucleus form the USAN area, whose size classifies the nucleus as corner,
+//! edge, or flat. We implement the three benchmark modes on synthetic
+//! grayscale images.
+
+/// A grayscale image in row-major order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Creates an image filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(width: usize, height: usize, value: u8) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        Image {
+            width,
+            height,
+            pixels: vec![value; width * height],
+        }
+    }
+
+    /// The deterministic synthetic test scene: a bright rectangle and a
+    /// diagonal bar on a dark background (gives corners, edges, and flats).
+    pub fn synthetic_scene(width: usize, height: usize) -> Self {
+        let mut img = Image::filled(width, height, 30);
+        for y in height / 4..height / 2 {
+            for x in width / 4..3 * width / 4 {
+                img.set(x, y, 200);
+            }
+        }
+        for d in 0..width.min(height) / 2 {
+            img.set(d, height - 1 - d, 140);
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x] = value;
+    }
+}
+
+/// Brightness similarity threshold used by the benchmark (its `-t` option
+/// defaults to 20).
+pub const BRIGHTNESS_THRESHOLD: i16 = 20;
+
+/// The 37-pixel circular USAN mask offsets (radius ≈ 3.4, as in SUSAN).
+const MASK: [(i32, i32); 37] = [
+    (-1, -3),
+    (0, -3),
+    (1, -3),
+    (-2, -2),
+    (-1, -2),
+    (0, -2),
+    (1, -2),
+    (2, -2),
+    (-3, -1),
+    (-2, -1),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (2, -1),
+    (3, -1),
+    (-3, 0),
+    (-2, 0),
+    (-1, 0),
+    (0, 0),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (-3, 1),
+    (-2, 1),
+    (-1, 1),
+    (0, 1),
+    (1, 1),
+    (2, 1),
+    (3, 1),
+    (-2, 2),
+    (-1, 2),
+    (0, 2),
+    (1, 2),
+    (2, 2),
+    (-1, 3),
+    (0, 3),
+    (1, 3),
+];
+
+/// USAN area (number of neighbourhood pixels similar to the nucleus) at
+/// `(x, y)`. Off-image mask positions are skipped.
+pub fn usan_area(img: &Image, x: usize, y: usize) -> u32 {
+    let nucleus = i16::from(img.get(x, y));
+    let mut area = 0;
+    for (dx, dy) in MASK {
+        let nx = x as i32 + dx;
+        let ny = y as i32 + dy;
+        if nx < 0 || ny < 0 || nx >= img.width() as i32 || ny >= img.height() as i32 {
+            continue;
+        }
+        let v = i16::from(img.get(nx as usize, ny as usize));
+        if (v - nucleus).abs() <= BRIGHTNESS_THRESHOLD {
+            area += 1;
+        }
+    }
+    area
+}
+
+/// Corner detection: positions whose USAN area is below half of the
+/// geometric maximum (the SUSAN corner criterion).
+pub fn detect_corners(img: &Image) -> Vec<(usize, usize)> {
+    let g = MASK.len() as u32 / 2;
+    let mut corners = Vec::new();
+    for y in 3..img.height().saturating_sub(3) {
+        for x in 3..img.width().saturating_sub(3) {
+            if usan_area(img, x, y) < g {
+                corners.push((x, y));
+            }
+        }
+    }
+    corners
+}
+
+/// Edge detection: positions whose USAN area is below three quarters of the
+/// maximum but not corner-small.
+pub fn detect_edges(img: &Image) -> Vec<(usize, usize)> {
+    let max = MASK.len() as u32;
+    let mut edges = Vec::new();
+    for y in 3..img.height().saturating_sub(3) {
+        for x in 3..img.width().saturating_sub(3) {
+            let area = usan_area(img, x, y);
+            if area >= max / 2 && area < 3 * max / 4 {
+                edges.push((x, y));
+            }
+        }
+    }
+    edges
+}
+
+/// 3×3 box smoothing (the benchmark's smoothing mode uses a larger Gaussian;
+/// a box filter preserves the memory-access pattern that matters here).
+pub fn smooth(img: &Image) -> Image {
+    let mut out = img.clone();
+    for y in 1..img.height() - 1 {
+        for x in 1..img.width() - 1 {
+            let mut sum = 0u32;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    sum += u32::from(img.get(x + dx - 1, y + dy - 1));
+                }
+            }
+            out.set(x, y, (sum / 9) as u8);
+        }
+    }
+    out
+}
+
+/// Runs the full benchmark (smooth, then edges, then corners) on the
+/// synthetic scene and returns `(corner count, edge count)`.
+pub fn run_full(width: usize, height: usize) -> (usize, usize) {
+    let img = Image::synthetic_scene(width, height);
+    let smoothed = smooth(&img);
+    let corners = detect_corners(&smoothed).len();
+    let edges = detect_edges(&smoothed).len();
+    (corners, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_image_has_no_features() {
+        let img = Image::filled(32, 32, 128);
+        assert!(detect_corners(&img).is_empty());
+        assert!(detect_edges(&img).is_empty());
+    }
+
+    #[test]
+    fn usan_area_is_full_on_flat_interior() {
+        let img = Image::filled(16, 16, 100);
+        assert_eq!(usan_area(&img, 8, 8), 37);
+    }
+
+    #[test]
+    fn rectangle_corner_is_detected() {
+        let mut img = Image::filled(32, 32, 20);
+        for y in 10..25 {
+            for x in 10..25 {
+                img.set(x, y, 220);
+            }
+        }
+        let corners = detect_corners(&img);
+        // The four rectangle corners (10,10), (24,10), (10,24), (24,24) must
+        // be near detected positions.
+        for &(cx, cy) in &[(10, 10), (24, 10), (10, 24), (24, 24)] {
+            assert!(
+                corners
+                    .iter()
+                    .any(|&(x, y)| x.abs_diff(cx) <= 1 && y.abs_diff(cy) <= 1),
+                "corner near ({cx},{cy}) not found in {corners:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn straight_edge_is_edge_not_corner() {
+        let mut img = Image::filled(32, 32, 20);
+        for y in 0..32 {
+            for x in 16..32 {
+                img.set(x, y, 220);
+            }
+        }
+        let edges = detect_edges(&img);
+        // Mid-edge pixels along x=15..16 away from the border.
+        assert!(edges
+            .iter()
+            .any(|&(x, y)| (15..=16).contains(&x) && y == 16));
+        let corners = detect_corners(&img);
+        assert!(
+            !corners
+                .iter()
+                .any(|&(x, y)| (14..=17).contains(&x) && (14..=18).contains(&y)),
+            "straight edge interior misdetected as corner: {corners:?}"
+        );
+    }
+
+    #[test]
+    fn smoothing_reduces_contrast() {
+        let mut img = Image::filled(16, 16, 0);
+        img.set(8, 8, 255);
+        let out = smooth(&img);
+        assert!(out.get(8, 8) < 255);
+        assert!(out.get(7, 8) > 0);
+        // Total brightness within the interior is conserved approximately.
+        assert_eq!(out.get(0, 0), 0); // border untouched
+    }
+
+    #[test]
+    fn full_run_is_deterministic_and_finds_features() {
+        let (c1, e1) = run_full(64, 64);
+        let (c2, e2) = run_full(64, 64);
+        assert_eq!((c1, e1), (c2, e2));
+        assert!(c1 > 0, "synthetic scene has corners");
+        assert!(e1 > 0, "synthetic scene has edges");
+    }
+}

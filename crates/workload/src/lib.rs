@@ -1,0 +1,42 @@
+//! # mpdp-workload — MiBench automotive workload models
+//!
+//! The paper evaluates its system with the automotive subset of MiBench
+//! (Guthaus et al., WWC 2001): `basicmath`, `bitcount`, `qsort`, and `susan`.
+//! This crate provides
+//!
+//! * real Rust implementations of those [kernels](mod@kernels) (used by the
+//!   examples as actual task bodies, and unit-tested against reference
+//!   results),
+//! * the calibrated [WCET catalog](wcet) (with `susan`-large pinned to the
+//!   paper's 5.438 s @ 50 MHz),
+//! * the paper's 18-periodic + 1-aperiodic [task set](auto_set) with period
+//!   synthesis for the 40/50/60% utilization points of Figure 4, and
+//! * seeded [random task-set generators](taskgen) (UUniFast) for property
+//!   tests and ablations.
+//!
+//! ```
+//! use mpdp_workload::auto_set::automotive_task_set;
+//! use mpdp_workload::kernels::susan;
+//! use mpdp_core::time::DEFAULT_TICK;
+//!
+//! // The experiment workload…
+//! let set = automotive_task_set(0.5, 4, DEFAULT_TICK);
+//! assert_eq!(set.periodic.len(), 18);
+//!
+//! // …and the real computation behind its aperiodic task.
+//! let (corners, edges) = susan::run_full(64, 64);
+//! assert!(corners > 0 && edges > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auto_set;
+pub mod calibration;
+pub mod kernels;
+pub mod taskgen;
+pub mod wcet;
+
+pub use auto_set::{automotive_task_set, AutomotiveWorkload};
+pub use taskgen::{poisson_arrivals, random_task_set, uunifast, TaskGenConfig};
+pub use wcet::{BenchSpec, Dataset, Program, PERIODIC_PROGRAMS};

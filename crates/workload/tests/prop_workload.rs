@@ -1,0 +1,136 @@
+//! Property tests for the workload generators and the MiBench kernels.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mpdp_core::time::Cycles;
+use mpdp_workload::auto_set::automotive_task_set;
+use mpdp_workload::kernels::basicmath::{isqrt, sqrt_series};
+use mpdp_workload::kernels::bitcount::{count_stream, Counter, ALL_COUNTERS};
+use mpdp_workload::kernels::qsort::{point_cloud, quicksort_by_key, Point3};
+use mpdp_workload::kernels::susan::{detect_corners, smooth, Image};
+use mpdp_workload::taskgen::{poisson_arrivals, random_task_set, uunifast, TaskGenConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// UUniFast: exact total, all components non-negative, any seed.
+    #[test]
+    fn uunifast_total_is_exact(seed in any::<u64>(), n in 1usize..32, total in 0.05f64..4.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = uunifast(&mut rng, n, total);
+        prop_assert_eq!(parts.len(), n);
+        prop_assert!(parts.iter().all(|&u| u >= -1e-12));
+        let sum: f64 = parts.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9);
+    }
+
+    /// Generated task sets always satisfy the structural constraints the
+    /// analysis assumes.
+    #[test]
+    fn random_task_sets_are_well_formed(seed in any::<u64>(), n in 1usize..16) {
+        let cfg = TaskGenConfig::new(n, 0.6).with_seed(seed);
+        let tasks = random_task_set(&cfg);
+        prop_assert_eq!(tasks.len(), n);
+        let mut high: Vec<u32> = tasks.iter().map(|t| t.priorities().high.level()).collect();
+        high.sort_unstable();
+        high.dedup();
+        prop_assert_eq!(high.len(), n, "priorities must be unique");
+        for t in &tasks {
+            prop_assert!(t.wcet() <= t.period());
+            prop_assert!(t.wcet() >= Cycles::new(1000));
+            prop_assert_eq!(t.deadline(), t.period());
+        }
+    }
+
+    /// The automotive set always hits its utilization target within 5%.
+    #[test]
+    fn automotive_set_hits_target(m in 1usize..=6, u_pct in 20u32..75) {
+        let u = f64::from(u_pct) / 100.0;
+        let set = automotive_task_set(u, m, mpdp_core::time::DEFAULT_TICK);
+        let sys = set.total_utilization() / m as f64;
+        prop_assert!((sys - u).abs() < 0.05, "target {u}, got {sys}");
+        prop_assert_eq!(set.periodic.len(), 18);
+    }
+
+    /// Poisson arrivals are ordered, in range, and deterministic per seed.
+    #[test]
+    fn poisson_arrivals_are_valid(seed in any::<u64>(), gap in 100u64..10_000) {
+        let horizon = Cycles::new(1_000_000);
+        let a = poisson_arrivals(&mut StdRng::seed_from_u64(seed), Cycles::new(gap), horizon);
+        let b = poisson_arrivals(&mut StdRng::seed_from_u64(seed), Cycles::new(gap), horizon);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(a.iter().all(|&t| t < horizon));
+    }
+
+    /// isqrt is exactly ⌊√x⌋ for arbitrary inputs.
+    #[test]
+    fn isqrt_is_floor_sqrt(x in any::<u64>()) {
+        let r = isqrt(x);
+        prop_assert!(r.checked_mul(r).is_none_or(|sq| sq <= x));
+        let r1 = r + 1;
+        prop_assert!(r1.checked_mul(r1).is_none_or(|sq| sq > x));
+    }
+
+    /// sqrt_series is monotone in its length.
+    #[test]
+    fn sqrt_series_monotone(n in 0u64..2000) {
+        prop_assert!(sqrt_series(n + 1) >= sqrt_series(n));
+    }
+
+    /// All five bitcount algorithms agree on arbitrary words.
+    #[test]
+    fn bitcount_algorithms_agree(x in any::<u32>()) {
+        let expected = x.count_ones();
+        for c in ALL_COUNTERS {
+            prop_assert_eq!(c.count(x), expected, "{:?}", c);
+        }
+    }
+
+    /// Stream totals agree across algorithms for arbitrary lengths.
+    #[test]
+    fn bitcount_streams_agree(n in 0usize..500) {
+        let reference = count_stream(Counter::Parallel, n);
+        prop_assert_eq!(count_stream(Counter::IteratedShift, n), reference);
+        prop_assert_eq!(count_stream(Counter::ByteTable, n), reference);
+    }
+
+    /// Our quicksort sorts arbitrary vectors exactly like the standard sort.
+    #[test]
+    fn quicksort_matches_std(mut v in prop::collection::vec(any::<i32>(), 0..300)) {
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        quicksort_by_key(&mut v, |&x| x);
+        prop_assert_eq!(v, expected);
+    }
+
+    /// Sorting the point cloud is a permutation ordered by magnitude.
+    #[test]
+    fn point_sort_is_an_ordered_permutation(n in 1usize..200) {
+        let original = point_cloud(n);
+        let mut sorted = original.clone();
+        quicksort_by_key(&mut sorted, Point3::magnitude_sq);
+        prop_assert!(sorted.windows(2).all(|w| w[0].magnitude_sq() <= w[1].magnitude_sq()));
+        let mut a: Vec<i64> = original.iter().map(Point3::magnitude_sq).collect();
+        let mut b: Vec<i64> = sorted.iter().map(Point3::magnitude_sq).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Smoothing never increases the dynamic range of an image, and a
+    /// uniform image has no corners regardless of its level.
+    #[test]
+    fn susan_smoothing_contracts_range(level in 0u8..=255, w in 8usize..32, h in 8usize..32) {
+        let img = Image::filled(w, h, level);
+        let out = smooth(&img);
+        for y in 0..h {
+            for x in 0..w {
+                prop_assert_eq!(out.get(x, y), level);
+            }
+        }
+        prop_assert!(detect_corners(&img).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! The offline tool, end to end: the paper's "in-house tool that takes in
+//! input worst case execution times, period and deadlines of the tasks and
+//! produces the task tables with processor assignments and all the required
+//! information".
+//!
+//! Shows the full analysis surface: partitioning heuristics, the task-table
+//! report with worst-case responses and promotion times, promotion-mode
+//! baselines, and the breakdown-utilization sensitivity analysis.
+//!
+//! ```sh
+//! cargo run --release --example offline_analysis
+//! ```
+
+use mpdp::analysis::format_report;
+use mpdp::analysis::partition::{partition, per_proc_utilization, PartitionHeuristic};
+use mpdp::analysis::sensitivity::breakdown_utilization;
+use mpdp::analysis::tool::{prepare, PromotionMode, ToolOptions};
+use mpdp::core::time::DEFAULT_TICK;
+use mpdp::workload::automotive_task_set;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_procs = 3;
+    let set = automotive_task_set(0.5, n_procs, DEFAULT_TICK);
+
+    println!("== 1. partitioning heuristics (per-processor utilization) ==");
+    for heuristic in [
+        PartitionHeuristic::FirstFitDecreasing,
+        PartitionHeuristic::BestFitDecreasing,
+        PartitionHeuristic::WorstFitDecreasing,
+    ] {
+        let assigned = partition(set.periodic.clone(), n_procs, heuristic)?;
+        let utils = per_proc_utilization(&assigned, n_procs);
+        let formatted: Vec<String> = utils.iter().map(|u| format!("{u:.3}")).collect();
+        println!("  {heuristic:?}: [{}]", formatted.join(", "));
+    }
+    println!();
+
+    println!("== 2. the task table (worst-fit, promotions quantized to the tick) ==");
+    let table = prepare(
+        set.periodic.clone(),
+        set.aperiodic.clone(),
+        n_procs,
+        ToolOptions::new()
+            .with_quantization(DEFAULT_TICK)
+            .with_wcet_margin(1.15),
+    )?;
+    print!("{}", format_report(&table));
+    println!();
+
+    println!("== 3. promotion modes (mean promotion offset in seconds) ==");
+    for (name, mode) in [
+        ("mpdp (computed)", PromotionMode::Computed),
+        ("background (immediate)", PromotionMode::Immediate),
+        ("aperiodic-first (never)", PromotionMode::Never),
+    ] {
+        let t = prepare(
+            set.periodic.clone(),
+            set.aperiodic.clone(),
+            n_procs,
+            ToolOptions::new().with_promotion_mode(mode),
+        )?;
+        let mean: f64 = t.promotions().iter().map(|p| p.as_secs_f64()).sum::<f64>()
+            / t.promotions().len() as f64;
+        println!("  {name:<24} {mean:.3} s");
+    }
+    println!();
+
+    println!("== 4. sensitivity: breakdown utilization ==");
+    for m in [2usize, 3, 4] {
+        let s = automotive_task_set(0.4, m, DEFAULT_TICK);
+        let breakdown = breakdown_utilization(&s.periodic, m, PartitionHeuristic::default(), 0.02)?;
+        println!(
+            "  {m} processors: schedulable up to {:.1}% system utilization \
+             (the paper operates at 40-60%)",
+            breakdown * 100.0
+        );
+    }
+    Ok(())
+}

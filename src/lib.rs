@@ -1,0 +1,48 @@
+//! # mpdp — Dual-Priority Real-Time Multiprocessor System
+//!
+//! Facade crate re-exporting the whole workspace: the MPDP scheduling model
+//! (`core`), the FPGA-platform behavioural models (`hw`), the multiprocessor
+//! interrupt controller (`intc`), the dual-priority microkernel (`kernel`),
+//! the two simulators the paper compares (`sim`), the MiBench automotive
+//! workload (`workload`), and the offline analysis tool (`analysis`).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-reproduction results.
+//!
+//! ```
+//! use mpdp::analysis::tool::{prepare, ToolOptions};
+//! use mpdp::core::{ids::TaskId, policy::MpdpPolicy, priority::Priority};
+//! use mpdp::core::task::{AperiodicTask, PeriodicTask};
+//! use mpdp::core::time::{Cycles, DEFAULT_TICK};
+//! use mpdp::sim::prototype::{run_prototype, PrototypeConfig};
+//!
+//! # fn main() -> Result<(), mpdp::core::TaskSetError> {
+//! // Hard periodic tasks (dual priorities), one soft aperiodic task.
+//! let diag = PeriodicTask::new(TaskId::new(0), "sensor_diag",
+//!         Cycles::from_millis(8), Cycles::from_millis(100))
+//!     .with_priorities(Priority::new(2), Priority::new(2));
+//! let warn = AperiodicTask::new(TaskId::new(1), "collision_warning",
+//!         Cycles::from_millis(40));
+//!
+//! // The offline tool: partition, response-time analysis, promotion times.
+//! let table = prepare(vec![diag], vec![warn], 2,
+//!     ToolOptions::new().with_quantization(DEFAULT_TICK))?;
+//!
+//! // Run it on the full prototype stack (kernel + INTC + bus contention).
+//! let outcome = run_prototype(MpdpPolicy::new(table),
+//!     &[(Cycles::from_millis(250), 0)],
+//!     PrototypeConfig::new(Cycles::from_secs(2)));
+//! assert_eq!(outcome.trace.deadline_misses(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use mpdp_analysis as analysis;
+pub use mpdp_core as core;
+pub use mpdp_hw as hw;
+pub use mpdp_intc as intc;
+pub use mpdp_kernel as kernel;
+pub use mpdp_sim as sim;
+pub use mpdp_workload as workload;

@@ -1,0 +1,123 @@
+//! The paper's central guarantee, as a property test: **any randomly
+//! generated task set that passes the offline schedulability analysis meets
+//! every periodic deadline** — in the idealized simulator always, and on the
+//! prototype stack when the analysis carries the overhead margin — no
+//! matter what aperiodic load arrives.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mpdp::analysis::tool::{prepare, ToolOptions};
+use mpdp::core::policy::MpdpPolicy;
+use mpdp::core::time::Cycles;
+use mpdp::sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp::sim::theoretical::{run_theoretical, TheoreticalConfig};
+use mpdp::workload::taskgen::{poisson_arrivals, random_task_set, TaskGenConfig};
+
+const TICK: Cycles = Cycles::new(1_000_000); // 20 ms: fast tests, many ticks
+
+fn generate(
+    seed: u64,
+    n_tasks: usize,
+    total_util: f64,
+    n_procs: usize,
+    margin: f64,
+) -> Option<(mpdp::core::task::TaskTable, Vec<(Cycles, usize)>)> {
+    let cfg = TaskGenConfig::new(n_tasks, total_util)
+        .with_seed(seed)
+        .with_tick(TICK)
+        .with_period_ticks(2, 40);
+    let mut periodic = random_task_set(&cfg);
+    // One aperiodic task sized like a mid-weight periodic.
+    let aperiodic = vec![mpdp::core::task::AperiodicTask::new(
+        mpdp::core::ids::TaskId::new(1000),
+        "ap",
+        TICK * 3,
+    )];
+    // Memory-bound profiles can stretch execution beyond any fixed margin in
+    // adversarial mixes; the guarantee is stated for the calibrated margin,
+    // so keep profiles in the calibrated range.
+    periodic = periodic
+        .iter()
+        .map(|t| {
+            t.clone()
+                .with_profile(mpdp::core::task::MemoryProfile::compute_bound())
+        })
+        .collect();
+    let table = prepare(
+        periodic,
+        aperiodic,
+        n_procs,
+        ToolOptions::new()
+            .with_quantization(TICK)
+            .with_wcet_margin(margin),
+    )
+    .ok()?;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+    let arrivals: Vec<(Cycles, usize)> = poisson_arrivals(&mut rng, TICK * 10, TICK * 200)
+        .into_iter()
+        .map(|t| (t, 0usize))
+        .collect();
+    Some((table, arrivals))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Idealized stack: schedulable ⇒ zero misses, under arbitrary
+    /// aperiodic pressure.
+    #[test]
+    fn theoretical_never_misses(seed in 0u64..10_000, n_procs in 1usize..=4) {
+        if let Some((table, arrivals)) =
+            generate(seed, 3 * n_procs, 0.55 * n_procs as f64, n_procs, 1.03)
+        {
+            let outcome = run_theoretical(
+                MpdpPolicy::new(table),
+                &arrivals,
+                TheoreticalConfig::new(TICK * 250).with_tick(TICK),
+            );
+            prop_assert_eq!(outcome.trace.deadline_misses(), 0);
+            prop_assert!(outcome.trace.completions.iter().any(|c| c.deadline.is_some()));
+        }
+    }
+
+    /// Prototype stack: schedulable with the overhead margin ⇒ zero misses,
+    /// despite context switches, ISRs, and bus contention.
+    #[test]
+    fn prototype_never_misses_with_margin(seed in 0u64..10_000, n_procs in 1usize..=4) {
+        if let Some((table, arrivals)) =
+            generate(seed, 3 * n_procs, 0.45 * n_procs as f64, n_procs, 1.25)
+        {
+            let outcome = run_prototype(
+                MpdpPolicy::new(table),
+                &arrivals,
+                PrototypeConfig::new(TICK * 250).with_tick(TICK),
+            );
+            prop_assert_eq!(
+                outcome.trace.deadline_misses(),
+                0,
+                "misses on {} procs (seed {})",
+                n_procs,
+                seed
+            );
+        }
+    }
+
+    /// Aperiodic jobs are never starved: every arrival is eventually served
+    /// (within the horizon slack we give it).
+    #[test]
+    fn aperiodics_always_complete(seed in 0u64..10_000) {
+        if let Some((table, _)) = generate(seed, 4, 0.5, 2, 1.1) {
+            let arrivals: Vec<(Cycles, usize)> =
+                (0..5).map(|i| (TICK * (10 + 30 * i), 0usize)).collect();
+            let susan = table.aperiodic()[0].id();
+            let outcome = run_prototype(
+                MpdpPolicy::new(table),
+                &arrivals,
+                PrototypeConfig::new(TICK * 400).with_tick(TICK),
+            );
+            prop_assert_eq!(outcome.trace.completions_of(susan).count(), 5);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Reproducibility: every simulator and generator is fully deterministic —
+//! the same inputs produce bit-identical outcomes. This is what makes the
+//! figure reproductions and the property-test counterexamples meaningful.
+
+use mpdp::analysis::tool::{prepare, ToolOptions};
+use mpdp::core::policy::MpdpPolicy;
+use mpdp::core::time::{Cycles, DEFAULT_TICK};
+use mpdp::sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp::sim::theoretical::{run_theoretical, TheoreticalConfig};
+use mpdp::workload::automotive_task_set;
+use mpdp::workload::taskgen::{random_task_set, TaskGenConfig};
+
+#[test]
+fn workload_generation_is_deterministic() {
+    let a = automotive_task_set(0.5, 3, DEFAULT_TICK);
+    let b = automotive_task_set(0.5, 3, DEFAULT_TICK);
+    assert_eq!(a.periodic, b.periodic);
+    assert_eq!(a.aperiodic, b.aperiodic);
+
+    let cfg = TaskGenConfig::new(10, 0.6).with_seed(1234);
+    assert_eq!(random_task_set(&cfg), random_task_set(&cfg));
+}
+
+#[test]
+fn both_simulators_are_deterministic() {
+    let set = automotive_task_set(0.5, 2, DEFAULT_TICK);
+    let table = prepare(
+        set.periodic,
+        set.aperiodic,
+        2,
+        ToolOptions::new().with_quantization(DEFAULT_TICK),
+    )
+    .expect("schedulable");
+    let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+    let horizon = Cycles::from_secs(9);
+
+    let t1 = run_theoretical(
+        MpdpPolicy::new(table.clone()),
+        &arrivals,
+        TheoreticalConfig::new(horizon),
+    );
+    let t2 = run_theoretical(
+        MpdpPolicy::new(table.clone()),
+        &arrivals,
+        TheoreticalConfig::new(horizon),
+    );
+    assert_eq!(t1.trace.completions, t2.trace.completions);
+    assert_eq!(t1.switches, t2.switches);
+
+    let r1 = run_prototype(
+        MpdpPolicy::new(table.clone()),
+        &arrivals,
+        PrototypeConfig::new(horizon),
+    );
+    let r2 = run_prototype(
+        MpdpPolicy::new(table),
+        &arrivals,
+        PrototypeConfig::new(horizon),
+    );
+    assert_eq!(r1.trace.completions, r2.trace.completions);
+    assert_eq!(r1.kernel, r2.kernel);
+    assert_eq!(r1.intc, r2.intc);
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let set = automotive_task_set(0.6, 4, DEFAULT_TICK);
+    let a = prepare(
+        set.periodic.clone(),
+        set.aperiodic.clone(),
+        4,
+        ToolOptions::new().with_quantization(DEFAULT_TICK),
+    )
+    .expect("schedulable");
+    let b = prepare(
+        set.periodic,
+        set.aperiodic,
+        4,
+        ToolOptions::new().with_quantization(DEFAULT_TICK),
+    )
+    .expect("schedulable");
+    assert_eq!(a, b);
+}

@@ -1,0 +1,185 @@
+//! End-to-end integration: workload generation → offline tool → both
+//! simulation stacks, asserting the paper's qualitative claims.
+
+use mpdp::analysis::tool::{prepare, ToolOptions};
+use mpdp::core::policy::MpdpPolicy;
+use mpdp::core::time::{Cycles, DEFAULT_TICK};
+use mpdp::sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp::sim::theoretical::{run_theoretical, TheoreticalConfig};
+use mpdp::workload::automotive_task_set;
+
+fn experiment_table(n_procs: usize, utilization: f64) -> mpdp::core::task::TaskTable {
+    let set = automotive_task_set(utilization, n_procs, DEFAULT_TICK);
+    prepare(
+        set.periodic,
+        set.aperiodic,
+        n_procs,
+        ToolOptions::new()
+            .with_quantization(DEFAULT_TICK)
+            .with_wcet_margin(1.15),
+    )
+    .expect("paper workload is schedulable")
+}
+
+#[test]
+fn automotive_workload_runs_clean_on_both_stacks() {
+    let table = experiment_table(2, 0.5);
+    let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+    let horizon = Cycles::from_secs(10);
+
+    let theo = run_theoretical(
+        MpdpPolicy::new(table.clone()),
+        &arrivals,
+        TheoreticalConfig::new(horizon),
+    );
+    let real = run_prototype(
+        MpdpPolicy::new(table),
+        &arrivals,
+        PrototypeConfig::new(horizon),
+    );
+    assert_eq!(theo.trace.deadline_misses(), 0, "theoretical misses");
+    assert_eq!(real.trace.deadline_misses(), 0, "prototype misses");
+    assert!(!theo.trace.completions.is_empty());
+    assert!(!real.trace.completions.is_empty());
+}
+
+#[test]
+fn prototype_is_slower_than_theoretical_but_bounded() {
+    // The paper's headline: the real architecture pays for context switching
+    // and contention — 7%–27% in their measurements; we assert the same
+    // direction with a generous ceiling.
+    for n_procs in [2usize, 3] {
+        let table = experiment_table(n_procs, 0.5);
+        let susan = table.aperiodic()[0].id();
+        let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+        let horizon = Cycles::from_secs(12);
+        let theo = run_theoretical(
+            MpdpPolicy::new(table.clone()),
+            &arrivals,
+            TheoreticalConfig::new(horizon),
+        );
+        let real = run_prototype(
+            MpdpPolicy::new(table),
+            &arrivals,
+            PrototypeConfig::new(horizon),
+        );
+        let t = theo
+            .trace
+            .mean_response(susan)
+            .expect("completes")
+            .as_secs_f64();
+        let r = real
+            .trace
+            .mean_response(susan)
+            .expect("completes")
+            .as_secs_f64();
+        assert!(r > t, "{n_procs}P: real {r} must exceed theoretical {t}");
+        assert!(r < t * 1.5, "{n_procs}P: slowdown out of band ({t} -> {r})");
+    }
+}
+
+#[test]
+fn slowdown_grows_with_processor_count() {
+    // Paper §5: 2P is 7–12% slower, 3P is 15–27% slower — contention grows
+    // with the number of bus masters.
+    let mut slowdowns = Vec::new();
+    for n_procs in [2usize, 3, 4] {
+        let table = experiment_table(n_procs, 0.5);
+        let susan = table.aperiodic()[0].id();
+        let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+        let horizon = Cycles::from_secs(12);
+        let theo = run_theoretical(
+            MpdpPolicy::new(table.clone()),
+            &arrivals,
+            TheoreticalConfig::new(horizon),
+        );
+        let real = run_prototype(
+            MpdpPolicy::new(table),
+            &arrivals,
+            PrototypeConfig::new(horizon),
+        );
+        let t = theo
+            .trace
+            .mean_response(susan)
+            .expect("completes")
+            .as_secs_f64();
+        let r = real
+            .trace
+            .mean_response(susan)
+            .expect("completes")
+            .as_secs_f64();
+        slowdowns.push(r / t);
+    }
+    assert!(
+        slowdowns[0] < slowdowns[1] && slowdowns[1] < slowdowns[2],
+        "slowdown must grow with processors: {slowdowns:?}"
+    );
+}
+
+#[test]
+fn doubling_processors_at_same_utilization_does_more_periodic_work() {
+    // Paper: "when using 4 processors, a system utilization of 50% means
+    // that the workload is double w.r.t. a system with 2 processors at 50%".
+    let horizon = Cycles::from_secs(8);
+    let mut completed = Vec::new();
+    for n_procs in [2usize, 4] {
+        let table = experiment_table(n_procs, 0.5);
+        let real = run_prototype(MpdpPolicy::new(table), &[], PrototypeConfig::new(horizon));
+        completed.push(
+            real.trace
+                .completions
+                .iter()
+                .filter(|c| c.deadline.is_some())
+                .count(),
+        );
+        assert_eq!(real.trace.deadline_misses(), 0);
+    }
+    assert!(
+        completed[1] as f64 > completed[0] as f64 * 1.5,
+        "4P at 50% must complete much more periodic work than 2P: {completed:?}"
+    );
+}
+
+#[test]
+fn baselines_bracket_mpdp() {
+    use mpdp::analysis::baselines::{aperiodic_first, background_service};
+    let n_procs = 2;
+    let set = automotive_task_set(0.5, n_procs, DEFAULT_TICK);
+    let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+    let horizon = Cycles::from_secs(16);
+
+    let run = |table: mpdp::core::task::TaskTable| {
+        let susan = table.aperiodic()[0].id();
+        let out = run_prototype(
+            MpdpPolicy::new(table),
+            &arrivals,
+            PrototypeConfig::new(horizon),
+        );
+        (
+            out.trace
+                .mean_response(susan)
+                .expect("completes")
+                .as_secs_f64(),
+            out.trace.deadline_misses(),
+        )
+    };
+
+    let mpdp_table = experiment_table(n_procs, 0.5);
+    let (mpdp_resp, mpdp_miss) = run(mpdp_table);
+    let (bg_resp, bg_miss) =
+        run(background_service(set.periodic.clone(), set.aperiodic.clone(), n_procs).expect("ok"));
+    let (af_resp, af_miss) =
+        run(aperiodic_first(set.periodic, set.aperiodic, n_procs).expect("ok"));
+
+    assert_eq!(mpdp_miss, 0, "MPDP must not miss");
+    assert_eq!(bg_miss, 0, "background service must not miss");
+    assert!(
+        bg_resp > mpdp_resp,
+        "background service must serve aperiodics slower: {bg_resp} vs {mpdp_resp}"
+    );
+    assert!(
+        af_resp <= mpdp_resp * 1.02,
+        "aperiodic-first is the response lower bound: {af_resp} vs {mpdp_resp}"
+    );
+    let _ = af_miss; // may or may not miss at 50%; asserted in the ablation at 60%
+}

@@ -1,0 +1,162 @@
+//! Integration tests of the prototype stack's platform behaviours: interrupt
+//! routing under pressure, scheduler-lock serialization, statistics, and
+//! trace export.
+
+use mpdp::analysis::tool::{prepare, ToolOptions};
+use mpdp::core::policy::MpdpPolicy;
+use mpdp::core::time::{Cycles, DEFAULT_TICK};
+use mpdp::sim::export::{completions_csv, segments_csv};
+use mpdp::sim::prototype::{run_prototype, PrototypeConfig, PrototypeSim};
+use mpdp::sim::stats::{miss_ratio, proc_breakdowns, response_stats};
+use mpdp::sim::SegmentKind;
+use mpdp::workload::automotive_task_set;
+
+fn table(n_procs: usize, utilization: f64) -> mpdp::core::task::TaskTable {
+    let set = automotive_task_set(utilization, n_procs, DEFAULT_TICK);
+    prepare(
+        set.periodic,
+        set.aperiodic,
+        n_procs,
+        ToolOptions::new()
+            .with_quantization(DEFAULT_TICK)
+            .with_wcet_margin(1.15),
+    )
+    .expect("schedulable")
+}
+
+#[test]
+fn scheduler_lock_contention_appears_on_multiprocessors() {
+    // Frequent aperiodic arrivals make release-ISRs overlap timer passes.
+    let arrivals: Vec<(Cycles, usize)> = (0..20)
+        .map(|i| (Cycles::from_millis(300 * i + 7), 0usize))
+        .collect();
+    let outcome = run_prototype(
+        MpdpPolicy::new(table(3, 0.5)),
+        &arrivals,
+        PrototypeConfig::new(Cycles::from_secs(8)),
+    );
+    assert!(
+        outcome.lock_contentions > 0,
+        "overlapping ISRs must contend for the scheduler lock"
+    );
+    assert!(outcome.lock_wait_cycles > Cycles::ZERO);
+    assert_eq!(outcome.trace.deadline_misses(), 0);
+}
+
+#[test]
+fn intc_timeout_rotation_fires_when_ack_latency_exceeds_deadline() {
+    let mut config = PrototypeConfig::new(Cycles::from_secs(2));
+    // Pathological interrupt interface: the controller gives up before any
+    // processor can acknowledge. The rotation path fires continuously and —
+    // as on the real device — the system starves: nothing is ever served.
+    // (A designer must size the timeout above the worst acknowledge
+    // latency; the default configuration has three orders of magnitude of
+    // headroom.)
+    config.ack_latency = Cycles::new(5_000);
+    config.intc_ack_timeout = Cycles::new(2_000);
+    let outcome = PrototypeSim::new(MpdpPolicy::new(table(2, 0.4)), config).run(&[]);
+    assert!(
+        outcome.intc.timeouts > 0,
+        "timeouts must fire: {:?}",
+        outcome.intc
+    );
+    assert_eq!(outcome.intc.acknowledged, 0, "starved by design");
+    assert!(outcome.trace.completions.is_empty());
+
+    // With the timeout safely above the latency, the same platform serves
+    // everything and never times out.
+    let mut sane = PrototypeConfig::new(Cycles::from_secs(2));
+    sane.ack_latency = Cycles::new(5_000);
+    sane.intc_ack_timeout = Cycles::new(50_000);
+    let outcome = PrototypeSim::new(MpdpPolicy::new(table(2, 0.4)), sane).run(&[]);
+    assert_eq!(outcome.intc.timeouts, 0);
+    assert!(outcome.intc.acknowledged > 0);
+    assert!(!outcome.trace.completions.is_empty());
+    assert_eq!(outcome.trace.deadline_misses(), 0);
+}
+
+#[test]
+fn statistics_describe_a_real_run() {
+    let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+    let horizon = Cycles::from_secs(10);
+    let outcome = run_prototype(
+        MpdpPolicy::new(table(2, 0.5)),
+        &arrivals,
+        PrototypeConfig::new(horizon).with_segments(),
+    );
+    let susan = mpdp::core::ids::TaskId::new(18);
+    let stats = response_stats(&outcome.trace, susan).expect("susan completed");
+    assert_eq!(stats.count, 1);
+    assert!(stats.min_s <= stats.mean_s && stats.mean_s <= stats.max_s);
+    assert!(stats.mean_s > 5.438, "at least the execution time");
+
+    assert_eq!(miss_ratio(&outcome.trace), 0.0);
+
+    let breakdowns = proc_breakdowns(&outcome.trace, 2, horizon);
+    let total_task: u64 = breakdowns.iter().map(|b| b.task.as_u64()).sum();
+    // Two processors at ~50% periodic load plus susan: plenty of task time.
+    assert!(
+        total_task > horizon.as_u64() / 2,
+        "task time {total_task} too small"
+    );
+    for b in &breakdowns {
+        assert!(
+            b.overhead_fraction(horizon) < 0.05,
+            "overhead too high: {b:?}"
+        );
+        let sum = b.task + b.kernel + b.switch + b.idle;
+        assert_eq!(sum, horizon, "breakdown must partition the window");
+    }
+    // All three activity kinds appear in a real run.
+    for kind in [SegmentKind::Task, SegmentKind::Kernel, SegmentKind::Switch] {
+        assert!(
+            outcome.trace.segments.iter().any(|s| s.kind == kind),
+            "missing {kind:?} segments"
+        );
+    }
+}
+
+#[test]
+fn csv_export_round_trips_counts() {
+    let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+    let outcome = run_prototype(
+        MpdpPolicy::new(table(2, 0.4)),
+        &arrivals,
+        PrototypeConfig::new(Cycles::from_secs(8)).with_segments(),
+    );
+    let completions = completions_csv(&outcome.trace);
+    assert_eq!(
+        completions.trim_end().lines().count(),
+        outcome.trace.completions.len() + 1,
+        "one CSV row per completion plus header"
+    );
+    assert!(completions.contains("aperiodic"));
+    assert!(completions.contains("periodic"));
+    let segments = segments_csv(&outcome.trace);
+    assert_eq!(
+        segments.trim_end().lines().count(),
+        outcome.trace.segments.len() + 1
+    );
+    assert!(segments.contains("switch"));
+}
+
+#[test]
+fn pinned_interrupts_still_schedule_correctly() {
+    // The stock-controller emulation must remain functionally correct —
+    // only performance differs.
+    let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+    let outcome = run_prototype(
+        MpdpPolicy::new(table(3, 0.5)),
+        &arrivals,
+        PrototypeConfig::new(Cycles::from_secs(10))
+            .with_pinned_interrupts(mpdp::core::ids::ProcId::new(0)),
+    );
+    assert_eq!(outcome.trace.deadline_misses(), 0);
+    assert_eq!(
+        outcome
+            .trace
+            .completions_of(mpdp::core::ids::TaskId::new(18))
+            .count(),
+        1
+    );
+}

@@ -1,0 +1,123 @@
+//! Cross-simulator conservation laws: whatever the overhead model, both
+//! stacks must do the same *logical* work — same periodic jobs released and
+//! completed, same per-task activation counts, responses ordered the same
+//! way relative to the workload.
+
+use std::collections::BTreeMap;
+
+use mpdp::analysis::tool::{prepare, ToolOptions};
+use mpdp::core::ids::TaskId;
+use mpdp::core::policy::MpdpPolicy;
+use mpdp::core::time::{Cycles, DEFAULT_TICK};
+use mpdp::sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp::sim::theoretical::{run_theoretical, TheoreticalConfig};
+use mpdp::workload::automotive_task_set;
+
+fn per_task_counts(trace: &mpdp::sim::Trace) -> BTreeMap<TaskId, usize> {
+    let mut counts = BTreeMap::new();
+    for c in trace.completions.iter().filter(|c| c.deadline.is_some()) {
+        *counts.entry(c.task).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[test]
+fn both_stacks_complete_the_same_periodic_jobs() {
+    let set = automotive_task_set(0.5, 2, DEFAULT_TICK);
+    let table = prepare(
+        set.periodic,
+        set.aperiodic,
+        2,
+        ToolOptions::new()
+            .with_quantization(DEFAULT_TICK)
+            .with_wcet_margin(1.15),
+    )
+    .expect("schedulable");
+    let arrivals = vec![(Cycles::from_secs(1), 0usize)];
+    let horizon = Cycles::from_secs(20);
+
+    let theo = run_theoretical(
+        MpdpPolicy::new(table.clone()),
+        &arrivals,
+        TheoreticalConfig::new(horizon),
+    );
+    let real = run_prototype(
+        MpdpPolicy::new(table),
+        &arrivals,
+        PrototypeConfig::new(horizon),
+    );
+
+    let theo_counts = per_task_counts(&theo.trace);
+    let real_counts = per_task_counts(&real.trace);
+    assert_eq!(theo_counts.len(), 18, "every periodic task completes jobs");
+    // Identical activation counts per task, up to at most one job straddling
+    // the horizon (overheads shift completion instants slightly).
+    for (task, &t_count) in &theo_counts {
+        let r_count = *real_counts.get(task).unwrap_or(&0);
+        assert!(
+            t_count.abs_diff(r_count) <= 1,
+            "{task}: theoretical {t_count} vs real {r_count}"
+        );
+    }
+    // Per-task mean responses: real is never (meaningfully) faster than
+    // theoretical minus its own 2% overhead allowance.
+    for task in theo_counts.keys() {
+        let t = theo.trace.mean_response(*task).expect("completed").as_secs_f64();
+        let r = real.trace.mean_response(*task).expect("completed").as_secs_f64();
+        assert!(
+            r > t * 0.90,
+            "{task}: real {r:.4}s implausibly faster than theoretical {t:.4}s"
+        );
+    }
+}
+
+#[test]
+fn job_release_grid_is_identical_across_stacks() {
+    // Release instants are nominal (period grid), independent of the stack.
+    let set = automotive_task_set(0.4, 2, DEFAULT_TICK);
+    let table = prepare(
+        set.periodic,
+        set.aperiodic,
+        2,
+        ToolOptions::new()
+            .with_quantization(DEFAULT_TICK)
+            .with_wcet_margin(1.15),
+    )
+    .expect("schedulable");
+    let horizon = Cycles::from_secs(15);
+    let theo = run_theoretical(
+        MpdpPolicy::new(table.clone()),
+        &[],
+        TheoreticalConfig::new(horizon),
+    );
+    let real = run_prototype(MpdpPolicy::new(table.clone()), &[], PrototypeConfig::new(horizon));
+    for (i, t) in table.periodic().iter().enumerate().take(4) {
+        let _ = i;
+        let theo_releases: Vec<Cycles> = theo
+            .trace
+            .completions_of(t.id())
+            .map(|c| c.release)
+            .collect();
+        let real_releases: Vec<Cycles> = real
+            .trace
+            .completions_of(t.id())
+            .map(|c| c.release)
+            .collect();
+        let n = theo_releases.len().min(real_releases.len());
+        assert!(n > 0, "{} completed nothing", t.name());
+        assert_eq!(
+            &theo_releases[..n],
+            &real_releases[..n],
+            "{} release grids diverge",
+            t.name()
+        );
+        for (k, r) in theo_releases.iter().enumerate() {
+            assert_eq!(
+                r.as_u64() % t.period().as_u64(),
+                0,
+                "{} release {k} off the period grid",
+                t.name()
+            );
+        }
+    }
+}
