@@ -1,54 +1,68 @@
 //! Ablation: **why dual priority?** MPDP against the two degenerate
 //! policies the paper positions itself against (§1–2): partitioned
 //! fixed-priority with background aperiodic service (commercial-RTOS
-//! style), and a purely reactive aperiodic-first design.
+//! style), and a purely reactive aperiodic-first design — plus the classic
+//! polling/deferrable servers.
 //!
-//! All three run on identical kernel mechanics and identical workloads; the
-//! only difference is the promotion policy, so the comparison isolates the
-//! scheduling idea itself.
+//! All policies run on identical kernel mechanics, identical workloads, and
+//! an identical arrival schedule; the only difference is the promotion
+//! policy, so the comparison isolates the scheduling idea itself. The three
+//! table-based policies (mpdp/background/aperiodic-first) run as one
+//! `mpdp-sweep` grid — one knob per policy; the servers need a bespoke
+//! policy object and run through the same prototype stack directly.
 //!
-//! Run with `cargo run --release -p mpdp-bench --bin ablate_baseline`.
+//! Run with `cargo run --release -p mpdp-bench --bin ablate_baseline --
+//! [--workers N]`.
 
-use mpdp_analysis::baselines::{aperiodic_first, background_service};
 use mpdp_analysis::polling::{polling_server, ServerKind};
-use mpdp_analysis::tool::{prepare, ToolOptions};
 use mpdp_bench::experiment::ExperimentConfig;
-use mpdp_core::policy::MpdpPolicy;
-use mpdp_core::task::TaskTable;
 use mpdp_core::time::Cycles;
 use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp_sweep::{run_sweep, ArrivalSpec, Knobs, PolicyKind, SweepSpec, WorkloadSpec};
 use mpdp_workload::automotive_task_set;
 
-fn table_for(
-    policy_name: &str,
-    n_procs: usize,
-    utilization: f64,
-    config: &ExperimentConfig,
-) -> TaskTable {
-    let set = automotive_task_set(utilization, n_procs, config.tick);
-    match policy_name {
-        "mpdp" => prepare(
-            set.periodic,
-            set.aperiodic,
-            n_procs,
-            ToolOptions::new()
-                .with_quantization(config.tick)
-                .with_wcet_margin(config.wcet_margin),
-        )
-        .expect("schedulable"),
-        "background" => {
-            background_service(set.periodic, set.aperiodic, n_procs).expect("schedulable")
-        }
-        "aperiodic-first" => {
-            aperiodic_first(set.periodic, set.aperiodic, n_procs).expect("schedulable")
-        }
-        other => unreachable!("unknown policy {other}"),
-    }
-}
-
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--workers takes a count"))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+
     let config = ExperimentConfig::new();
     let n_procs = 2;
+    // A denser aperiodic stream than Figure 4, to stress the policies'
+    // aperiodic service while periodic load runs. Arrivals fall mid-period
+    // of the 1 s servers, so the polling/deferrable distinction (discard vs
+    // keep the budget) is visible.
+    let arrivals: Vec<(Cycles, usize)> = (0..3)
+        .map(|i| (Cycles::from_millis(1350 + 8000 * i), 0usize))
+        .collect();
+    let horizon = Cycles::from_secs(40);
+
+    let table_policies = [
+        ("mpdp", PolicyKind::Mpdp),
+        ("background", PolicyKind::Background),
+        ("aperiodic-first", PolicyKind::AperiodicFirst),
+    ];
+    let spec = SweepSpec {
+        utilizations: vec![0.4, 0.6],
+        proc_counts: vec![n_procs],
+        seeds: vec![0],
+        knobs: table_policies
+            .iter()
+            .map(|&(name, policy)| Knobs::named(name).with_policy(policy))
+            .collect(),
+        workload: WorkloadSpec::Automotive,
+        arrivals: ArrivalSpec::Explicit {
+            arrivals: arrivals.clone(),
+            horizon,
+        },
+        master_seed: 0,
+    };
+    let report = run_sweep(&spec, workers);
+    eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
 
     println!("== scheduling-policy ablation: 2 processors ==");
     println!(
@@ -57,52 +71,59 @@ fn main() {
     );
 
     for utilization in [0.4, 0.6] {
-        // A denser aperiodic stream than Figure 4, to stress the policies'
-        // aperiodic service while periodic load runs. Arrivals fall
-        // mid-period of the 1 s servers, so the polling/deferrable
-        // distinction (discard vs keep the budget) is visible.
-        let arrivals: Vec<(Cycles, usize)> = (0..3)
-            .map(|i| (Cycles::from_millis(1350 + 8000 * i), 0usize))
-            .collect();
-        let proto = || PrototypeConfig::new(Cycles::from_secs(40)).with_tick(config.tick);
+        for &(policy_name, _) in &table_policies {
+            let cell = report
+                .cells
+                .iter()
+                .find(|c| {
+                    c.knob_label == policy_name && (c.cell.utilization - utilization).abs() < 1e-9
+                })
+                .expect("sweep covers every policy × utilization");
+            let response = cell
+                .real
+                .aperiodic
+                .finalize()
+                .map_or(f64::NAN, |s| s.mean_s);
+            println!(
+                "{:<16} {:>5.0}% {:>12.3} {:>14} {:>10}",
+                policy_name,
+                utilization * 100.0,
+                response,
+                cell.real.periodic.len(),
+                cell.real.periodic.misses()
+            );
+        }
 
-        for policy_name in [
-            "mpdp",
-            "background",
-            "aperiodic-first",
-            "polling-server",
-            "deferrable-srv",
-        ] {
-            let outcome = if policy_name == "polling-server" || policy_name == "deferrable-srv" {
-                let set = automotive_task_set(utilization, n_procs, config.tick);
-                // A generous server: 40% of one processor.
-                match polling_server(
-                    set.periodic,
-                    set.aperiodic,
-                    n_procs,
-                    config.tick * 4,
-                    config.tick * 10,
-                ) {
-                    Ok(policy) => {
-                        let kind = if policy_name == "deferrable-srv" {
-                            ServerKind::Deferrable
-                        } else {
-                            ServerKind::Polling
-                        };
-                        run_prototype(policy.with_kind(kind), &arrivals, proto())
-                    }
-                    Err(e) => {
-                        println!(
-                            "{:<16} {:>5.0}%  (server not admissible: {e})",
-                            policy_name,
-                            utilization * 100.0
-                        );
-                        continue;
-                    }
+        for policy_name in ["polling-server", "deferrable-srv"] {
+            let set = automotive_task_set(utilization, n_procs, config.tick);
+            // A generous server: 40% of one processor.
+            let outcome = match polling_server(
+                set.periodic,
+                set.aperiodic,
+                n_procs,
+                config.tick * 4,
+                config.tick * 10,
+            ) {
+                Ok(policy) => {
+                    let kind = if policy_name == "deferrable-srv" {
+                        ServerKind::Deferrable
+                    } else {
+                        ServerKind::Polling
+                    };
+                    run_prototype(
+                        policy.with_kind(kind),
+                        &arrivals,
+                        PrototypeConfig::new(horizon).with_tick(config.tick),
+                    )
                 }
-            } else {
-                let table = table_for(policy_name, n_procs, utilization, &config);
-                run_prototype(MpdpPolicy::new(table), &arrivals, proto())
+                Err(e) => {
+                    println!(
+                        "{:<16} {:>5.0}%  (server not admissible: {e})",
+                        policy_name,
+                        utilization * 100.0
+                    );
+                    continue;
+                }
             };
             let susan = mpdp_core::ids::TaskId::new(18);
             let response = outcome

@@ -7,49 +7,62 @@
 //! necessary". This sweep scales the modeled context size from zero (free
 //! switches) to 16× and measures the effect on the aperiodic response.
 //!
-//! Run with `cargo run --release -p mpdp-bench --bin ablate_switch_cost`.
+//! One `mpdp-sweep` knob per scale; the grid runs in parallel and the
+//! output is deterministic regardless of `--workers`.
+//!
+//! Run with `cargo run --release -p mpdp-bench --bin ablate_switch_cost --
+//! [--workers N]`.
 
-use mpdp_bench::experiment::{arrival_schedule, build_table, ExperimentConfig};
-use mpdp_core::policy::MpdpPolicy;
+use mpdp_bench::experiment::{arrival_schedule, ExperimentConfig};
 use mpdp_core::time::Cycles;
-use mpdp_kernel::KernelCosts;
-use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp_sweep::{run_sweep, ArrivalSpec, Knobs, SweepSpec, WorkloadSpec};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--workers takes a count"))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+
     let config = ExperimentConfig::new();
-    let n_procs = 3;
-    let utilization = 0.5;
     let arrivals = arrival_schedule(&config);
     let horizon =
         arrivals.last().expect("arrivals").0 + config.activation_gap + Cycles::from_secs(5);
+    let spec = SweepSpec {
+        utilizations: vec![0.5],
+        proc_counts: vec![3],
+        seeds: vec![0],
+        knobs: [0.0f64, 0.5, 1.0, 4.0, 16.0]
+            .iter()
+            .map(|&scale| Knobs::named(format!("{scale}x")).with_context_scale(scale))
+            .collect(),
+        workload: WorkloadSpec::Automotive,
+        arrivals: ArrivalSpec::Explicit { arrivals, horizon },
+        master_seed: 0,
+    };
+    let report = run_sweep(&spec, workers);
+    eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
 
     println!("== context-switch cost ablation: 3 processors, 50% utilization ==");
     println!(
         "{:<12} {:>10} {:>8} {:>10} {:>14}",
         "ctx scale", "susan (s)", "misses", "switches", "ctx words"
     );
-
-    for scale in [0.0f64, 0.5, 1.0, 4.0, 16.0] {
-        let table = build_table(n_procs, utilization, &config);
-        let susan = table.aperiodic()[0].id();
-        let outcome = run_prototype(
-            MpdpPolicy::new(table),
-            &arrivals,
-            PrototypeConfig::new(horizon)
-                .with_tick(config.tick)
-                .with_kernel_costs(KernelCosts::default().with_context_scale(scale)),
-        );
-        let response = outcome
-            .trace
-            .mean_response(susan)
-            .map_or(f64::NAN, |c| c.as_secs_f64());
+    for cell in &report.cells {
+        let response = cell
+            .real
+            .aperiodic
+            .finalize()
+            .map_or(f64::NAN, |s| s.mean_s);
         println!(
             "{:<12} {:>10.3} {:>8} {:>10} {:>14}",
-            format!("{scale}x"),
+            cell.knob_label,
             response,
-            outcome.trace.deadline_misses(),
-            outcome.kernel.context_switches,
-            outcome.kernel.context_words
+            cell.real.periodic.misses(),
+            cell.real.switches,
+            cell.real.context_words
         );
     }
     println!();

@@ -7,58 +7,63 @@
 //! bus traffic; a slower tick quantizes promotions so coarsely the offline
 //! analysis loses most of its slack.
 //!
-//! Run with `cargo run --release -p mpdp-bench --bin ablate_tick`.
+//! One `mpdp-sweep` knob per tick; the grid runs in parallel and the output
+//! is deterministic regardless of `--workers`.
+//!
+//! Run with `cargo run --release -p mpdp-bench --bin ablate_tick --
+//! [--workers N]`.
 
-use mpdp_analysis::tool::{prepare, ToolOptions};
-use mpdp_bench::experiment::ExperimentConfig;
-use mpdp_core::policy::MpdpPolicy;
 use mpdp_core::time::Cycles;
-use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
-use mpdp_workload::automotive_task_set;
+use mpdp_sweep::{run_sweep, ArrivalSpec, Knobs, SweepSpec, WorkloadSpec};
 
 fn main() {
-    let base = ExperimentConfig::new();
-    let n_procs = 2;
-    let utilization = 0.5;
+    let args: Vec<String> = std::env::args().collect();
+    let workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--workers takes a count"))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+
+    let tick_ms = [10u64, 50, 100, 200, 500];
+    let spec = SweepSpec {
+        utilizations: vec![0.5],
+        proc_counts: vec![2],
+        seeds: vec![0],
+        // Periods are synthesized on the same grid so every tick choice is
+        // given its best case.
+        knobs: tick_ms
+            .iter()
+            .map(|&ms| Knobs::named(format!("{ms} ms")).with_tick(Cycles::from_millis(ms)))
+            .collect(),
+        workload: WorkloadSpec::Automotive,
+        arrivals: ArrivalSpec::Explicit {
+            arrivals: vec![(Cycles::from_secs(1), 0usize)],
+            horizon: Cycles::from_secs(12),
+        },
+        master_seed: 0,
+    };
+    let report = run_sweep(&spec, workers);
+    eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
 
     println!("== tick-period ablation: 2 processors, 50% utilization ==");
     println!(
         "{:<10} {:>10} {:>8} {:>12} {:>10}",
         "tick", "susan (s)", "misses", "sched passes", "switches"
     );
-
-    for tick_ms in [10u64, 50, 100, 200, 500] {
-        let tick = Cycles::from_millis(tick_ms);
-        // Periods are synthesized on the same grid so every tick choice is
-        // given its best case.
-        let set = automotive_task_set(utilization, n_procs, tick);
-        let table = prepare(
-            set.periodic,
-            set.aperiodic,
-            n_procs,
-            ToolOptions::new()
-                .with_quantization(tick)
-                .with_wcet_margin(base.wcet_margin),
-        )
-        .expect("schedulable at 50%");
-        let susan = table.aperiodic()[0].id();
-        let arrivals = vec![(Cycles::from_secs(1), 0usize)];
-        let outcome = run_prototype(
-            MpdpPolicy::new(table),
-            &arrivals,
-            PrototypeConfig::new(Cycles::from_secs(12)).with_tick(tick),
-        );
-        let response = outcome
-            .trace
-            .mean_response(susan)
-            .map_or(f64::NAN, |c| c.as_secs_f64());
+    for cell in &report.cells {
+        let response = cell
+            .real
+            .aperiodic
+            .finalize()
+            .map_or(f64::NAN, |s| s.mean_s);
         println!(
             "{:<10} {:>10.3} {:>8} {:>12} {:>10}",
-            format!("{tick_ms} ms"),
+            cell.knob_label,
             response,
-            outcome.trace.deadline_misses(),
-            outcome.kernel.sched_passes,
-            outcome.kernel.context_switches
+            cell.real.periodic.misses(),
+            cell.real.sched_passes,
+            cell.real.switches
         );
     }
     println!();

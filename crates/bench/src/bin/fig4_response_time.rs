@@ -4,47 +4,78 @@
 //! architecture is respectively 7%, 8% and 12% slower ... the prototype is
 //! 15%, 22% and 27% slower ... 25% worse than the optimal response time").
 //!
-//! Run with `cargo run --release -p mpdp-bench --bin fig4_response_time`.
+//! The grid runs through the `mpdp-sweep` engine, so `--workers N`
+//! parallelizes it without changing a single output byte, and `--seeds K`
+//! turns the figure into a K-seed Monte Carlo (randomized arrival phases)
+//! with aggregate percentile curves.
+//!
+//! Run with `cargo run --release -p mpdp-bench --bin fig4_response_time --
+//! [--workers N] [--seeds K] [--csv out.csv] [--json out.json]`.
 
-use mpdp_bench::experiment::{fig4_sweep, ExperimentConfig};
+use mpdp_bench::experiment::{fig4_spec, ExperimentConfig};
+use mpdp_sweep::{cells_csv, group_summaries, report_json, run_sweep, ArrivalSpec};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
 fn main() {
-    // Optional: `fig4_response_time --csv out.csv` also writes the grid as
-    // CSV for external plotting.
     let args: Vec<String> = std::env::args().collect();
-    let csv_path = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let csv_path = flag_value(&args, "--csv");
+    let json_path = flag_value(&args, "--json");
+    let workers: usize = flag_value(&args, "--workers")
+        .map(|v| v.parse().expect("--workers takes a count"))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let seeds: usize = flag_value(&args, "--seeds")
+        .map(|v| v.parse().expect("--seeds takes a count"))
+        .unwrap_or(1);
+
     let config = ExperimentConfig::new();
+    let mut spec = fig4_spec(&config);
+    if seeds > 1 {
+        // Monte Carlo mode: per-seed arrival phases drawn from each cell's
+        // RNG stream instead of the pinned classic schedule.
+        spec.arrivals = ArrivalSpec::Bursts {
+            activations: config.activations,
+            gap: config.activation_gap,
+        };
+        spec.seeds = (0..seeds as u64).collect();
+    }
     eprintln!(
-        "figure 4: mean response of susan-large (aperiodic), {} activations per cell ...",
-        config.activations
+        "figure 4: mean response of susan-large (aperiodic), {} activations per cell, {} cells over {workers} worker(s) ...",
+        config.activations,
+        spec.cell_count()
     );
-    let points = fig4_sweep(&config);
+    let report = run_sweep(&spec, workers);
+    eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
+    let groups = group_summaries(&report);
 
     println!("== Figure 4: aperiodic response time (seconds) ==");
     println!(
         "{:<6} {:>10} {:>12} {:>8} {:>8}",
         "arch", "util", "series", "resp", "misses"
     );
-    for p in &points {
+    for g in &groups {
+        let theo = g.theoretical.finalize().expect("susan completes");
+        let real = g.real.finalize().expect("susan completes");
         println!(
             "{:<6} {:>9.0}% {:>12} {:>8.3} {:>8}",
-            format!("{}P", p.n_procs),
-            p.utilization * 100.0,
+            format!("{}P", g.n_procs),
+            g.utilization * 100.0,
             "theoretical",
-            p.theoretical_s,
+            theo.mean_s,
             "-"
         );
         println!(
             "{:<6} {:>9.0}% {:>12} {:>8.3} {:>8}",
-            format!("{}P", p.n_procs),
-            p.utilization * 100.0,
+            format!("{}P", g.n_procs),
+            g.utilization * 100.0,
             "real",
-            p.real_s,
-            p.misses
+            real.mean_s,
+            g.periodic.misses()
         );
     }
 
@@ -55,14 +86,21 @@ fn main() {
         print!(" {u:>7}%");
     }
     println!();
+    let group_at = |m: usize, u: f64| {
+        groups
+            .iter()
+            .find(|g| g.n_procs == m && (g.utilization - u).abs() < 1e-9)
+            .expect("sweep covers every cell")
+    };
     for m in [2usize, 3, 4] {
         print!("{:<6}", format!("{m}P"));
         for u in [0.4, 0.5, 0.6] {
-            let p = points
-                .iter()
-                .find(|p| p.n_procs == m && (p.utilization - u).abs() < 1e-9)
-                .expect("sweep covers every cell");
-            print!(" {:>7.1}%", p.slowdown_pct());
+            print!(
+                " {:>7.1}%",
+                group_at(m, u)
+                    .slowdown_pct()
+                    .expect("both stacks completed")
+            );
         }
         println!();
     }
@@ -70,32 +108,13 @@ fn main() {
     println!();
     println!("== bar series (for plotting; matches the paper's x-axis grouping) ==");
     for u in [0.4, 0.5, 0.6] {
-        let theo: Vec<String> = [2usize, 3, 4]
-            .iter()
-            .map(|&m| {
-                format!(
-                    "{:.3}",
-                    points
-                        .iter()
-                        .find(|p| p.n_procs == m && (p.utilization - u).abs() < 1e-9)
-                        .expect("cell")
-                        .theoretical_s
-                )
-            })
-            .collect();
-        let real: Vec<String> = [2usize, 3, 4]
-            .iter()
-            .map(|&m| {
-                format!(
-                    "{:.3}",
-                    points
-                        .iter()
-                        .find(|p| p.n_procs == m && (p.utilization - u).abs() < 1e-9)
-                        .expect("cell")
-                        .real_s
-                )
-            })
-            .collect();
+        let mean = |m: usize, real: bool| {
+            let g = group_at(m, u);
+            let acc = if real { &g.real } else { &g.theoretical };
+            format!("{:.3}", acc.finalize().expect("completions").mean_s)
+        };
+        let theo: Vec<String> = [2usize, 3, 4].iter().map(|&m| mean(m, false)).collect();
+        let real: Vec<String> = [2usize, 3, 4].iter().map(|&m| mean(m, true)).collect();
         println!(
             "{:>2.0}%  2P/3P/4P theoretical: {}   real: {}",
             u * 100.0,
@@ -104,21 +123,47 @@ fn main() {
         );
     }
 
-    if let Some(path) = csv_path {
-        let mut csv =
-            String::from("n_procs,utilization,theoretical_s,real_s,slowdown_pct,misses\n");
-        for p in &points {
-            csv.push_str(&format!(
-                "{},{:.2},{:.6},{:.6},{:.3},{}\n",
-                p.n_procs,
-                p.utilization,
-                p.theoretical_s,
-                p.real_s,
-                p.slowdown_pct(),
-                p.misses
-            ));
+    if seeds > 1 {
+        println!();
+        println!("== Monte Carlo percentile curve: real susan response (s), {seeds} seeds ==");
+        println!(
+            "{:<6} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "arch", "util", "p25", "p50", "p75", "p90", "p95", "p99"
+        );
+        for g in &groups {
+            let curve = g
+                .real
+                .percentiles(&mpdp_sweep::report::CURVE_QS)
+                .expect("samples");
+            print!(
+                "{:<6} {:>5.0}%",
+                format!("{}P", g.n_procs),
+                g.utilization * 100.0
+            );
+            for v in curve {
+                print!(" {v:>9.3}");
+            }
+            println!();
         }
-        std::fs::write(&path, csv).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+
+    // Per-point misses sanity line, as in the paper ("no periodic deadline
+    // is ever missed in the tested configurations").
+    let total_misses: usize = report.cells.iter().map(|c| c.real.periodic.misses()).sum();
+    println!();
+    println!(
+        "total periodic deadline misses across {} cells: {total_misses}",
+        report.cells.len()
+    );
+
+    if let Some(path) = csv_path {
+        std::fs::write(&path, cells_csv(&report))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, report_json(&report))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
     }
 }

@@ -9,11 +9,11 @@
 //! and contention overheads with a WCET margin.
 
 use mpdp_analysis::tool::{prepare, ToolOptions};
-use mpdp_core::policy::MpdpPolicy;
 use mpdp_core::task::TaskTable;
 use mpdp_core::time::{Cycles, DEFAULT_TICK};
-use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
-use mpdp_sim::theoretical::{run_theoretical, TheoreticalConfig};
+use mpdp_sweep::{
+    run_sweep, ArrivalSpec, CellResult, Knobs, PolicyKind, SweepReport, SweepSpec, WorkloadSpec,
+};
 use mpdp_workload::automotive_task_set;
 
 /// Knobs of the Figure 4 experiment.
@@ -119,61 +119,93 @@ pub fn arrival_schedule(config: &ExperimentConfig) -> Vec<(Cycles, usize)> {
         .collect()
 }
 
-/// Runs one cell of Figure 4 on both stacks.
+/// The sweep-engine knob setting equivalent to an [`ExperimentConfig`].
+pub fn knobs_of(config: &ExperimentConfig) -> Knobs {
+    Knobs {
+        label: "paper".to_string(),
+        tick: config.tick,
+        theoretical_overhead: config.theoretical_overhead,
+        wcet_margin: config.wcet_margin,
+        context_scale: 1.0,
+        policy: PolicyKind::Mpdp,
+    }
+}
+
+/// The declarative Figure 4 sweep: 2–4 processors × 40/50/60% utilization,
+/// automotive workload, with the classic deterministic arrival schedule
+/// pinned explicitly so the figure's numbers do not depend on RNG plumbing.
+pub fn fig4_spec(config: &ExperimentConfig) -> SweepSpec {
+    let arrivals = arrival_schedule(config);
+    let horizon = arrivals.last().expect("at least one activation").0
+        + config.activation_gap
+        + Cycles::from_secs(5);
+    SweepSpec {
+        utilizations: vec![0.4, 0.5, 0.6],
+        proc_counts: vec![2, 3, 4],
+        seeds: vec![0],
+        knobs: vec![knobs_of(config)],
+        workload: WorkloadSpec::Automotive,
+        arrivals: ArrivalSpec::Explicit { arrivals, horizon },
+        master_seed: 0,
+    }
+}
+
+/// Converts one sweep cell into the Figure 4 point shape.
+///
+/// # Panics
+///
+/// Panics if either stack recorded no aperiodic completion (the Figure 4
+/// horizon is sized so this cannot happen).
+pub fn point_from_cell(cell: &CellResult) -> Fig4Point {
+    Fig4Point {
+        n_procs: cell.cell.n_procs,
+        utilization: cell.cell.utilization,
+        theoretical_s: cell
+            .theoretical
+            .aperiodic
+            .finalize()
+            .expect("susan completes in the theoretical run")
+            .mean_s,
+        real_s: cell
+            .real
+            .aperiodic
+            .finalize()
+            .expect("susan completes on the prototype")
+            .mean_s,
+        misses: cell.real.periodic.misses(),
+    }
+}
+
+/// Runs one cell of Figure 4 on both stacks, through the sweep engine.
 ///
 /// # Panics
 ///
 /// Panics if the aperiodic task never completes within the horizon (the
 /// horizon is sized to fit every activation).
 pub fn fig4_point(n_procs: usize, utilization: f64, config: &ExperimentConfig) -> Fig4Point {
-    let table = build_table(n_procs, utilization, config);
-    let susan = table.aperiodic()[0].id();
-    let arrivals = arrival_schedule(config);
-    let horizon = arrivals.last().expect("at least one activation").0
-        + config.activation_gap
-        + Cycles::from_secs(5);
-
-    let theo = run_theoretical(
-        MpdpPolicy::new(table.clone()),
-        &arrivals,
-        TheoreticalConfig::new(horizon)
-            .with_tick(config.tick)
-            .with_overhead(config.theoretical_overhead),
-    );
-    let real = run_prototype(
-        MpdpPolicy::new(table),
-        &arrivals,
-        PrototypeConfig::new(horizon).with_tick(config.tick),
-    );
-
-    let theoretical_s = theo
-        .trace
-        .mean_response(susan)
-        .expect("susan completes in the theoretical run")
-        .as_secs_f64();
-    let real_s = real
-        .trace
-        .mean_response(susan)
-        .expect("susan completes on the prototype")
-        .as_secs_f64();
-    Fig4Point {
-        n_procs,
-        utilization,
-        theoretical_s,
-        real_s,
-        misses: real.trace.deadline_misses(),
-    }
+    let mut spec = fig4_spec(config);
+    spec.proc_counts = vec![n_procs];
+    spec.utilizations = vec![utilization];
+    let report = run_sweep(&spec, 1);
+    point_from_cell(&report.cells[0])
 }
 
-/// The full Figure 4 sweep: 2–4 processors × 40/50/60% utilization.
+/// Runs the full Figure 4 grid through the sweep engine over `workers`
+/// threads and returns the raw report (cells in canonical order).
+pub fn fig4_report(config: &ExperimentConfig, workers: usize) -> SweepReport {
+    run_sweep(&fig4_spec(config), workers)
+}
+
+/// The full Figure 4 sweep: 2–4 processors × 40/50/60% utilization,
+/// parallelized over the machine's cores (deterministic regardless — see
+/// the `mpdp_sweep` determinism contract).
 pub fn fig4_sweep(config: &ExperimentConfig) -> Vec<Fig4Point> {
-    let mut out = Vec::new();
-    for n_procs in [2usize, 3, 4] {
-        for utilization in [0.4, 0.5, 0.6] {
-            out.push(fig4_point(n_procs, utilization, config));
-        }
-    }
-    out
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    fig4_report(config, workers)
+        .cells
+        .iter()
+        .map(point_from_cell)
+        .collect()
 }
 
 #[cfg(test)]

@@ -18,4 +18,7 @@
 
 pub mod experiment;
 
-pub use experiment::{fig4_point, fig4_sweep, ExperimentConfig, Fig4Point};
+pub use experiment::{
+    fig4_point, fig4_report, fig4_spec, fig4_sweep, knobs_of, point_from_cell, ExperimentConfig,
+    Fig4Point,
+};

@@ -157,3 +157,78 @@ proptest! {
         prop_assert_eq!(cache.stats().accesses(), 20_000);
     }
 }
+
+// Pinned counterexamples from `prop_hw.proptest-regressions`, replayed as
+// plain tests with the shrunk inputs recorded in that file's comments. Both
+// historical failures were resolved by *scoping the properties to the
+// light-load regime* (the analytic model deliberately keeps open-system
+// saturation behaviour past capacity), so these tests pin two things: the
+// inputs really are outside the guaranteed regime, and the unconditional
+// physical invariants still hold there.
+
+/// `cc 5ba52f97… # shrinks to n = 4, rate = 0.031507251430505125`
+/// (from `analytic_model_brackets_arbiter`).
+#[test]
+fn regression_bracket_input_is_saturated_but_physical() {
+    let n = 4usize;
+    let rate = 0.031507251430505125f64;
+    let model = ContentionModel::new();
+    let rates = vec![rate; n];
+    // The bracketing property only claims the light-load regime; this input
+    // oversubscribes the bus, which is why the strategy now stops at 0.02.
+    let offered: f64 = rates.iter().map(|a| a * model.service()).sum();
+    assert!(
+        offered > 1.0,
+        "historical counterexample should oversubscribe the bus, offered {offered}"
+    );
+    // The unconditional invariants must still hold at saturation.
+    let speeds = model.speeds(&rates);
+    assert_eq!(speeds.len(), n);
+    for &x in &speeds {
+        assert!(x > 0.0 && x <= 1.0, "speed {x} out of range");
+    }
+    assert!(model.utilization(&rates) <= 1.0 + 1e-6);
+}
+
+/// `cc ee7ba465… # shrinks to rates = […], extra = 0.01645…`
+/// (from `contention_is_monotone_in_load`).
+#[test]
+fn regression_monotonicity_input_is_past_capacity_but_physical() {
+    let rates = [
+        0.055844458148511786,
+        0.001,
+        0.025043226260558007,
+        0.04166474706067694,
+        0.03739277743236999,
+    ];
+    let extra = 0.01645096892564636;
+    let model = ContentionModel::new();
+    // Per-processor monotonicity is only promised below 90% offered load;
+    // this input sits beyond it (capacity normalization redistributes
+    // bandwidth there), which is what the property's prop_assume encodes.
+    let offered: f64 = rates
+        .iter()
+        .chain([&extra])
+        .map(|a| a * model.service())
+        .sum();
+    assert!(
+        offered >= 0.9,
+        "historical counterexample should exceed the sub-capacity bound, offered {offered}"
+    );
+    // Physical bounds hold before and after adding the competitor.
+    let before = model.speeds(&rates);
+    let mut more = rates.to_vec();
+    more.push(extra);
+    let after = model.speeds(&more);
+    for &x in before.iter().chain(&after) {
+        assert!(x > 0.0 && x <= 1.0, "speed {x} out of range");
+    }
+    // And the *aggregate* never speeds up: total delivered work cannot grow
+    // when a competitor joins, even past saturation.
+    let total_before: f64 = before.iter().sum();
+    let total_after: f64 = after.iter().take(before.len()).sum();
+    assert!(
+        total_after <= total_before + 1e-9,
+        "aggregate sped up: {total_before} -> {total_after}"
+    );
+}

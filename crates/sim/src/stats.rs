@@ -5,7 +5,7 @@
 use mpdp_core::ids::{ProcId, TaskId};
 use mpdp_core::time::Cycles;
 
-use crate::trace::{SegmentKind, Trace};
+use crate::trace::{CompletionRecord, SegmentKind, Trace};
 
 /// Distribution summary of a set of response times.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,31 +24,144 @@ pub struct ResponseStats {
     pub max_s: f64,
 }
 
+/// Mergeable response-time accumulator.
+///
+/// Samples are kept as raw [`Cycles`] and only sorted/converted at
+/// [`finalize`](Self::finalize), so accumulation is **exact** and
+/// **order-independent**: merging per-cell accumulators from a parallel
+/// sweep yields bit-identical statistics to a sequential pass over the
+/// concatenated completions, regardless of merge order. (Summing seconds as
+/// they arrive would not — f64 addition is not associative.)
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResponseAccumulator {
+    /// Raw response samples, in cycles, in arrival order.
+    responses: Vec<u64>,
+    /// Hard-deadline completions observed.
+    hard: usize,
+    /// Hard-deadline completions that missed.
+    missed: usize,
+}
+
+impl ResponseAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one response sample with no deadline bookkeeping.
+    pub fn observe(&mut self, response: Cycles) {
+        self.responses.push(response.as_u64());
+    }
+
+    /// Records one completion, including hard-deadline bookkeeping.
+    pub fn observe_completion(&mut self, c: &CompletionRecord) {
+        self.responses.push(c.response.as_u64());
+        if c.deadline.is_some() {
+            self.hard += 1;
+            if !c.met {
+                self.missed += 1;
+            }
+        }
+    }
+
+    /// Records every completion of `task` in `trace`.
+    pub fn observe_task(&mut self, trace: &Trace, task: TaskId) {
+        for c in trace.completions_of(task) {
+            self.observe_completion(c);
+        }
+    }
+
+    /// Records every completion in `trace`.
+    pub fn observe_trace(&mut self, trace: &Trace) {
+        for c in &trace.completions {
+            self.observe_completion(c);
+        }
+    }
+
+    /// Absorbs another accumulator.
+    pub fn merge(&mut self, other: &Self) {
+        self.responses.extend_from_slice(&other.responses);
+        self.hard += other.hard;
+        self.missed += other.missed;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.responses.is_empty()
+    }
+
+    /// Hard-deadline completions that missed, out of those observed.
+    pub fn misses(&self) -> usize {
+        self.missed
+    }
+
+    /// Hard-deadline miss ratio over the observed completions.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.hard == 0 {
+            0.0
+        } else {
+            self.missed as f64 / self.hard as f64
+        }
+    }
+
+    /// Evaluates the response distribution at each quantile in `qs` (each in
+    /// `[0, 1]`), in seconds; `None` when empty. Uses the same nearest-rank
+    /// rule as [`finalize`](Self::finalize), sorting once.
+    pub fn percentiles(&self, qs: &[f64]) -> Option<Vec<f64>> {
+        if self.responses.is_empty() {
+            return None;
+        }
+        let mut sorted = self.responses.clone();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        Some(
+            qs.iter()
+                .map(|q| {
+                    let idx = ((count as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+                    Cycles::new(sorted[idx]).as_secs_f64()
+                })
+                .collect(),
+        )
+    }
+
+    /// Sorts the samples and computes the distribution summary, `None` when
+    /// empty. The mean is accumulated in integer cycles (u128) and divided
+    /// once, so it too is independent of sample order.
+    pub fn finalize(&self) -> Option<ResponseStats> {
+        if self.responses.is_empty() {
+            return None;
+        }
+        let mut sorted = self.responses.clone();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&r| u128::from(r)).sum();
+        let mean_s = (sum as f64 / count as f64) / mpdp_core::time::CLOCK_HZ as f64;
+        let pct = |q: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * q).round() as usize;
+            Cycles::new(sorted[idx]).as_secs_f64()
+        };
+        Some(ResponseStats {
+            count,
+            min_s: Cycles::new(sorted[0]).as_secs_f64(),
+            mean_s,
+            p50_s: pct(0.50),
+            p95_s: pct(0.95),
+            max_s: Cycles::new(sorted[count - 1]).as_secs_f64(),
+        })
+    }
+}
+
 /// Computes the response distribution of one task's completions, `None` if
 /// it never completed.
 pub fn response_stats(trace: &Trace, task: TaskId) -> Option<ResponseStats> {
-    let mut responses: Vec<f64> = trace
-        .completions_of(task)
-        .map(|c| c.response.as_secs_f64())
-        .collect();
-    if responses.is_empty() {
-        return None;
-    }
-    responses.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let count = responses.len();
-    let mean_s = responses.iter().sum::<f64>() / count as f64;
-    let pct = |q: f64| -> f64 {
-        let idx = ((count as f64 - 1.0) * q).round() as usize;
-        responses[idx]
-    };
-    Some(ResponseStats {
-        count,
-        min_s: responses[0],
-        mean_s,
-        p50_s: pct(0.50),
-        p95_s: pct(0.95),
-        max_s: responses[count - 1],
-    })
+    let mut acc = ResponseAccumulator::new();
+    acc.observe_task(trace, task);
+    acc.finalize()
 }
 
 /// How one processor spent a window (requires segment recording).
@@ -201,6 +314,45 @@ mod tests {
         assert!((breakdown.overhead_fraction(window) - 0.15).abs() < 1e-12);
         // Untouched processor is fully idle.
         assert_eq!(proc_breakdowns(&trace, 2, window)[1].idle, window);
+    }
+
+    #[test]
+    fn accumulator_matches_direct_stats_and_merges() {
+        let mut trace = Trace::new();
+        for (i, resp) in [100u64, 200, 300, 400, 1000].iter().enumerate() {
+            push_completion(&mut trace, i as u32, 0, *resp, None);
+        }
+        let direct = response_stats(&trace, TaskId::new(1)).expect("completions");
+
+        // Split the same samples across two accumulators and merge.
+        let mut left = ResponseAccumulator::new();
+        let mut right = ResponseAccumulator::new();
+        for (i, c) in trace.completions.iter().enumerate() {
+            if i % 2 == 0 {
+                left.observe_completion(c);
+            } else {
+                right.observe_completion(c);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.len(), 5);
+        assert_eq!(left.finalize().expect("samples"), direct);
+        assert!(ResponseAccumulator::new().finalize().is_none());
+        assert!(ResponseAccumulator::new().is_empty());
+    }
+
+    #[test]
+    fn accumulator_miss_bookkeeping() {
+        let mut trace = Trace::new();
+        push_completion(&mut trace, 0, 0, 50, Some(100)); // met
+        push_completion(&mut trace, 1, 0, 150, Some(100)); // missed
+        push_completion(&mut trace, 2, 0, 9999, None); // soft
+        let mut acc = ResponseAccumulator::new();
+        acc.observe_trace(&trace);
+        assert_eq!(acc.len(), 3);
+        assert_eq!(acc.misses(), 1);
+        assert!((acc.miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(ResponseAccumulator::new().miss_ratio(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Property tests for the mergeable statistics accumulators — the
+//! correctness contract the parallel sweep engine leans on: merging
+//! per-cell accumulators must be indistinguishable from one sequential
+//! pass, in any merge order.
+
+use proptest::prelude::*;
+
+use mpdp_core::time::Cycles;
+use mpdp_sim::stats::ResponseAccumulator;
+
+fn accumulate(samples: &[u64]) -> ResponseAccumulator {
+    let mut acc = ResponseAccumulator::new();
+    for &s in samples {
+        acc.observe(Cycles::new(s));
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging accumulators over a partition of the samples finalizes to
+    /// exactly the stats of one accumulator over the concatenation.
+    #[test]
+    fn merge_equals_recompute(
+        samples in prop::collection::vec(0u64..500_000_000, 1..200),
+        split in 0usize..200,
+    ) {
+        let cut = split.min(samples.len());
+        let mut merged = accumulate(&samples[..cut]);
+        merged.merge(&accumulate(&samples[cut..]));
+        let whole = accumulate(&samples);
+        prop_assert_eq!(merged.len(), whole.len());
+        // Bit-identical, not approximately equal: the accumulator works in
+        // integer cycles until finalize.
+        prop_assert_eq!(merged.finalize(), whole.finalize());
+    }
+
+    /// Merge order does not matter: left.merge(right) and
+    /// right.merge(left) finalize identically.
+    #[test]
+    fn merge_is_order_independent(
+        a in prop::collection::vec(0u64..500_000_000, 0..100),
+        b in prop::collection::vec(0u64..500_000_000, 0..100),
+        c in prop::collection::vec(0u64..500_000_000, 0..100),
+    ) {
+        let mut forward = accumulate(&a);
+        forward.merge(&accumulate(&b));
+        forward.merge(&accumulate(&c));
+        let mut backward = accumulate(&c);
+        backward.merge(&accumulate(&b));
+        backward.merge(&accumulate(&a));
+        prop_assert_eq!(forward.finalize(), backward.finalize());
+    }
+
+    /// Quantiles are monotone and bracketed: min ≤ p50 ≤ p95 ≤ max, and the
+    /// mean lies within [min, max].
+    #[test]
+    fn quantiles_are_monotone(samples in prop::collection::vec(0u64..500_000_000, 1..300)) {
+        let stats = accumulate(&samples).finalize().expect("non-empty");
+        prop_assert_eq!(stats.count, samples.len());
+        prop_assert!(stats.min_s <= stats.p50_s);
+        prop_assert!(stats.p50_s <= stats.p95_s);
+        prop_assert!(stats.p95_s <= stats.max_s);
+        prop_assert!(stats.min_s <= stats.mean_s && stats.mean_s <= stats.max_s);
+    }
+
+    /// The sample order fed into ONE accumulator doesn't matter either:
+    /// observing a reversed stream finalizes identically.
+    #[test]
+    fn observation_order_is_irrelevant(samples in prop::collection::vec(0u64..500_000_000, 1..200)) {
+        let forward = accumulate(&samples);
+        let reversed: Vec<u64> = samples.iter().rev().copied().collect();
+        prop_assert_eq!(forward.finalize(), accumulate(&reversed).finalize());
+    }
+}

@@ -1,0 +1,41 @@
+//! # mpdp-sweep — deterministic parallel scenario sweeps
+//!
+//! A batch-simulation engine for Monte Carlo and ablation studies over the
+//! MPDP simulator stacks. A declarative [`SweepSpec`] names a grid —
+//! utilizations × processor counts × RNG seeds × configuration
+//! [`Knobs`] — and [`run_sweep`] fans its cells over a scoped-thread
+//! worker pool, runs **both** the theoretical simulator and the prototype
+//! stack per cell, and merges the per-cell statistics into an aggregate
+//! report with percentile curves and byte-stable CSV/JSON exports.
+//!
+//! ## Determinism contract
+//!
+//! Running the same spec with one worker or N workers produces
+//! byte-identical exports. Each cell's RNG stream is derived from
+//! `(master_seed, cell index, seed coordinate)`; no mutable state is
+//! shared between cells; aggregation folds results in cell-index order and
+//! keeps statistics in integer cycles until formatting (see
+//! `mpdp_sim::stats::ResponseAccumulator`). Wall-clock time is reported to
+//! the caller but never exported.
+//!
+//! ```
+//! use mpdp_sweep::{run_sweep, SweepSpec};
+//!
+//! let mut spec = SweepSpec::figure4();
+//! spec.proc_counts = vec![2];
+//! spec.utilizations = vec![0.4];
+//! let report = run_sweep(&spec, 2);
+//! assert_eq!(report.cells.len(), 1);
+//! assert!(report.cells[0].slowdown_pct().expect("both stacks ran") > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod report;
+pub mod spec;
+
+pub use engine::{run_cell, run_sweep, CellResult, StackResult, SweepReport};
+pub use report::{cells_csv, find_cell, group_summaries, report_json, summary_csv, GroupSummary};
+pub use spec::{ArrivalSpec, CellSpec, Knobs, PolicyKind, SweepSpec, WorkloadSpec};

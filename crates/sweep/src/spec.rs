@@ -1,0 +1,311 @@
+//! Declarative sweep specifications: the full cross product of utilization
+//! grid × processor counts × RNG seeds × configuration knobs, enumerated in
+//! a fixed row-major order so every cell has a stable index.
+//!
+//! The cell index is load-bearing: each cell's RNG stream is derived from
+//! `(master_seed, cell index)` (plus the cell's own seed coordinate), so a
+//! cell's inputs — and therefore its results — depend only on the spec,
+//! never on which worker thread happens to execute it.
+
+use mpdp_core::time::{Cycles, DEFAULT_TICK};
+
+/// Scheduling policy to analyze the task set under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Dual priority with offline promotion analysis (the paper's system).
+    Mpdp,
+    /// Partitioned fixed priority, aperiodics served in background idle.
+    Background,
+    /// Aperiodics at top priority, unconditionally.
+    AperiodicFirst,
+}
+
+impl PolicyKind {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Mpdp => "mpdp",
+            PolicyKind::Background => "background",
+            PolicyKind::AperiodicFirst => "aperiodic-first",
+        }
+    }
+}
+
+/// One knob setting: everything about a cell that is not a grid coordinate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knobs {
+    /// Label used in reports and exports (must be unique within a spec).
+    pub label: String,
+    /// Scheduler tick (paper: 0.1 s).
+    pub tick: Cycles,
+    /// Theoretical-simulator overhead fraction (paper: 2%).
+    pub theoretical_overhead: f64,
+    /// Offline-analysis WCET margin on the prototype.
+    pub wcet_margin: f64,
+    /// Context-size scale for the prototype's switch-cost model (1.0 =
+    /// measured size).
+    pub context_scale: f64,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            label: "paper".to_string(),
+            tick: DEFAULT_TICK,
+            theoretical_overhead: 0.02,
+            wcet_margin: 1.15,
+            context_scale: 1.0,
+            policy: PolicyKind::Mpdp,
+        }
+    }
+}
+
+impl Knobs {
+    /// The paper's configuration under the given label.
+    pub fn named(label: impl Into<String>) -> Self {
+        Knobs {
+            label: label.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the scheduler tick.
+    pub fn with_tick(mut self, tick: Cycles) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Sets the context-size scale.
+    pub fn with_context_scale(mut self, scale: f64) -> Self {
+        self.context_scale = scale;
+        self
+    }
+
+    /// Sets the WCET margin.
+    pub fn with_wcet_margin(mut self, margin: f64) -> Self {
+        self.wcet_margin = margin;
+        self
+    }
+
+    /// Sets the policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Which task set a cell simulates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// The paper's 18-task MiBench automotive set plus `susan`-large,
+    /// periods synthesized for the cell's utilization. Deterministic given
+    /// the grid coordinates; seeds only vary the arrival stream.
+    Automotive,
+    /// UUniFast-synthesized periodic sets (Monte Carlo mode): `tasks` per
+    /// processor, plus one aperiodic task of `aperiodic_exec` execution
+    /// time. The set itself is drawn from the cell's RNG stream.
+    Random {
+        /// Periodic tasks per processor.
+        tasks: usize,
+        /// Aperiodic execution time.
+        aperiodic_exec: Cycles,
+    },
+}
+
+/// How aperiodic arrivals are generated for a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSpec {
+    /// The paper's one-at-a-time setup: `activations` triggers of aperiodic
+    /// task 0, spaced `gap` apart starting at 1 s, each with a sub-tick
+    /// phase jitter drawn from the cell's RNG stream.
+    Bursts {
+        /// Number of activations.
+        activations: usize,
+        /// Spacing (must exceed the worst response).
+        gap: Cycles,
+    },
+    /// A Poisson stream of mean inter-arrival `mean_gap` over `[0, window)`.
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean_gap: Cycles,
+        /// Arrival window; the simulation horizon extends past it to let
+        /// late arrivals complete.
+        window: Cycles,
+    },
+    /// A fixed, caller-provided schedule `(instant, aperiodic index)` used
+    /// verbatim in every cell (seeds then only matter for `Random`
+    /// workloads). Must be sorted by instant.
+    Explicit {
+        /// The arrival schedule.
+        arrivals: Vec<(Cycles, usize)>,
+        /// Simulation horizon.
+        horizon: Cycles,
+    },
+}
+
+/// A declarative sweep: the grid, the knobs, and the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Target system utilizations (fraction of total capacity).
+    pub utilizations: Vec<f64>,
+    /// Processor counts.
+    pub proc_counts: Vec<usize>,
+    /// Seed coordinates — one cell per seed per grid point. Each is mixed
+    /// with `master_seed` and the cell index into the cell's RNG stream.
+    pub seeds: Vec<u64>,
+    /// Knob settings (each multiplies the grid).
+    pub knobs: Vec<Knobs>,
+    /// Task-set source.
+    pub workload: WorkloadSpec,
+    /// Arrival-stream source.
+    pub arrivals: ArrivalSpec,
+    /// Root of every cell's RNG derivation.
+    pub master_seed: u64,
+}
+
+impl SweepSpec {
+    /// The paper's Figure 4 grid: 2–4 processors × 40/50/60% utilization,
+    /// automotive workload, paper knobs, one seed.
+    pub fn figure4() -> Self {
+        SweepSpec {
+            utilizations: vec![0.4, 0.5, 0.6],
+            proc_counts: vec![2, 3, 4],
+            seeds: vec![0],
+            knobs: vec![Knobs::default()],
+            workload: WorkloadSpec::Automotive,
+            arrivals: ArrivalSpec::Bursts {
+                activations: 4,
+                gap: Cycles::from_secs(12),
+            },
+            master_seed: 0,
+        }
+    }
+
+    /// Sets the seed coordinates to `0..n`.
+    pub fn with_seed_count(mut self, n: usize) -> Self {
+        self.seeds = (0..n as u64).collect();
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_master_seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Number of cells in the cross product.
+    pub fn cell_count(&self) -> usize {
+        self.knobs.len() * self.proc_counts.len() * self.utilizations.len() * self.seeds.len()
+    }
+
+    /// Enumerates every cell in the canonical order: knobs outermost, then
+    /// processor counts, utilizations, and seeds innermost. The returned
+    /// order (and each cell's `index`) is part of the determinism contract —
+    /// exports list cells in exactly this order regardless of worker count.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::with_capacity(self.cell_count());
+        for (knob_index, _) in self.knobs.iter().enumerate() {
+            for &n_procs in &self.proc_counts {
+                for &utilization in &self.utilizations {
+                    for &seed in &self.seeds {
+                        out.push(CellSpec {
+                            index: out.len(),
+                            knob_index,
+                            n_procs,
+                            utilization,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The RNG stream seed for one cell: a SplitMix64-style mix of the
+    /// master seed, the cell index, and the cell's seed coordinate.
+    pub fn cell_stream(&self, cell: &CellSpec) -> u64 {
+        mix(mix(self.master_seed, cell.index as u64), cell.seed)
+    }
+}
+
+/// One point of the cross product.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Position in the canonical enumeration order.
+    pub index: usize,
+    /// Index into [`SweepSpec::knobs`].
+    pub knob_index: usize,
+    /// Processor count.
+    pub n_procs: usize,
+    /// Target system utilization.
+    pub utilization: f64,
+    /// Seed coordinate.
+    pub seed: u64,
+}
+
+/// SplitMix64 finalizer over `seed ⊕ γ·index` — the same mixing family the
+/// vendored `StdRng::seed_from_u64` uses, so nearby cell indices yield
+/// statistically independent streams.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_row_major_and_indexed() {
+        let spec = SweepSpec::figure4().with_seed_count(2);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), spec.cell_count());
+        assert_eq!(cells.len(), 18);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Seeds vary fastest, then utilizations, then processor counts.
+        assert_eq!(
+            (cells[0].n_procs, cells[0].utilization, cells[0].seed),
+            (2, 0.4, 0)
+        );
+        assert_eq!(
+            (cells[1].n_procs, cells[1].utilization, cells[1].seed),
+            (2, 0.4, 1)
+        );
+        assert_eq!(
+            (cells[2].n_procs, cells[2].utilization, cells[2].seed),
+            (2, 0.5, 0)
+        );
+        assert_eq!(cells[17].n_procs, 4);
+    }
+
+    #[test]
+    fn cell_streams_are_distinct_and_stable() {
+        let spec = SweepSpec::figure4().with_seed_count(4);
+        let cells = spec.cells();
+        let streams: Vec<u64> = cells.iter().map(|c| spec.cell_stream(c)).collect();
+        let mut unique = streams.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), streams.len(), "stream collision");
+        // Stable across identical spec constructions.
+        let again = SweepSpec::figure4().with_seed_count(4);
+        assert_eq!(
+            streams,
+            again
+                .cells()
+                .iter()
+                .map(|c| again.cell_stream(c))
+                .collect::<Vec<_>>()
+        );
+        // And sensitive to the master seed.
+        let other = spec.clone().with_master_seed(1);
+        assert_ne!(streams[0], other.cell_stream(&other.cells()[0]));
+    }
+}

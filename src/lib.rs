@@ -4,7 +4,8 @@
 //! (`core`), the FPGA-platform behavioural models (`hw`), the multiprocessor
 //! interrupt controller (`intc`), the dual-priority microkernel (`kernel`),
 //! the two simulators the paper compares (`sim`), the MiBench automotive
-//! workload (`workload`), and the offline analysis tool (`analysis`).
+//! workload (`workload`), the offline analysis tool (`analysis`), and the
+//! deterministic parallel scenario-sweep engine (`sweep`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-reproduction results.
@@ -45,4 +46,5 @@ pub use mpdp_hw as hw;
 pub use mpdp_intc as intc;
 pub use mpdp_kernel as kernel;
 pub use mpdp_sim as sim;
+pub use mpdp_sweep as sweep;
 pub use mpdp_workload as workload;

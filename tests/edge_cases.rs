@@ -27,10 +27,7 @@ fn aperiodic_only_system_serves_on_demand() {
         2,
     )
     .expect("valid");
-    let arrivals = vec![
-        (DEFAULT_TICK * 3, 0usize),
-        (DEFAULT_TICK * 7, 0usize),
-    ];
+    let arrivals = vec![(DEFAULT_TICK * 3, 0usize), (DEFAULT_TICK * 7, 0usize)];
     for response in [
         {
             let out = run_theoretical(
@@ -117,7 +114,11 @@ fn back_to_back_arrivals_all_serialize() {
     // all ten eventually complete, in order.
     let table = build_task_table(
         one_periodic(),
-        vec![AperiodicTask::new(TaskId::new(9), "burst", DEFAULT_TICK / 4)],
+        vec![AperiodicTask::new(
+            TaskId::new(9),
+            "burst",
+            DEFAULT_TICK / 4,
+        )],
         2,
     )
     .expect("valid");

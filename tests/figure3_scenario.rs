@@ -67,6 +67,33 @@ fn schedule_b_matches_expected_gantt() {
     assert_eq!(outcome.trace.deadline_misses(), 0);
 }
 
+/// Golden snapshot of the full Figure 3 rendering — every byte of both
+/// Gantt charts, not just the row suffixes the other tests check. Catches
+/// accidental drift in `render_gantt` itself (headers, axis, padding,
+/// separator glyphs). Bless an intentional change with
+/// `GOLDEN_UPDATE=1 cargo test -q fig3_gantt`.
+#[test]
+fn fig3_gantt_matches_golden_snapshot() {
+    let a = run_theoretical(MpdpPolicy::new(fig3_table()), &[], config());
+    let arrivals = vec![(SLICE, 0usize), (SLICE * 2, 1usize)];
+    let b = run_theoretical(MpdpPolicy::new(fig3_table()), &arrivals, config());
+    let rendered = format!(
+        "== schedule A (no aperiodic arrivals) ==\n{}\n== schedule B (A1 at slice 1, A2 at slice 2) ==\n{}",
+        render_gantt(&a.trace, 2, SLICE * 6, SLICE, &labels()),
+        render_gantt(&b.trace, 2, SLICE * 6, SLICE, &labels()),
+    );
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig3_gantt.txt");
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(golden_path, &rendered).expect("update golden snapshot");
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("checked-in golden snapshot");
+    assert_eq!(
+        rendered, golden,
+        "Figure 3 rendering drifted from tests/golden/fig3_gantt.txt; \
+         if intentional, bless with GOLDEN_UPDATE=1"
+    );
+}
+
 #[test]
 fn narrative_a1_runs_immediately_then_yields_to_promoted_p1() {
     let arrivals = vec![(SLICE, 0usize), (SLICE * 2, 1usize)];

@@ -1,0 +1,109 @@
+//! Pinned counterexamples from the committed `*.proptest-regressions`
+//! files, replayed as plain tests.
+//!
+//! The vendored proptest runner derives its cases from `(test path, case
+//! index)` rather than upstream's persisted `cc` seed hashes, so the saved
+//! regression entries cannot be replayed through the runner itself. The
+//! shrunk inputs recorded in those files' comments are reproduced here
+//! verbatim instead, so the historical failures stay covered forever and
+//! independently of the property-test engine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mpdp::analysis::tool::{prepare, ToolOptions};
+use mpdp::core::policy::MpdpPolicy;
+use mpdp::core::time::Cycles;
+use mpdp::sim::prototype::{run_prototype, PrototypeConfig};
+use mpdp::sim::theoretical::{run_theoretical, TheoreticalConfig};
+use mpdp::workload::taskgen::{poisson_arrivals, random_task_set, TaskGenConfig};
+
+const TICK: Cycles = Cycles::new(1_000_000);
+
+/// Same generator as `tests/deadline_guarantee.rs`.
+fn generate(
+    seed: u64,
+    n_tasks: usize,
+    total_util: f64,
+    n_procs: usize,
+    margin: f64,
+) -> Option<(mpdp::core::task::TaskTable, Vec<(Cycles, usize)>)> {
+    let cfg = TaskGenConfig::new(n_tasks, total_util)
+        .with_seed(seed)
+        .with_tick(TICK)
+        .with_period_ticks(2, 40);
+    let periodic: Vec<_> = random_task_set(&cfg)
+        .iter()
+        .map(|t| {
+            t.clone()
+                .with_profile(mpdp::core::task::MemoryProfile::compute_bound())
+        })
+        .collect();
+    let aperiodic = vec![mpdp::core::task::AperiodicTask::new(
+        mpdp::core::ids::TaskId::new(1000),
+        "ap",
+        TICK * 3,
+    )];
+    let table = prepare(
+        periodic,
+        aperiodic,
+        n_procs,
+        ToolOptions::new()
+            .with_quantization(TICK)
+            .with_wcet_margin(margin),
+    )
+    .ok()?;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+    let arrivals: Vec<(Cycles, usize)> = poisson_arrivals(&mut rng, TICK * 10, TICK * 200)
+        .into_iter()
+        .map(|t| (t, 0usize))
+        .collect();
+    Some((table, arrivals))
+}
+
+/// Replays one historical `deadline_guarantee` counterexample on both
+/// simulator stacks with the margins the properties promise.
+fn replay_deadline_guarantee(seed: u64, n_procs: usize) {
+    if let Some((table, arrivals)) =
+        generate(seed, 3 * n_procs, 0.55 * n_procs as f64, n_procs, 1.03)
+    {
+        let outcome = run_theoretical(
+            MpdpPolicy::new(table),
+            &arrivals,
+            TheoreticalConfig::new(TICK * 250).with_tick(TICK),
+        );
+        assert_eq!(
+            outcome.trace.deadline_misses(),
+            0,
+            "theoretical stack missed a deadline (seed {seed}, {n_procs} procs)"
+        );
+    }
+    if let Some((table, arrivals)) =
+        generate(seed, 3 * n_procs, 0.45 * n_procs as f64, n_procs, 1.25)
+    {
+        let outcome = run_prototype(
+            MpdpPolicy::new(table),
+            &arrivals,
+            PrototypeConfig::new(TICK * 250).with_tick(TICK),
+        );
+        assert_eq!(
+            outcome.trace.deadline_misses(),
+            0,
+            "prototype stack missed a deadline (seed {seed}, {n_procs} procs)"
+        );
+    }
+}
+
+// `tests/deadline_guarantee.proptest-regressions`:
+//   cc 0e862b0e… # shrinks to seed = 9032, n_procs = 4
+//   cc f3e5e52b… # shrinks to seed = 7436, n_procs = 2
+
+#[test]
+fn regression_deadline_guarantee_seed_9032_procs_4() {
+    replay_deadline_guarantee(9032, 4);
+}
+
+#[test]
+fn regression_deadline_guarantee_seed_7436_procs_2() {
+    replay_deadline_guarantee(7436, 2);
+}

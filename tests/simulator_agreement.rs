@@ -62,8 +62,16 @@ fn both_stacks_complete_the_same_periodic_jobs() {
     // Per-task mean responses: real is never (meaningfully) faster than
     // theoretical minus its own 2% overhead allowance.
     for task in theo_counts.keys() {
-        let t = theo.trace.mean_response(*task).expect("completed").as_secs_f64();
-        let r = real.trace.mean_response(*task).expect("completed").as_secs_f64();
+        let t = theo
+            .trace
+            .mean_response(*task)
+            .expect("completed")
+            .as_secs_f64();
+        let r = real
+            .trace
+            .mean_response(*task)
+            .expect("completed")
+            .as_secs_f64();
         assert!(
             r > t * 0.90,
             "{task}: real {r:.4}s implausibly faster than theoretical {t:.4}s"
@@ -90,7 +98,11 @@ fn job_release_grid_is_identical_across_stacks() {
         &[],
         TheoreticalConfig::new(horizon),
     );
-    let real = run_prototype(MpdpPolicy::new(table.clone()), &[], PrototypeConfig::new(horizon));
+    let real = run_prototype(
+        MpdpPolicy::new(table.clone()),
+        &[],
+        PrototypeConfig::new(horizon),
+    );
     for (i, t) in table.periodic().iter().enumerate().take(4) {
         let _ = i;
         let theo_releases: Vec<Cycles> = theo

@@ -1,0 +1,266 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! This workspace builds in hermetic environments with no crates.io access,
+//! so the bench-definition API its benches use is reimplemented over a
+//! minimal timing loop: [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`Throughput`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurements are a short calibrated loop (~50 ms per benchmark by
+//! default, `CRITERION_QUICK=1` for a single pass) printing mean
+//! nanoseconds per iteration — enough to rank alternatives and catch
+//! order-of-magnitude regressions, without upstream's statistics.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` sizes its batches (ignored by this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some()
+        || std::env::args().any(|a| a == "--test" || a == "--quick")
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibration pass: one iteration, measure, then size the real run to
+    // ~50 ms (capped) so heavyweight benches stay tractable.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    if !quick_mode() {
+        let budget = Duration::from_millis(50);
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+        b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+    }
+    let mean_ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.1} Melem/s", n as f64 / mean_ns * 1e9 / 1e6),
+        Throughput::Bytes(n) => {
+            format!("  {:.1} MiB/s", n as f64 / mean_ns * 1e9 / (1 << 20) as f64)
+        }
+    });
+    println!(
+        "bench {label:<50} {mean_ns:>14.1} ns/iter ({} iters){}",
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.name), self.throughput, f);
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.name),
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id.name, None, f);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(64));
+        group.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("max", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).max())
+        });
+        group.bench_function(BenchmarkId::new("batched", 8), |b| {
+            b.iter_batched(
+                || vec![3u8; 8],
+                |v| v.into_iter().map(usize::from).sum::<usize>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn api_surface_runs() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut criterion = Criterion::default();
+        sample_bench(&mut criterion);
+        criterion.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        criterion_group!(benches, sample_bench);
+        benches();
+    }
+}

@@ -1,0 +1,620 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! This workspace builds in hermetic environments with no crates.io access,
+//! so the subset of the proptest API its test suites use is reimplemented
+//! here: the [`Strategy`] trait with `prop_map`, ranges / tuples / [`Just`] /
+//! [`collection::vec`] / [`any`] strategies, the [`prop_oneof!`] union, the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros, and
+//! [`ProptestConfig`] case counts.
+//!
+//! # Determinism contract
+//!
+//! Unlike upstream proptest (which seeds from the OS), every case this
+//! runner generates is a pure function of `(test path, case index)` — runs
+//! are bit-identical across machines, build profiles, and invocations, so a
+//! failure message's case index is always enough to reproduce it. There is
+//! no shrinking: failures print the fully generated inputs instead, which
+//! the deterministic seeding makes stable.
+//!
+//! `PROPTEST_CASES` in the environment overrides every config's case count
+//! (useful to crank coverage in CI or thin it locally).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleUniform, SeedableRng};
+
+/// The runner's random source, passed to every [`Strategy`].
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic generator for one test case.
+    fn for_case(test_path: &str, case_index: u64) -> Self {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case_index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn uniform<T: SampleUniform>(&mut self, lo: T, hi: T) -> T {
+        T::sample_range(&mut self.0, lo, hi)
+    }
+
+    fn uniform_inclusive<T: SampleUniform>(&mut self, lo: T, hi: T) -> T {
+        T::sample_range_inclusive(&mut self.0, lo, hi)
+    }
+}
+
+/// How a generated case can fail without panicking.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed — the property does not hold.
+    Fail(String),
+    /// The inputs were rejected (`prop_assume!`) — try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (filtered-out) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration (a subset of upstream's fields).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+    /// Give up after this many `prop_assume!` rejections in one property.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Drives one property: generates cases, applies the body, panics on the
+/// first failure with the generated inputs (no shrinking; generation is
+/// deterministic, so the printed case is reproducible).
+pub fn run_cases<F>(config: &ProptestConfig, test_path: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let mut accepted: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut index: u64 = 0;
+    while accepted < cases {
+        let mut rng = TestRng::for_case(test_path, index);
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected >= config.max_global_rejects {
+                    panic!(
+                        "proptest: {test_path}: too many rejected cases \
+                         ({rejected} rejects for {accepted} accepted)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest: property failed: {msg}\n\
+                     test: {test_path}\n\
+                     case #{index} (deterministic; rerun reproduces it)\n\
+                     inputs: {inputs}"
+                );
+            }
+        }
+        index += 1;
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T: fmt::Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Strategy returning a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: fmt::Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+impl<T: SampleUniform + Copy + fmt::Debug> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.uniform(self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy + fmt::Debug> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.uniform_inclusive(*self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T: fmt::Debug> Union<T> {
+    /// A union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+        Union(alternatives)
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws one value over the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+        sign * mantissa * 2f64.powi(exp)
+    }
+}
+
+/// Whole-domain strategy for `T` (`any::<u64>()` etc.).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{fmt, Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Normalizes to an inclusive `(min, max)` pair.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.uniform_inclusive(self.min, self.max);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `elem` values with lengths in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { elem, min, max }
+    }
+}
+
+/// Asserts a boolean property inside `proptest!`, failing the case (not
+/// panicking) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+        let _ = r;
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`: {}\n  both: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l
+        );
+        let _ = r;
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the configured number of generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )* ) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        let __value = $crate::Strategy::generate(&($strat), __rng);
+                        {
+                            use ::std::fmt::Write as _;
+                            let _ = ::std::write!(
+                                __inputs,
+                                concat!(stringify!($pat), " = {:?}; "),
+                                &__value
+                            );
+                        }
+                        let $pat = __value;
+                    )+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    (__inputs, __outcome)
+                },
+            );
+        }
+    )* };
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let x = (3u32..7).generate(&mut rng);
+            assert!((3..7).contains(&x));
+            let y = (1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&y));
+            let z = (0.0f64..0.08).generate(&mut rng);
+            assert!((0.0..0.08).contains(&z));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = crate::TestRng::for_case("vec", 0);
+        for _ in 0..200 {
+            let v = collection::vec(0u32..8, 0..40).generate(&mut rng);
+            assert!(v.len() < 40);
+            assert!(v.iter().all(|&x| x < 8));
+            let w = collection::vec(any::<bool>(), 2..=3).generate(&mut rng);
+            assert!(w.len() == 2 || w.len() == 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = collection::vec((0u32..100, any::<u64>()), 0..20);
+        let a = strat.generate(&mut crate::TestRng::for_case("path::x", 7));
+        let b = strat.generate(&mut crate::TestRng::for_case("path::x", 7));
+        let c = strat.generate(&mut crate::TestRng::for_case("path::x", 8));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "distinct cases should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn oneof_and_map_cover_alternatives() {
+        #[derive(Debug, PartialEq)]
+        enum Op {
+            A(u64),
+            B,
+        }
+        let strat = prop_oneof![(1u64..5).prop_map(Op::A), Just(()).prop_map(|()| Op::B)];
+        let mut rng = crate::TestRng::for_case("oneof", 0);
+        let (mut saw_a, mut saw_b) = (false, false);
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                Op::A(v) => {
+                    assert!((1..5).contains(&v));
+                    saw_a = true;
+                }
+                Op::B => saw_b = true,
+            }
+        }
+        assert!(saw_a && saw_b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro pipeline itself: patterns, assume, and asserts.
+        #[test]
+        fn macro_roundtrip(mut v in collection::vec(0u32..50, 1..10), cut in 0u32..50) {
+            prop_assume!(!v.is_empty());
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]), "sorted");
+            let below = v.iter().filter(|&&x| x < cut).count();
+            let above = v.iter().filter(|&&x| x >= cut).count();
+            prop_assert_eq!(below + above, v.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_inputs() {
+        run_cases_fail();
+    }
+
+    fn run_cases_fail() {
+        crate::run_cases(
+            &ProptestConfig::with_cases(16),
+            "shim::always_fails",
+            |rng| {
+                let x = (0u32..10).generate(rng);
+                (
+                    format!("x = {x:?}"),
+                    Err(TestCaseError::fail("forced failure")),
+                )
+            },
+        );
+    }
+}
