@@ -61,7 +61,7 @@ fn main() {
         },
         master_seed: 0,
     };
-    let report = run_sweep(&spec, workers);
+    let report = run_sweep(&spec, workers).unwrap();
     eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
 
     println!("== scheduling-policy ablation: 2 processors ==");
@@ -115,6 +115,7 @@ fn main() {
                         &arrivals,
                         PrototypeConfig::new(horizon).with_tick(config.tick),
                     )
+                    .unwrap()
                 }
                 Err(e) => {
                     println!(

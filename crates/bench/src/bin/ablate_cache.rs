@@ -74,7 +74,8 @@ fn main() {
             MpdpPolicy::new(table),
             &arrivals,
             PrototypeConfig::new(Cycles::from_secs(14)).with_tick(config.tick),
-        );
+        )
+        .unwrap();
         let response = outcome
             .trace
             .mean_response(susan)

@@ -49,7 +49,7 @@ fn main() {
             sim.intc_mut()
                 .book(PeripheralId::new(0), Some(ProcId::new(1)));
         }
-        let outcome = sim.run(&arrivals);
+        let outcome = sim.run(&arrivals).expect("sorted arrivals");
         let response = outcome
             .trace
             .mean_response(susan)

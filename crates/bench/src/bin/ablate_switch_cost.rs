@@ -42,7 +42,7 @@ fn main() {
         arrivals: ArrivalSpec::Explicit { arrivals, horizon },
         master_seed: 0,
     };
-    let report = run_sweep(&spec, workers);
+    let report = run_sweep(&spec, workers).unwrap();
     eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
 
     println!("== context-switch cost ablation: 3 processors, 50% utilization ==");

@@ -43,7 +43,7 @@ fn main() {
         },
         master_seed: 0,
     };
-    let report = run_sweep(&spec, workers);
+    let report = run_sweep(&spec, workers).unwrap();
     eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
 
     println!("== tick-period ablation: 2 processors, 50% utilization ==");

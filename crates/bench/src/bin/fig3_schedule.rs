@@ -93,14 +93,14 @@ fn main() {
         .with_segments();
 
     // Schedule A: no aperiodic arrivals.
-    let a = run_theoretical(MpdpPolicy::new(table.clone()), &[], config);
+    let a = run_theoretical(MpdpPolicy::new(table.clone()), &[], config).unwrap();
     println!("== Schedule A (periodic only; note the idle slots '·') ==");
     print!("{}", render_gantt(&a.trace, 2, horizon, SLICE, &labels));
     println!();
 
     // Schedule B: A1 arrives at the start of timeslice 1, A2 at timeslice 2.
     let arrivals = vec![(SLICE, 0usize), (SLICE * 2, 1usize)];
-    let b = run_theoretical(MpdpPolicy::new(table), &arrivals, config);
+    let b = run_theoretical(MpdpPolicy::new(table), &arrivals, config).unwrap();
     println!("== Schedule B (A1 arrives at slice 1, A2 at slice 2) ==");
     print!("{}", render_gantt(&b.trace, 2, horizon, SLICE, &labels));
     println!();

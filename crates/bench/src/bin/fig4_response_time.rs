@@ -49,7 +49,7 @@ fn main() {
         config.activations,
         spec.cell_count()
     );
-    let report = run_sweep(&spec, workers);
+    let report = run_sweep(&spec, workers).unwrap();
     eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
     let groups = group_summaries(&report);
 

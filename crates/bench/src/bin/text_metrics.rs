@@ -37,7 +37,8 @@ fn main() {
         MpdpPolicy::new(lone_table),
         &arrivals,
         PrototypeConfig::new(Cycles::from_secs(10)).with_tick(config.tick),
-    );
+    )
+    .unwrap();
     println!(
         "1-processor response (5% bg load):   {:.3} s  (execution + interrupt/switch overheads)",
         lone.trace
@@ -61,7 +62,8 @@ fn main() {
                 MpdpPolicy::new(table),
                 &arrivals,
                 PrototypeConfig::new(horizon).with_tick(config.tick),
-            );
+            )
+            .unwrap();
             let max = outcome
                 .trace
                 .max_response(id)

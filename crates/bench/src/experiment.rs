@@ -128,6 +128,7 @@ pub fn knobs_of(config: &ExperimentConfig) -> Knobs {
         wcet_margin: config.wcet_margin,
         context_scale: 1.0,
         policy: PolicyKind::Mpdp,
+        ..Knobs::default()
     }
 }
 
@@ -186,14 +187,19 @@ pub fn fig4_point(n_procs: usize, utilization: f64, config: &ExperimentConfig) -
     let mut spec = fig4_spec(config);
     spec.proc_counts = vec![n_procs];
     spec.utilizations = vec![utilization];
-    let report = run_sweep(&spec, 1);
+    let report = run_sweep(&spec, 1).expect("the Figure 4 spec is valid");
     point_from_cell(&report.cells[0])
 }
 
 /// Runs the full Figure 4 grid through the sweep engine over `workers`
 /// threads and returns the raw report (cells in canonical order).
+///
+/// # Panics
+///
+/// Panics if the built-in Figure 4 spec fails validation (a bug, not an
+/// input condition).
 pub fn fig4_report(config: &ExperimentConfig, workers: usize) -> SweepReport {
-    run_sweep(&fig4_spec(config), workers)
+    run_sweep(&fig4_spec(config), workers).expect("the Figure 4 spec is valid")
 }
 
 /// The full Figure 4 sweep: 2–4 processors × 40/50/60% utilization,

@@ -30,6 +30,11 @@ pub enum TaskSetError {
     Unschedulable(TaskId),
     /// A partitioning heuristic could not fit every task on the processors.
     PartitioningFailed(TaskId),
+    /// A simulator was given an arrival stream that is not sorted by instant.
+    UnsortedArrivals,
+    /// A simulator or analysis parameter that must be finite and non-negative
+    /// (an overhead fraction, a scale factor) was NaN, infinite, or negative.
+    InvalidParameter(&'static str),
 }
 
 impl fmt::Display for TaskSetError {
@@ -66,6 +71,12 @@ impl fmt::Display for TaskSetError {
                     f,
                     "no processor could accommodate task {t} during partitioning"
                 )
+            }
+            TaskSetError::UnsortedArrivals => {
+                write!(f, "arrival stream must be sorted by instant")
+            }
+            TaskSetError::InvalidParameter(name) => {
+                write!(f, "{name} must be finite and non-negative")
             }
         }
     }

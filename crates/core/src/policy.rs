@@ -49,11 +49,12 @@
 
 use std::fmt;
 
-use crate::ids::{JobId, ProcId};
+use crate::ids::{JobId, ProcId, TaskId};
+use crate::priority::Priority;
 use crate::queue::{
     AperiodicReadyQueue, HighPrioLocalQueue, PeriodicReadyQueue, WaitingPeriodicQueue,
 };
-use crate::task::TaskTable;
+use crate::task::{PeriodicTask, TaskTable};
 use crate::time::Cycles;
 
 /// Whether a job is an activation of a periodic or an aperiodic task.
@@ -123,6 +124,91 @@ impl fmt::Display for SwitchAction {
     }
 }
 
+/// What the scheduler does with a job caught exceeding its execution budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverrunAction {
+    /// Let the job finish and only log the violation (the paper's implicit
+    /// behaviour — WCETs are trusted).
+    #[default]
+    RunToCompletion,
+    /// Abort the job immediately; the task's next activation is unaffected.
+    Kill,
+    /// Strip the job's promotion and park it at the bottom of the lower
+    /// band, where it can only consume slack.
+    Demote,
+}
+
+/// Graceful-degradation configuration: how the scheduler detects and reacts
+/// to misbehaviour at runtime. The default polices nothing, which is the
+/// fault-free fast path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Budget-overrun response; `None` disables budget enforcement.
+    pub overrun: Option<OverrunAction>,
+    /// Budget as a multiple of the task's WCET (`1.0` = exactly the WCET;
+    /// the prototype typically allows its offline analysis margin).
+    pub budget_margin: f64,
+    /// Maximum Aperiodic Ready Queue length before new aperiodic arrivals
+    /// are shed; `None` disables shedding.
+    pub shed_limit: Option<usize>,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            overrun: None,
+            budget_margin: 1.0,
+            shed_limit: None,
+        }
+    }
+}
+
+impl DegradationPolicy {
+    /// Enables budget enforcement with the given action.
+    pub fn with_overrun(mut self, action: OverrunAction) -> Self {
+        self.overrun = Some(action);
+        self
+    }
+
+    /// Sets the budget margin.
+    pub fn with_budget_margin(mut self, margin: f64) -> Self {
+        self.budget_margin = margin;
+        self
+    }
+
+    /// Enables aperiodic shedding beyond `limit` queued jobs.
+    pub fn with_shed_limit(mut self, limit: usize) -> Self {
+        self.shed_limit = Some(limit);
+        self
+    }
+
+    /// `true` if this policy never intervenes (pure fault-free behaviour).
+    pub fn is_inert(&self) -> bool {
+        self.overrun.is_none() && self.shed_limit.is_none()
+    }
+}
+
+/// What the scheduler did about a processor fail-stop: which tasks were
+/// re-homed and how many of the periodic tasks remain guaranteed after the
+/// online re-admission analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverReport {
+    /// The processor that died.
+    pub proc: ProcId,
+    /// Instant the scheduler acted.
+    pub at: Cycles,
+    /// The job that was executing on the dead processor, if any; the caller
+    /// decides how to record its loss (typically via `kill_job`).
+    pub lost: Option<JobId>,
+    /// Periodic tasks re-homed off the dead processor, in table order.
+    pub moved: Vec<TaskId>,
+    /// Periodic tasks whose deadlines remain guaranteed by the re-run
+    /// response-time analysis.
+    pub guaranteed: usize,
+    /// Total periodic tasks.
+    pub total: usize,
+}
+
 /// The interface a scheduling policy presents to the simulators.
 ///
 /// Both the theoretical and the prototype simulator drive a policy through
@@ -175,6 +261,68 @@ pub trait Scheduler {
         None
     }
 
+    /// The graceful-degradation configuration in force. Default: inert.
+    fn degradation(&self) -> DegradationPolicy {
+        DegradationPolicy::default()
+    }
+
+    /// Whether a processor is still alive (has not fail-stopped). Default:
+    /// always alive.
+    fn is_alive(&self, proc: ProcId) -> bool {
+        let _ = proc;
+        true
+    }
+
+    /// Releases an aperiodic job unless the degradation policy sheds it
+    /// (overload protection). `None` means the arrival was shed and no job
+    /// exists. Default: never sheds.
+    fn try_release_aperiodic(&mut self, task_index: usize, now: Cycles) -> Option<JobId> {
+        Some(self.release_aperiodic(task_index, now))
+    }
+
+    /// Scans live hard-deadline jobs for deadline misses at a scheduling
+    /// tick; each miss is reported exactly once. Default: detects nothing
+    /// (single-band policies that predate the fault subsystem).
+    fn detect_missed(&mut self, now: Cycles) -> Vec<JobId> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// Aborts a job (budget-overrun kill). Equivalent to completion as far
+    /// as queue bookkeeping goes; the caller records the abort. Default:
+    /// delegates to [`Scheduler::complete`].
+    fn kill_job(&mut self, id: JobId, now: Cycles) -> Job {
+        self.complete(id, now)
+    }
+
+    /// Strips a job's promotion and parks it at the bottom of the lower
+    /// band (budget-overrun demotion). Default: no-op.
+    fn demote_job(&mut self, id: JobId) {
+        let _ = id;
+    }
+
+    /// Handles a processor fail-stop at `now`: marks it dead, re-homes its
+    /// task partition, and re-runs the admission analysis online. Default:
+    /// records nothing and guarantees nothing (policies without a failover
+    /// path).
+    fn fail_processor(&mut self, proc: ProcId, now: Cycles) -> FailoverReport {
+        FailoverReport {
+            proc,
+            at: now,
+            lost: None,
+            moved: Vec::new(),
+            guaranteed: 0,
+            total: self.table().periodic().len(),
+        }
+    }
+
+    /// `(guaranteed, total)` periodic tasks under the current (possibly
+    /// degraded) analysis. Default: everything the table admitted.
+    fn guaranteed_tasks(&self) -> (usize, usize) {
+        let total = self.table().periodic().len();
+        (total, total)
+    }
+
     /// Diffs the current running map against a desired assignment, yielding
     /// context-switch actions for processors whose job changes.
     fn diff(&self, desired: &[Option<JobId>]) -> Vec<SwitchAction> {
@@ -208,6 +356,16 @@ pub struct MpdpPolicy {
     arq: AperiodicReadyQueue,
     hplrq: Vec<HighPrioLocalQueue>,
     running: Vec<Option<JobId>>,
+    degradation: DegradationPolicy,
+    /// Liveness per processor; a fail-stopped processor never runs again.
+    alive: Vec<bool>,
+    /// Deadline-miss flag per job index, so each miss is reported once.
+    miss_seen: Vec<bool>,
+    /// Per periodic task: does the current (possibly degraded) analysis
+    /// still guarantee its deadline? Initially `promotion < deadline`, i.e.
+    /// the task has upper-band protection before its deadline; recomputed by
+    /// [`MpdpPolicy::fail_processor`].
+    guaranteed: Vec<bool>,
 }
 
 impl MpdpPolicy {
@@ -221,6 +379,12 @@ impl MpdpPolicy {
             wpq.push(i, t.offset());
             next_release.push(t.offset());
         }
+        let guaranteed = table
+            .periodic()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| table.promotion(i) < t.deadline())
+            .collect();
         MpdpPolicy {
             table,
             jobs: Vec::new(),
@@ -230,7 +394,17 @@ impl MpdpPolicy {
             arq: AperiodicReadyQueue::new(),
             hplrq: (0..n_procs).map(|_| HighPrioLocalQueue::new()).collect(),
             running: vec![None; n_procs],
+            degradation: DegradationPolicy::default(),
+            alive: vec![true; n_procs],
+            miss_seen: Vec::new(),
+            guaranteed,
         }
+    }
+
+    /// Sets the graceful-degradation configuration.
+    pub fn with_degradation(mut self, degradation: DegradationPolicy) -> Self {
+        self.degradation = degradation;
+        self
     }
 
     /// The task table this policy executes.
@@ -294,6 +468,7 @@ impl MpdpPolicy {
                 last_proc: None,
             };
             self.jobs.push(Some(job));
+            self.miss_seen.push(false);
             self.prq.push(job_id, spec.priorities().low);
             out.push(job_id);
         }
@@ -321,8 +496,21 @@ impl MpdpPolicy {
             last_proc: None,
         };
         self.jobs.push(Some(job));
+        self.miss_seen.push(false);
         self.arq.push(job_id);
         job_id
+    }
+
+    /// [`MpdpPolicy::release_aperiodic`] guarded by the degradation
+    /// policy's shed limit: when the Aperiodic Ready Queue already holds
+    /// `shed_limit` jobs the arrival is shed and `None` is returned.
+    pub fn try_release_aperiodic(&mut self, task_index: usize, now: Cycles) -> Option<JobId> {
+        if let Some(limit) = self.degradation.shed_limit {
+            if self.arq.len() >= limit {
+                return None;
+            }
+        }
+        Some(self.release_aperiodic(task_index, now))
     }
 
     /// Promotes every periodic job whose promotion instant is `≤ now`,
@@ -434,9 +622,20 @@ impl MpdpPolicy {
     ///    switches happen "only when necessary" (§5).
     pub fn assign(&self) -> Vec<Option<JobId>> {
         let m = self.n_procs();
-        let mut desired: Vec<Option<JobId>> = self.hplrq.iter().map(|q| q.peek()).collect();
+        // Dead processors never receive work (their HPLRQs are drained by
+        // `fail_processor`, but guard anyway).
+        let mut desired: Vec<Option<JobId>> = self
+            .hplrq
+            .iter()
+            .enumerate()
+            .map(|(p, q)| if self.alive[p] { q.peek() } else { None })
+            .collect();
         debug_assert_eq!(desired.len(), m);
-        let n_free = desired.iter().filter(|d| d.is_none()).count();
+        let n_free = desired
+            .iter()
+            .enumerate()
+            .filter(|&(p, d)| d.is_none() && self.alive[p])
+            .count();
         let globals: Vec<JobId> = self
             .arq
             .iter()
@@ -449,15 +648,17 @@ impl MpdpPolicy {
         for id in globals {
             let last = self.job(id).last_proc;
             match last {
-                Some(p) if desired[p.index()].is_none() => desired[p.index()] = Some(id),
+                Some(p) if desired[p.index()].is_none() && self.alive[p.index()] => {
+                    desired[p.index()] = Some(id)
+                }
                 _ => deferred.push(id),
             }
         }
-        // Remaining jobs go to the lowest-index free processors.
+        // Remaining jobs go to the lowest-index free live processors.
         let mut free = desired
             .iter()
             .enumerate()
-            .filter(|(_, d)| d.is_none())
+            .filter(|&(p, d)| d.is_none() && self.alive[p])
             .map(|(p, _)| p)
             .collect::<Vec<_>>()
             .into_iter();
@@ -478,6 +679,9 @@ impl MpdpPolicy {
     /// Queue, else the oldest *not currently running* aperiodic job, else the
     /// most urgent *not currently running* unpromoted periodic job.
     pub fn pick_for_idle(&self, proc: ProcId) -> Option<JobId> {
+        if !self.alive[proc.index()] {
+            return None;
+        }
         if let Some(j) = self.hplrq[proc.index()].peek() {
             if !self.is_running(j) {
                 return Some(j);
@@ -504,12 +708,239 @@ impl MpdpPolicy {
     /// excluded — used by server-based policies that gate aperiodic service
     /// on a budget.
     pub fn pick_periodic_for_idle(&self, proc: ProcId) -> Option<JobId> {
+        if !self.alive[proc.index()] {
+            return None;
+        }
         if let Some(j) = self.hplrq[proc.index()].peek() {
             if !self.is_running(j) {
                 return Some(j);
             }
         }
         self.prq.iter().find(|&j| !self.is_running(j))
+    }
+
+    /// The graceful-degradation configuration in force.
+    pub fn degradation(&self) -> DegradationPolicy {
+        self.degradation
+    }
+
+    /// Whether `proc` is still alive (has not fail-stopped).
+    pub fn is_alive(&self, proc: ProcId) -> bool {
+        self.alive[proc.index()]
+    }
+
+    /// Number of live processors.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether the current (possibly degraded) analysis still guarantees
+    /// periodic task `i`.
+    pub fn task_guaranteed(&self, i: usize) -> bool {
+        self.guaranteed[i]
+    }
+
+    /// `(guaranteed, total)` periodic tasks under the current analysis.
+    pub fn guaranteed_tasks(&self) -> (usize, usize) {
+        (
+            self.guaranteed.iter().filter(|&&g| g).count(),
+            self.guaranteed.len(),
+        )
+    }
+
+    /// Scans live hard-deadline jobs whose absolute deadline has passed;
+    /// each job is reported exactly once, on the first scan that sees the
+    /// miss. Called by the simulators at every scheduling tick so that a
+    /// job that never completes (e.g. starved after a fail-stop) still
+    /// surfaces as a miss.
+    pub fn detect_missed(&mut self, now: Cycles) -> Vec<JobId> {
+        let mut out = Vec::new();
+        for job in self.jobs.iter().filter_map(|s| s.as_ref()) {
+            let Some(deadline) = job.absolute_deadline else {
+                continue;
+            };
+            if deadline < now && !self.miss_seen[job.id.index()] {
+                out.push(job.id);
+            }
+        }
+        for &id in &out {
+            self.miss_seen[id.index()] = true;
+        }
+        out
+    }
+
+    /// Aborts a job: identical queue bookkeeping to [`MpdpPolicy::complete`]
+    /// (periodic tasks are re-parked for their next activation); the caller
+    /// records the abort in its trace.
+    pub fn kill_job(&mut self, id: JobId, now: Cycles) -> Job {
+        self.complete(id, now)
+    }
+
+    /// Strips a periodic job's promotion (actual or pending) and parks it
+    /// at the bottom of the lower band, where it only consumes slack — the
+    /// `Demote` overrun action. No-op for aperiodic or completed jobs.
+    pub fn demote_job(&mut self, id: JobId) {
+        let Some(job) = self.jobs[id.index()].as_mut() else {
+            return;
+        };
+        if !job.is_periodic() {
+            return;
+        }
+        if job.promoted {
+            for q in &mut self.hplrq {
+                q.remove(id);
+            }
+        } else {
+            self.prq.remove(id);
+        }
+        job.promoted = false;
+        job.promotion_at = None;
+        self.prq.push(id, Priority::new(0));
+    }
+
+    /// Handles a fail-stop of `proc` at `now`:
+    ///
+    /// 1. marks the processor dead (it never runs or receives work again)
+    ///    and withdraws whatever job it was executing (returned as `lost`;
+    ///    the caller typically records and [`MpdpPolicy::kill_job`]s it);
+    /// 2. re-homes the dead processor's periodic partition onto the live
+    ///    processors, least-utilized first;
+    /// 3. re-runs the promotion-time analysis *online* on every live
+    ///    processor — using nominal WCETs, and conservatively counting
+    ///    equal upper-band priorities (which re-homing can create) as
+    ///    interference — re-deriving `U_i = D_i − W_i` (never later than
+    ///    the existing promotion) for tasks that still pass and marking the
+    ///    rest unguaranteed with immediate promotion (best effort). Tasks
+    ///    with no upper-band protection to begin with (a never-promote
+    ///    baseline table) are left alone and stay unguaranteed;
+    /// 4. re-homes promoted jobs stranded in the dead processor's HPLRQ.
+    ///
+    /// Idempotent: failing an already-dead processor reports no changes.
+    pub fn fail_processor(&mut self, proc: ProcId, now: Cycles) -> FailoverReport {
+        let p = proc.index();
+        let total = self.table.periodic().len();
+        if !self.alive[p] {
+            let (guaranteed, _) = self.guaranteed_tasks();
+            return FailoverReport {
+                proc,
+                at: now,
+                lost: None,
+                moved: Vec::new(),
+                guaranteed,
+                total,
+            };
+        }
+        self.alive[p] = false;
+        let lost = self.running[p].take();
+        if let Some(id) = lost {
+            // The job's context lives in the dead core's registers and is
+            // unrecoverable: abort it (periodic tasks re-park for their next
+            // activation; the caller records the loss).
+            let _ = self.complete(id, now);
+        }
+
+        let dead_tasks: Vec<usize> = (0..total)
+            .filter(|&i| self.table.periodic()[i].processor() == proc)
+            .collect();
+        let moved: Vec<TaskId> = dead_tasks
+            .iter()
+            .map(|&i| self.table.periodic()[i].id())
+            .collect();
+        if self.alive_count() == 0 {
+            // Last processor died: nothing left to re-admit onto.
+            self.guaranteed = vec![false; total];
+            return FailoverReport {
+                proc,
+                at: now,
+                lost,
+                moved,
+                guaranteed: 0,
+                total,
+            };
+        }
+
+        // 2. Greedy re-partition: each orphaned task goes to the live
+        // processor with the least periodic utilization so far.
+        let mut load: Vec<f64> = (0..self.n_procs())
+            .map(|q| {
+                if !self.alive[q] {
+                    return f64::INFINITY;
+                }
+                self.table
+                    .periodic()
+                    .iter()
+                    .filter(|t| t.processor().index() == q)
+                    .map(PeriodicTask::utilization)
+                    .sum()
+            })
+            .collect();
+        for &ti in &dead_tasks {
+            let best = (0..self.n_procs())
+                .filter(|&q| self.alive[q])
+                .min_by(|&a, &b| load[a].total_cmp(&load[b]))
+                .expect("at least one live processor");
+            load[best] += self.table.periodic()[ti].utilization();
+            self.table.set_processor(ti, ProcId::new(best as u32));
+        }
+
+        // 3. Online re-admission: per live processor, recompute worst-case
+        // responses and promotion offsets for the degraded partition. Only
+        // tasks that had upper-band protection before the failure
+        // (promotion < deadline) participate: a never-promote baseline
+        // table made no offline guarantee, and re-homing cannot conjure
+        // one — reshaping its promotions would silently turn the baseline
+        // into MPDP. Promotions only ever move *earlier* (more
+        // protection), so an immediate-promotion table stays immediate.
+        let protected: Vec<bool> = (0..total)
+            .map(|i| self.table.promotion(i) < self.table.periodic()[i].deadline())
+            .collect();
+        let mut updates: Vec<(usize, Option<Cycles>)> = Vec::with_capacity(total);
+        for q in (0..self.n_procs()).filter(|&q| self.alive[q]) {
+            let members: Vec<usize> = (0..total)
+                .filter(|&i| self.table.periodic()[i].processor().index() == q)
+                .collect();
+            let refs: Vec<&PeriodicTask> =
+                members.iter().map(|&i| &self.table.periodic()[i]).collect();
+            for (li, &ti) in members.iter().enumerate() {
+                updates.push((ti, response_with_ties(&refs, li)));
+            }
+        }
+        self.guaranteed = vec![false; total];
+        for (ti, response) in updates {
+            if !protected[ti] {
+                continue;
+            }
+            match response {
+                Some(w) => {
+                    let deadline = self.table.periodic()[ti].deadline();
+                    let promotion = (deadline - w).min(self.table.promotion(ti));
+                    self.table.set_promotion(ti, promotion);
+                    self.guaranteed[ti] = true;
+                }
+                None => self.table.set_promotion(ti, Cycles::ZERO),
+            }
+        }
+
+        // 4. Re-home promoted jobs stranded on the dead processor.
+        while let Some(id) = self.hplrq[p].peek() {
+            self.hplrq[p].remove(id);
+            let JobClass::Periodic { task_index } = self.job(id).class else {
+                unreachable!("only periodic jobs live in a HPLRQ")
+            };
+            let spec = &self.table.periodic()[task_index];
+            let (new_proc, high) = (spec.processor(), spec.priorities().high);
+            self.hplrq[new_proc.index()].push(id, high);
+        }
+
+        let guaranteed = self.guaranteed.iter().filter(|&&g| g).count();
+        FailoverReport {
+            proc,
+            at: now,
+            lost,
+            moved,
+            guaranteed,
+            total,
+        }
     }
 
     /// Diffs the current running map against a desired assignment, yielding
@@ -571,6 +1002,37 @@ impl MpdpPolicy {
     }
 }
 
+/// Worst-case response of `tasks[index]` among `tasks` sharing one
+/// processor, like `mpdp_core::rta::worst_case_response` but counting tasks
+/// at an *equal* upper-band priority as interference (both ways). Failover
+/// re-homing can place two tasks with the same high priority on one
+/// processor — the runtime breaks the tie by queue order, so the analysis
+/// must assume the worst for each. `None` if the response exceeds the
+/// deadline.
+fn response_with_ties(tasks: &[&PeriodicTask], index: usize) -> Option<Cycles> {
+    let task = tasks[index];
+    let hp: Vec<&PeriodicTask> = tasks
+        .iter()
+        .enumerate()
+        .filter(|&(k, t)| k != index && t.priorities().high >= task.priorities().high)
+        .map(|(_, t)| *t)
+        .collect();
+    let mut w = task.wcet();
+    loop {
+        if w > task.deadline() {
+            return None;
+        }
+        let mut next = task.wcet();
+        for j in &hp {
+            next = next.saturating_add(j.wcet().saturating_mul(w.div_ceil(j.period())));
+        }
+        if next == w {
+            return Some(w);
+        }
+        w = next;
+    }
+}
+
 impl Scheduler for MpdpPolicy {
     fn table(&self) -> &TaskTable {
         self.table()
@@ -610,6 +1072,30 @@ impl Scheduler for MpdpPolicy {
     }
     fn pick_for_idle(&self, proc: ProcId) -> Option<JobId> {
         self.pick_for_idle(proc)
+    }
+    fn degradation(&self) -> DegradationPolicy {
+        self.degradation()
+    }
+    fn is_alive(&self, proc: ProcId) -> bool {
+        self.is_alive(proc)
+    }
+    fn try_release_aperiodic(&mut self, task_index: usize, now: Cycles) -> Option<JobId> {
+        self.try_release_aperiodic(task_index, now)
+    }
+    fn detect_missed(&mut self, now: Cycles) -> Vec<JobId> {
+        self.detect_missed(now)
+    }
+    fn kill_job(&mut self, id: JobId, now: Cycles) -> Job {
+        self.kill_job(id, now)
+    }
+    fn demote_job(&mut self, id: JobId) {
+        self.demote_job(id)
+    }
+    fn fail_processor(&mut self, proc: ProcId, now: Cycles) -> FailoverReport {
+        self.fail_processor(proc, now)
+    }
+    fn guaranteed_tasks(&self) -> (usize, usize) {
+        self.guaranteed_tasks()
     }
 }
 
@@ -800,5 +1286,118 @@ mod tests {
         fn wpq_len(&self) -> usize {
             self.wpq.len()
         }
+    }
+
+    #[test]
+    fn detect_missed_reports_each_miss_exactly_once() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        assert!(
+            policy.detect_missed(Cycles::new(100)).is_empty(),
+            "deadline not passed yet"
+        );
+        // All three deadlines (100, 100, 200) passed at 201.
+        let missed = policy.detect_missed(Cycles::new(201));
+        assert_eq!(missed.len(), 3);
+        assert!(
+            policy.detect_missed(Cycles::new(500)).is_empty(),
+            "flagged once"
+        );
+        let _ = jobs;
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn demote_strips_promotion_and_parks_in_low_band() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        policy.promote_due(Cycles::new(1_000_000));
+        let ap = policy.release_aperiodic(0, Cycles::ZERO);
+        policy.demote_job(jobs[0]);
+        let j = policy.job(jobs[0]);
+        assert!(!j.promoted);
+        assert_eq!(j.promotion_at, None);
+        // P3's promoted job now tops P0's HPLRQ; demote it too and the
+        // aperiodic middle band wins the slot over both demoted periodics.
+        policy.demote_job(jobs[2]);
+        let desired = policy.assign();
+        assert_eq!(desired[0], Some(ap));
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn shed_limit_drops_aperiodic_arrivals() {
+        let mut policy = MpdpPolicy::new(fig3_like_table())
+            .with_degradation(DegradationPolicy::default().with_shed_limit(2));
+        assert!(policy.try_release_aperiodic(0, Cycles::ZERO).is_some());
+        assert!(policy.try_release_aperiodic(1, Cycles::ZERO).is_some());
+        assert_eq!(policy.try_release_aperiodic(0, Cycles::new(5)), None);
+        // Completing one frees a slot.
+        let head = policy.next_aperiodic().expect("queued");
+        policy.complete(head, Cycles::new(10));
+        assert!(policy.try_release_aperiodic(0, Cycles::new(20)).is_some());
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn fail_processor_rehomes_partition_and_reruns_analysis() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        policy.set_running(ProcId::new(0), Some(jobs[0]));
+        assert_eq!(policy.guaranteed_tasks(), (3, 3));
+        let report = policy.fail_processor(ProcId::new(0), Cycles::new(50));
+        assert_eq!(report.lost, Some(jobs[0]));
+        // P1 and P3 lived on P0; both must be re-homed to P1.
+        assert_eq!(report.moved.len(), 2);
+        assert!(!policy.is_alive(ProcId::new(0)));
+        assert_eq!(policy.alive_count(), 1);
+        for t in policy.table().periodic() {
+            assert_eq!(t.processor(), ProcId::new(1));
+        }
+        // C = 40+50+30 = 120 > D = 100 for the lowest-priority task: not
+        // every task survives re-admission, but some do.
+        assert!(
+            report.guaranteed >= 1 && report.guaranteed < 3,
+            "got {}",
+            report.guaranteed
+        );
+        assert_eq!(report.total, 3);
+        // The lost job was aborted inside the failover (its context died
+        // with the core), and the dead processor never receives work again.
+        let desired = policy.assign();
+        assert_eq!(desired[0], None);
+        assert_eq!(policy.pick_for_idle(ProcId::new(0)), None);
+        // Idempotent.
+        let again = policy.fail_processor(ProcId::new(0), Cycles::new(60));
+        assert!(again.moved.is_empty() && again.lost.is_none());
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn fail_processor_rehomes_stranded_promoted_jobs() {
+        let mut policy = MpdpPolicy::new(fig3_like_table());
+        let jobs = policy.release_due(Cycles::ZERO);
+        policy.promote_due(Cycles::new(1_000_000));
+        // jobs[0] (P1) and jobs[2] (P3) are promoted into P0's HPLRQ.
+        let report = policy.fail_processor(ProcId::new(0), Cycles::new(10));
+        assert_eq!(report.lost, None);
+        // Both stranded jobs must now be runnable on P1.
+        let desired = policy.assign();
+        assert_eq!(desired[0], None);
+        assert!(desired[1].is_some());
+        let _ = jobs;
+        policy.check_invariants();
+    }
+
+    #[test]
+    fn last_processor_failure_guarantees_nothing() {
+        let t0 = PeriodicTask::new(TaskId::new(0), "t0", Cycles::new(10), Cycles::new(100))
+            .with_priorities(Priority::new(0), Priority::new(1));
+        let table = build_task_table(vec![t0], vec![], 1).expect("schedulable");
+        let mut policy = MpdpPolicy::new(table);
+        let report = policy.fail_processor(ProcId::new(0), Cycles::new(5));
+        assert_eq!(report.guaranteed, 0);
+        assert_eq!(policy.guaranteed_tasks(), (0, 1));
+        assert!(policy.assign().iter().all(Option::is_none));
     }
 }

@@ -463,6 +463,33 @@ impl TaskTable {
     pub fn system_utilization(&self) -> f64 {
         self.total_utilization() / self.n_procs as f64
     }
+
+    /// Re-homes periodic task `i` to `proc` — the degraded-mode failover
+    /// path after a processor fail-stop. Deliberately skips the full
+    /// [`TaskTable::new`] revalidation: the caller (the online re-admission
+    /// in [`crate::policy`]) re-runs the response-time analysis itself and
+    /// owns the guarantee bookkeeping for the degraded table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `proc` is outside the platform.
+    pub fn set_processor(&mut self, i: usize, proc: ProcId) {
+        assert!(
+            proc.index() < self.n_procs,
+            "cannot re-home task to unknown processor {proc}"
+        );
+        self.periodic[i] = self.periodic[i].clone().with_processor(proc);
+    }
+
+    /// Overwrites the promotion offset of periodic task `i` (online
+    /// re-analysis after failover).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_promotion(&mut self, i: usize, promotion: Cycles) {
+        self.promotions[i] = promotion;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,409 @@
+//! The declarative fault plan: what goes wrong, where, and how often.
+//!
+//! A plan is plain data — serializable in spirit, comparable, and cheap to
+//! clone into every sweep cell. [`FaultPlan::compile`] turns it into the
+//! runtime oracle ([`CompiledFaults`]) using a cell-specific seed.
+
+use std::fmt;
+
+use mpdp_core::time::Cycles;
+
+use crate::compiled::CompiledFaults;
+
+/// Stochastic per-job WCET violation: with `probability` a periodic job's
+/// execution demand is multiplied by `factor`; independently, with
+/// `tail_probability` it suffers a heavy-tail blowup of `tail_factor`
+/// (modeling e.g. a pathological input to an image-processing kernel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WcetOverrun {
+    /// Per-job probability of a moderate overrun.
+    pub probability: f64,
+    /// Demand multiplier for a moderate overrun (`> 1.0` to be a fault).
+    pub factor: f64,
+    /// Per-job probability of a heavy-tail blowup (checked first).
+    pub tail_probability: f64,
+    /// Demand multiplier for a blowup.
+    pub tail_factor: f64,
+}
+
+impl WcetOverrun {
+    /// A moderate-overrun-only spec with no heavy tail.
+    pub fn new(probability: f64, factor: f64) -> Self {
+        WcetOverrun {
+            probability,
+            factor,
+            tail_probability: 0.0,
+            tail_factor: 1.0,
+        }
+    }
+
+    /// Adds a heavy-tail component.
+    pub fn with_tail(mut self, probability: f64, factor: f64) -> Self {
+        self.tail_probability = probability;
+        self.tail_factor = factor;
+        self
+    }
+}
+
+/// A burst of extra aperiodic activations: `arrivals` releases of aperiodic
+/// task `task`, the first at `at`, spaced `gap` apart. Models a transient
+/// overload (e.g. a sensor storm) on top of the nominal arrival stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadBurst {
+    /// Instant of the first extra arrival.
+    pub at: Cycles,
+    /// Number of extra arrivals.
+    pub arrivals: usize,
+    /// Spacing between extra arrivals.
+    pub gap: Cycles,
+    /// Aperiodic task index the burst targets.
+    pub task: usize,
+}
+
+impl OverloadBurst {
+    /// A burst of `arrivals` activations of aperiodic task 0.
+    pub fn new(at: Cycles, arrivals: usize, gap: Cycles) -> Self {
+        OverloadBurst {
+            at,
+            arrivals,
+            gap,
+            task: 0,
+        }
+    }
+}
+
+/// Permanent fail-stop of one processor at a given instant: the core stops
+/// executing, never acknowledges another interrupt, and its task partition
+/// must be re-admitted elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailStop {
+    /// Index of the processor that dies.
+    pub proc: usize,
+    /// Instant of death.
+    pub at: Cycles,
+}
+
+impl FailStop {
+    /// Processor `proc` dies at `at`.
+    pub fn new(proc: usize, at: Cycles) -> Self {
+        FailStop { proc, at }
+    }
+}
+
+/// Interrupt-delivery faults at the INTC (prototype stack only; the
+/// theoretical stack has no interrupt machinery to perturb).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InterruptFaults {
+    /// Per-tick probability that a timer raise is silently dropped
+    /// (the scheduling pass for that tick never happens; the next healthy
+    /// tick recovers).
+    pub lost_probability: f64,
+    /// Instants of spurious extra timer raises (sorted ascending).
+    pub spurious: Vec<Cycles>,
+}
+
+/// A transient bus-latency spike: during `[at, at + duration)` memory
+/// traffic is `factor`× slower (DDR refresh storm, arbitration livelock…).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusSpike {
+    /// Window start.
+    pub at: Cycles,
+    /// Window length.
+    pub duration: Cycles,
+    /// Slowdown factor (`> 1.0` to be a fault).
+    pub factor: f64,
+}
+
+impl BusSpike {
+    /// A `factor`× slowdown over `[at, at + duration)`.
+    pub fn new(at: Cycles, duration: Cycles, factor: f64) -> Self {
+        BusSpike {
+            at,
+            duration,
+            factor,
+        }
+    }
+}
+
+/// A declarative, seed-deterministic fault plan. The default plan is empty
+/// and compiles to an inert oracle; see the crate docs for the guarantees.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Stochastic WCET violations on periodic jobs.
+    pub wcet: Option<WcetOverrun>,
+    /// Extra aperiodic arrival bursts.
+    pub bursts: Vec<OverloadBurst>,
+    /// At most one processor fail-stop.
+    pub fail_stop: Option<FailStop>,
+    /// Lost/spurious timer interrupts.
+    pub interrupts: Option<InterruptFaults>,
+    /// Transient bus-latency spikes.
+    pub bus_spikes: Vec<BusSpike>,
+}
+
+impl FaultPlan {
+    /// Sets the WCET-overrun component.
+    pub fn with_wcet(mut self, wcet: WcetOverrun) -> Self {
+        self.wcet = Some(wcet);
+        self
+    }
+
+    /// Adds an overload burst.
+    pub fn with_burst(mut self, burst: OverloadBurst) -> Self {
+        self.bursts.push(burst);
+        self
+    }
+
+    /// Sets the fail-stop component.
+    pub fn with_fail_stop(mut self, fail: FailStop) -> Self {
+        self.fail_stop = Some(fail);
+        self
+    }
+
+    /// Sets the interrupt-fault component.
+    pub fn with_interrupts(mut self, interrupts: InterruptFaults) -> Self {
+        self.interrupts = Some(interrupts);
+        self
+    }
+
+    /// Adds a bus-latency spike.
+    pub fn with_bus_spike(mut self, spike: BusSpike) -> Self {
+        self.bus_spikes.push(spike);
+        self
+    }
+
+    /// `true` if the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.wcet.is_none()
+            && self.bursts.is_empty()
+            && self.fail_stop.is_none()
+            && self
+                .interrupts
+                .as_ref()
+                .is_none_or(|i| i.lost_probability == 0.0 && i.spurious.is_empty())
+            && self.bus_spikes.is_empty()
+    }
+
+    /// Validates the plan without compiling it. `n_procs` bounds the
+    /// fail-stop target.
+    pub fn validate(&self, n_procs: usize) -> Result<(), FaultPlanError> {
+        fn probability(name: &'static str, p: f64) -> Result<(), FaultPlanError> {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(FaultPlanError::InvalidProbability { name, value: p });
+            }
+            Ok(())
+        }
+        fn factor(name: &'static str, f: f64) -> Result<(), FaultPlanError> {
+            if !f.is_finite() || f < 1.0 {
+                return Err(FaultPlanError::InvalidFactor { name, value: f });
+            }
+            Ok(())
+        }
+        if let Some(w) = &self.wcet {
+            probability("wcet.probability", w.probability)?;
+            probability("wcet.tail_probability", w.tail_probability)?;
+            factor("wcet.factor", w.factor)?;
+            factor("wcet.tail_factor", w.tail_factor)?;
+        }
+        for b in &self.bursts {
+            if b.arrivals == 0 {
+                return Err(FaultPlanError::EmptyBurst);
+            }
+            if b.arrivals > 1 && b.gap.is_zero() {
+                return Err(FaultPlanError::ZeroBurstGap);
+            }
+        }
+        if let Some(f) = &self.fail_stop {
+            if f.proc >= n_procs {
+                return Err(FaultPlanError::FailStopOutOfRange {
+                    proc: f.proc,
+                    n_procs,
+                });
+            }
+        }
+        if let Some(i) = &self.interrupts {
+            probability("interrupts.lost_probability", i.lost_probability)?;
+            if i.spurious.windows(2).any(|w| w[0] > w[1]) {
+                return Err(FaultPlanError::UnsortedSpurious);
+            }
+        }
+        for s in &self.bus_spikes {
+            factor("bus_spike.factor", s.factor)?;
+            if s.duration.is_zero() {
+                return Err(FaultPlanError::ZeroSpikeDuration);
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the plan into the runtime oracle for one cell.
+    ///
+    /// `stream` should come from [`crate::fault_stream`] over the cell's
+    /// sweep stream; `n_procs` is the cell's processor count (a fail-stop
+    /// targeting a processor the cell does not have is dropped, so one plan
+    /// can sweep across processor counts).
+    pub fn compile(&self, stream: u64, n_procs: usize) -> CompiledFaults {
+        if self.is_empty() {
+            return CompiledFaults::none();
+        }
+        let mut extra: Vec<(Cycles, usize)> = Vec::new();
+        for b in &self.bursts {
+            for k in 0..b.arrivals {
+                extra.push((b.at + b.gap * k as u64, b.task));
+            }
+        }
+        extra.sort_by_key(|&(at, task)| (at, task));
+        let mut spikes = self.bus_spikes.clone();
+        spikes.sort_by_key(|s| s.at);
+        CompiledFaults::new(
+            stream,
+            self.wcet,
+            extra,
+            self.fail_stop.filter(|f| f.proc < n_procs),
+            self.interrupts.clone().unwrap_or_default(),
+            spikes,
+        )
+    }
+}
+
+/// Why a [`FaultPlan`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultPlanError {
+    /// A probability was NaN, infinite, or outside `[0, 1]`.
+    InvalidProbability {
+        /// Which field.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A slowdown/overrun factor was NaN, infinite, or below 1.0.
+    InvalidFactor {
+        /// Which field.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An overload burst with zero arrivals.
+    EmptyBurst,
+    /// A multi-arrival burst with zero spacing.
+    ZeroBurstGap,
+    /// Fail-stop targets a processor the system does not have.
+    FailStopOutOfRange {
+        /// Requested processor.
+        proc: usize,
+        /// Available processors.
+        n_procs: usize,
+    },
+    /// Spurious-interrupt instants must be sorted ascending.
+    UnsortedSpurious,
+    /// A bus spike with zero duration.
+    ZeroSpikeDuration,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::InvalidProbability { name, value } => {
+                write!(f, "{name} must be a probability in [0, 1], got {value}")
+            }
+            FaultPlanError::InvalidFactor { name, value } => {
+                write!(f, "{name} must be a finite factor >= 1.0, got {value}")
+            }
+            FaultPlanError::EmptyBurst => write!(f, "overload burst has zero arrivals"),
+            FaultPlanError::ZeroBurstGap => {
+                write!(f, "multi-arrival overload burst has zero gap")
+            }
+            FaultPlanError::FailStopOutOfRange { proc, n_procs } => {
+                write!(f, "fail-stop targets processor {proc} of {n_procs}")
+            }
+            FaultPlanError::UnsortedSpurious => {
+                write!(f, "spurious interrupt instants must be sorted ascending")
+            }
+            FaultPlanError::ZeroSpikeDuration => write!(f, "bus spike has zero duration"),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.validate(4), Ok(()));
+        assert!(plan.compile(7, 4).is_empty());
+    }
+
+    #[test]
+    fn zero_rate_interrupt_component_still_counts_as_empty() {
+        let plan = FaultPlan::default().with_interrupts(InterruptFaults::default());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let nan = FaultPlan::default().with_wcet(WcetOverrun::new(f64::NAN, 2.0));
+        assert!(matches!(
+            nan.validate(2),
+            Err(FaultPlanError::InvalidProbability { .. })
+        ));
+        let shrink = FaultPlan::default().with_wcet(WcetOverrun::new(0.5, 0.5));
+        assert!(matches!(
+            shrink.validate(2),
+            Err(FaultPlanError::InvalidFactor { .. })
+        ));
+        let empty_burst =
+            FaultPlan::default().with_burst(OverloadBurst::new(Cycles::ZERO, 0, Cycles::ZERO));
+        assert_eq!(empty_burst.validate(2), Err(FaultPlanError::EmptyBurst));
+        let dead_gap =
+            FaultPlan::default().with_burst(OverloadBurst::new(Cycles::ZERO, 3, Cycles::ZERO));
+        assert_eq!(dead_gap.validate(2), Err(FaultPlanError::ZeroBurstGap));
+        let far_proc = FaultPlan::default().with_fail_stop(FailStop::new(5, Cycles::ZERO));
+        assert!(matches!(
+            far_proc.validate(2),
+            Err(FaultPlanError::FailStopOutOfRange {
+                proc: 5,
+                n_procs: 2
+            })
+        ));
+        let unsorted = FaultPlan::default().with_interrupts(InterruptFaults {
+            lost_probability: 0.0,
+            spurious: vec![Cycles::new(10), Cycles::new(5)],
+        });
+        assert_eq!(unsorted.validate(2), Err(FaultPlanError::UnsortedSpurious));
+        let flat_spike =
+            FaultPlan::default().with_bus_spike(BusSpike::new(Cycles::ZERO, Cycles::ZERO, 2.0));
+        assert_eq!(
+            flat_spike.validate(2),
+            Err(FaultPlanError::ZeroSpikeDuration)
+        );
+    }
+
+    #[test]
+    fn bursts_compile_sorted_and_fail_stop_is_clamped_to_grid() {
+        let plan = FaultPlan::default()
+            .with_burst(OverloadBurst::new(
+                Cycles::from_secs(2),
+                2,
+                Cycles::from_millis(100),
+            ))
+            .with_burst(OverloadBurst::new(Cycles::from_secs(1), 1, Cycles::ZERO))
+            .with_fail_stop(FailStop::new(3, Cycles::from_secs(5)));
+        let compiled = plan.compile(1, 4);
+        let at: Vec<u64> = compiled
+            .extra_arrivals()
+            .iter()
+            .map(|&(c, _)| c.as_u64())
+            .collect();
+        assert!(at.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(compiled.extra_arrivals().len(), 3);
+        assert_eq!(compiled.fail_stop(), Some((3, Cycles::from_secs(5))));
+        // On a 2-processor cell the proc-3 fail-stop is dropped.
+        assert_eq!(plan.compile(1, 2).fail_stop(), None);
+    }
+}

@@ -101,6 +101,9 @@ enum ProcState {
     Signaled,
     /// Inside an ISR; reception disabled.
     Handling,
+    /// Fail-stopped: the processor never acknowledges again and is skipped
+    /// by all routing (fault-injection support).
+    Dead,
 }
 
 /// A pending interrupt not yet signaled (its target set is busy).
@@ -423,6 +426,40 @@ impl MpInterruptController {
     /// Number of interrupts waiting for a free processor.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Fail-stops `proc`: it never acknowledges or receives an interrupt
+    /// again. A line currently raised to it is withdrawn immediately and
+    /// re-routed to the next processor in the priority list (the same
+    /// rotation an acknowledge timeout performs, without waiting for the
+    /// deadline). If the processor dies *inside* an ISR, that handler — and
+    /// only that handler — is lost with it; interrupts still waiting for
+    /// acknowledge are never lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn fail_stop(&mut self, proc: ProcId, now: Cycles) {
+        let i = proc.index();
+        assert!(i < self.n_procs, "processor out of range");
+        if self.proc_state[i] == ProcState::Dead {
+            return;
+        }
+        if let Some(sig) = self.signal[i].take() {
+            self.stats.timeouts += 1;
+            self.pending.push_back(Pending {
+                source: sig.source,
+                targets: self.signal_targets[i].take(),
+                next_try: i + 1,
+            });
+        }
+        self.proc_state[i] = ProcState::Dead;
+        self.route(now);
+    }
+
+    /// Whether `proc` is still alive (has not fail-stopped).
+    pub fn is_alive(&self, proc: ProcId) -> bool {
+        self.proc_state[proc.index()] != ProcState::Dead
     }
 }
 

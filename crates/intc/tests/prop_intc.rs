@@ -127,6 +127,93 @@ proptest! {
         }
     }
 
+    /// Fault-injection conservation: even when processors fail-stop at
+    /// arbitrary points — including while an interrupt is raised to them and
+    /// waiting for acknowledge — every raised interrupt is eventually
+    /// acknowledged by a surviving processor. Fail-stop withdraws the dead
+    /// processor's line and rotates it exactly like an acknowledge timeout.
+    #[test]
+    fn no_interrupt_lost_when_acknowledging_proc_fail_stops(
+        n_procs in 2usize..=4,
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0u32..4).prop_map(Op::Raise),
+                (0u32..4).prop_map(Op::AckAndFinish),
+                Just(Op::Timeout),
+            ],
+            1..120,
+        ),
+        fail_points in prop::collection::vec((0usize..120, 0u32..4), 1..3),
+    ) {
+        let mut intc = MpInterruptController::new(n_procs, 4, Cycles::new(1_000));
+        let mut alive = vec![true; n_procs];
+        let mut now = Cycles::ZERO;
+        for (step, op) in ops.into_iter().enumerate() {
+            now += Cycles::new(100);
+            // Fail-stop processors at their scheduled step, always keeping
+            // at least one processor alive so the system can drain.
+            for &(at, p) in &fail_points {
+                let p = (p % n_procs as u32) as usize;
+                if at == step && alive[p] && alive.iter().filter(|&&a| a).count() > 1 {
+                    alive[p] = false;
+                    intc.fail_stop(ProcId::new(p as u32), now);
+                }
+            }
+            match op {
+                Op::Raise(p) => intc.raise_peripheral(PeripheralId::new(p), now),
+                Op::AckAndFinish(p) => {
+                    let proc = ProcId::new(p % n_procs as u32);
+                    if alive[proc.index()] && intc.signaled(proc).is_some() {
+                        intc.acknowledge(proc, now);
+                        intc.end_of_interrupt(proc, now + Cycles::new(10));
+                    }
+                }
+                Op::Timeout => {
+                    if let Some(t) = intc.next_timeout() {
+                        intc.expire_timeouts(t);
+                    }
+                }
+            }
+            let stats = intc.stats();
+            let signaled_now = (0..n_procs)
+                .filter(|&p| intc.signaled(ProcId::new(p as u32)).is_some())
+                .count() as u64;
+            prop_assert_eq!(
+                stats.raised,
+                stats.acknowledged + signaled_now + intc.pending_count() as u64,
+                "interrupt lost or duplicated after fail-stop"
+            );
+            // A dead processor never has a line raised to it.
+            for (p, &a) in alive.iter().enumerate() {
+                if !a {
+                    prop_assert!(intc.signaled(ProcId::new(p as u32)).is_none());
+                }
+            }
+        }
+        // Drain with the survivors only; must reach quiescence with nothing
+        // pending — no interrupt is permanently lost.
+        let mut guard = 0;
+        loop {
+            let mut progressed = false;
+            for (p, &a) in alive.iter().enumerate() {
+                let proc = ProcId::new(p as u32);
+                if a && intc.signaled(proc).is_some() {
+                    now += Cycles::new(10);
+                    intc.acknowledge(proc, now);
+                    intc.end_of_interrupt(proc, now);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not terminate");
+        }
+        prop_assert_eq!(intc.pending_count(), 0);
+        prop_assert_eq!(intc.stats().raised, intc.stats().acknowledged);
+    }
+
     /// Broadcast reaches every processor exactly once when all are free.
     #[test]
     fn broadcast_reaches_all(n_procs in 1usize..=4) {
@@ -138,4 +225,35 @@ proptest! {
         }
         prop_assert_eq!(intc.pending_count(), 0);
     }
+}
+
+/// Deterministic re-delivery scenario: an interrupt is signaled to P0 for
+/// acknowledge, P0 fail-stops before acknowledging, and the line is
+/// immediately withdrawn and re-raised to the surviving P1.
+#[test]
+fn fail_stop_rotates_unacknowledged_signal_to_survivor() {
+    let mut intc = MpInterruptController::new(2, 1, Cycles::new(1_000));
+    intc.raise_peripheral(PeripheralId::new(0), Cycles::new(10));
+    assert!(intc.signaled(ProcId::new(0)).is_some());
+    assert!(intc.signaled(ProcId::new(1)).is_none());
+
+    intc.fail_stop(ProcId::new(0), Cycles::new(20));
+    assert!(!intc.is_alive(ProcId::new(0)));
+    assert!(intc.signaled(ProcId::new(0)).is_none());
+    let sig = intc
+        .signaled(ProcId::new(1))
+        .expect("re-routed to survivor");
+    assert_eq!(
+        sig.source,
+        InterruptSource::Peripheral(PeripheralId::new(0))
+    );
+
+    intc.acknowledge(ProcId::new(1), Cycles::new(30));
+    intc.end_of_interrupt(ProcId::new(1), Cycles::new(40));
+    assert_eq!(intc.stats().raised, intc.stats().acknowledged);
+    assert_eq!(intc.pending_count(), 0);
+
+    // Idempotent; a second fail-stop of the same processor is a no-op.
+    intc.fail_stop(ProcId::new(0), Cycles::new(50));
+    assert!(intc.is_alive(ProcId::new(1)));
 }

@@ -56,6 +56,8 @@ pub struct KernelStats {
     pub context_words: u64,
     /// Aperiodic releases served.
     pub aperiodic_releases: u64,
+    /// Aperiodic arrivals shed by the policy's overload-degradation limit.
+    pub aperiodic_shed: u64,
     /// Inter-processor interrupts requested.
     pub ipis: u64,
 }
@@ -182,6 +184,41 @@ impl<S: Scheduler> Microkernel<S> {
         (job, pass)
     }
 
+    /// Like [`Microkernel::aperiodic_isr`], but subject to the policy's
+    /// overload-degradation limit: when the policy sheds the arrival
+    /// ([`Scheduler::try_release_aperiodic`] returns `None`), the ISR
+    /// acknowledges the peripheral and returns without enqueuing a job or
+    /// running the re-assignment pass. The shed still pays the ISR entry
+    /// cost — the interrupt fired either way.
+    pub fn try_aperiodic_isr(
+        &mut self,
+        task_index: usize,
+        on_proc: ProcId,
+        arrival: Cycles,
+        now: Cycles,
+    ) -> (Option<JobId>, SchedulingPass) {
+        match self.policy.try_release_aperiodic(task_index, arrival) {
+            Some(job) => {
+                self.stats.aperiodic_releases += 1;
+                let mut pass = self.scheduling_pass(on_proc, now, false);
+                pass.cost = pass.cost.plus(self.costs.aperiodic_isr());
+                (Some(job), pass)
+            }
+            None => {
+                self.stats.aperiodic_shed += 1;
+                (
+                    None,
+                    SchedulingPass {
+                        released: Vec::new(),
+                        promoted: Vec::new(),
+                        actions: Vec::new(),
+                        cost: self.costs.aperiodic_isr(),
+                    },
+                )
+            }
+        }
+    }
+
     /// Cost of carrying out `action` on its processor.
     pub fn switch_cost(&self, action: &SwitchAction) -> KernelCost {
         self.costs.context_switch(
@@ -286,6 +323,61 @@ impl<S: Scheduler> Microkernel<S> {
                 restore: Some(restore),
             }),
         )
+    }
+
+    /// Budget-overrun abort: retires `job` on `proc` without a completion,
+    /// freeing its context slot and the core's register file exactly like
+    /// [`Self::complete_job`] so the task's next activation boots a fresh
+    /// stack. Returns the aborted record and the follow-up switch action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is not running on `proc`.
+    pub fn abort_job(
+        &mut self,
+        proc: ProcId,
+        job: JobId,
+        now: Cycles,
+    ) -> (Job, Option<SwitchAction>) {
+        assert_eq!(
+            self.policy.running()[proc.index()],
+            Some(job),
+            "{job} is not running on {proc}"
+        );
+        let record = self.policy.kill_job(job, now);
+        let slot = self.context_slot_of_class(record.class);
+        let addr = self.mem.context_slot_addr(slot);
+        self.mem
+            .shared_mut()
+            .write_block(addr, &[0u32; CONTEXT_WORDS]);
+        self.processors[proc.index()].swap_context(RegisterFile::new());
+        let next = self.policy.pick_for_idle(proc);
+        (
+            record,
+            next.map(|restore| SwitchAction {
+                proc,
+                save: None,
+                restore: Some(restore),
+            }),
+        )
+    }
+
+    /// Processor fail-stop: delegates to the policy's failover (which
+    /// aborts the lost running job and re-homes the partition) and frees
+    /// the lost job's context slot — its saved context describes a stale
+    /// activation, and the task's next release must boot a fresh stack.
+    pub fn fail_stop(&mut self, proc: ProcId, now: Cycles) -> mpdp_core::policy::FailoverReport {
+        // The policy's failover aborts the running job, retiring its
+        // record — capture the context slot it was using first.
+        let doomed_slot = self.policy.running()[proc.index()].map(|job| self.context_slot_of(job));
+        let report = self.policy.fail_processor(proc, now);
+        if let (Some(slot), Some(_)) = (doomed_slot, report.lost) {
+            let addr = self.mem.context_slot_addr(slot);
+            self.mem
+                .shared_mut()
+                .write_block(addr, &[0u32; CONTEXT_WORDS]);
+        }
+        report
     }
 
     fn stack_words_of(&self, job: JobId) -> u32 {
@@ -403,6 +495,36 @@ mod tests {
         // Boot with nothing released: processors idle.
         let (_job, pass) = k.aperiodic_isr(0, ProcId::new(0), Cycles::ZERO, Cycles::ZERO);
         assert_eq!(pass.actions.len(), 1, "idle processor gets the aperiodic");
+        assert_eq!(k.stats().aperiodic_releases, 1);
+    }
+
+    #[test]
+    fn try_aperiodic_isr_sheds_beyond_the_policy_limit() {
+        use mpdp_core::policy::DegradationPolicy;
+        let p1 = PeriodicTask::new(TaskId::new(0), "P1", Cycles::new(40), Cycles::new(100))
+            .with_priorities(Priority::new(1), Priority::new(4))
+            .with_processor(ProcId::new(0));
+        let a1 = AperiodicTask::new(TaskId::new(1), "A1", Cycles::new(60));
+        let table = build_task_table(vec![p1], vec![a1], 1).unwrap();
+        let policy = MpdpPolicy::new(table)
+            .with_degradation(DegradationPolicy::default().with_shed_limit(1));
+        let mut k = Microkernel::new(policy, KernelCosts::default());
+        // Occupy the processor so arrivals queue in the ARQ.
+        let pass = k.scheduling_pass(ProcId::new(0), Cycles::ZERO, true);
+        for a in &pass.actions {
+            k.apply_switch(a, Cycles::ZERO);
+        }
+        let (first, _) = k.try_aperiodic_isr(0, ProcId::new(0), Cycles::new(10), Cycles::new(10));
+        assert!(first.is_some(), "first arrival admitted");
+        let (second, pass) =
+            k.try_aperiodic_isr(0, ProcId::new(0), Cycles::new(20), Cycles::new(20));
+        assert!(second.is_none(), "second arrival shed at the limit");
+        assert!(
+            pass.actions.is_empty(),
+            "shed arrival triggers no reassignment"
+        );
+        assert!(pass.cost.cpu > 0, "shed still pays the ISR entry cost");
+        assert_eq!(k.stats().aperiodic_shed, 1);
         assert_eq!(k.stats().aperiodic_releases, 1);
     }
 

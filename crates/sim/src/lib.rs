@@ -33,7 +33,7 @@
 //!     MpdpPolicy::new(table),
 //!     &[],
 //!     TheoreticalConfig::new(Cycles::new(500_000)).with_tick(Cycles::new(100_000)),
-//! );
+//! )?;
 //! assert_eq!(outcome.trace.deadline_misses(), 0);
 //! # Ok(())
 //! # }
@@ -53,7 +53,11 @@ pub mod trace;
 pub use export::{completions_csv, segments_csv};
 pub use gantt::render_gantt;
 pub use micro::{run_micro, AccessModel, MicroConfig, MicroResult, MicroTask};
-pub use prototype::{run_prototype, PrototypeConfig, PrototypeOutcome, PrototypeSim};
-pub use stats::{miss_ratio, proc_breakdowns, response_stats, ProcBreakdown, ResponseStats};
-pub use theoretical::{run_theoretical, SimOutcome, TheoreticalConfig};
+pub use prototype::{
+    run_prototype, run_prototype_with, PrototypeConfig, PrototypeOutcome, PrototypeSim,
+};
+pub use stats::{
+    miss_ratio, proc_breakdowns, response_stats, ProcBreakdown, ResponseStats, SurvivalStats,
+};
+pub use theoretical::{run_theoretical, run_theoretical_with, SimOutcome, TheoreticalConfig};
 pub use trace::{CompletionRecord, Segment, SegmentKind, Trace};

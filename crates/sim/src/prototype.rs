@@ -26,14 +26,17 @@
 
 use std::collections::VecDeque;
 
+use mpdp_core::error::TaskSetError;
 use mpdp_core::ids::{JobId, PeripheralId, ProcId, TaskId};
-use mpdp_core::policy::{JobClass, Scheduler, SwitchAction};
+use mpdp_core::policy::{DegradationPolicy, JobClass, OverrunAction, Scheduler, SwitchAction};
 use mpdp_core::time::{Cycles, DEFAULT_TICK};
+use mpdp_faults::CompiledFaults;
 use mpdp_hw::contention::ContentionModel;
 use mpdp_hw::timer::SystemTimer;
 use mpdp_intc::{IntcStats, InterruptSource, MpInterruptController};
 use mpdp_kernel::{KernelCost, KernelCosts, KernelStats, Microkernel};
 
+use crate::stats::SurvivalStats;
 use crate::trace::{Segment, SegmentKind, Trace};
 
 /// Configuration of a prototype run.
@@ -122,6 +125,8 @@ pub struct PrototypeOutcome {
     pub lock_contentions: u64,
     /// Total cycles ISRs spent waiting for that lock.
     pub lock_wait_cycles: Cycles,
+    /// Survivability counters (all-zero for fault-free runs).
+    pub survival: SurvivalStats,
 }
 
 /// What a busy (non-task) period resolves into when it ends.
@@ -181,6 +186,24 @@ pub struct PrototypeSim<S: Scheduler> {
     deferred: Vec<VecDeque<Cycles>>,
     /// In-flight activations per aperiodic task (0 or 1).
     outstanding: Vec<usize>,
+    /// Compiled fault plan (inert by default).
+    faults: CompiledFaults,
+    /// Degradation policy snapshot (from the scheduler).
+    deg: DegradationPolicy,
+    /// Whether any survival bookkeeping is needed this run.
+    track: bool,
+    survival: SurvivalStats,
+    /// Pending fail-stop `(proc, at)` from the fault plan.
+    fail_pending: Option<(usize, Cycles)>,
+    /// Recovery latency measurement armed by a fail-stop.
+    awaiting_recovery: bool,
+    /// Timer raises so far (coordinate for lost-interrupt decisions).
+    tick_seq: u64,
+    /// Next spurious-timer instant to inject (index into the plan's list).
+    spurious_idx: usize,
+    /// Per-job budget ledger: demand at release, enforcement budget, and
+    /// whether the overrun was already acted on (filled when `track`).
+    ledger: Vec<(f64, f64, bool)>,
 }
 
 impl<S: Scheduler> PrototypeSim<S> {
@@ -188,6 +211,7 @@ impl<S: Scheduler> PrototypeSim<S> {
     pub fn new(policy: S, config: PrototypeConfig) -> Self {
         let n_procs = policy.n_procs();
         let n_periph = policy.table().aperiodic().len().max(1);
+        let deg = policy.degradation();
         let kernel = Microkernel::new(policy, config.kernel_costs);
         PrototypeSim {
             intc: MpInterruptController::new(n_procs, n_periph, config.intc_ack_timeout),
@@ -206,9 +230,26 @@ impl<S: Scheduler> PrototypeSim<S> {
             arrival_fifo: vec![VecDeque::new(); n_periph],
             deferred: vec![VecDeque::new(); n_periph],
             outstanding: vec![0; n_periph],
+            track: !deg.is_inert(),
+            deg,
+            faults: CompiledFaults::none(),
+            survival: SurvivalStats::default(),
+            fail_pending: None,
+            awaiting_recovery: false,
+            tick_seq: 0,
+            spurious_idx: 0,
+            ledger: Vec::new(),
             kernel,
             config,
         }
+    }
+
+    /// Arms a compiled fault plan for this run.
+    pub fn with_faults(mut self, faults: CompiledFaults) -> Self {
+        self.fail_pending = faults.fail_stop();
+        self.track = self.track || !faults.is_empty();
+        self.faults = faults;
+        self
     }
 
     /// Access to the interrupt controller (for pre-run configuration such
@@ -220,14 +261,21 @@ impl<S: Scheduler> PrototypeSim<S> {
     /// Runs to the horizon, injecting aperiodic arrivals
     /// `(instant, aperiodic task index)` (sorted).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if arrivals are unsorted.
-    pub fn run(mut self, arrivals: &[(Cycles, usize)]) -> PrototypeOutcome {
-        assert!(
-            arrivals.windows(2).all(|w| w[0].0 <= w[1].0),
-            "arrivals must be sorted"
-        );
+    /// [`TaskSetError::UnsortedArrivals`] if arrivals are unsorted;
+    /// [`TaskSetError::InvalidParameter`] if a configured bus rate is
+    /// negative or non-finite.
+    pub fn run(mut self, arrivals: &[(Cycles, usize)]) -> Result<PrototypeOutcome, TaskSetError> {
+        if arrivals.windows(2).any(|w| w[0].0 > w[1].0) {
+            return Err(TaskSetError::UnsortedArrivals);
+        }
+        if !self.config.kernel_bus_rate.is_finite() || self.config.kernel_bus_rate < 0.0 {
+            return Err(TaskSetError::InvalidParameter("kernel_bus_rate"));
+        }
+        if !self.config.isr_bus_rate.is_finite() || self.config.isr_bus_rate < 0.0 {
+            return Err(TaskSetError::InvalidParameter("isr_bus_rate"));
+        }
         let mut arrival_idx = 0usize;
         if let Some(pin) = self.config.pin_interrupts_to {
             for per in 0..self.kernel.policy().table().aperiodic().len().max(1) {
@@ -251,6 +299,21 @@ impl<S: Scheduler> PrototypeSim<S> {
                     t = t.min(internal);
                 }
             }
+            if !self.faults.is_empty() {
+                if let Some((_, at)) = self.fail_pending {
+                    if at > self.now {
+                        t = t.min(at);
+                    }
+                }
+                if let Some(&sp) = self.faults.spurious().get(self.spurious_idx) {
+                    if sp > self.now {
+                        t = t.min(sp);
+                    }
+                }
+                if let Some(edge) = self.faults.next_bus_edge(self.now) {
+                    t = t.min(edge);
+                }
+            }
             for p in 0..self.n_procs() {
                 match &self.activity[p] {
                     Activity::Busy { until, .. } => t = t.min(*until),
@@ -272,6 +335,13 @@ impl<S: Scheduler> PrototypeSim<S> {
                 break;
             }
 
+            // 0. Processor fail-stop (fault plan).
+            if let Some((p, at)) = self.fail_pending {
+                if at <= self.now {
+                    self.fail_pending = None;
+                    self.apply_fail_stop(p);
+                }
+            }
             // 1. Busy periods ending.
             for p in 0..self.n_procs() {
                 if let Activity::Busy { until, .. } = &self.activity[p] {
@@ -308,13 +378,42 @@ impl<S: Scheduler> PrototypeSim<S> {
                     self.intc.raise_timer(self.now);
                 }
             }
-            // 7. Timer ticks.
+            // 7. Timer ticks (a tick whose interrupt the fault plan loses
+            // never reaches the controller; its releases are recovered by
+            // the next surviving tick).
             while self.timer.is_due(self.now) {
                 self.timer.acknowledge();
+                self.tick_seq += 1;
+                if !self.faults.is_empty() && self.faults.interrupt_lost(self.tick_seq) {
+                    self.survival.lost_irqs += 1;
+                    continue;
+                }
                 match self.config.pin_interrupts_to {
                     Some(pin) => self.intc.raise_timer_to(pin, self.now),
                     None => self.intc.raise_timer(self.now),
                 }
+            }
+            // 7b. Spurious timer interrupts from the fault plan.
+            while let Some(&sp) = self.faults.spurious().get(self.spurious_idx) {
+                if sp > self.now {
+                    break;
+                }
+                self.spurious_idx += 1;
+                self.survival.spurious_irqs += 1;
+                match self.config.pin_interrupts_to {
+                    Some(pin) => self.intc.raise_timer_to(pin, self.now),
+                    None => self.intc.raise_timer(self.now),
+                }
+            }
+            // 7c. Detection: deadline misses and budget overruns.
+            if self.track {
+                for _miss in self.kernel.policy_mut().detect_missed(self.now) {
+                    self.survival.miss_events += 1;
+                    if self.survival.first_miss.is_none() {
+                        self.survival.first_miss = Some(self.now);
+                    }
+                }
+                self.enforce_budgets();
             }
             // 8. Idle processors pull queued work.
             self.scavenge();
@@ -324,13 +423,95 @@ impl<S: Scheduler> PrototypeSim<S> {
         for p in 0..self.n_procs() {
             self.close_segment(ProcId::new(p as u32));
         }
-        PrototypeOutcome {
+        if self.track {
+            self.survival.shed += self.kernel.stats().aperiodic_shed;
+            if self.survival.failed_proc.is_none() {
+                let (g, total) = self.kernel.policy().guaranteed_tasks();
+                self.survival.guaranteed_tasks = g as u64;
+                self.survival.total_tasks = total as u64;
+            }
+        }
+        Ok(PrototypeOutcome {
             trace: self.trace,
             end: self.now,
             kernel: self.kernel.stats(),
             intc: self.intc.stats(),
             lock_contentions: self.lock_contentions,
             lock_wait_cycles: self.lock_wait_cycles,
+            survival: self.survival,
+        })
+    }
+
+    /// Applies a fail-stop of processor `p` right now: whatever the core
+    /// was doing — running a job, moving a context, or handling an
+    /// interrupt — dies with it. The controller withdraws and re-routes any
+    /// unacknowledged line; the policy aborts the running job and re-homes
+    /// the partition (online re-admission).
+    fn apply_fail_stop(&mut self, p: usize) {
+        let proc = ProcId::new(p as u32);
+        self.close_segment(proc);
+        self.activity[p] = Activity::Idle;
+        self.intc.fail_stop(proc, self.now);
+        let report = self.kernel.fail_stop(proc, self.now);
+        self.survival.failed_proc = Some(p as u32);
+        self.survival.fail_at = Some(self.now);
+        self.survival.guaranteed_tasks = report.guaranteed as u64;
+        self.survival.total_tasks = report.total as u64;
+        if report.lost.is_some() {
+            // The running job's context died in the core's registers.
+            self.survival.kills += 1;
+        }
+        self.awaiting_recovery = true;
+    }
+
+    /// Tick-granular execution-budget enforcement over the jobs currently
+    /// executing, applying the configured overrun action once per job.
+    fn enforce_budgets(&mut self) {
+        let Some(action) = self.deg.overrun else {
+            return;
+        };
+        for p in 0..self.n_procs() {
+            let Activity::Running(job) = self.activity[p] else {
+                continue;
+            };
+            let idx = job.index();
+            let Some(&(init, bud, done)) = self.ledger.get(idx) else {
+                continue;
+            };
+            if done || init - self.remaining[idx] <= bud {
+                continue;
+            }
+            self.ledger[idx].2 = true;
+            self.survival.overruns += 1;
+            match action {
+                OverrunAction::RunToCompletion => {}
+                OverrunAction::Kill => {
+                    let proc = ProcId::new(p as u32);
+                    let task = self.task_of(job);
+                    self.close_segment(proc);
+                    let (record, next) = self.kernel.abort_job(proc, job, self.now);
+                    self.trace.record_abort(&record, task, self.now);
+                    self.survival.kills += 1;
+                    if let JobClass::Aperiodic { task_index } = record.class {
+                        // Same re-trigger bookkeeping as a completion.
+                        self.outstanding[task_index] -= 1;
+                        if let Some(arrival) = self.deferred[task_index].pop_front() {
+                            self.outstanding[task_index] += 1;
+                            self.arrival_fifo[task_index].push_back(arrival);
+                            self.intc
+                                .raise_peripheral(PeripheralId::new(task_index as u32), self.now);
+                        }
+                    }
+                    self.set_activity(proc, Activity::Idle);
+                    if let Some(action) = next {
+                        self.start_switch(proc, action, false);
+                    }
+                }
+                OverrunAction::Demote => {
+                    self.kernel.policy_mut().demote_job(job);
+                    self.survival.demotions += 1;
+                }
+            }
         }
     }
 
@@ -395,6 +576,16 @@ impl<S: Scheduler> PrototypeSim<S> {
             })
             .collect();
         self.speeds = self.contention.speeds(&rates);
+        if !self.faults.is_empty() {
+            // Transient bus-latency spike: every memory access is slower, so
+            // all execution slows by the compounded window factor.
+            let f = self.faults.bus_factor(self.now);
+            if f > 1.0 {
+                for s in &mut self.speeds {
+                    *s /= f;
+                }
+            }
+        }
     }
 
     /// Prices a kernel burst under current load. A context move is a
@@ -469,12 +660,39 @@ impl<S: Scheduler> PrototypeSim<S> {
                 );
             }
             InterruptSource::Peripheral(per) => {
-                let arrival = self.arrival_fifo[per.index()]
-                    .pop_front()
-                    .expect("peripheral ISR with no latched arrival");
-                let (_job, pass) = self
-                    .kernel
-                    .aperiodic_isr(per.index(), proc, arrival, self.now);
+                let Some(arrival) = self.arrival_fifo[per.index()].pop_front() else {
+                    // A raise with no latched arrival is a spurious line:
+                    // pay the ISR prologue/epilogue and release nothing.
+                    let cost = KernelCost {
+                        cpu: self.config.kernel_costs.isr_entry + self.config.kernel_costs.isr_exit,
+                        bus_words: 2,
+                    };
+                    let busy = self.cost_duration(cost);
+                    let wait = self.acquire_sched_lock(self.now + busy);
+                    self.set_activity(
+                        proc,
+                        Activity::Busy {
+                            until: self.now + wait + busy,
+                            work: BusyWork::IpiResolve,
+                            paused,
+                            in_isr: true,
+                        },
+                    );
+                    return;
+                };
+                let (job, pass) =
+                    self.kernel
+                        .try_aperiodic_isr(per.index(), proc, arrival, self.now);
+                if job.is_none() {
+                    // Shed under overload: acknowledge only. A deferred
+                    // re-trigger (if any) gets its chance next.
+                    self.outstanding[per.index()] -= 1;
+                    if let Some(next) = self.deferred[per.index()].pop_front() {
+                        self.outstanding[per.index()] += 1;
+                        self.arrival_fifo[per.index()].push_back(next);
+                        self.intc.raise_peripheral(per, self.now);
+                    }
+                }
                 for job in pass.released.iter().chain(&pass.promoted) {
                     self.ensure_job(*job);
                 }
@@ -524,6 +742,12 @@ impl<S: Scheduler> PrototypeSim<S> {
         };
         match work {
             BusyWork::SchedPass => {
+                if self.awaiting_recovery {
+                    // First scheduling pass completed after a fail-stop:
+                    // the re-homed assignment takes effect here.
+                    self.awaiting_recovery = false;
+                    self.survival.recovery_at = Some(self.now);
+                }
                 // Recompute the assignment *now* — completions and other
                 // processors' switches may have landed during the pass — and
                 // raise IPIs for every remote processor whose task changed.
@@ -729,15 +953,29 @@ impl<S: Scheduler> PrototypeSim<S> {
             self.remaining.resize(idx + 1, f64::NAN);
         }
         if self.remaining[idx].is_nan() {
-            let demand = match self.kernel.policy().job(job).class {
-                JobClass::Periodic { task_index } => {
-                    self.kernel.policy().table().periodic()[task_index].wcet()
-                }
-                JobClass::Aperiodic { task_index } => {
-                    self.kernel.policy().table().aperiodic()[task_index].exec()
-                }
+            let (nominal, coord) = match self.kernel.policy().job(job).class {
+                JobClass::Periodic { task_index } => (
+                    self.kernel.policy().table().periodic()[task_index].wcet(),
+                    task_index,
+                ),
+                JobClass::Aperiodic { task_index } => (
+                    self.kernel.policy().table().aperiodic()[task_index].exec(),
+                    self.kernel.policy().table().periodic().len() + task_index,
+                ),
             };
-            self.remaining[idx] = demand.as_u64() as f64;
+            let nominal = nominal.as_u64() as f64;
+            let mut demand = nominal;
+            if !self.faults.is_empty() {
+                let release = self.kernel.policy().job(job).release;
+                demand *= self.faults.exec_factor(coord, release);
+            }
+            self.remaining[idx] = demand;
+            if self.track {
+                if self.ledger.len() <= idx {
+                    self.ledger.resize(idx + 1, (0.0, 0.0, true));
+                }
+                self.ledger[idx] = (demand, nominal * self.deg.budget_margin, false);
+            }
         }
     }
 
@@ -788,14 +1026,42 @@ impl<S: Scheduler> PrototypeSim<S> {
 }
 
 /// Convenience: builds and runs a prototype simulation over an MPDP policy.
+///
+/// # Errors
+///
+/// See [`PrototypeSim::run`].
 pub fn run_prototype<S: Scheduler>(
     policy: S,
     arrivals: &[(Cycles, usize)],
     config: PrototypeConfig,
-) -> PrototypeOutcome {
+) -> Result<PrototypeOutcome, TaskSetError> {
     // Jobs released through the timer path have their ledgers created in
     // `acknowledge`/`start_switch`; pre-size nothing.
     PrototypeSim::new(policy, config).run(arrivals)
+}
+
+/// [`run_prototype`] under a compiled fault plan.
+///
+/// Fault semantics in the prototype stack: WCET overruns multiply job
+/// demand; bus spikes slow every processor while the window is open; a
+/// fail-stop kills the core mid-whatever-it-was-doing, and the interrupt
+/// controller re-routes its unacknowledged line; lost interrupts swallow
+/// timer raises (their releases recover at the next tick); spurious
+/// interrupts add extra timer raises. Budget enforcement and deadline-miss
+/// detection are tick-granular, as in the theoretical stack.
+///
+/// # Errors
+///
+/// See [`PrototypeSim::run`].
+pub fn run_prototype_with<S: Scheduler>(
+    policy: S,
+    arrivals: &[(Cycles, usize)],
+    config: PrototypeConfig,
+    faults: &CompiledFaults,
+) -> Result<PrototypeOutcome, TaskSetError> {
+    PrototypeSim::new(policy, config)
+        .with_faults(faults.clone())
+        .run(arrivals)
 }
 
 #[cfg(test)]
@@ -848,7 +1114,7 @@ mod tests {
 
     #[test]
     fn periodic_jobs_complete_and_meet_deadlines() {
-        let outcome = run_prototype(policy(2), &[], cfg(40));
+        let outcome = run_prototype(policy(2), &[], cfg(40)).unwrap();
         let t0 = outcome.trace.completions_of(TaskId::new(0)).count();
         let t1 = outcome.trace.completions_of(TaskId::new(1)).count();
         assert_eq!(t0, 4, "period 10 ticks over 40 ticks");
@@ -858,7 +1124,7 @@ mod tests {
 
     #[test]
     fn overheads_make_prototype_slower_than_ideal() {
-        let outcome = run_prototype(policy(1), &[], cfg(10));
+        let outcome = run_prototype(policy(1), &[], cfg(10)).unwrap();
         let t0 = outcome
             .trace
             .completions_of(TaskId::new(0))
@@ -877,7 +1143,7 @@ mod tests {
     #[test]
     fn aperiodic_served_via_interrupt_path() {
         let arrivals = vec![(TICK * 5, 0usize)];
-        let outcome = run_prototype(policy(2), &arrivals, cfg(40));
+        let outcome = run_prototype(policy(2), &arrivals, cfg(40)).unwrap();
         let ap = outcome
             .trace
             .completions_of(TaskId::new(2))
@@ -896,7 +1162,7 @@ mod tests {
 
     #[test]
     fn kernel_activity_is_accounted() {
-        let outcome = run_prototype(policy(2), &[(TICK * 3, 0)], cfg(30));
+        let outcome = run_prototype(policy(2), &[(TICK * 3, 0)], cfg(30)).unwrap();
         assert!(outcome.kernel.sched_passes >= 30, "one pass per tick");
         assert!(outcome.kernel.context_switches > 0);
         assert_eq!(outcome.kernel.aperiodic_releases, 1);
@@ -905,7 +1171,7 @@ mod tests {
     #[test]
     fn more_processors_do_not_lose_work() {
         for n in [1usize, 2, 3, 4] {
-            let outcome = run_prototype(policy(n), &[], cfg(40));
+            let outcome = run_prototype(policy(n), &[], cfg(40)).unwrap();
             assert_eq!(
                 outcome.trace.deadline_misses(),
                 0,
@@ -917,7 +1183,7 @@ mod tests {
 
     #[test]
     fn segments_recorded_when_enabled() {
-        let outcome = run_prototype(policy(1), &[], cfg(10).with_segments());
+        let outcome = run_prototype(policy(1), &[], cfg(10).with_segments()).unwrap();
         assert!(!outcome.trace.segments.is_empty());
         let kinds: std::collections::HashSet<_> =
             outcome.trace.segments.iter().map(|s| s.kind).collect();
@@ -943,7 +1209,7 @@ mod tests {
         let arrivals: Vec<(Cycles, usize)> = (0..40)
             .map(|i| (Cycles::new(60_000 * i + 10), 0usize))
             .collect();
-        let outcome = run_prototype(policy(2), &arrivals, cfg(60));
+        let outcome = run_prototype(policy(2), &arrivals, cfg(60)).unwrap();
         assert_eq!(outcome.trace.deadline_misses(), 0);
         assert!(outcome.trace.completions_of(TaskId::new(2)).count() > 10);
     }

@@ -156,6 +156,100 @@ impl ResponseAccumulator {
     }
 }
 
+/// Survivability counters collected by a simulator run under fault
+/// injection and graceful degradation. All-zero (the `Default`) for a
+/// fault-free run with inert degradation — the simulators skip the
+/// bookkeeping entirely in that case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SurvivalStats {
+    /// Deadline misses detected by the policy's tick-time scan (each live
+    /// job reported at most once).
+    pub miss_events: u64,
+    /// Instant of the first detected deadline miss.
+    pub first_miss: Option<Cycles>,
+    /// Execution-budget overruns detected (whatever the configured action).
+    pub overruns: u64,
+    /// Overrunning jobs aborted (`OverrunAction::Kill`), plus jobs lost
+    /// mid-execution to a processor fail-stop.
+    pub kills: u64,
+    /// Overrunning jobs demoted to the background band
+    /// (`OverrunAction::Demote`).
+    pub demotions: u64,
+    /// Aperiodic arrivals shed by the overload limit.
+    pub shed: u64,
+    /// Timer interrupts lost at the controller (prototype stack only).
+    pub lost_irqs: u64,
+    /// Spurious timer interrupts injected (prototype stack only).
+    pub spurious_irqs: u64,
+    /// The processor that fail-stopped, if any.
+    pub failed_proc: Option<u32>,
+    /// Instant the fail-stop was applied.
+    pub fail_at: Option<Cycles>,
+    /// Instant the first post-failure scheduling pass completed — the
+    /// recovery latency is `recovery_at − fail_at`.
+    pub recovery_at: Option<Cycles>,
+    /// Periodic tasks still guaranteed by the online re-admission analysis
+    /// after the failure (equals `total_tasks` when nothing failed).
+    pub guaranteed_tasks: u64,
+    /// Total periodic tasks in the table.
+    pub total_tasks: u64,
+}
+
+impl SurvivalStats {
+    /// Recovery latency (`recovery_at − fail_at`), when a failure happened
+    /// and a scheduling pass completed afterwards.
+    pub fn recovery_latency(&self) -> Option<Cycles> {
+        match (self.fail_at, self.recovery_at) {
+            (Some(f), Some(r)) => Some(r.saturating_sub(f)),
+            _ => None,
+        }
+    }
+
+    /// Fraction of periodic tasks still guaranteed (1.0 when the run never
+    /// lost a processor or has no periodic tasks).
+    pub fn guaranteed_fraction(&self) -> f64 {
+        if self.total_tasks == 0 {
+            1.0
+        } else {
+            self.guaranteed_tasks as f64 / self.total_tasks as f64
+        }
+    }
+
+    /// Merges counters from another run (aggregation across sweep cells):
+    /// sums the counts, keeps the earliest first-miss/fail/recovery
+    /// instants, and the minimum guaranteed fraction's numerator/denominator
+    /// pair.
+    pub fn merge(&mut self, other: &Self) {
+        self.miss_events += other.miss_events;
+        self.overruns += other.overruns;
+        self.kills += other.kills;
+        self.demotions += other.demotions;
+        self.shed += other.shed;
+        self.lost_irqs += other.lost_irqs;
+        self.spurious_irqs += other.spurious_irqs;
+        self.first_miss = min_opt(self.first_miss, other.first_miss);
+        self.fail_at = min_opt(self.fail_at, other.fail_at);
+        self.recovery_at = min_opt(self.recovery_at, other.recovery_at);
+        if self.failed_proc.is_none() {
+            self.failed_proc = other.failed_proc;
+        }
+        if other.total_tasks > 0
+            && (self.total_tasks == 0 || other.guaranteed_fraction() < self.guaranteed_fraction())
+        {
+            self.guaranteed_tasks = other.guaranteed_tasks;
+            self.total_tasks = other.total_tasks;
+        }
+    }
+}
+
+fn min_opt(a: Option<Cycles>, b: Option<Cycles>) -> Option<Cycles> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
 /// Computes the response distribution of one task's completions, `None` if
 /// it never completed.
 pub fn response_stats(trace: &Trace, task: TaskId) -> Option<ResponseStats> {

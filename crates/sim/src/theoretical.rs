@@ -11,10 +11,13 @@
 //! and all overheads are folded into a configurable fractional inflation of
 //! every job's execution demand (the paper's 2%).
 
+use mpdp_core::error::TaskSetError;
 use mpdp_core::ids::{JobId, ProcId, TaskId};
-use mpdp_core::policy::{JobClass, Scheduler};
+use mpdp_core::policy::{JobClass, OverrunAction, Scheduler};
 use mpdp_core::time::{Cycles, DEFAULT_TICK};
+use mpdp_faults::CompiledFaults;
 
+use crate::stats::SurvivalStats;
 use crate::trace::{Segment, SegmentKind, Trace};
 
 /// Configuration of a theoretical run.
@@ -54,16 +57,10 @@ impl TheoreticalConfig {
         self
     }
 
-    /// Sets the overhead fraction.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `overhead` is negative or not finite.
+    /// Sets the overhead fraction. Validated when the simulator runs: a
+    /// negative or non-finite value makes [`run_theoretical`] return
+    /// [`TaskSetError::InvalidParameter`].
     pub fn with_overhead(mut self, overhead: f64) -> Self {
-        assert!(
-            overhead.is_finite() && overhead >= 0.0,
-            "overhead must be non-negative"
-        );
         self.overhead = overhead;
         self
     }
@@ -90,27 +87,70 @@ pub struct SimOutcome {
     pub switches: u64,
     /// Simulated end time.
     pub end: Cycles,
+    /// Survivability counters (all-zero for fault-free runs).
+    pub survival: SurvivalStats,
 }
 
 /// Runs the theoretical simulator over `policy` until the horizon, injecting
 /// aperiodic arrivals `(instant, aperiodic task index)` (must be sorted by
-/// instant).
+/// instant). Equivalent to [`run_theoretical_with`] with no faults.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if arrivals are unsorted or reference an out-of-range aperiodic
-/// task.
+/// [`TaskSetError::UnsortedArrivals`] if arrivals are unsorted;
+/// [`TaskSetError::InvalidParameter`] if the configured overhead is negative
+/// or non-finite.
 pub fn run_theoretical<S: Scheduler>(
+    policy: S,
+    arrivals: &[(Cycles, usize)],
+    config: TheoreticalConfig,
+) -> Result<SimOutcome, TaskSetError> {
+    run_theoretical_with(policy, arrivals, config, &CompiledFaults::none())
+}
+
+/// [`run_theoretical`] under a compiled fault plan.
+///
+/// Fault semantics in the theoretical (idealized) stack:
+///
+/// * **WCET overruns** multiply the demand of the afflicted job;
+/// * **bus spikes** inflate the demand of jobs *released* inside the spike
+///   window (the idealized stack has no bus, so the slowdown is folded into
+///   demand; the prototype stack instead slows execution during the window);
+/// * **processor fail-stop** invokes the policy's online failover at the
+///   configured instant;
+/// * **lost/spurious interrupts** are prototype-only (this stack has no
+///   interrupt controller) and are ignored here;
+/// * extra arrivals from overload bursts are merged into `arrivals` by the
+///   caller (the sweep engine does this), not here.
+///
+/// Budget enforcement and deadline-miss detection run at scheduling passes
+/// (tick-granular), matching how a real enforcement timer behaves. Budgets
+/// compare *executed work* against `nominal demand × budget_margin`, where
+/// nominal demand includes the overhead inflation but **not** the fault
+/// factor — so a margin of 1.0 never flags healthy jobs.
+///
+/// With an empty plan and an inert degradation policy this function is
+/// byte-for-byte equivalent to the pre-fault simulator: no extra floating
+/// point touches healthy quantities and no survival bookkeeping runs.
+///
+/// # Errors
+///
+/// Same as [`run_theoretical`].
+pub fn run_theoretical_with<S: Scheduler>(
     mut policy: S,
     arrivals: &[(Cycles, usize)],
     config: TheoreticalConfig,
-) -> SimOutcome {
-    assert!(
-        arrivals.windows(2).all(|w| w[0].0 <= w[1].0),
-        "arrivals must be sorted by instant"
-    );
+    faults: &CompiledFaults,
+) -> Result<SimOutcome, TaskSetError> {
+    if arrivals.windows(2).any(|w| w[0].0 > w[1].0) {
+        return Err(TaskSetError::UnsortedArrivals);
+    }
+    if !config.overhead.is_finite() || config.overhead < 0.0 {
+        return Err(TaskSetError::InvalidParameter("overhead"));
+    }
     let scale = 1.0 + config.overhead;
     let n_aperiodic = policy.table().aperiodic().len();
+    let n_periodic = policy.table().periodic().len();
     // Per-task activation serialization: a trigger arriving while the same
     // task's previous activation is in flight is deferred until it retires
     // (one context slot per task); response is still measured from arrival.
@@ -126,15 +166,43 @@ pub fn run_theoretical<S: Scheduler>(
     // Per-processor open segment (job, task, start) for Gantt recording.
     let mut open: Vec<Option<(JobId, TaskId, Cycles)>> = vec![None; policy.n_procs()];
 
+    // Fault/degradation state. `track` gates every piece of survival
+    // bookkeeping so fault-free runs take the exact pre-fault code path.
+    let deg = policy.degradation();
+    let track = !faults.is_empty() || !deg.is_inert();
+    let mut survival = SurvivalStats::default();
+    let mut fail_pending = faults.fail_stop();
+    let mut awaiting_recovery = false;
+    // Per-job budget ledger (filled only when `track`): demand at release,
+    // enforcement budget, and whether the overrun was already acted on.
+    let mut ledger: Vec<(Cycles, Cycles, bool)> = Vec::new();
+
     let demand_of = |policy: &S, job: JobId| -> Cycles {
-        match policy.job(job).class {
+        let (base, coord) = match policy.job(job).class {
             JobClass::Periodic { task_index } => {
-                policy.table().periodic()[task_index].wcet().scale(scale)
+                (policy.table().periodic()[task_index].wcet(), task_index)
             }
-            JobClass::Aperiodic { task_index } => {
-                policy.table().aperiodic()[task_index].exec().scale(scale)
-            }
+            JobClass::Aperiodic { task_index } => (
+                policy.table().aperiodic()[task_index].exec(),
+                n_periodic + task_index,
+            ),
+        };
+        if faults.is_empty() {
+            base.scale(scale)
+        } else {
+            // Bus spikes have no bus to act on in this stack; they inflate
+            // the demand of jobs released inside the window instead.
+            let release = policy.job(job).release;
+            let f = faults.exec_factor(coord, release) * faults.bus_factor(release);
+            base.scale(scale * f)
         }
+    };
+    let nominal_of = |policy: &S, job: JobId| -> Cycles {
+        match policy.job(job).class {
+            JobClass::Periodic { task_index } => policy.table().periodic()[task_index].wcet(),
+            JobClass::Aperiodic { task_index } => policy.table().aperiodic()[task_index].exec(),
+        }
+        .scale(scale)
     };
     let task_of = |policy: &S, job: JobId| -> TaskId {
         match policy.job(job).class {
@@ -167,6 +235,11 @@ pub fn run_theoretical<S: Scheduler>(
                 t = t.min(internal);
             }
         }
+        if let Some((_, at)) = fail_pending {
+            if at > now {
+                t = t.min(at);
+            }
+        }
         if t >= config.horizon {
             t = config.horizon;
         }
@@ -188,6 +261,32 @@ pub fn run_theoretical<S: Scheduler>(
 
         let mut reassign = false;
 
+        // --- Processor fail-stop. ---
+        if let Some((p, at)) = fail_pending {
+            if at <= now {
+                fail_pending = None;
+                let report = policy.fail_processor(ProcId::new(p as u32), now);
+                survival.failed_proc = Some(p as u32);
+                survival.fail_at = Some(now);
+                survival.guaranteed_tasks = report.guaranteed as u64;
+                survival.total_tasks = report.total as u64;
+                if report.lost.is_some() {
+                    // The running job's context died with the core.
+                    survival.kills += 1;
+                }
+                close_segment(
+                    &mut open,
+                    &mut trace,
+                    ProcId::new(p as u32),
+                    now,
+                    config.record_segments,
+                );
+                // Recovery completes at the next scheduling pass, which
+                // re-applies the (re-homed) assignment.
+                awaiting_recovery = true;
+            }
+        }
+
         // --- Completions. ---
         loop {
             let done: Option<(ProcId, JobId)> = (0..policy.n_procs()).find_map(|p| {
@@ -201,14 +300,23 @@ pub fn run_theoretical<S: Scheduler>(
             trace.record_completion(&record, task, now);
             if let JobClass::Aperiodic { task_index } = record.class {
                 outstanding[task_index] -= 1;
-                if let Some(arrival) = deferred[task_index].pop_front() {
-                    outstanding[task_index] += 1;
-                    let job = policy.release_aperiodic(task_index, arrival);
-                    if remaining.len() <= job.index() {
-                        remaining.resize(job.index() + 1, Cycles::ZERO);
+                while let Some(arrival) = deferred[task_index].pop_front() {
+                    match policy.try_release_aperiodic(task_index, arrival) {
+                        Some(job) => {
+                            outstanding[task_index] += 1;
+                            let idx = job.index();
+                            grow_to(&mut remaining, idx, Cycles::ZERO);
+                            remaining[idx] = demand_of(&policy, job);
+                            if track {
+                                grow_to(&mut ledger, idx, (Cycles::ZERO, Cycles::ZERO, true));
+                                let b = nominal_of(&policy, job).scale(deg.budget_margin);
+                                ledger[idx] = (remaining[idx], b, false);
+                            }
+                            reassign = true;
+                            break;
+                        }
+                        None => survival.shed += 1,
                     }
-                    remaining[job.index()] = demand_of(&policy, job);
-                    reassign = true;
                 }
             }
             close_segment(&mut open, &mut trace, proc, now, config.record_segments);
@@ -227,13 +335,21 @@ pub fn run_theoretical<S: Scheduler>(
             if outstanding[task_index] > 0 {
                 deferred[task_index].push_back(at);
             } else {
-                outstanding[task_index] += 1;
-                let job = policy.release_aperiodic(task_index, at);
-                if remaining.len() <= job.index() {
-                    remaining.resize(job.index() + 1, Cycles::ZERO);
+                match policy.try_release_aperiodic(task_index, at) {
+                    Some(job) => {
+                        outstanding[task_index] += 1;
+                        let idx = job.index();
+                        grow_to(&mut remaining, idx, Cycles::ZERO);
+                        remaining[idx] = demand_of(&policy, job);
+                        if track {
+                            grow_to(&mut ledger, idx, (Cycles::ZERO, Cycles::ZERO, true));
+                            let b = nominal_of(&policy, job).scale(deg.budget_margin);
+                            ledger[idx] = (remaining[idx], b, false);
+                        }
+                        reassign = true;
+                    }
+                    None => survival.shed += 1,
                 }
-                remaining[job.index()] = demand_of(&policy, job);
-                reassign = true;
             }
             arrival_idx += 1;
         }
@@ -257,12 +373,84 @@ pub fn run_theoretical<S: Scheduler>(
         }
 
         if reassign {
+            // --- Detection: deadline misses and budget overruns (the
+            // enforcement timer fires with the scheduling pass). ---
+            if track {
+                for _miss in policy.detect_missed(now) {
+                    survival.miss_events += 1;
+                    if survival.first_miss.is_none() {
+                        survival.first_miss = Some(now);
+                    }
+                }
+                if let Some(action) = deg.overrun {
+                    for p in 0..policy.n_procs() {
+                        let Some(job) = policy.running()[p] else {
+                            continue;
+                        };
+                        let idx = job.index();
+                        let (init, bud, done) = ledger[idx];
+                        if done || init.saturating_sub(remaining[idx]) <= bud {
+                            continue;
+                        }
+                        ledger[idx].2 = true;
+                        survival.overruns += 1;
+                        match action {
+                            OverrunAction::RunToCompletion => {}
+                            OverrunAction::Kill => {
+                                let task = task_of(&policy, job);
+                                let record = policy.kill_job(job, now);
+                                trace.record_abort(&record, task, now);
+                                survival.kills += 1;
+                                close_segment(
+                                    &mut open,
+                                    &mut trace,
+                                    ProcId::new(p as u32),
+                                    now,
+                                    config.record_segments,
+                                );
+                                if let JobClass::Aperiodic { task_index } = record.class {
+                                    // Same re-trigger bookkeeping as a
+                                    // completion.
+                                    outstanding[task_index] -= 1;
+                                    while let Some(arrival) = deferred[task_index].pop_front() {
+                                        match policy.try_release_aperiodic(task_index, arrival) {
+                                            Some(j2) => {
+                                                outstanding[task_index] += 1;
+                                                let idx = j2.index();
+                                                grow_to(&mut remaining, idx, Cycles::ZERO);
+                                                remaining[idx] = demand_of(&policy, j2);
+                                                grow_to(
+                                                    &mut ledger,
+                                                    idx,
+                                                    (Cycles::ZERO, Cycles::ZERO, true),
+                                                );
+                                                let b = nominal_of(&policy, j2)
+                                                    .scale(deg.budget_margin);
+                                                ledger[idx] = (remaining[idx], b, false);
+                                                break;
+                                            }
+                                            None => survival.shed += 1,
+                                        }
+                                    }
+                                }
+                            }
+                            OverrunAction::Demote => {
+                                policy.demote_job(job);
+                                survival.demotions += 1;
+                            }
+                        }
+                    }
+                }
+            }
             for job in policy.release_due(now) {
                 let idx = job.index();
-                if remaining.len() <= idx {
-                    remaining.resize(idx + 1, Cycles::ZERO);
-                }
+                grow_to(&mut remaining, idx, Cycles::ZERO);
                 remaining[idx] = demand_of(&policy, job);
+                if track {
+                    grow_to(&mut ledger, idx, (Cycles::ZERO, Cycles::ZERO, true));
+                    let b = nominal_of(&policy, job).scale(deg.budget_margin);
+                    ledger[idx] = (remaining[idx], b, false);
+                }
             }
             policy.promote_due(now);
             let desired = policy.assign();
@@ -289,6 +477,12 @@ pub fn run_theoretical<S: Scheduler>(
                     open_segment(&mut open, action.proc, j, task, now, config.record_segments);
                 }
             }
+            if awaiting_recovery {
+                // First scheduling pass after the fail-stop: the degraded
+                // assignment is in force.
+                awaiting_recovery = false;
+                survival.recovery_at = Some(now);
+            }
         }
     }
 
@@ -303,10 +497,22 @@ pub fn run_theoretical<S: Scheduler>(
         );
     }
 
-    SimOutcome {
+    if track && survival.failed_proc.is_none() {
+        let (g, total) = policy.guaranteed_tasks();
+        survival.guaranteed_tasks = g as u64;
+        survival.total_tasks = total as u64;
+    }
+    Ok(SimOutcome {
         trace,
         switches,
         end: now,
+        survival,
+    })
+}
+
+fn grow_to<T: Clone>(v: &mut Vec<T>, idx: usize, fill: T) {
+    if v.len() <= idx {
+        v.resize(idx + 1, fill);
     }
 }
 
@@ -378,7 +584,7 @@ mod tests {
 
     #[test]
     fn periodic_jobs_complete_each_period() {
-        let outcome = run_theoretical(simple_policy(1), &[], cfg(40_000));
+        let outcome = run_theoretical(simple_policy(1), &[], cfg(40_000)).unwrap();
         // t0: period 10k over 40k → 4 jobs; t1: period 20k → 2 jobs.
         let t0: Vec<_> = outcome.trace.completions_of(TaskId::new(0)).collect();
         let t1: Vec<_> = outcome.trace.completions_of(TaskId::new(1)).collect();
@@ -389,7 +595,7 @@ mod tests {
 
     #[test]
     fn single_processor_serializes_sums_of_wcets() {
-        let outcome = run_theoretical(simple_policy(1), &[], cfg(10_000));
+        let outcome = run_theoretical(simple_policy(1), &[], cfg(10_000)).unwrap();
         // Both jobs released at tick 0; t0 (prio 1) runs first: done at 300;
         // then t1: done at 700.
         let t0 = outcome.trace.completions_of(TaskId::new(0)).next().unwrap();
@@ -400,7 +606,7 @@ mod tests {
 
     #[test]
     fn two_processors_run_in_parallel() {
-        let outcome = run_theoretical(simple_policy(2), &[], cfg(10_000));
+        let outcome = run_theoretical(simple_policy(2), &[], cfg(10_000)).unwrap();
         let t1 = outcome.trace.completions_of(TaskId::new(1)).next().unwrap();
         assert_eq!(t1.finish, Cycles::new(400), "no serialization on 2 CPUs");
     }
@@ -408,7 +614,7 @@ mod tests {
     #[test]
     fn overhead_inflates_execution() {
         let config = cfg(10_000).with_overhead(0.10);
-        let outcome = run_theoretical(simple_policy(2), &[], config);
+        let outcome = run_theoretical(simple_policy(2), &[], config).unwrap();
         let t0 = outcome.trace.completions_of(TaskId::new(0)).next().unwrap();
         assert_eq!(t0.finish, Cycles::new(330));
     }
@@ -417,7 +623,8 @@ mod tests {
     fn aperiodic_preempts_low_band_periodic() {
         // One processor: periodic starts at 0; aperiodic arrives at 100 and
         // (middle band > lower band) takes over immediately.
-        let outcome = run_theoretical(simple_policy(1), &[(Cycles::new(100), 0)], cfg(20_000));
+        let outcome =
+            run_theoretical(simple_policy(1), &[(Cycles::new(100), 0)], cfg(20_000)).unwrap();
         let ap = outcome.trace.completions_of(TaskId::new(2)).next().unwrap();
         assert_eq!(ap.finish, Cycles::new(600), "arrival + 500 exec");
         assert_eq!(ap.response, Cycles::new(500));
@@ -432,7 +639,8 @@ mod tests {
         // experiments instead quantize promotions to the tick grid via the
         // offline tool.
         let arrivals: Vec<(Cycles, usize)> = (0..30).map(|i| (Cycles::new(i * 600), 0)).collect();
-        let outcome = run_theoretical(simple_policy(1), &arrivals, cfg(40_000).with_event_driven());
+        let outcome =
+            run_theoretical(simple_policy(1), &arrivals, cfg(40_000).with_event_driven()).unwrap();
         assert_eq!(outcome.trace.deadline_misses(), 0);
         // And aperiodic work still progresses.
         assert!(outcome.trace.completions_of(TaskId::new(2)).count() > 5);
@@ -440,8 +648,9 @@ mod tests {
 
     #[test]
     fn event_driven_mode_matches_or_beats_tick_mode_promptness() {
-        let tick_mode = run_theoretical(simple_policy(1), &[], cfg(40_000));
-        let exact = run_theoretical(simple_policy(1), &[], cfg(40_000).with_event_driven());
+        let tick_mode = run_theoretical(simple_policy(1), &[], cfg(40_000)).unwrap();
+        let exact =
+            run_theoretical(simple_policy(1), &[], cfg(40_000).with_event_driven()).unwrap();
         // Same completions in both.
         assert_eq!(
             tick_mode.trace.completions.len(),
@@ -451,14 +660,14 @@ mod tests {
 
     #[test]
     fn segments_cover_busy_time() {
-        let outcome = run_theoretical(simple_policy(1), &[], cfg(10_000).with_segments());
+        let outcome = run_theoretical(simple_policy(1), &[], cfg(10_000).with_segments()).unwrap();
         // 300 + 400 cycles of work on P0.
         assert_eq!(outcome.trace.busy_cycles(ProcId::new(0)), Cycles::new(700));
     }
 
     #[test]
     fn horizon_cuts_cleanly() {
-        let outcome = run_theoretical(simple_policy(1), &[], cfg(350));
+        let outcome = run_theoretical(simple_policy(1), &[], cfg(350)).unwrap();
         assert_eq!(outcome.end, Cycles::new(350));
         // Only t0 finished by then.
         assert_eq!(outcome.trace.completions.len(), 1);

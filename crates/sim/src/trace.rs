@@ -89,6 +89,22 @@ impl Trace {
         });
     }
 
+    /// Records an aborted (budget-killed) job at `finish`. The job did not
+    /// deliver its result, so `met` is forced to `false` regardless of how
+    /// much deadline slack remained.
+    pub fn record_abort(&mut self, job: &mpdp_core::policy::Job, task: TaskId, finish: Cycles) {
+        self.completions.push(CompletionRecord {
+            job: job.id,
+            task,
+            class: job.class,
+            release: job.release,
+            finish,
+            response: finish - job.release,
+            deadline: job.absolute_deadline,
+            met: false,
+        });
+    }
+
     /// Number of hard deadline misses.
     pub fn deadline_misses(&self) -> usize {
         self.completions

@@ -32,13 +32,15 @@ use mpdp_core::ids::TaskId;
 use mpdp_core::policy::MpdpPolicy;
 use mpdp_core::task::{AperiodicTask, MemoryProfile, TaskTable};
 use mpdp_core::time::Cycles;
+use mpdp_faults::{fault_stream, CompiledFaults};
 use mpdp_kernel::KernelCosts;
-use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
-use mpdp_sim::stats::ResponseAccumulator;
-use mpdp_sim::theoretical::{run_theoretical, TheoreticalConfig};
+use mpdp_sim::prototype::{run_prototype_with, PrototypeConfig};
+use mpdp_sim::stats::{ResponseAccumulator, SurvivalStats};
+use mpdp_sim::theoretical::{run_theoretical_with, TheoreticalConfig};
 use mpdp_sim::trace::Trace;
 use mpdp_workload::{automotive_task_set, random_task_set, TaskGenConfig};
 
+use crate::error::SweepError;
 use crate::spec::{ArrivalSpec, CellSpec, Knobs, PolicyKind, SweepSpec, WorkloadSpec};
 
 /// What one simulator stack produced for one cell.
@@ -54,6 +56,9 @@ pub struct StackResult {
     pub sched_passes: u64,
     /// Context words moved over the bus (prototype only).
     pub context_words: u64,
+    /// Survivability bookkeeping (all-zero unless the cell's knob injects
+    /// faults or runs a non-inert degradation policy).
+    pub survival: SurvivalStats,
 }
 
 /// The outcome of one cell.
@@ -89,6 +94,10 @@ impl CellResult {
 pub struct SweepReport {
     /// Cell results, ordered by cell index.
     pub cells: Vec<CellResult>,
+    /// Whether any knob injected faults or enforced degradation; exports
+    /// gate their survivability columns on this so fault-free sweeps stay
+    /// byte-identical to older builds.
+    pub faulted: bool,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock duration of the fan-out (not exported).
@@ -98,10 +107,18 @@ pub struct SweepReport {
 /// Runs every cell of `spec` over `workers` threads (clamped to at least
 /// one) and returns the report. See the module docs for the determinism
 /// contract.
-pub fn run_sweep(spec: &SweepSpec, workers: usize) -> SweepReport {
+///
+/// # Errors
+///
+/// Returns the spec's [`SweepSpec::validate`] rejection without running
+/// any cell, or the lowest-indexed cell failure (worker count never
+/// changes *which* error is reported).
+pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepError> {
+    spec.validate()?;
     let cells = spec.cells();
     let start = Instant::now();
-    let slots: Vec<Mutex<Option<CellResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<CellResult, SweepError>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = workers.max(1).min(cells.len().max(1));
     std::thread::scope(|scope| {
@@ -110,73 +127,110 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> SweepReport {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
                 let result = run_cell(spec, cell);
-                *slots[i].lock().expect("result slot") = Some(result);
+                // A poisoned slot mutex means another worker panicked while
+                // holding it; the store below is a single assignment, so
+                // recover the guard rather than cascade the panic.
+                let mut slot = slots[i].lock().unwrap_or_else(|e| e.into_inner());
+                *slot = Some(result);
             });
         }
     });
-    SweepReport {
-        cells: slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot")
-                    .expect("every cell ran")
-            })
-            .collect(),
+    let mut out = Vec::with_capacity(cells.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(result) => out.push(result?),
+            None => return Err(SweepError::MissingCell(i)),
+        }
+    }
+    Ok(SweepReport {
+        cells: out,
+        faulted: spec.is_faulted(),
         workers,
         wall: start.elapsed(),
-    }
+    })
 }
 
 /// Runs one cell on both stacks. Public so callers can run single cells
 /// (e.g. the Figure 4 point API) through exactly the engine's code path.
-pub fn run_cell(spec: &SweepSpec, cell: &CellSpec) -> CellResult {
+///
+/// # Errors
+///
+/// [`SweepError::Cell`] when either simulator rejects the cell's inputs.
+pub fn run_cell(spec: &SweepSpec, cell: &CellSpec) -> Result<CellResult, SweepError> {
     let knob = &spec.knobs[cell.knob_index];
     let mut rng = StdRng::seed_from_u64(spec.cell_stream(cell));
 
     let (table, target) = match build_cell_table(spec, cell, knob, &mut rng) {
         Some(pair) => pair,
         None => {
-            return CellResult {
+            return Ok(CellResult {
                 cell: *cell,
                 knob_label: knob.label.clone(),
                 schedulable: false,
                 theoretical: StackResult::default(),
                 real: StackResult::default(),
-            }
+            })
         }
     };
-    let (arrivals, horizon) = build_arrivals(spec, &mut rng);
+    let (mut arrivals, horizon) = build_arrivals(spec, &mut rng);
 
-    let theo = run_theoretical(
-        MpdpPolicy::new(table.clone()),
+    // Compile the knob's fault plan against this cell's coordinates. The
+    // stream is salted away from the cell's workload stream so adding a
+    // fault plan never perturbs the task set or the nominal arrivals.
+    let faults = if knob.faults.is_empty() {
+        CompiledFaults::none()
+    } else {
+        let compiled = knob
+            .faults
+            .compile(fault_stream(spec.cell_stream(cell)), cell.n_procs);
+        if !compiled.extra_arrivals().is_empty() {
+            // Overload-burst arrivals join the nominal stream; both sides
+            // are sorted, and the simulators require the merge to be too.
+            arrivals.extend_from_slice(compiled.extra_arrivals());
+            arrivals.sort_by_key(|&(at, idx)| (at, idx));
+        }
+        compiled
+    };
+    let cell_err = |source| SweepError::Cell {
+        cell: cell.index,
+        source,
+    };
+
+    let theo = run_theoretical_with(
+        MpdpPolicy::new(table.clone()).with_degradation(knob.degradation),
         &arrivals,
         TheoreticalConfig::new(horizon)
             .with_tick(knob.tick)
             .with_overhead(knob.theoretical_overhead),
-    );
-    let real = run_prototype(
-        MpdpPolicy::new(table),
+        &faults,
+    )
+    .map_err(cell_err)?;
+    let real = run_prototype_with(
+        MpdpPolicy::new(table).with_degradation(knob.degradation),
         &arrivals,
         PrototypeConfig::new(horizon)
             .with_tick(knob.tick)
             .with_kernel_costs(KernelCosts::default().with_context_scale(knob.context_scale)),
-    );
+        &faults,
+    )
+    .map_err(cell_err)?;
 
     let mut theoretical = stack_result(&theo.trace, target);
     theoretical.switches = theo.switches;
+    theoretical.survival = theo.survival;
     let mut real_result = stack_result(&real.trace, target);
     real_result.switches = real.kernel.context_switches;
     real_result.sched_passes = real.kernel.sched_passes;
     real_result.context_words = real.kernel.context_words;
+    real_result.survival = real.survival;
 
-    CellResult {
+    Ok(CellResult {
         cell: *cell,
         knob_label: knob.label.clone(),
         schedulable: true,
         theoretical,
         real: real_result,
-    }
+    })
 }
 
 /// Builds the analyzed task table for a cell, `None` if the offline
@@ -242,8 +296,10 @@ fn build_arrivals(spec: &SweepSpec, rng: &mut StdRng) -> (Vec<(Cycles, usize)>, 
                     (Cycles::from_secs(1) + gap * i as u64 + jitter, 0usize)
                 })
                 .collect();
-            let horizon =
-                arrivals.last().expect("at least one activation").0 + gap + Cycles::from_secs(5);
+            // `activations.max(1)` above guarantees a last element; fall
+            // back to the burst origin rather than panic if that changes.
+            let last = arrivals.last().map_or(Cycles::from_secs(1), |a| a.0);
+            let horizon = last + gap + Cycles::from_secs(5);
             (arrivals, horizon)
         }
         &ArrivalSpec::Poisson { mean_gap, window } => {
@@ -294,7 +350,8 @@ mod tests {
     #[test]
     fn single_worker_run_covers_every_cell() {
         let spec = tiny_spec();
-        let report = run_sweep(&spec, 1);
+        let report = run_sweep(&spec, 1).expect("valid spec");
+        assert!(!report.faulted);
         assert_eq!(report.cells.len(), 2);
         for (i, cell) in report.cells.iter().enumerate() {
             assert_eq!(cell.cell.index, i);
@@ -308,7 +365,7 @@ mod tests {
     #[test]
     fn seeds_change_the_arrival_phase_but_not_the_workload() {
         let spec = tiny_spec();
-        let report = run_sweep(&spec, 2);
+        let report = run_sweep(&spec, 2).expect("valid spec");
         let [a, b] = &report.cells[..] else {
             panic!("two cells")
         };

@@ -1,0 +1,91 @@
+//! Typed errors for sweep specification and execution.
+//!
+//! A malformed [`SweepSpec`](crate::SweepSpec) — an empty grid axis, a NaN
+//! knob, an out-of-range fault plan — is a caller mistake the engine
+//! reports as a value instead of panicking mid-fan-out on a worker thread,
+//! where a panic would poison result slots and lose the diagnostic.
+
+use std::error::Error;
+use std::fmt;
+
+use mpdp_core::TaskSetError;
+use mpdp_faults::FaultPlanError;
+
+/// Why a sweep could not be specified or executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// A grid axis (`utilizations`, `proc_counts`, `seeds`, or `knobs`) is
+    /// empty — the cross product would contain no cells.
+    EmptyAxis(&'static str),
+    /// A target utilization is not a finite, positive fraction.
+    InvalidUtilization(f64),
+    /// A processor count of zero was requested.
+    ZeroProcs,
+    /// A knob's numeric field is not finite and positive.
+    InvalidKnob {
+        /// The knob's label.
+        label: String,
+        /// The offending field.
+        field: &'static str,
+    },
+    /// Two knob settings share a label, which would make report groups
+    /// ambiguous.
+    DuplicateKnobLabel(String),
+    /// A knob's fault plan failed validation for one of the spec's
+    /// processor counts.
+    InvalidFaultPlan {
+        /// The knob's label.
+        label: String,
+        /// The plan-level diagnosis.
+        source: FaultPlanError,
+    },
+    /// A cell's simulation rejected its inputs.
+    Cell {
+        /// Canonical index of the failing cell.
+        cell: usize,
+        /// The simulator's diagnosis.
+        source: TaskSetError,
+    },
+    /// A worker abandoned a cell without producing a result (a bug in the
+    /// engine, surfaced instead of unwrapped).
+    MissingCell(usize),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::EmptyAxis(axis) => {
+                write!(f, "sweep axis `{axis}` is empty; the grid has no cells")
+            }
+            SweepError::InvalidUtilization(u) => {
+                write!(f, "utilization {u} is not a finite positive fraction")
+            }
+            SweepError::ZeroProcs => write!(f, "processor counts must be at least 1"),
+            SweepError::InvalidKnob { label, field } => {
+                write!(f, "knob `{label}`: {field} must be finite and positive")
+            }
+            SweepError::DuplicateKnobLabel(label) => {
+                write!(f, "knob label `{label}` appears more than once")
+            }
+            SweepError::InvalidFaultPlan { label, source } => {
+                write!(f, "knob `{label}`: invalid fault plan: {source}")
+            }
+            SweepError::Cell { cell, source } => {
+                write!(f, "cell {cell}: {source}")
+            }
+            SweepError::MissingCell(cell) => {
+                write!(f, "cell {cell} produced no result")
+            }
+        }
+    }
+}
+
+impl Error for SweepError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SweepError::InvalidFaultPlan { source, .. } => Some(source),
+            SweepError::Cell { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -21,21 +21,34 @@
 //! ```
 //! use mpdp_sweep::{run_sweep, SweepSpec};
 //!
+//! # fn main() -> Result<(), mpdp_sweep::SweepError> {
 //! let mut spec = SweepSpec::figure4();
 //! spec.proc_counts = vec![2];
 //! spec.utilizations = vec![0.4];
-//! let report = run_sweep(&spec, 2);
+//! let report = run_sweep(&spec, 2)?;
 //! assert_eq!(report.cells.len(), 1);
 //! assert!(report.cells[0].slowdown_pct().expect("both stacks ran") > 0.0);
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! ## Fault injection
+//!
+//! A knob may carry a declarative [`mpdp_faults::FaultPlan`] (compiled per
+//! cell from the cell's RNG stream) and a
+//! [`mpdp_core::policy::DegradationPolicy`]; the report then grows
+//! survivability columns. Both default to inert, in which case every
+//! export byte is identical to a fault-free build.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod report;
 pub mod spec;
 
 pub use engine::{run_cell, run_sweep, CellResult, StackResult, SweepReport};
+pub use error::SweepError;
 pub use report::{cells_csv, find_cell, group_summaries, report_json, summary_csv, GroupSummary};
 pub use spec::{ArrivalSpec, CellSpec, Knobs, PolicyKind, SweepSpec, WorkloadSpec};

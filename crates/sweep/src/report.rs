@@ -6,9 +6,16 @@
 //! of the exports) is independent of the worker count that produced the
 //! report. Wall-clock metadata never appears in an export.
 
+//! When a sweep injects faults (or enforces degradation), every export
+//! grows a survivability block — miss counts, first-miss time, recovery
+//! latency, guaranteed-task fraction — gated on
+//! [`SweepReport::faulted`] so fault-free sweeps stay byte-identical to
+//! builds that predate the fault subsystem.
+
 use std::fmt::Write as _;
 
-use mpdp_sim::stats::ResponseAccumulator;
+use mpdp_core::time::Cycles;
+use mpdp_sim::stats::{ResponseAccumulator, SurvivalStats};
 
 use crate::engine::{CellResult, SweepReport};
 
@@ -34,6 +41,9 @@ pub struct GroupSummary {
     pub real: ResponseAccumulator,
     /// Merged periodic completions (miss bookkeeping), prototype stack.
     pub periodic: ResponseAccumulator,
+    /// Merged survivability bookkeeping, prototype stack (all-zero in
+    /// fault-free sweeps; exported only when the report is faulted).
+    pub survival: SurvivalStats,
 }
 
 impl GroupSummary {
@@ -56,11 +66,11 @@ pub fn group_summaries(report: &SweepReport) -> Vec<GroupSummary> {
             cell.cell.n_procs,
             cell.cell.utilization,
         );
-        let group = match groups
-            .iter_mut()
-            .find(|g| (g.knob_label.as_str(), g.n_procs, g.utilization) == key)
+        let at = match groups
+            .iter()
+            .position(|g| (g.knob_label.as_str(), g.n_procs, g.utilization) == key)
         {
-            Some(g) => g,
+            Some(p) => p,
             None => {
                 groups.push(GroupSummary {
                     knob_label: cell.knob_label.clone(),
@@ -71,10 +81,12 @@ pub fn group_summaries(report: &SweepReport) -> Vec<GroupSummary> {
                     theoretical: ResponseAccumulator::new(),
                     real: ResponseAccumulator::new(),
                     periodic: ResponseAccumulator::new(),
+                    survival: SurvivalStats::default(),
                 });
-                groups.last_mut().expect("just pushed")
+                groups.len() - 1
             }
         };
+        let group = &mut groups[at];
         group.cells += 1;
         if !cell.schedulable {
             group.unschedulable += 1;
@@ -82,12 +94,88 @@ pub fn group_summaries(report: &SweepReport) -> Vec<GroupSummary> {
         group.theoretical.merge(&cell.theoretical.aperiodic);
         group.real.merge(&cell.real.aperiodic);
         group.periodic.merge(&cell.real.periodic);
+        group.survival.merge(&cell.real.survival);
     }
     groups
 }
 
 fn fmt_opt(value: Option<f64>) -> String {
     value.map(|v| format!("{v:.6}")).unwrap_or_default()
+}
+
+fn fmt_opt_secs(value: Option<Cycles>) -> String {
+    value
+        .map(|c| format!("{:.6}", c.as_secs_f64()))
+        .unwrap_or_default()
+}
+
+/// Survivability column names under `prefix` (`theo`/`real`/`group`),
+/// comma-joined with a leading comma.
+fn survival_header(prefix: &str) -> String {
+    [
+        "miss_events",
+        "first_miss_s",
+        "overruns",
+        "kills",
+        "demotions",
+        "shed",
+        "lost_irqs",
+        "spurious_irqs",
+        "failed_proc",
+        "recovery_s",
+        "guaranteed",
+    ]
+    .iter()
+    .fold(String::new(), |mut acc, col| {
+        let _ = write!(acc, ",{prefix}_{col}");
+        acc
+    })
+}
+
+fn csv_survival(out: &mut String, s: &SurvivalStats) {
+    let _ = write!(
+        out,
+        ",{},{},{},{},{},{},{},{},{},{},{:.6}",
+        s.miss_events,
+        fmt_opt_secs(s.first_miss),
+        s.overruns,
+        s.kills,
+        s.demotions,
+        s.shed,
+        s.lost_irqs,
+        s.spurious_irqs,
+        s.failed_proc.map(|p| p.to_string()).unwrap_or_default(),
+        fmt_opt_secs(s.recovery_latency()),
+        s.guaranteed_fraction(),
+    );
+}
+
+fn json_survival(out: &mut String, s: &SurvivalStats) {
+    let _ = write!(out, "{{\"miss_events\":{},\"first_miss_s\":", s.miss_events);
+    json_opt_secs(out, s.first_miss);
+    let _ = write!(
+        out,
+        ",\"overruns\":{},\"kills\":{},\"demotions\":{},\"shed\":{},\"lost_irqs\":{},\"spurious_irqs\":{},\"failed_proc\":",
+        s.overruns, s.kills, s.demotions, s.shed, s.lost_irqs, s.spurious_irqs
+    );
+    match s.failed_proc {
+        Some(p) => {
+            let _ = write!(out, "{p}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"recovery_s\":");
+    json_opt_secs(out, s.recovery_latency());
+    let _ = write!(out, ",\"guaranteed\":{:.6}}}", s.guaranteed_fraction());
+}
+
+fn json_opt_secs(out: &mut String, value: Option<Cycles>) {
+    match value {
+        Some(c) => {
+            let _ = write!(out, "{:.6}", c.as_secs_f64());
+        }
+        None => out.push_str("null"),
+    }
 }
 
 fn csv_stack(out: &mut String, acc: &ResponseAccumulator) {
@@ -114,8 +202,13 @@ pub fn cells_csv(report: &SweepReport) -> String {
          theo_jobs,theo_mean_s,theo_p50_s,theo_p95_s,theo_max_s,\
          real_jobs,real_mean_s,real_p50_s,real_p95_s,real_max_s,\
          slowdown_pct,periodic_misses,miss_ratio,\
-         theo_switches,real_switches,sched_passes,context_words\n",
+         theo_switches,real_switches,sched_passes,context_words",
     );
+    if report.faulted {
+        out.push_str(&survival_header("theo"));
+        out.push_str(&survival_header("real"));
+    }
+    out.push('\n');
     for c in &report.cells {
         let _ = write!(
             out,
@@ -130,7 +223,7 @@ pub fn cells_csv(report: &SweepReport) -> String {
         csv_stack(&mut out, &c.theoretical.aperiodic);
         out.push(',');
         csv_stack(&mut out, &c.real.aperiodic);
-        let _ = writeln!(
+        let _ = write!(
             out,
             ",{},{},{:.6},{},{},{},{}",
             fmt_opt(c.slowdown_pct()),
@@ -141,6 +234,11 @@ pub fn cells_csv(report: &SweepReport) -> String {
             c.real.sched_passes,
             c.real.context_words
         );
+        if report.faulted {
+            csv_survival(&mut out, &c.theoretical.survival);
+            csv_survival(&mut out, &c.real.survival);
+        }
+        out.push('\n');
     }
     out
 }
@@ -153,8 +251,12 @@ pub fn summary_csv(report: &SweepReport) -> String {
          theo_jobs,theo_mean_s,theo_p50_s,theo_p95_s,theo_max_s,\
          real_jobs,real_mean_s,real_p50_s,real_p95_s,real_max_s,\
          slowdown_pct,periodic_misses,miss_ratio,\
-         real_p25_s,real_p50c_s,real_p75_s,real_p90_s,real_p95c_s,real_p99_s\n",
+         real_p25_s,real_p50c_s,real_p75_s,real_p90_s,real_p95c_s,real_p99_s",
     );
+    if report.faulted {
+        out.push_str(&survival_header("real"));
+    }
+    out.push('\n');
     for g in &group_summaries(report) {
         let _ = write!(
             out,
@@ -178,6 +280,9 @@ pub fn summary_csv(report: &SweepReport) -> String {
                 }
             }
             None => out.push_str(",,,,,,"),
+        }
+        if report.faulted {
+            csv_survival(&mut out, &g.survival);
         }
         out.push('\n');
     }
@@ -228,7 +333,7 @@ pub fn report_json(report: &SweepReport) -> String {
         json_opt(&mut out, c.slowdown_pct());
         let _ = write!(
             out,
-            ",\"periodic_misses\":{},\"miss_ratio\":{:.6},\"theo_switches\":{},\"real_switches\":{},\"sched_passes\":{},\"context_words\":{}}}",
+            ",\"periodic_misses\":{},\"miss_ratio\":{:.6},\"theo_switches\":{},\"real_switches\":{},\"sched_passes\":{},\"context_words\":{}",
             c.real.periodic.misses(),
             c.real.periodic.miss_ratio(),
             c.theoretical.switches,
@@ -236,6 +341,14 @@ pub fn report_json(report: &SweepReport) -> String {
             c.real.sched_passes,
             c.real.context_words
         );
+        if report.faulted {
+            out.push_str(",\"survival\":{\"theoretical\":");
+            json_survival(&mut out, &c.theoretical.survival);
+            out.push_str(",\"real\":");
+            json_survival(&mut out, &c.real.survival);
+            out.push('}');
+        }
+        out.push('}');
     }
     out.push_str("],\"groups\":[");
     for (i, g) in group_summaries(report).iter().enumerate() {
@@ -270,6 +383,10 @@ pub fn report_json(report: &SweepReport) -> String {
                 out.push(']');
             }
             None => out.push_str("null"),
+        }
+        if report.faulted {
+            out.push_str(",\"survival\":");
+            json_survival(&mut out, &g.survival);
         }
         out.push('}');
     }
@@ -327,6 +444,7 @@ mod tests {
     fn report(cells: Vec<CellResult>) -> SweepReport {
         SweepReport {
             cells,
+            faulted: false,
             workers: 1,
             wall: Duration::ZERO,
         }

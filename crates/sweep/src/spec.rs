@@ -7,7 +7,11 @@
 //! cell's inputs — and therefore its results — depend only on the spec,
 //! never on which worker thread happens to execute it.
 
+use mpdp_core::policy::DegradationPolicy;
 use mpdp_core::time::{Cycles, DEFAULT_TICK};
+use mpdp_faults::FaultPlan;
+
+use crate::error::SweepError;
 
 /// Scheduling policy to analyze the task set under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +51,13 @@ pub struct Knobs {
     pub context_scale: f64,
     /// Scheduling policy.
     pub policy: PolicyKind,
+    /// Declarative fault plan, compiled per cell from the cell's RNG
+    /// stream. The default (empty) plan injects nothing and leaves every
+    /// export byte untouched.
+    pub faults: FaultPlan,
+    /// Detection-and-degradation configuration the scheduler runs under.
+    /// The default is inert: no budget enforcement, no shedding.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for Knobs {
@@ -58,6 +69,8 @@ impl Default for Knobs {
             wcet_margin: 1.15,
             context_scale: 1.0,
             policy: PolicyKind::Mpdp,
+            faults: FaultPlan::default(),
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -92,6 +105,18 @@ impl Knobs {
     /// Sets the policy.
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the degradation policy.
+    pub fn with_degradation(mut self, degradation: DegradationPolicy) -> Self {
+        self.degradation = degradation;
         self
     }
 }
@@ -229,6 +254,87 @@ impl SweepSpec {
     pub fn cell_stream(&self, cell: &CellSpec) -> u64 {
         mix(mix(self.master_seed, cell.index as u64), cell.seed)
     }
+
+    /// Whether any knob injects faults or runs a non-inert degradation
+    /// policy. Reports gate their survivability columns on this so that
+    /// fault-free sweeps export byte-identical files to older builds.
+    pub fn is_faulted(&self) -> bool {
+        self.knobs
+            .iter()
+            .any(|k| !k.faults.is_empty() || !k.degradation.is_inert())
+    }
+
+    /// Checks the spec before any cell runs.
+    ///
+    /// # Errors
+    ///
+    /// - [`SweepError::EmptyAxis`] when a grid axis has no entries;
+    /// - [`SweepError::InvalidUtilization`] for NaN, infinite, or
+    ///   non-positive utilizations;
+    /// - [`SweepError::ZeroProcs`] for a zero processor count;
+    /// - [`SweepError::InvalidKnob`] for non-finite or non-positive knob
+    ///   numerics (a zero overhead is allowed; a zero tick is not);
+    /// - [`SweepError::DuplicateKnobLabel`] when two knobs share a label;
+    /// - [`SweepError::InvalidFaultPlan`] when a knob's fault plan fails
+    ///   validation against any of the spec's processor counts.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        for (axis, empty) in [
+            ("utilizations", self.utilizations.is_empty()),
+            ("proc_counts", self.proc_counts.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+            ("knobs", self.knobs.is_empty()),
+        ] {
+            if empty {
+                return Err(SweepError::EmptyAxis(axis));
+            }
+        }
+        for &u in &self.utilizations {
+            if !u.is_finite() || u <= 0.0 {
+                return Err(SweepError::InvalidUtilization(u));
+            }
+        }
+        if self.proc_counts.contains(&0) {
+            return Err(SweepError::ZeroProcs);
+        }
+        for (i, knob) in self.knobs.iter().enumerate() {
+            let bad = |field| SweepError::InvalidKnob {
+                label: knob.label.clone(),
+                field,
+            };
+            if knob.tick == Cycles::ZERO {
+                return Err(bad("tick"));
+            }
+            if !knob.theoretical_overhead.is_finite() || knob.theoretical_overhead < 0.0 {
+                return Err(bad("theoretical_overhead"));
+            }
+            if !knob.wcet_margin.is_finite() || knob.wcet_margin <= 0.0 {
+                return Err(bad("wcet_margin"));
+            }
+            // Zero is meaningful: the switch-cost ablation's "free
+            // switches" point. Only negative or non-finite scales are out.
+            if !knob.context_scale.is_finite() || knob.context_scale < 0.0 {
+                return Err(bad("context_scale"));
+            }
+            if !knob.degradation.budget_margin.is_finite() || knob.degradation.budget_margin <= 0.0
+            {
+                return Err(bad("degradation.budget_margin"));
+            }
+            if self.knobs[..i].iter().any(|k| k.label == knob.label) {
+                return Err(SweepError::DuplicateKnobLabel(knob.label.clone()));
+            }
+            // Validate against the widest grid column: `FaultPlan::compile`
+            // deliberately drops a fail-stop on cells with fewer processors
+            // so one plan can sweep processor counts.
+            let max_procs = self.proc_counts.iter().copied().max().unwrap_or(1);
+            knob.faults
+                .validate(max_procs)
+                .map_err(|source| SweepError::InvalidFaultPlan {
+                    label: knob.label.clone(),
+                    source,
+                })?;
+        }
+        Ok(())
+    }
 }
 
 /// One point of the cross product.
@@ -283,6 +389,104 @@ mod tests {
             (2, 0.5, 0)
         );
         assert_eq!(cells[17].n_procs, 4);
+    }
+
+    #[test]
+    fn validate_accepts_the_paper_grid() {
+        assert_eq!(SweepSpec::figure4().validate(), Ok(()));
+        assert!(!SweepSpec::figure4().is_faulted());
+    }
+
+    #[test]
+    fn validate_rejects_each_empty_axis() {
+        for axis in ["utilizations", "proc_counts", "seeds", "knobs"] {
+            let mut spec = SweepSpec::figure4();
+            match axis {
+                "utilizations" => spec.utilizations.clear(),
+                "proc_counts" => spec.proc_counts.clear(),
+                "seeds" => spec.seeds.clear(),
+                _ => spec.knobs.clear(),
+            }
+            assert_eq!(spec.validate(), Err(SweepError::EmptyAxis(axis)));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_utilizations() {
+        for u in [0.0, -0.4, f64::NAN, f64::INFINITY] {
+            let mut spec = SweepSpec::figure4();
+            spec.utilizations = vec![u];
+            match spec.validate() {
+                Err(SweepError::InvalidUtilization(got)) => {
+                    assert!(got == u || (got.is_nan() && u.is_nan()));
+                }
+                other => panic!("utilization {u} accepted: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_processors() {
+        let mut spec = SweepSpec::figure4();
+        spec.proc_counts = vec![2, 0];
+        assert_eq!(spec.validate(), Err(SweepError::ZeroProcs));
+    }
+
+    #[test]
+    fn validate_rejects_nan_and_nonpositive_knobs() {
+        type Poison = fn(&mut Knobs);
+        let cases: [(&str, Poison); 5] = [
+            ("tick", |k| k.tick = Cycles::ZERO),
+            ("theoretical_overhead", |k| {
+                k.theoretical_overhead = f64::NAN
+            }),
+            ("wcet_margin", |k| k.wcet_margin = 0.0),
+            ("context_scale", |k| k.context_scale = -1.0),
+            ("degradation.budget_margin", |k| {
+                k.degradation.budget_margin = f64::NAN
+            }),
+        ];
+        for (field, poison) in cases {
+            let mut spec = SweepSpec::figure4();
+            poison(&mut spec.knobs[0]);
+            assert_eq!(
+                spec.validate(),
+                Err(SweepError::InvalidKnob {
+                    label: "paper".into(),
+                    field,
+                }),
+                "field {field}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_knob_labels() {
+        let mut spec = SweepSpec::figure4();
+        spec.knobs = vec![Knobs::named("x"), Knobs::named("x")];
+        assert_eq!(
+            spec.validate(),
+            Err(SweepError::DuplicateKnobLabel("x".into()))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_fault_plans_out_of_processor_range() {
+        use mpdp_faults::FailStop;
+        let mut spec = SweepSpec::figure4();
+        // Figure 4 sweeps 2–4 processors. A fail-stop of processor 3 fits
+        // the widest column (compile drops it on the narrower ones); a
+        // fail-stop of processor 5 fits nowhere.
+        spec.knobs[0].faults =
+            FaultPlan::default().with_fail_stop(FailStop::new(3, Cycles::from_secs(2)));
+        assert_eq!(spec.validate(), Ok(()));
+        assert!(spec.is_faulted());
+        spec.knobs[0].faults =
+            FaultPlan::default().with_fail_stop(FailStop::new(5, Cycles::from_secs(2)));
+        assert!(matches!(
+            spec.validate(),
+            Err(SweepError::InvalidFaultPlan { .. })
+        ));
     }
 
     #[test]

@@ -95,7 +95,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MpdpPolicy::new(table),
         &arrivals,
         PrototypeConfig::new(Cycles::from_secs(3)),
-    );
+    )
+    .unwrap();
 
     println!(
         "security warnings served: {}",

@@ -59,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MpdpPolicy::new(table),
         &arrivals,
         PrototypeConfig::new(Cycles::from_secs(30)),
-    );
+    )
+    .unwrap();
 
     println!("frame analysis on the 4-processor system (50% periodic load):");
     for (i, c) in outcome.trace.completions_of(susan).enumerate() {

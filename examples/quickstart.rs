@@ -67,13 +67,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MpdpPolicy::new(table.clone()),
         &arrivals,
         TheoreticalConfig::new(horizon),
-    );
+    )
+    .unwrap();
     // 5. Prototype stack (microkernel + interrupt controller + bus model).
     let real = run_prototype(
         MpdpPolicy::new(table),
         &arrivals,
         PrototypeConfig::new(horizon),
-    );
+    )
+    .unwrap();
 
     let theo_resp = theo.trace.mean_response(warning).expect("completed");
     let real_resp = real.trace.mean_response(warning).expect("completed");

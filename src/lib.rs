@@ -32,7 +32,7 @@
 //! // Run it on the full prototype stack (kernel + INTC + bus contention).
 //! let outcome = run_prototype(MpdpPolicy::new(table),
 //!     &[(Cycles::from_millis(250), 0)],
-//!     PrototypeConfig::new(Cycles::from_secs(2)));
+//!     PrototypeConfig::new(Cycles::from_secs(2))).unwrap();
 //! assert_eq!(outcome.trace.deadline_misses(), 0);
 //! # Ok(())
 //! # }

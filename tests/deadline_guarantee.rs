@@ -76,7 +76,7 @@ proptest! {
                 MpdpPolicy::new(table),
                 &arrivals,
                 TheoreticalConfig::new(TICK * 250).with_tick(TICK),
-            );
+            ).unwrap();
             prop_assert_eq!(outcome.trace.deadline_misses(), 0);
             prop_assert!(outcome.trace.completions.iter().any(|c| c.deadline.is_some()));
         }
@@ -93,7 +93,7 @@ proptest! {
                 MpdpPolicy::new(table),
                 &arrivals,
                 PrototypeConfig::new(TICK * 250).with_tick(TICK),
-            );
+            ).unwrap();
             prop_assert_eq!(
                 outcome.trace.deadline_misses(),
                 0,
@@ -116,7 +116,7 @@ proptest! {
                 MpdpPolicy::new(table),
                 &arrivals,
                 PrototypeConfig::new(TICK * 400).with_tick(TICK),
-            );
+            ).unwrap();
             prop_assert_eq!(outcome.trace.completions_of(susan).count(), 5);
         }
     }

@@ -38,12 +38,14 @@ fn both_simulators_are_deterministic() {
         MpdpPolicy::new(table.clone()),
         &arrivals,
         TheoreticalConfig::new(horizon),
-    );
+    )
+    .unwrap();
     let t2 = run_theoretical(
         MpdpPolicy::new(table.clone()),
         &arrivals,
         TheoreticalConfig::new(horizon),
-    );
+    )
+    .unwrap();
     assert_eq!(t1.trace.completions, t2.trace.completions);
     assert_eq!(t1.switches, t2.switches);
 
@@ -51,12 +53,14 @@ fn both_simulators_are_deterministic() {
         MpdpPolicy::new(table.clone()),
         &arrivals,
         PrototypeConfig::new(horizon),
-    );
+    )
+    .unwrap();
     let r2 = run_prototype(
         MpdpPolicy::new(table),
         &arrivals,
         PrototypeConfig::new(horizon),
-    );
+    )
+    .unwrap();
     assert_eq!(r1.trace.completions, r2.trace.completions);
     assert_eq!(r1.kernel, r2.kernel);
     assert_eq!(r1.intc, r2.intc);

@@ -34,7 +34,8 @@ fn aperiodic_only_system_serves_on_demand() {
                 MpdpPolicy::new(table.clone()),
                 &arrivals,
                 TheoreticalConfig::new(DEFAULT_TICK * 20),
-            );
+            )
+            .unwrap();
             out.trace.mean_response(TaskId::new(0))
         },
         {
@@ -42,7 +43,8 @@ fn aperiodic_only_system_serves_on_demand() {
                 MpdpPolicy::new(table.clone()),
                 &arrivals,
                 PrototypeConfig::new(DEFAULT_TICK * 20),
-            );
+            )
+            .unwrap();
             out.trace.mean_response(TaskId::new(0))
         },
     ] {
@@ -60,7 +62,8 @@ fn periodic_only_system_runs_forever_without_arrivals() {
         MpdpPolicy::new(table),
         &[],
         PrototypeConfig::new(DEFAULT_TICK * 50),
-    );
+    )
+    .unwrap();
     assert_eq!(out.trace.completions.len(), 10, "period 5 ticks over 50");
     assert_eq!(out.trace.deadline_misses(), 0);
 }
@@ -72,7 +75,8 @@ fn empty_system_idles_cleanly() {
         MpdpPolicy::new(table.clone()),
         &[],
         PrototypeConfig::new(DEFAULT_TICK * 10),
-    );
+    )
+    .unwrap();
     assert!(out.trace.completions.is_empty());
     // Ticks still fire and are all handled.
     assert!(out.kernel.sched_passes >= 10);
@@ -80,7 +84,8 @@ fn empty_system_idles_cleanly() {
         MpdpPolicy::new(table),
         &[],
         TheoreticalConfig::new(DEFAULT_TICK * 10),
-    );
+    )
+    .unwrap();
     assert!(theo.trace.completions.is_empty());
 }
 
@@ -91,7 +96,8 @@ fn more_processors_than_tasks_is_fine() {
         MpdpPolicy::new(table),
         &[],
         PrototypeConfig::new(DEFAULT_TICK * 25),
-    );
+    )
+    .unwrap();
     assert_eq!(out.trace.completions.len(), 5);
     assert_eq!(out.trace.deadline_misses(), 0);
 }
@@ -129,7 +135,8 @@ fn back_to_back_arrivals_all_serialize() {
         MpdpPolicy::new(table),
         &arrivals,
         PrototypeConfig::new(DEFAULT_TICK * 40),
-    );
+    )
+    .unwrap();
     let completions: Vec<_> = out.trace.completions_of(TaskId::new(9)).collect();
     assert_eq!(completions.len(), 10);
     for w in completions.windows(2) {

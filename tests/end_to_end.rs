@@ -31,12 +31,14 @@ fn automotive_workload_runs_clean_on_both_stacks() {
         MpdpPolicy::new(table.clone()),
         &arrivals,
         TheoreticalConfig::new(horizon),
-    );
+    )
+    .unwrap();
     let real = run_prototype(
         MpdpPolicy::new(table),
         &arrivals,
         PrototypeConfig::new(horizon),
-    );
+    )
+    .unwrap();
     assert_eq!(theo.trace.deadline_misses(), 0, "theoretical misses");
     assert_eq!(real.trace.deadline_misses(), 0, "prototype misses");
     assert!(!theo.trace.completions.is_empty());
@@ -57,12 +59,14 @@ fn prototype_is_slower_than_theoretical_but_bounded() {
             MpdpPolicy::new(table.clone()),
             &arrivals,
             TheoreticalConfig::new(horizon),
-        );
+        )
+        .unwrap();
         let real = run_prototype(
             MpdpPolicy::new(table),
             &arrivals,
             PrototypeConfig::new(horizon),
-        );
+        )
+        .unwrap();
         let t = theo
             .trace
             .mean_response(susan)
@@ -92,12 +96,14 @@ fn slowdown_grows_with_processor_count() {
             MpdpPolicy::new(table.clone()),
             &arrivals,
             TheoreticalConfig::new(horizon),
-        );
+        )
+        .unwrap();
         let real = run_prototype(
             MpdpPolicy::new(table),
             &arrivals,
             PrototypeConfig::new(horizon),
-        );
+        )
+        .unwrap();
         let t = theo
             .trace
             .mean_response(susan)
@@ -124,7 +130,8 @@ fn doubling_processors_at_same_utilization_does_more_periodic_work() {
     let mut completed = Vec::new();
     for n_procs in [2usize, 4] {
         let table = experiment_table(n_procs, 0.5);
-        let real = run_prototype(MpdpPolicy::new(table), &[], PrototypeConfig::new(horizon));
+        let real =
+            run_prototype(MpdpPolicy::new(table), &[], PrototypeConfig::new(horizon)).unwrap();
         completed.push(
             real.trace
                 .completions
@@ -154,7 +161,8 @@ fn baselines_bracket_mpdp() {
             MpdpPolicy::new(table),
             &arrivals,
             PrototypeConfig::new(horizon),
-        );
+        )
+        .unwrap();
         (
             out.trace
                 .mean_response(susan)

@@ -48,7 +48,7 @@ fn config() -> TheoreticalConfig {
 
 #[test]
 fn schedule_a_matches_expected_gantt() {
-    let outcome = run_theoretical(MpdpPolicy::new(fig3_table()), &[], config());
+    let outcome = run_theoretical(MpdpPolicy::new(fig3_table()), &[], config()).unwrap();
     let text = render_gantt(&outcome.trace, 2, SLICE * 6, SLICE, &labels());
     let rows: Vec<&str> = text.lines().collect();
     assert!(rows[1].ends_with("113211"), "MB0 row: {text}");
@@ -59,7 +59,7 @@ fn schedule_a_matches_expected_gantt() {
 #[test]
 fn schedule_b_matches_expected_gantt() {
     let arrivals = vec![(SLICE, 0usize), (SLICE * 2, 1usize)];
-    let outcome = run_theoretical(MpdpPolicy::new(fig3_table()), &arrivals, config());
+    let outcome = run_theoretical(MpdpPolicy::new(fig3_table()), &arrivals, config()).unwrap();
     let text = render_gantt(&outcome.trace, 2, SLICE * 6, SLICE, &labels());
     let rows: Vec<&str> = text.lines().collect();
     assert!(rows[1].ends_with("1a1311"), "MB0 row: {text}");
@@ -74,9 +74,9 @@ fn schedule_b_matches_expected_gantt() {
 /// `GOLDEN_UPDATE=1 cargo test -q fig3_gantt`.
 #[test]
 fn fig3_gantt_matches_golden_snapshot() {
-    let a = run_theoretical(MpdpPolicy::new(fig3_table()), &[], config());
+    let a = run_theoretical(MpdpPolicy::new(fig3_table()), &[], config()).unwrap();
     let arrivals = vec![(SLICE, 0usize), (SLICE * 2, 1usize)];
-    let b = run_theoretical(MpdpPolicy::new(fig3_table()), &arrivals, config());
+    let b = run_theoretical(MpdpPolicy::new(fig3_table()), &arrivals, config()).unwrap();
     let rendered = format!(
         "== schedule A (no aperiodic arrivals) ==\n{}\n== schedule B (A1 at slice 1, A2 at slice 2) ==\n{}",
         render_gantt(&a.trace, 2, SLICE * 6, SLICE, &labels()),
@@ -97,7 +97,7 @@ fn fig3_gantt_matches_golden_snapshot() {
 #[test]
 fn narrative_a1_runs_immediately_then_yields_to_promoted_p1() {
     let arrivals = vec![(SLICE, 0usize), (SLICE * 2, 1usize)];
-    let outcome = run_theoretical(MpdpPolicy::new(fig3_table()), &arrivals, config());
+    let outcome = run_theoretical(MpdpPolicy::new(fig3_table()), &arrivals, config()).unwrap();
     // "Part of task A1 is executed as soon as it arrives": an A1 segment
     // starts at slice 1.
     let a1_segments: Vec<_> = outcome
@@ -138,7 +138,7 @@ fn narrative_p2_is_promoted_to_meet_its_deadline() {
     // promoted": its promotion offset is one slice after release.
     let table = fig3_table();
     assert_eq!(table.promotion(1), SLICE);
-    let outcome = run_theoretical(MpdpPolicy::new(table), &[], config());
+    let outcome = run_theoretical(MpdpPolicy::new(table), &[], config()).unwrap();
     let p2 = outcome
         .trace
         .completions_of(TaskId::new(1))

@@ -34,7 +34,8 @@ fn scheduler_lock_contention_appears_on_multiprocessors() {
         MpdpPolicy::new(table(3, 0.5)),
         &arrivals,
         PrototypeConfig::new(Cycles::from_secs(8)),
-    );
+    )
+    .unwrap();
     assert!(
         outcome.lock_contentions > 0,
         "overlapping ISRs must contend for the scheduler lock"
@@ -54,7 +55,9 @@ fn intc_timeout_rotation_fires_when_ack_latency_exceeds_deadline() {
     // headroom.)
     config.ack_latency = Cycles::new(5_000);
     config.intc_ack_timeout = Cycles::new(2_000);
-    let outcome = PrototypeSim::new(MpdpPolicy::new(table(2, 0.4)), config).run(&[]);
+    let outcome = PrototypeSim::new(MpdpPolicy::new(table(2, 0.4)), config)
+        .run(&[])
+        .unwrap();
     assert!(
         outcome.intc.timeouts > 0,
         "timeouts must fire: {:?}",
@@ -68,7 +71,9 @@ fn intc_timeout_rotation_fires_when_ack_latency_exceeds_deadline() {
     let mut sane = PrototypeConfig::new(Cycles::from_secs(2));
     sane.ack_latency = Cycles::new(5_000);
     sane.intc_ack_timeout = Cycles::new(50_000);
-    let outcome = PrototypeSim::new(MpdpPolicy::new(table(2, 0.4)), sane).run(&[]);
+    let outcome = PrototypeSim::new(MpdpPolicy::new(table(2, 0.4)), sane)
+        .run(&[])
+        .unwrap();
     assert_eq!(outcome.intc.timeouts, 0);
     assert!(outcome.intc.acknowledged > 0);
     assert!(!outcome.trace.completions.is_empty());
@@ -83,7 +88,8 @@ fn statistics_describe_a_real_run() {
         MpdpPolicy::new(table(2, 0.5)),
         &arrivals,
         PrototypeConfig::new(horizon).with_segments(),
-    );
+    )
+    .unwrap();
     let susan = mpdp::core::ids::TaskId::new(18);
     let stats = response_stats(&outcome.trace, susan).expect("susan completed");
     assert_eq!(stats.count, 1);
@@ -123,7 +129,8 @@ fn csv_export_round_trips_counts() {
         MpdpPolicy::new(table(2, 0.4)),
         &arrivals,
         PrototypeConfig::new(Cycles::from_secs(8)).with_segments(),
-    );
+    )
+    .unwrap();
     let completions = completions_csv(&outcome.trace);
     assert_eq!(
         completions.trim_end().lines().count(),
@@ -150,7 +157,8 @@ fn pinned_interrupts_still_schedule_correctly() {
         &arrivals,
         PrototypeConfig::new(Cycles::from_secs(10))
             .with_pinned_interrupts(mpdp::core::ids::ProcId::new(0)),
-    );
+    )
+    .unwrap();
     assert_eq!(outcome.trace.deadline_misses(), 0);
     assert_eq!(
         outcome

@@ -71,7 +71,8 @@ fn replay_deadline_guarantee(seed: u64, n_procs: usize) {
             MpdpPolicy::new(table),
             &arrivals,
             TheoreticalConfig::new(TICK * 250).with_tick(TICK),
-        );
+        )
+        .unwrap();
         assert_eq!(
             outcome.trace.deadline_misses(),
             0,
@@ -85,7 +86,8 @@ fn replay_deadline_guarantee(seed: u64, n_procs: usize) {
             MpdpPolicy::new(table),
             &arrivals,
             PrototypeConfig::new(TICK * 250).with_tick(TICK),
-        );
+        )
+        .unwrap();
         assert_eq!(
             outcome.trace.deadline_misses(),
             0,

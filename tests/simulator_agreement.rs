@@ -40,12 +40,14 @@ fn both_stacks_complete_the_same_periodic_jobs() {
         MpdpPolicy::new(table.clone()),
         &arrivals,
         TheoreticalConfig::new(horizon),
-    );
+    )
+    .unwrap();
     let real = run_prototype(
         MpdpPolicy::new(table),
         &arrivals,
         PrototypeConfig::new(horizon),
-    );
+    )
+    .unwrap();
 
     let theo_counts = per_task_counts(&theo.trace);
     let real_counts = per_task_counts(&real.trace);
@@ -97,12 +99,14 @@ fn job_release_grid_is_identical_across_stacks() {
         MpdpPolicy::new(table.clone()),
         &[],
         TheoreticalConfig::new(horizon),
-    );
+    )
+    .unwrap();
     let real = run_prototype(
         MpdpPolicy::new(table.clone()),
         &[],
         PrototypeConfig::new(horizon),
-    );
+    )
+    .unwrap();
     for (i, t) in table.periodic().iter().enumerate().take(4) {
         let _ = i;
         let theo_releases: Vec<Cycles> = theo

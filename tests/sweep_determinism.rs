@@ -3,10 +3,13 @@
 //! **byte-identical** exported CSV and JSON — same cells, same statistics,
 //! same formatting, same order.
 
+use mpdp::core::policy::{DegradationPolicy, OverrunAction};
 use mpdp::core::time::Cycles;
 use mpdp::sweep::{
     cells_csv, report_json, run_sweep, summary_csv, ArrivalSpec, Knobs, SweepSpec, WorkloadSpec,
 };
+use mpdp_bench::experiment::{fig4_spec, ExperimentConfig};
+use mpdp_faults::{FailStop, FaultPlan, WcetOverrun};
 
 /// A ≥100-cell grid kept cheap: 2-processor automotive cells with a single
 /// aperiodic burst and a short horizon, two knob settings, 26 seeds.
@@ -36,8 +39,8 @@ fn one_worker_and_n_workers_export_identical_bytes() {
         "the regression grid must stay at 100+ cells, has {}",
         spec.cell_count()
     );
-    let serial = run_sweep(&spec, 1);
-    let parallel = run_sweep(&spec, 8);
+    let serial = run_sweep(&spec, 1).unwrap();
+    let parallel = run_sweep(&spec, 8).unwrap();
     assert_eq!(serial.cells.len(), spec.cell_count());
     assert_eq!(parallel.cells.len(), spec.cell_count());
     // Structured equality first (better failure message than a byte diff)…
@@ -50,17 +53,83 @@ fn one_worker_and_n_workers_export_identical_bytes() {
     assert_eq!(report_json(&serial), report_json(&parallel));
 }
 
+/// Fault injection must not weaken the worker-count contract: a seeded
+/// fault plan (WCET overruns plus a mid-run processor fail-stop, with
+/// kill-on-overrun degradation) still exports byte-identical CSV and JSON
+/// whether the grid runs serially or across 8 workers.
+#[test]
+fn a_seeded_fault_plan_is_byte_identical_across_worker_counts() {
+    let mut spec = grid();
+    spec.seeds = (0..6).collect();
+    spec.knobs = vec![Knobs::named("faulted")
+        .with_faults(
+            FaultPlan::default()
+                .with_wcet(WcetOverrun::new(0.10, 1.4))
+                .with_fail_stop(FailStop::new(1, Cycles::from_secs(4))),
+        )
+        .with_degradation(
+            DegradationPolicy::default()
+                .with_overrun(OverrunAction::Kill)
+                .with_budget_margin(1.2),
+        )];
+    let serial = run_sweep(&spec, 1).unwrap();
+    let parallel = run_sweep(&spec, 8).unwrap();
+    assert!(serial.faulted, "a fault plan must mark the report faulted");
+    // The plan actually fired: every cell saw the scheduled fail-stop.
+    assert!(serial
+        .cells
+        .iter()
+        .all(|c| c.real.survival.failed_proc == Some(1)));
+    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(a, b, "cell {} diverged across worker counts", a.cell.index);
+    }
+    assert_eq!(cells_csv(&serial), cells_csv(&parallel));
+    assert_eq!(summary_csv(&serial), summary_csv(&parallel));
+    assert_eq!(report_json(&serial), report_json(&parallel));
+}
+
+/// The zero-cost guarantee of the fault subsystem: with every knob's
+/// `FaultPlan` empty and the degradation policy inert, the Figure 4 exports
+/// are byte-for-byte what they were before `mpdp-faults` existed — no extra
+/// columns, no perturbed statistics, no reordered cells. Bless an
+/// intentional format change with `GOLDEN_UPDATE=1 cargo test -q fig4`.
+#[test]
+fn empty_fault_plan_keeps_fig4_exports_byte_identical() {
+    let spec = fig4_spec(&ExperimentConfig::new());
+    assert!(
+        !spec.is_faulted(),
+        "the Figure 4 spec must not inject faults"
+    );
+    let report = run_sweep(&spec, 4).unwrap();
+    for (rendered, name) in [
+        (cells_csv(&report), "fig4_cells.csv"),
+        (report_json(&report), "fig4_report.json"),
+    ] {
+        let golden_path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+        if std::env::var_os("GOLDEN_UPDATE").is_some() {
+            std::fs::write(&golden_path, &rendered).expect("update golden snapshot");
+        }
+        let golden = std::fs::read_to_string(&golden_path).expect("checked-in golden snapshot");
+        assert_eq!(
+            rendered, golden,
+            "{name} drifted from tests/golden/{name}; an empty FaultPlan must \
+             leave the exports byte-identical (bless intentional format \
+             changes with GOLDEN_UPDATE=1)"
+        );
+    }
+}
+
 #[test]
 fn reruns_of_the_same_spec_are_reproducible() {
     let mut spec = grid();
     // A 4-cell slice is enough to pin run-to-run reproducibility.
     spec.seeds = (0..2).collect();
     spec.knobs.truncate(1);
-    let first = run_sweep(&spec, 4);
-    let second = run_sweep(&spec, 2);
+    let first = run_sweep(&spec, 4).unwrap();
+    let second = run_sweep(&spec, 2).unwrap();
     assert_eq!(report_json(&first), report_json(&second));
     // And the master seed actually matters.
-    let reseeded = run_sweep(&spec.clone().with_master_seed(7), 4);
+    let reseeded = run_sweep(&spec.clone().with_master_seed(7), 4).unwrap();
     assert_ne!(
         report_json(&first),
         report_json(&reseeded),
