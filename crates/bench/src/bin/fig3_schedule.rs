@@ -16,7 +16,10 @@
 //! * A2 arrives during timeslice 2, queues FIFO behind A1, and runs only
 //!   after the promoted periodic tasks and the remainder of A1.
 //!
-//! Run with `cargo run -p mpdp-bench --bin fig3_schedule`.
+//! Run with `cargo run -p mpdp-bench --bin fig3_schedule --
+//! [--trace-out t.json]`. `--trace-out` writes both schedules as a Chrome
+//! trace-event JSON (open in <https://ui.perfetto.dev>), captured by a
+//! probed re-run so stdout stays byte-identical to an unprobed run.
 
 use std::collections::BTreeMap;
 
@@ -26,8 +29,10 @@ use mpdp_core::priority::Priority;
 use mpdp_core::rta::{analyze, build_task_table};
 use mpdp_core::task::{AperiodicTask, PeriodicTask, TaskTable};
 use mpdp_core::time::Cycles;
+use mpdp_faults::CompiledFaults;
+use mpdp_obs::{chrome_trace_json_multi, validate_json, EventRecorder};
 use mpdp_sim::gantt::render_gantt;
-use mpdp_sim::theoretical::{run_theoretical, TheoreticalConfig};
+use mpdp_sim::theoretical::{run_theoretical, run_theoretical_probed, TheoreticalConfig};
 
 /// One timeslice of the figure (arbitrary: the schedule is in slice units).
 const SLICE: Cycles = Cycles::new(100_000);
@@ -50,6 +55,12 @@ fn task_table() -> TaskTable {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let table = task_table();
 
     println!("== Figure 3 task table ==");
@@ -100,7 +111,7 @@ fn main() {
 
     // Schedule B: A1 arrives at the start of timeslice 1, A2 at timeslice 2.
     let arrivals = vec![(SLICE, 0usize), (SLICE * 2, 1usize)];
-    let b = run_theoretical(MpdpPolicy::new(table), &arrivals, config).unwrap();
+    let b = run_theoretical(MpdpPolicy::new(table.clone()), &arrivals, config).unwrap();
     println!("== Schedule B (A1 arrives at slice 1, A2 at slice 2) ==");
     print!("{}", render_gantt(&b.trace, 2, horizon, SLICE, &labels));
     println!();
@@ -132,4 +143,30 @@ fn main() {
         a.trace.deadline_misses(),
         b.trace.deadline_misses()
     );
+
+    if let Some(path) = trace_out {
+        // Probed re-runs of both schedules; the figure's stdout above came
+        // from the unprobed runs and is untouched.
+        let none = CompiledFaults::none();
+        let (_, rec_a) = run_theoretical_probed(
+            MpdpPolicy::new(table.clone()),
+            &[],
+            config,
+            &none,
+            EventRecorder::new(2),
+        )
+        .unwrap();
+        let (_, rec_b) = run_theoretical_probed(
+            MpdpPolicy::new(table),
+            &arrivals,
+            config,
+            &none,
+            EventRecorder::new(2),
+        )
+        .unwrap();
+        let doc = chrome_trace_json_multi(&[(&rec_a, "schedule-A"), (&rec_b, "schedule-B")]);
+        validate_json(&doc).expect("trace JSON is well-formed");
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path} (open in https://ui.perfetto.dev)");
+    }
 }

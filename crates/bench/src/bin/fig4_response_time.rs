@@ -10,10 +10,19 @@
 //! with aggregate percentile curves.
 //!
 //! Run with `cargo run --release -p mpdp-bench --bin fig4_response_time --
-//! [--workers N] [--seeds K] [--csv out.csv] [--json out.json]`.
+//! [--workers N] [--seeds K] [--csv out.csv] [--json out.json]
+//! [--profile] [--trace-out t.json] [--trace-cell I]`.
+//!
+//! `--profile` prints per-cell wall-time/throughput self-profiles to
+//! stderr; `--trace-out` writes a Chrome trace-event JSON (open in
+//! <https://ui.perfetto.dev>) of cell `--trace-cell` (default 0), captured
+//! by a probed re-run so stdout stays byte-identical to an unprobed run.
 
 use mpdp_bench::experiment::{fig4_spec, ExperimentConfig};
-use mpdp_sweep::{cells_csv, group_summaries, report_json, run_sweep, ArrivalSpec};
+use mpdp_obs::{chrome_trace_json_multi, validate_json};
+use mpdp_sweep::{
+    cells_csv, group_summaries, report_json, run_cell_probed, run_sweep, ArrivalSpec,
+};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -32,6 +41,11 @@ fn main() {
     let seeds: usize = flag_value(&args, "--seeds")
         .map(|v| v.parse().expect("--seeds takes a count"))
         .unwrap_or(1);
+    let profile = args.iter().any(|a| a == "--profile");
+    let trace_out = flag_value(&args, "--trace-out");
+    let trace_cell: usize = flag_value(&args, "--trace-cell")
+        .map(|v| v.parse().expect("--trace-cell takes a cell index"))
+        .unwrap_or(0);
 
     let config = ExperimentConfig::new();
     let mut spec = fig4_spec(&config);
@@ -51,6 +65,19 @@ fn main() {
     );
     let report = run_sweep(&spec, workers).unwrap();
     eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
+    if profile {
+        // Self-profile to stderr only: wall-clock is non-deterministic, so
+        // it must never reach stdout or the exports.
+        for p in &report.profiles {
+            eprintln!(
+                "cell {:>3}: {:>10.2?} wall, {:>8.1} Mcyc/s, {:>5} completions",
+                p.index,
+                p.wall,
+                p.throughput_mcps(),
+                p.completions
+            );
+        }
+    }
     let groups = group_summaries(&report);
 
     println!("== Figure 4: aperiodic response time (seconds) ==");
@@ -165,5 +192,17 @@ fn main() {
         std::fs::write(&path, report_json(&report))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = trace_out {
+        let cells = spec.cells();
+        let cell = cells
+            .get(trace_cell)
+            .expect("--trace-cell is within the grid");
+        let (_, obs) = run_cell_probed(&spec, cell).expect("traced cell runs");
+        let doc =
+            chrome_trace_json_multi(&[(&obs.theoretical, "theoretical"), (&obs.real, "prototype")]);
+        validate_json(&doc).expect("trace JSON is well-formed");
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path} (open in https://ui.perfetto.dev)");
     }
 }

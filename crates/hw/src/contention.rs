@@ -30,6 +30,7 @@
 
 use crate::bus::DDR_SERVICE_CYCLES;
 use mpdp_core::task::MemoryProfile;
+use mpdp_core::time::Cycles;
 
 /// Maximum fixed-point iterations; deep saturation converges slowly under
 /// damping, and beyond this point the capacity normalization dominates the
@@ -176,6 +177,17 @@ impl ContentionModel {
         self.wait_time(rho)
     }
 
+    /// The contention *excess* of a priced kernel burst: how many of its
+    /// `priced` wall cycles exceed the uncontended cost of `cpu` execution
+    /// cycles plus `bus_words` transactions at the deterministic service
+    /// time. Zero when the bus was quiet. The observability layer uses this
+    /// to emit bus-stall burst events and attribute them without re-running
+    /// the queueing model.
+    pub fn burst_excess(&self, priced: Cycles, cpu: u32, bus_words: u32) -> Cycles {
+        let base = f64::from(cpu) + f64::from(bus_words) * self.service;
+        Cycles::new((priced.as_u64() as f64 - base).max(0.0).round() as u64)
+    }
+
     /// The steady-state bus utilization implied by the returned speeds.
     pub fn utilization(&self, access_rates: &[f64]) -> f64 {
         let speeds = self.speeds(access_rates);
@@ -313,6 +325,17 @@ mod tests {
                 "analytic {a} vs measured {m} diverge too far"
             );
         }
+    }
+
+    #[test]
+    fn burst_excess_is_the_queueing_part() {
+        let m = ContentionModel::with_service(12.0);
+        // Uncontended burst: 100 cpu + 10 words × 12 = 220 cycles.
+        assert_eq!(m.burst_excess(Cycles::new(220), 100, 10), Cycles::ZERO);
+        // 80 cycles of queueing on top.
+        assert_eq!(m.burst_excess(Cycles::new(300), 100, 10), Cycles::new(80));
+        // Never negative, even if pricing rounded below base.
+        assert_eq!(m.burst_excess(Cycles::new(219), 100, 10), Cycles::ZERO);
     }
 
     #[test]

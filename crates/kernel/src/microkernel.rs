@@ -25,6 +25,7 @@ use mpdp_core::policy::{Job, JobClass, Scheduler, SwitchAction};
 use mpdp_core::time::Cycles;
 use mpdp_hw::mem::MemoryMap;
 use mpdp_hw::processor::{Processor, RegisterFile, CONTEXT_WORDS};
+use mpdp_obs::{EventKind, Probe};
 
 use crate::costs::{KernelCost, KernelCosts};
 
@@ -284,6 +285,47 @@ impl<S: Scheduler> Microkernel<S> {
             self.stats.context_switches += 1;
         }
         self.policy.set_running(action.proc, action.restore);
+    }
+
+    /// [`Self::apply_switch`] with observability: emits a preemption event
+    /// for the saved job and a migration event when the restored job last
+    /// ran elsewhere (the kernel is the layer that knows `last_proc`, so
+    /// migration detection lives here, next to the `migrations` counter).
+    pub fn apply_switch_probed<P: Probe>(
+        &mut self,
+        action: &SwitchAction,
+        now: Cycles,
+        probe: &mut P,
+    ) {
+        if P::ENABLED {
+            let here = action.proc.as_u32();
+            if let Some(save) = action.save {
+                probe.event(
+                    now,
+                    Some(here),
+                    EventKind::Preemption { job: save.as_u32() },
+                );
+            }
+            if let Some(restore) = action.restore {
+                if let Some(from) = self
+                    .policy
+                    .job(restore)
+                    .last_proc
+                    .filter(|&p| p != action.proc)
+                {
+                    probe.event(
+                        now,
+                        Some(here),
+                        EventKind::Migration {
+                            job: restore.as_u32(),
+                            from: from.as_u32(),
+                            to: here,
+                        },
+                    );
+                }
+            }
+        }
+        self.apply_switch(action, now);
     }
 
     /// Completion path: retires `job` on `proc` and locally picks the next

@@ -1,0 +1,266 @@
+//! Chrome trace-event JSON export, loadable in Perfetto or `chrome://tracing`.
+//!
+//! The exporter emits the [Trace Event Format]'s JSON-object flavour:
+//! `"X"` complete events for execution spans, `"i"` instant events for the
+//! cycle-stamped scheduler events, and `"M"` metadata records naming each
+//! process (a simulator stack) and thread (a processor). Timestamps are
+//! microseconds of simulated platform time (`cycles / 50` at the paper's
+//! 50 MHz clock), formatted with fixed precision so the output is
+//! byte-deterministic.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! # Quick start
+//!
+//! Write the string returned by [`chrome_trace_json`] to a `.json` file and
+//! drag it into <https://ui.perfetto.dev> (or open `chrome://tracing` and
+//! click Load). Each processor appears as a timeline row; task slices carry
+//! the task/job id and scheduler events show up as instant markers.
+
+use std::fmt::Write as _;
+
+use mpdp_core::time::CLOCK_HZ;
+
+use crate::event::{EventKind, ObsEvent};
+use crate::recorder::{EventRecorder, Span, SpanKind};
+
+/// Microseconds of platform time per cycle, as an exact ratio at 50 MHz.
+const US_PER_CYCLE: f64 = 1_000_000.0 / CLOCK_HZ as f64;
+
+/// Renders one recorder as a complete Chrome trace JSON document.
+///
+/// `label` names the process track (e.g. `"prototype"`).
+pub fn chrome_trace_json(rec: &EventRecorder, label: &str) -> String {
+    chrome_trace_json_multi(&[(rec, label)])
+}
+
+/// Renders several recorders into one trace, each as its own process track
+/// (pid 0, 1, ...) — e.g. the theoretical and prototype stacks of the same
+/// cell side by side.
+pub fn chrome_trace_json_multi(tracks: &[(&EventRecorder, &str)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (pid, (rec, label)) in tracks.iter().enumerate() {
+        write_metadata(&mut out, &mut first, pid, rec, label);
+        for span in rec.spans() {
+            write_span(&mut out, &mut first, pid, span);
+        }
+        for event in rec.events() {
+            write_instant(&mut out, &mut first, pid, event);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+fn write_metadata(
+    out: &mut String,
+    first: &mut bool,
+    pid: usize,
+    rec: &EventRecorder,
+    label: &str,
+) {
+    sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(label)
+    );
+    for proc in 0..rec.n_procs() {
+        sep(out, first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{proc},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"CPU {proc}\"}}}}"
+        );
+    }
+}
+
+fn write_span(out: &mut String, first: &mut bool, pid: usize, span: &Span) {
+    sep(out, first);
+    let ts = span.start.as_u64() as f64 * US_PER_CYCLE;
+    let dur = span.end.saturating_sub(span.start).as_u64() as f64 * US_PER_CYCLE;
+    let (name, cat) = match (span.kind, span.task, span.job) {
+        (SpanKind::Task, Some(t), Some(j)) => (format!("T{t} (J{j})"), "task"),
+        (SpanKind::Task, _, Some(j)) => (format!("J{j}"), "task"),
+        (SpanKind::Task, _, None) => ("task".to_string(), "task"),
+        (kind, _, _) => (kind.name().to_string(), "kernel"),
+    };
+    let _ = write!(
+        out,
+        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\
+         \"name\":\"{}\",\"cat\":\"{cat}\"}}",
+        span.proc,
+        ts,
+        dur,
+        escape(&name)
+    );
+}
+
+fn write_instant(out: &mut String, first: &mut bool, pid: usize, event: &ObsEvent) {
+    sep(out, first);
+    let ts = event.at.as_u64() as f64 * US_PER_CYCLE;
+    // "s":"t" scopes the marker to its thread; system-wide events (no
+    // processor) render process-scoped on tid 0 instead.
+    let (tid, scope) = match event.proc {
+        Some(p) => (p, "t"),
+        None => (0, "p"),
+    };
+    let _ = write!(
+        out,
+        "{{\"ph\":\"i\",\"s\":\"{scope}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\
+         \"name\":\"{}\",\"cat\":\"sched\",\"args\":{{{}}}}}",
+        event.kind.name(),
+        event_args(&event.kind)
+    );
+}
+
+/// Structured `args` payload for an instant event (already JSON-encoded
+/// key/value pairs, without the surrounding braces).
+fn event_args(kind: &EventKind) -> String {
+    match *kind {
+        EventKind::JobRelease {
+            job,
+            task,
+            aperiodic,
+        } => {
+            format!("\"job\":{job},\"task\":{task},\"aperiodic\":{aperiodic}")
+        }
+        EventKind::Promotion { job, task } => format!("\"job\":{job},\"task\":{task}"),
+        EventKind::Preemption { job } => format!("\"job\":{job}"),
+        EventKind::Migration { job, from, to } => {
+            format!("\"job\":{job},\"from\":{from},\"to\":{to}")
+        }
+        EventKind::IpiSend { to } => format!("\"to\":{to}"),
+        EventKind::IpiDeliver | EventKind::IsrExit | EventKind::Recovery => String::new(),
+        EventKind::IsrEnter { irq } => format!("\"irq\":\"{}\"", irq.name()),
+        EventKind::LockContention { wait } => format!("\"wait_cycles\":{}", wait.as_u64()),
+        EventKind::BusStall { excess } => format!("\"excess_cycles\":{}", excess.as_u64()),
+        EventKind::FailStop { proc } => format!("\"proc\":{proc}"),
+        EventKind::JobComplete { job, task, met } => {
+            format!("\"job\":{job},\"task\":{task},\"met\":{met}")
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal. Labels are
+/// ASCII in practice; this covers quotes, backslashes, and control bytes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+    use crate::Probe;
+    use mpdp_core::time::Cycles;
+
+    fn sample() -> EventRecorder {
+        let mut r = EventRecorder::new(2);
+        r.span(Span {
+            proc: 0,
+            kind: SpanKind::Task,
+            job: Some(4),
+            task: Some(2),
+            start: Cycles::new(100),
+            end: Cycles::new(600),
+        });
+        r.span(Span {
+            proc: 1,
+            kind: SpanKind::Sched,
+            job: None,
+            task: None,
+            start: Cycles::new(0),
+            end: Cycles::new(50),
+        });
+        r.event(
+            Cycles::new(100),
+            Some(0),
+            EventKind::JobRelease {
+                job: 4,
+                task: 2,
+                aperiodic: true,
+            },
+        );
+        r.event(Cycles::new(200), None, EventKind::Recovery);
+        r.event(
+            Cycles::new(300),
+            Some(1),
+            EventKind::LockContention {
+                wait: Cycles::new(40),
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn emits_valid_json_with_expected_records() {
+        let rec = sample();
+        let json = chrome_trace_json(&rec, "prototype");
+        validate_json(&json).expect("exporter must emit well-formed JSON");
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+        assert!(json.contains("\"name\":\"prototype\""));
+        assert!(json.contains("\"name\":\"CPU 1\""));
+        assert!(json.contains("\"name\":\"T2 (J4)\""));
+        assert!(json.contains("\"name\":\"sched-pass\""));
+        assert!(json.contains("\"name\":\"aperiodic-release\""));
+        assert!(json.contains("\"wait_cycles\":40"));
+        // 100 cycles at 50 MHz = 2 µs.
+        assert!(json.contains("\"ts\":2.000"));
+        // 500-cycle span = 10 µs.
+        assert!(json.contains("\"dur\":10.000"));
+        // System-wide event is process-scoped.
+        assert!(json.contains("\"s\":\"p\""));
+    }
+
+    #[test]
+    fn multi_track_assigns_distinct_pids() {
+        let a = sample();
+        let b = EventRecorder::new(1);
+        let json = chrome_trace_json_multi(&[(&a, "theoretical"), (&b, "prototype")]);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"pid\":0"));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"name\":\"theoretical\""));
+    }
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\ny");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = chrome_trace_json(&sample(), "x");
+        let b = chrome_trace_json(&sample(), "x");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,188 @@
+//! Cycle-stamped scheduler and hardware events.
+//!
+//! Events are deliberately *flat*: ids are raw `u32` indexes rather than the
+//! core newtypes so that a recorded trace has no lifetime or dependency ties
+//! back into the simulator that produced it, and so the Chrome exporter can
+//! format them without conversions.
+
+use mpdp_core::time::Cycles;
+
+/// Which interrupt line an ISR entry came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrqKind {
+    /// The periodic system timer (drives the scheduling pass).
+    Timer,
+    /// A peripheral line — aperiodic arrival (CAN frame, camera, ...).
+    Peripheral,
+    /// An inter-processor interrupt raised by a scheduling pass.
+    Ipi,
+}
+
+impl IrqKind {
+    /// Short lowercase name used in trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            IrqKind::Timer => "timer",
+            IrqKind::Peripheral => "peripheral",
+            IrqKind::Ipi => "ipi",
+        }
+    }
+}
+
+/// The payload of an instant event.
+///
+/// Every variant corresponds to a probe site in the simulator stacks; the
+/// table in the crate docs maps them to the paper's overhead narrative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A job entered the ready state (periodic release or accepted
+    /// aperiodic arrival).
+    JobRelease {
+        /// Job index.
+        job: u32,
+        /// Owning task index.
+        task: u32,
+        /// `true` for middle-band aperiodic jobs.
+        aperiodic: bool,
+    },
+    /// A periodic job's promotion instant fired: it moved from the low band
+    /// to its high-band priority.
+    Promotion {
+        /// Job index.
+        job: u32,
+        /// Owning task index.
+        task: u32,
+    },
+    /// A running job was preempted (its context is being saved).
+    Preemption {
+        /// The displaced job.
+        job: u32,
+    },
+    /// A job resumed on a different processor than it last ran on; its
+    /// context travelled through the shared-memory context vector.
+    Migration {
+        /// The migrating job.
+        job: u32,
+        /// Processor it last ran on.
+        from: u32,
+        /// Processor it resumes on.
+        to: u32,
+    },
+    /// A scheduling pass raised an inter-processor interrupt.
+    IpiSend {
+        /// Destination processor.
+        to: u32,
+    },
+    /// An inter-processor interrupt was acknowledged by its destination.
+    IpiDeliver,
+    /// Interrupt service routine entry (the processor vectored).
+    IsrEnter {
+        /// Which line fired.
+        irq: IrqKind,
+    },
+    /// Interrupt service routine exit (end-of-interrupt written).
+    IsrExit,
+    /// A kernel entry found the global scheduler/controller lock held and
+    /// spun for `wait` cycles before acquiring it.
+    LockContention {
+        /// Cycles spent waiting on the lock.
+        wait: Cycles,
+    },
+    /// A kernel burst (scheduling pass, context transfer, ISR body) paid
+    /// `excess` cycles *beyond* its uncontended cost to bus/memory
+    /// queueing.
+    BusStall {
+        /// Contention excess of the burst, in cycles.
+        excess: Cycles,
+    },
+    /// A processor fail-stopped (fault injection).
+    FailStop {
+        /// The processor that died.
+        proc: u32,
+    },
+    /// The survivors finished re-admission after a fail-stop.
+    Recovery,
+    /// A job completed.
+    JobComplete {
+        /// Job index.
+        job: u32,
+        /// Owning task index.
+        task: u32,
+        /// `true` if it met its deadline (or had none).
+        met: bool,
+    },
+}
+
+impl EventKind {
+    /// Short stable name used in trace exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::JobRelease {
+                aperiodic: false, ..
+            } => "release",
+            EventKind::JobRelease {
+                aperiodic: true, ..
+            } => "aperiodic-release",
+            EventKind::Promotion { .. } => "promotion",
+            EventKind::Preemption { .. } => "preemption",
+            EventKind::Migration { .. } => "migration",
+            EventKind::IpiSend { .. } => "ipi-send",
+            EventKind::IpiDeliver => "ipi-deliver",
+            EventKind::IsrEnter { .. } => "isr-enter",
+            EventKind::IsrExit => "isr-exit",
+            EventKind::LockContention { .. } => "lock-contention",
+            EventKind::BusStall { .. } => "bus-stall",
+            EventKind::FailStop { .. } => "fail-stop",
+            EventKind::Recovery => "recovery",
+            EventKind::JobComplete { .. } => "complete",
+        }
+    }
+}
+
+/// One recorded instant: *when*, *where*, *what*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsEvent {
+    /// Cycle stamp.
+    pub at: Cycles,
+    /// Processor the event is attributed to, `None` for system-wide events.
+    pub proc: Option<u32>,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            EventKind::JobRelease {
+                job: 0,
+                task: 0,
+                aperiodic: false
+            }
+            .name(),
+            "release"
+        );
+        assert_eq!(
+            EventKind::JobRelease {
+                job: 0,
+                task: 0,
+                aperiodic: true
+            }
+            .name(),
+            "aperiodic-release"
+        );
+        assert_eq!(
+            EventKind::Migration {
+                job: 1,
+                from: 0,
+                to: 1
+            }
+            .name(),
+            "migration"
+        );
+        assert_eq!(IrqKind::Ipi.name(), "ipi");
+    }
+}

@@ -1,0 +1,255 @@
+//! A minimal JSON well-formedness checker.
+//!
+//! The workspace has no serde (no crates.io access), yet CI must prove that
+//! the Chrome trace exporter emits *parseable* JSON rather than merely
+//! string-concatenated hope. This is a strict recursive-descent validator
+//! for RFC 8259 JSON — it accepts exactly one top-level value and rejects
+//! trailing garbage, unterminated strings, bad escapes, and malformed
+//! numbers. It validates; it does not build a DOM.
+
+use std::fmt;
+
+/// A validation failure at byte `offset`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where validation failed.
+    pub offset: usize,
+    /// What was wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Validates that `input` is exactly one well-formed JSON value.
+pub fn validate_json(input: &str) -> Result<(), JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after top-level value"));
+    }
+    Ok(())
+}
+
+fn err(offset: usize, message: &'static str) -> JsonError {
+    JsonError { offset, message }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while let Some(&c) = b.get(*pos) {
+        if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
+        Some(_) => Err(err(*pos, "expected a JSON value")),
+        None => Err(err(*pos, "unexpected end of input")),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &'static [u8]) -> Result<(), JsonError> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected string key in object"));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':' after object key"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // consume opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(err(*pos, "invalid \\u escape")),
+                            }
+                        }
+                    }
+                    _ => return Err(err(*pos, "invalid escape sequence")),
+                }
+            }
+            0x00..=0x1f => return Err(err(*pos, "unescaped control character in string")),
+            _ => *pos += 1,
+        }
+    }
+    Err(err(*pos, "unterminated string"))
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: one zero, or a nonzero digit followed by digits.
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(err(start, "invalid number")),
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return Err(err(*pos, "expected digits after decimal point"));
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return Err(err(*pos, "expected digits in exponent"));
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            "-12.5e3",
+            "\"hi \\u0041\\n\"",
+            "[]",
+            "{}",
+            "[1, 2, [3, {\"a\": null}]]",
+            "{\"a\":{\"b\":[true,false,\"x\"]},\"c\":0.5}",
+            " \n\t{\"k\": -0.1e-2} ",
+        ] {
+            assert!(validate_json(doc).is_ok(), "should accept: {doc}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"bad\\u12g4\"",
+            "01",
+            "1.",
+            "1e",
+            "--1",
+            "true false",
+            "[1] []",
+            "nul",
+        ] {
+            assert!(validate_json(doc).is_err(), "should reject: {doc}");
+        }
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let e = validate_json("[1, }").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(e.to_string().contains("byte 4"));
+    }
+}

@@ -1,0 +1,330 @@
+//! The per-processor cycle-accounting ledger and its conservation invariant.
+//!
+//! Every simulated cycle on every processor is attributed to exactly one
+//! [`Bucket`]. The probe sites in the simulator stacks charge the ledger in
+//! contiguous wall-time steps, so by construction the books balance; the
+//! invariant [`CycleLedger::check_conservation`] (each processor's buckets
+//! sum to the horizon) turns any double-count or dropped interval into a
+//! hard test failure rather than a silently skewed attribution table.
+
+use std::fmt;
+
+use mpdp_core::time::Cycles;
+
+/// The exhaustive, mutually exclusive cycle-attribution categories.
+///
+/// | Bucket | Meaning |
+/// |---|---|
+/// | `TaskWork` | cycles in which application instructions retired |
+/// | `Sched` | scheduling-pass bursts (timer tick + release/promote scan) |
+/// | `Switch` | context save/restore bursts through the context vector |
+/// | `Isr` | ISR bodies outside the pass itself (IPI resolution, acks) |
+/// | `BusStall` | task wall-cycles lost to bus/memory contention |
+/// | `Contention` | cycles spun on the scheduler/controller lock |
+/// | `Idle` | no job assigned |
+///
+/// Kernel bursts (`Sched`/`Switch`/`Isr`) *include* their own bus traffic —
+/// the burst is priced under contention and charged whole — while
+/// `BusStall` captures the slowdown of *task* execution and `Contention`
+/// the serialisation wait before a burst starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Bucket {
+    /// Application work retired.
+    TaskWork = 0,
+    /// Scheduling-pass kernel bursts.
+    Sched = 1,
+    /// Context save/restore kernel bursts.
+    Switch = 2,
+    /// Other ISR bodies (IPI resolution, peripheral acks).
+    Isr = 3,
+    /// Task execution cycles lost to bus/memory contention.
+    BusStall = 4,
+    /// Scheduler/controller lock wait.
+    Contention = 5,
+    /// Nothing to run.
+    Idle = 6,
+}
+
+/// All buckets in ledger column order.
+pub const BUCKETS: [Bucket; Bucket::COUNT] = [
+    Bucket::TaskWork,
+    Bucket::Sched,
+    Bucket::Switch,
+    Bucket::Isr,
+    Bucket::BusStall,
+    Bucket::Contention,
+    Bucket::Idle,
+];
+
+impl Bucket {
+    /// Number of buckets.
+    pub const COUNT: usize = 7;
+
+    /// Stable snake_case name used as the CSV/JSON column header.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bucket::TaskWork => "task_work",
+            Bucket::Sched => "sched",
+            Bucket::Switch => "switch",
+            Bucket::Isr => "isr",
+            Bucket::BusStall => "bus_stall",
+            Bucket::Contention => "contention",
+            Bucket::Idle => "idle",
+        }
+    }
+
+    /// `true` for buckets that are overhead relative to an ideal machine
+    /// (everything except task work and idle).
+    pub fn is_overhead(self) -> bool {
+        !matches!(self, Bucket::TaskWork | Bucket::Idle)
+    }
+}
+
+impl fmt::Display for Bucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A conservation violation: processor `proc`'s buckets sum to `actual`
+/// cycles instead of the `expected` horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerImbalance {
+    /// The out-of-balance processor.
+    pub proc: usize,
+    /// The simulated horizon the buckets must sum to.
+    pub expected: u64,
+    /// What they actually sum to.
+    pub actual: u64,
+}
+
+impl fmt::Display for LedgerImbalance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle ledger out of balance on P{}: buckets sum to {} cycles, horizon is {} \
+             (delta {:+})",
+            self.proc,
+            self.actual,
+            self.expected,
+            self.actual as i128 - self.expected as i128,
+        )
+    }
+}
+
+impl std::error::Error for LedgerImbalance {}
+
+/// Per-processor cycle accounts, one `u64` cell per (processor, bucket).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleLedger {
+    cells: Vec<[u64; Bucket::COUNT]>,
+}
+
+impl CycleLedger {
+    /// An empty ledger for `n_procs` processors.
+    pub fn new(n_procs: usize) -> Self {
+        CycleLedger {
+            cells: vec![[0; Bucket::COUNT]; n_procs],
+        }
+    }
+
+    /// Number of processors tracked.
+    pub fn n_procs(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Adds `cycles` to `(proc, bucket)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    #[inline]
+    pub fn charge(&mut self, proc: usize, bucket: Bucket, cycles: u64) {
+        self.cells[proc][bucket as usize] += cycles;
+    }
+
+    /// Cycles charged to `(proc, bucket)`.
+    pub fn get(&self, proc: usize, bucket: Bucket) -> u64 {
+        self.cells[proc][bucket as usize]
+    }
+
+    /// Total cycles charged on `proc` across all buckets.
+    pub fn proc_total(&self, proc: usize) -> u64 {
+        self.cells[proc].iter().sum()
+    }
+
+    /// Total cycles charged to `bucket` across all processors.
+    pub fn bucket_total(&self, bucket: Bucket) -> u64 {
+        self.cells.iter().map(|row| row[bucket as usize]).sum()
+    }
+
+    /// Total cycles charged anywhere.
+    pub fn grand_total(&self) -> u64 {
+        self.cells.iter().flatten().sum()
+    }
+
+    /// Total overhead cycles (all buckets except task work and idle).
+    pub fn overhead_total(&self) -> u64 {
+        BUCKETS
+            .iter()
+            .filter(|b| b.is_overhead())
+            .map(|&b| self.bucket_total(b))
+            .sum()
+    }
+
+    /// The conservation invariant: every processor's buckets must sum to
+    /// exactly `horizon` cycles (and hence the grand total to
+    /// `horizon × n_procs`). Returns the first out-of-balance processor.
+    pub fn check_conservation(&self, horizon: Cycles) -> Result<(), LedgerImbalance> {
+        let expected = horizon.as_u64();
+        for (proc, row) in self.cells.iter().enumerate() {
+            let actual: u64 = row.iter().sum();
+            if actual != expected {
+                return Err(LedgerImbalance {
+                    proc,
+                    expected,
+                    actual,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges another ledger cell-wise (used to aggregate sweep cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the processor counts differ.
+    pub fn merge(&mut self, other: &CycleLedger) {
+        assert_eq!(
+            self.cells.len(),
+            other.cells.len(),
+            "cannot merge ledgers with different processor counts"
+        );
+        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+    }
+}
+
+/// Splits wall intervals into integer (work, stall) cycle pairs that are
+/// **exactly** conserving.
+///
+/// The prototype's analytic contention model makes a running processor
+/// retire `dt × speed` cycles of work over a wall interval of `dt` cycles,
+/// with `speed ∈ (0, 1]` — a fractional quantity. Rounding each interval
+/// independently would let ±0.5-cycle errors accumulate into a ledger
+/// imbalance over millions of intervals. `WorkSplitter` instead tracks the
+/// *cumulative* fractional work per processor and charges the integer
+/// difference, so every split satisfies `work + stall == dt` exactly and
+/// the total integer work never drifts more than one cycle from the true
+/// fractional total.
+#[derive(Debug, Clone, Default)]
+pub struct WorkSplitter {
+    cumulative_work: f64,
+    charged_work: u64,
+}
+
+impl WorkSplitter {
+    /// A fresh splitter with zero accumulated work.
+    pub fn new() -> Self {
+        WorkSplitter::default()
+    }
+
+    /// Splits a wall interval of `dt` cycles during which `executed`
+    /// (fractional, `0 ≤ executed ≤ dt`) cycles of work retired into
+    /// integer `(work, stall)` with `work + stall == dt`.
+    pub fn split(&mut self, dt: u64, executed: f64) -> (u64, u64) {
+        self.cumulative_work += executed.clamp(0.0, dt as f64);
+        // The fractional residual is < 1, and executed ≤ dt, so the floor of
+        // the cumulative total grows by at most dt — `work` never exceeds
+        // the interval being split.
+        let target = self.cumulative_work.floor() as u64;
+        let work = target.saturating_sub(self.charged_work).min(dt);
+        self.charged_work += work;
+        (work, dt - work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_accepts_balanced_books() {
+        let mut l = CycleLedger::new(2);
+        l.charge(0, Bucket::TaskWork, 600);
+        l.charge(0, Bucket::BusStall, 150);
+        l.charge(0, Bucket::Sched, 250);
+        l.charge(1, Bucket::Idle, 1000);
+        assert!(l.check_conservation(Cycles::new(1000)).is_ok());
+        assert_eq!(l.grand_total(), 2000);
+        assert_eq!(l.bucket_total(Bucket::TaskWork), 600);
+        assert_eq!(l.proc_total(1), 1000);
+        assert_eq!(l.overhead_total(), 400);
+    }
+
+    #[test]
+    fn conservation_reports_the_offending_processor() {
+        let mut l = CycleLedger::new(3);
+        l.charge(0, Bucket::Idle, 10);
+        l.charge(1, Bucket::Idle, 9); // one cycle dropped
+        l.charge(2, Bucket::Idle, 10);
+        let err = l.check_conservation(Cycles::new(10)).unwrap_err();
+        assert_eq!(err.proc, 1);
+        assert_eq!(err.expected, 10);
+        assert_eq!(err.actual, 9);
+        assert!(err.to_string().contains("P1"));
+    }
+
+    #[test]
+    fn merge_is_cellwise() {
+        let mut a = CycleLedger::new(1);
+        a.charge(0, Bucket::TaskWork, 5);
+        let mut b = CycleLedger::new(1);
+        b.charge(0, Bucket::TaskWork, 7);
+        b.charge(0, Bucket::Isr, 1);
+        a.merge(&b);
+        assert_eq!(a.get(0, Bucket::TaskWork), 12);
+        assert_eq!(a.get(0, Bucket::Isr), 1);
+    }
+
+    #[test]
+    fn splitter_conserves_each_interval_exactly() {
+        let mut s = WorkSplitter::new();
+        let mut total_work = 0u64;
+        let mut total_wall = 0u64;
+        // Awkward fractional speed: every interval retires 1/3 of its wall.
+        for _ in 0..10_000 {
+            let (w, st) = s.split(10, 10.0 / 3.0);
+            assert_eq!(w + st, 10);
+            total_work += w;
+            total_wall += 10;
+        }
+        assert_eq!(total_wall, 100_000);
+        // Integer work tracks the fractional total to within one cycle.
+        let true_work = total_wall as f64 / 3.0;
+        assert!((total_work as f64 - true_work).abs() <= 1.0);
+    }
+
+    #[test]
+    fn splitter_handles_full_speed_and_zero() {
+        let mut s = WorkSplitter::new();
+        assert_eq!(s.split(100, 100.0), (100, 0));
+        assert_eq!(s.split(50, 0.0), (0, 50));
+        assert_eq!(s.split(0, 0.0), (0, 0));
+    }
+
+    #[test]
+    fn bucket_names_and_order() {
+        assert_eq!(BUCKETS.len(), Bucket::COUNT);
+        assert_eq!(Bucket::TaskWork.name(), "task_work");
+        assert_eq!(Bucket::Idle.name(), "idle");
+        assert!(Bucket::Contention.is_overhead());
+        assert!(!Bucket::Idle.is_overhead());
+        assert_eq!(format!("{}", Bucket::BusStall), "bus_stall");
+    }
+}

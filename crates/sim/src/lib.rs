@@ -54,10 +54,13 @@ pub use export::{completions_csv, segments_csv};
 pub use gantt::render_gantt;
 pub use micro::{run_micro, AccessModel, MicroConfig, MicroResult, MicroTask};
 pub use prototype::{
-    run_prototype, run_prototype_with, PrototypeConfig, PrototypeOutcome, PrototypeSim,
+    run_prototype, run_prototype_probed, run_prototype_with, PrototypeConfig, PrototypeOutcome,
+    PrototypeSim,
 };
 pub use stats::{
     miss_ratio, proc_breakdowns, response_stats, ProcBreakdown, ResponseStats, SurvivalStats,
 };
-pub use theoretical::{run_theoretical, run_theoretical_with, SimOutcome, TheoreticalConfig};
+pub use theoretical::{
+    run_theoretical, run_theoretical_probed, run_theoretical_with, SimOutcome, TheoreticalConfig,
+};
 pub use trace::{CompletionRecord, Segment, SegmentKind, Trace};

@@ -35,6 +35,7 @@ use mpdp_hw::contention::ContentionModel;
 use mpdp_hw::timer::SystemTimer;
 use mpdp_intc::{IntcStats, InterruptSource, MpInterruptController};
 use mpdp_kernel::{KernelCost, KernelCosts, KernelStats, Microkernel};
+use mpdp_obs::{Bucket, EventKind, IrqKind, NullProbe, Probe, Span, SpanKind, WorkSplitter};
 
 use crate::stats::SurvivalStats;
 use crate::trace::{Segment, SegmentKind, Trace};
@@ -156,7 +157,11 @@ enum Activity {
 }
 
 /// The prototype simulator.
-pub struct PrototypeSim<S: Scheduler> {
+///
+/// Generic over an observability [`Probe`]; the default [`NullProbe`]
+/// monomorphises every probe site to nothing, so uninstrumented runs
+/// compile to the pre-observability code.
+pub struct PrototypeSim<S: Scheduler, P: Probe = NullProbe> {
     kernel: Microkernel<S>,
     intc: MpInterruptController,
     timer: SystemTimer,
@@ -168,8 +173,9 @@ pub struct PrototypeSim<S: Scheduler> {
     speeds: Vec<f64>,
     now: Cycles,
     trace: Trace,
-    /// Open trace segment per processor.
-    open: Vec<Option<(SegmentKind, Option<JobId>, Cycles)>>,
+    /// Open trace segment per processor (tracked when segment recording or
+    /// a probe is active).
+    open: Vec<Option<(SpanKind, Option<JobId>, Cycles)>>,
     /// Instant the scheduler/controller lock becomes free; ISRs on other
     /// processors serialize behind it.
     sched_lock_free_at: Cycles,
@@ -204,11 +210,25 @@ pub struct PrototypeSim<S: Scheduler> {
     /// Per-job budget ledger: demand at release, enforcement budget, and
     /// whether the overrun was already acted on (filled when `track`).
     ledger: Vec<(f64, f64, bool)>,
+    /// The observability probe (zero-sized no-op by default).
+    probe: P,
+    /// Per-processor instant until which a busy period is scheduler-lock
+    /// wait rather than useful kernel work (cycle-ledger attribution).
+    contention_until: Vec<Cycles>,
+    /// Per-processor exact work/stall splitters (cycle-ledger attribution).
+    splitters: Vec<WorkSplitter>,
 }
 
 impl<S: Scheduler> PrototypeSim<S> {
-    /// Builds the simulator around a policy.
+    /// Builds the simulator around a policy, without instrumentation.
     pub fn new(policy: S, config: PrototypeConfig) -> Self {
+        PrototypeSim::probed(policy, config, NullProbe)
+    }
+}
+
+impl<S: Scheduler, P: Probe> PrototypeSim<S, P> {
+    /// Builds the simulator around a policy with an observability probe.
+    pub fn probed(policy: S, config: PrototypeConfig, probe: P) -> Self {
         let n_procs = policy.n_procs();
         let n_periph = policy.table().aperiodic().len().max(1);
         let deg = policy.degradation();
@@ -239,6 +259,9 @@ impl<S: Scheduler> PrototypeSim<S> {
             tick_seq: 0,
             spurious_idx: 0,
             ledger: Vec::new(),
+            probe,
+            contention_until: vec![Cycles::ZERO; n_procs],
+            splitters: vec![WorkSplitter::new(); n_procs],
             kernel,
             config,
         }
@@ -266,7 +289,19 @@ impl<S: Scheduler> PrototypeSim<S> {
     /// [`TaskSetError::UnsortedArrivals`] if arrivals are unsorted;
     /// [`TaskSetError::InvalidParameter`] if a configured bus rate is
     /// negative or non-finite.
-    pub fn run(mut self, arrivals: &[(Cycles, usize)]) -> Result<PrototypeOutcome, TaskSetError> {
+    pub fn run(self, arrivals: &[(Cycles, usize)]) -> Result<PrototypeOutcome, TaskSetError> {
+        self.run_probed(arrivals).map(|(outcome, _)| outcome)
+    }
+
+    /// [`Self::run`], also returning the probe with everything it recorded.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_probed(
+        mut self,
+        arrivals: &[(Cycles, usize)],
+    ) -> Result<(PrototypeOutcome, P), TaskSetError> {
         if arrivals.windows(2).any(|w| w[0].0 > w[1].0) {
             return Err(TaskSetError::UnsortedArrivals);
         }
@@ -431,15 +466,18 @@ impl<S: Scheduler> PrototypeSim<S> {
                 self.survival.total_tasks = total as u64;
             }
         }
-        Ok(PrototypeOutcome {
-            trace: self.trace,
-            end: self.now,
-            kernel: self.kernel.stats(),
-            intc: self.intc.stats(),
-            lock_contentions: self.lock_contentions,
-            lock_wait_cycles: self.lock_wait_cycles,
-            survival: self.survival,
-        })
+        Ok((
+            PrototypeOutcome {
+                trace: self.trace,
+                end: self.now,
+                kernel: self.kernel.stats(),
+                intc: self.intc.stats(),
+                lock_contentions: self.lock_contentions,
+                lock_wait_cycles: self.lock_wait_cycles,
+                survival: self.survival,
+            },
+            self.probe,
+        ))
     }
 
     /// Applies a fail-stop of processor `p` right now: whatever the core
@@ -449,6 +487,13 @@ impl<S: Scheduler> PrototypeSim<S> {
     /// the partition (online re-admission).
     fn apply_fail_stop(&mut self, p: usize) {
         let proc = ProcId::new(p as u32);
+        if P::ENABLED {
+            self.probe.event(
+                self.now,
+                Some(p as u32),
+                EventKind::FailStop { proc: p as u32 },
+            );
+        }
         self.close_segment(proc);
         self.activity[p] = Activity::Idle;
         self.intc.fail_stop(proc, self.now);
@@ -490,6 +535,17 @@ impl<S: Scheduler> PrototypeSim<S> {
                     let task = self.task_of(job);
                     self.close_segment(proc);
                     let (record, next) = self.kernel.abort_job(proc, job, self.now);
+                    if P::ENABLED {
+                        self.probe.event(
+                            self.now,
+                            Some(proc.as_u32()),
+                            EventKind::JobComplete {
+                                job: job.as_u32(),
+                                task: task.as_u32(),
+                                met: false,
+                            },
+                        );
+                    }
                     self.trace.record_abort(&record, task, self.now);
                     self.survival.kills += 1;
                     if let JobClass::Aperiodic { task_index } = record.class {
@@ -535,6 +591,9 @@ impl<S: Scheduler> PrototypeSim<S> {
         if !dt.is_zero() {
             let dtf = dt.as_u64() as f64;
             for p in 0..self.n_procs() {
+                if P::ENABLED {
+                    self.account(p, dt);
+                }
                 if let Activity::Running(job) = self.activity[p] {
                     let executed = dtf * self.speeds[p];
                     let r = &mut self.remaining[job.index()];
@@ -548,6 +607,41 @@ impl<S: Scheduler> PrototypeSim<S> {
             }
         }
         self.now = t;
+    }
+
+    /// Cycle-ledger attribution of the wall interval `[now, now + dt)` on
+    /// processor `p`. Called for every advance step, so the per-processor
+    /// charges tile the horizon exactly — the conservation invariant.
+    fn account(&mut self, p: usize, dt: Cycles) {
+        let dtu = dt.as_u64();
+        match &self.activity[p] {
+            Activity::Running(_) => {
+                // Split wall time into retired work and bus/memory stall.
+                // The splitter keeps the integer split exactly conserving.
+                let executed = dtu as f64 * self.speeds[p];
+                let (work, stall) = self.splitters[p].split(dtu, executed);
+                self.probe.charge(p, Bucket::TaskWork, work);
+                self.probe.charge(p, Bucket::BusStall, stall);
+            }
+            Activity::Busy { work, .. } => {
+                // The leading part of a busy period up to `contention_until`
+                // is scheduler-lock wait; the rest is the kernel burst.
+                let contended = self.contention_until[p]
+                    .saturating_sub(self.now)
+                    .as_u64()
+                    .min(dtu);
+                if contended > 0 {
+                    self.probe.charge(p, Bucket::Contention, contended);
+                }
+                let bucket = match work {
+                    BusyWork::SchedPass => Bucket::Sched,
+                    BusyWork::IpiResolve => Bucket::Isr,
+                    BusyWork::Switch { .. } => Bucket::Switch,
+                };
+                self.probe.charge(p, bucket, dtu - contended);
+            }
+            Activity::Idle => self.probe.charge(p, Bucket::Idle, dtu),
+        }
     }
 
     fn profile_of(&self, job: JobId) -> mpdp_core::task::MemoryProfile {
@@ -621,14 +715,71 @@ impl<S: Scheduler> PrototypeSim<S> {
     /// Cycles this ISR must wait for the scheduler/controller lock, and
     /// bookkeeping for the contention statistics. The lock is then held
     /// until `held_until`.
-    fn acquire_sched_lock(&mut self, held_until_estimate: Cycles) -> Cycles {
+    fn acquire_sched_lock(&mut self, proc: ProcId, held_until_estimate: Cycles) -> Cycles {
         let wait = self.sched_lock_free_at.saturating_sub(self.now);
         if !wait.is_zero() {
             self.lock_contentions += 1;
             self.lock_wait_cycles += wait;
+            if P::ENABLED {
+                self.contention_until[proc.index()] = self.now + wait;
+                self.probe.event(
+                    self.now,
+                    Some(proc.as_u32()),
+                    EventKind::LockContention { wait },
+                );
+            }
         }
         self.sched_lock_free_at = held_until_estimate + wait;
         wait
+    }
+
+    /// Prices a burst via [`Self::cost_duration`] and emits a bus-stall
+    /// event carrying the burst's contention excess over its uncontended
+    /// cost (the hardware model knows the deterministic service time).
+    fn priced_burst(&mut self, proc: ProcId, cost: KernelCost) -> Cycles {
+        let busy = self.cost_duration(cost);
+        if P::ENABLED {
+            let excess = self.contention.burst_excess(busy, cost.cpu, cost.bus_words);
+            if !excess.is_zero() {
+                self.probe.event(
+                    self.now,
+                    Some(proc.as_u32()),
+                    EventKind::BusStall { excess },
+                );
+            }
+        }
+        busy
+    }
+
+    /// Emits release/promotion events for a scheduling pass's outcome.
+    fn release_events(&mut self, released: &[JobId], promoted: &[JobId]) {
+        for &j in released {
+            let aperiodic = matches!(
+                self.kernel.policy().job(j).class,
+                JobClass::Aperiodic { .. }
+            );
+            let task = self.task_of(j).as_u32();
+            self.probe.event(
+                self.now,
+                None,
+                EventKind::JobRelease {
+                    job: j.as_u32(),
+                    task,
+                    aperiodic,
+                },
+            );
+        }
+        for &j in promoted {
+            let task = self.task_of(j).as_u32();
+            self.probe.event(
+                self.now,
+                None,
+                EventKind::Promotion {
+                    job: j.as_u32(),
+                    task,
+                },
+            );
+        }
     }
 
     fn acknowledge(&mut self, proc: ProcId) {
@@ -643,11 +794,27 @@ impl<S: Scheduler> PrototypeSim<S> {
             _ => None,
         };
         self.close_segment(proc);
+        if P::ENABLED {
+            let irq = match sig.source {
+                InterruptSource::Timer => IrqKind::Timer,
+                InterruptSource::Peripheral(_) => IrqKind::Peripheral,
+                InterruptSource::Ipi { .. } => IrqKind::Ipi,
+            };
+            self.probe
+                .event(self.now, Some(proc.as_u32()), EventKind::IsrEnter { irq });
+            if matches!(sig.source, InterruptSource::Ipi { .. }) {
+                self.probe
+                    .event(self.now, Some(proc.as_u32()), EventKind::IpiDeliver);
+            }
+        }
         match sig.source {
             InterruptSource::Timer => {
                 let pass = self.kernel.scheduling_pass(proc, self.now, true);
-                let busy = self.cost_duration(pass.cost);
-                let wait = self.acquire_sched_lock(self.now + busy);
+                if P::ENABLED {
+                    self.release_events(&pass.released, &pass.promoted);
+                }
+                let busy = self.priced_burst(proc, pass.cost);
+                let wait = self.acquire_sched_lock(proc, self.now + busy);
                 let until = self.now + wait + busy;
                 self.set_activity(
                     proc,
@@ -667,8 +834,8 @@ impl<S: Scheduler> PrototypeSim<S> {
                         cpu: self.config.kernel_costs.isr_entry + self.config.kernel_costs.isr_exit,
                         bus_words: 2,
                     };
-                    let busy = self.cost_duration(cost);
-                    let wait = self.acquire_sched_lock(self.now + busy);
+                    let busy = self.priced_burst(proc, cost);
+                    let wait = self.acquire_sched_lock(proc, self.now + busy);
                     self.set_activity(
                         proc,
                         Activity::Busy {
@@ -696,8 +863,11 @@ impl<S: Scheduler> PrototypeSim<S> {
                 for job in pass.released.iter().chain(&pass.promoted) {
                     self.ensure_job(*job);
                 }
-                let busy = self.cost_duration(pass.cost);
-                let wait = self.acquire_sched_lock(self.now + busy);
+                if P::ENABLED {
+                    self.release_events(&pass.released, &pass.promoted);
+                }
+                let busy = self.priced_burst(proc, pass.cost);
+                let wait = self.acquire_sched_lock(proc, self.now + busy);
                 let until = self.now + wait + busy;
                 self.set_activity(
                     proc,
@@ -714,8 +884,8 @@ impl<S: Scheduler> PrototypeSim<S> {
                     cpu: self.config.kernel_costs.isr_entry + self.config.kernel_costs.isr_exit,
                     bus_words: 2,
                 };
-                let busy = self.cost_duration(cost);
-                let wait = self.acquire_sched_lock(self.now + busy);
+                let busy = self.priced_burst(proc, cost);
+                let wait = self.acquire_sched_lock(proc, self.now + busy);
                 let until = self.now + wait + busy;
                 self.set_activity(
                     proc,
@@ -747,6 +917,10 @@ impl<S: Scheduler> PrototypeSim<S> {
                     // the re-homed assignment takes effect here.
                     self.awaiting_recovery = false;
                     self.survival.recovery_at = Some(self.now);
+                    if P::ENABLED {
+                        self.probe
+                            .event(self.now, Some(proc.as_u32()), EventKind::Recovery);
+                    }
                 }
                 // Recompute the assignment *now* — completions and other
                 // processors' switches may have landed during the pass — and
@@ -755,6 +929,15 @@ impl<S: Scheduler> PrototypeSim<S> {
                 for a in self.kernel.policy().diff(&desired) {
                     if a.proc != proc {
                         self.intc.raise_ipi(proc, a.proc, 0, self.now);
+                        if P::ENABLED {
+                            self.probe.event(
+                                self.now,
+                                Some(proc.as_u32()),
+                                EventKind::IpiSend {
+                                    to: a.proc.as_u32(),
+                                },
+                            );
+                        }
                     }
                 }
                 self.resolve_local_switch(proc, paused, in_isr);
@@ -766,6 +949,10 @@ impl<S: Scheduler> PrototypeSim<S> {
                 // Context move done; the policy was updated at switch start.
                 if from_isr {
                     self.intc.end_of_interrupt(proc, self.now);
+                    if P::ENABLED {
+                        self.probe
+                            .event(self.now, Some(proc.as_u32()), EventKind::IsrExit);
+                    }
                 }
                 let running = self.kernel.policy().running()[proc.index()];
                 self.set_activity(
@@ -824,8 +1011,10 @@ impl<S: Scheduler> PrototypeSim<S> {
         if let Some(restore) = action.restore {
             self.ensure_job(restore);
         }
-        self.kernel.apply_switch(&action, self.now);
-        let until = self.now + self.cost_duration(cost);
+        self.kernel
+            .apply_switch_probed(&action, self.now, &mut self.probe);
+        let busy = self.priced_burst(proc, cost);
+        let until = self.now + busy;
         self.set_activity(
             proc,
             Activity::Busy {
@@ -840,6 +1029,10 @@ impl<S: Scheduler> PrototypeSim<S> {
     fn end_isr_and_resume(&mut self, proc: ProcId, paused: Option<JobId>, in_isr: bool) {
         if in_isr {
             self.intc.end_of_interrupt(proc, self.now);
+            if P::ENABLED {
+                self.probe
+                    .event(self.now, Some(proc.as_u32()), EventKind::IsrExit);
+            }
         }
         self.set_activity(
             proc,
@@ -862,6 +1055,17 @@ impl<S: Scheduler> PrototypeSim<S> {
             let task = self.task_of(job);
             self.close_segment(proc);
             let (record, next) = self.kernel.complete_job(proc, job, self.now);
+            if P::ENABLED {
+                self.probe.event(
+                    self.now,
+                    Some(proc.as_u32()),
+                    EventKind::JobComplete {
+                        job: job.as_u32(),
+                        task: task.as_u32(),
+                        met: record.absolute_deadline.is_none_or(|d| self.now <= d),
+                    },
+                );
+            }
             self.trace.record_completion(&record, task, self.now);
             if let JobClass::Aperiodic { task_index } = record.class {
                 self.outstanding[task_index] -= 1;
@@ -992,12 +1196,13 @@ impl<S: Scheduler> PrototypeSim<S> {
 
     fn set_activity(&mut self, proc: ProcId, activity: Activity) {
         self.close_segment(proc);
-        if self.config.record_segments {
+        if self.config.record_segments || P::ENABLED {
             let open = match &activity {
-                Activity::Running(j) => Some((SegmentKind::Task, Some(*j))),
+                Activity::Running(j) => Some((SpanKind::Task, Some(*j))),
                 Activity::Busy { work, .. } => match work {
-                    BusyWork::Switch { .. } => Some((SegmentKind::Switch, None)),
-                    _ => Some((SegmentKind::Kernel, None)),
+                    BusyWork::Switch { .. } => Some((SpanKind::Switch, None)),
+                    BusyWork::SchedPass => Some((SpanKind::Sched, None)),
+                    BusyWork::IpiResolve => Some((SpanKind::Isr, None)),
                 },
                 Activity::Idle => None,
             };
@@ -1012,14 +1217,33 @@ impl<S: Scheduler> PrototypeSim<S> {
         if let Some((kind, job, start)) = self.open[proc.index()].take() {
             if start < self.now {
                 let task = job.map(|j| self.task_of(j));
-                self.trace.segments.push(Segment {
-                    proc,
-                    job,
-                    task,
-                    start,
-                    end: self.now,
-                    kind,
-                });
+                if self.config.record_segments {
+                    // The coarse Gantt trace keeps its historical
+                    // three-kind classification.
+                    let seg_kind = match kind {
+                        SpanKind::Task => SegmentKind::Task,
+                        SpanKind::Switch => SegmentKind::Switch,
+                        SpanKind::Sched | SpanKind::Isr => SegmentKind::Kernel,
+                    };
+                    self.trace.segments.push(Segment {
+                        proc,
+                        job,
+                        task,
+                        start,
+                        end: self.now,
+                        kind: seg_kind,
+                    });
+                }
+                if P::ENABLED {
+                    self.probe.span(Span {
+                        proc: proc.as_u32(),
+                        kind,
+                        job: job.map(JobId::as_u32),
+                        task: task.map(TaskId::as_u32),
+                        start,
+                        end: self.now,
+                    });
+                }
             }
         }
     }
@@ -1062,6 +1286,24 @@ pub fn run_prototype_with<S: Scheduler>(
     PrototypeSim::new(policy, config)
         .with_faults(faults.clone())
         .run(arrivals)
+}
+
+/// [`run_prototype_with`] under an observability probe, returning the probe
+/// with its recorded events, spans, and cycle ledger.
+///
+/// # Errors
+///
+/// See [`PrototypeSim::run`].
+pub fn run_prototype_probed<S: Scheduler, P: Probe>(
+    policy: S,
+    arrivals: &[(Cycles, usize)],
+    config: PrototypeConfig,
+    faults: &CompiledFaults,
+    probe: P,
+) -> Result<(PrototypeOutcome, P), TaskSetError> {
+    PrototypeSim::probed(policy, config, probe)
+        .with_faults(faults.clone())
+        .run_probed(arrivals)
 }
 
 #[cfg(test)]

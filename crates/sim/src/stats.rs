@@ -20,6 +20,12 @@ pub struct ResponseStats {
     pub p50_s: f64,
     /// 95th percentile response (seconds).
     pub p95_s: f64,
+    /// 99th percentile response (seconds). Nearest-rank over the sorted
+    /// samples (`round((count − 1) × q)`), so with fewer than ~100 samples
+    /// it degenerates toward `max_s` — by design for tail-latency reporting.
+    pub p99_s: f64,
+    /// 99.9th percentile response (seconds); same nearest-rank rule.
+    pub p999_s: f64,
     /// Maximum response (seconds).
     pub max_s: f64,
 }
@@ -151,6 +157,8 @@ impl ResponseAccumulator {
             mean_s,
             p50_s: pct(0.50),
             p95_s: pct(0.95),
+            p99_s: pct(0.99),
+            p999_s: pct(0.999),
             max_s: Cycles::new(sorted[count - 1]).as_secs_f64(),
         })
     }
@@ -378,7 +386,24 @@ mod tests {
         assert!((stats.max_s - 1000.0 / 5e7).abs() < 1e-12);
         assert!((stats.p50_s - 300.0 / 5e7).abs() < 1e-12);
         assert!((stats.mean_s - 400.0 / 5e7).abs() < 1e-12);
+        // Nearest-rank on 5 samples: p99 and p99.9 land on the maximum.
+        assert!((stats.p99_s - 1000.0 / 5e7).abs() < 1e-12);
+        assert!((stats.p999_s - 1000.0 / 5e7).abs() < 1e-12);
         assert!(response_stats(&trace, TaskId::new(9)).is_none());
+    }
+
+    #[test]
+    fn tail_percentiles_use_nearest_rank() {
+        let mut acc = ResponseAccumulator::new();
+        for i in 1..=1000u64 {
+            acc.observe(Cycles::new(i));
+        }
+        let stats = acc.finalize().expect("samples");
+        // Nearest rank: round(999 × 0.99) = 989 → the 990-cycle sample;
+        // round(999 × 0.999) = 998 → the 999-cycle sample.
+        assert!((stats.p99_s - 990.0 / 5e7).abs() < 1e-12);
+        assert!((stats.p999_s - 999.0 / 5e7).abs() < 1e-12);
+        assert!((stats.max_s - 1000.0 / 5e7).abs() < 1e-12);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use mpdp_core::ids::{JobId, ProcId, TaskId};
 use mpdp_core::policy::{JobClass, OverrunAction, Scheduler};
 use mpdp_core::time::{Cycles, DEFAULT_TICK};
 use mpdp_faults::CompiledFaults;
+use mpdp_obs::{Bucket, EventKind, NullProbe, Probe, Span, SpanKind};
 
 use crate::stats::SurvivalStats;
 use crate::trace::{Segment, SegmentKind, Trace};
@@ -137,11 +138,36 @@ pub fn run_theoretical<S: Scheduler>(
 ///
 /// Same as [`run_theoretical`].
 pub fn run_theoretical_with<S: Scheduler>(
-    mut policy: S,
+    policy: S,
     arrivals: &[(Cycles, usize)],
     config: TheoreticalConfig,
     faults: &CompiledFaults,
 ) -> Result<SimOutcome, TaskSetError> {
+    run_theoretical_probed(policy, arrivals, config, faults, NullProbe).map(|(o, _)| o)
+}
+
+/// [`run_theoretical_with`] under an observability [`Probe`].
+///
+/// The idealized stack has no kernel bursts, bus stalls, or lock
+/// contention, so its cycle ledger uses only two buckets: `TaskWork` while
+/// a processor runs a job at full speed and `Idle` otherwise. The buckets
+/// still partition the timeline exactly (`horizon × n_procs` cycles), which
+/// is what makes the theoretical-vs-prototype gap decomposition in
+/// `exp_gap_attribution` well-defined. Events emitted: job releases,
+/// promotions, completions/aborts, fail-stop, and recovery; task spans are
+/// reported per processor. With [`NullProbe`] this monomorphizes to the
+/// exact unprobed code path.
+///
+/// # Errors
+///
+/// Same as [`run_theoretical`].
+pub fn run_theoretical_probed<S: Scheduler, P: Probe>(
+    mut policy: S,
+    arrivals: &[(Cycles, usize)],
+    config: TheoreticalConfig,
+    faults: &CompiledFaults,
+    mut probe: P,
+) -> Result<(SimOutcome, P), TaskSetError> {
     if arrivals.windows(2).any(|w| w[0].0 > w[1].0) {
         return Err(TaskSetError::UnsortedArrivals);
     }
@@ -163,7 +189,9 @@ pub fn run_theoretical_with<S: Scheduler>(
     let mut now = Cycles::ZERO;
     let mut next_tick = Cycles::ZERO;
     let mut arrival_idx = 0usize;
-    // Per-processor open segment (job, task, start) for Gantt recording.
+    // Per-processor open segment (job, task, start) for Gantt recording
+    // and/or probe spans.
+    let track_spans = config.record_segments || P::ENABLED;
     let mut open: Vec<Option<(JobId, TaskId, Cycles)>> = vec![None; policy.n_procs()];
 
     // Fault/degradation state. `track` gates every piece of survival
@@ -249,8 +277,15 @@ pub fn run_theoretical_with<S: Scheduler>(
         if !dt.is_zero() {
             for p in 0..policy.n_procs() {
                 if let Some(job) = policy.running()[p] {
+                    // `t` was clamped to `now + remaining` above, so the
+                    // whole interval is productive work at full speed.
+                    if P::ENABLED {
+                        probe.charge(p, Bucket::TaskWork, dt.as_u64());
+                    }
                     remaining[job.index()] = remaining[job.index()].saturating_sub(dt);
                     policy.on_progress(job, dt, t);
+                } else if P::ENABLED {
+                    probe.charge(p, Bucket::Idle, dt.as_u64());
                 }
             }
         }
@@ -274,12 +309,16 @@ pub fn run_theoretical_with<S: Scheduler>(
                     // The running job's context died with the core.
                     survival.kills += 1;
                 }
+                if P::ENABLED {
+                    probe.event(now, Some(p as u32), EventKind::FailStop { proc: p as u32 });
+                }
                 close_segment(
                     &mut open,
                     &mut trace,
                     ProcId::new(p as u32),
                     now,
                     config.record_segments,
+                    &mut probe,
                 );
                 // Recovery completes at the next scheduling pass, which
                 // re-applies the (re-homed) assignment.
@@ -298,6 +337,17 @@ pub fn run_theoretical_with<S: Scheduler>(
             let task = task_of(&policy, job);
             let record = policy.complete(job, now);
             trace.record_completion(&record, task, now);
+            if P::ENABLED {
+                probe.event(
+                    now,
+                    Some(proc.as_u32()),
+                    EventKind::JobComplete {
+                        job: job.as_u32(),
+                        task: task.as_u32(),
+                        met: record.absolute_deadline.is_none_or(|d| now <= d),
+                    },
+                );
+            }
             if let JobClass::Aperiodic { task_index } = record.class {
                 outstanding[task_index] -= 1;
                 while let Some(arrival) = deferred[task_index].pop_front() {
@@ -307,6 +357,17 @@ pub fn run_theoretical_with<S: Scheduler>(
                             let idx = job.index();
                             grow_to(&mut remaining, idx, Cycles::ZERO);
                             remaining[idx] = demand_of(&policy, job);
+                            if P::ENABLED {
+                                probe.event(
+                                    now,
+                                    None,
+                                    EventKind::JobRelease {
+                                        job: job.as_u32(),
+                                        task: task_of(&policy, job).as_u32(),
+                                        aperiodic: true,
+                                    },
+                                );
+                            }
                             if track {
                                 grow_to(&mut ledger, idx, (Cycles::ZERO, Cycles::ZERO, true));
                                 let b = nominal_of(&policy, job).scale(deg.budget_margin);
@@ -319,13 +380,20 @@ pub fn run_theoretical_with<S: Scheduler>(
                     }
                 }
             }
-            close_segment(&mut open, &mut trace, proc, now, config.record_segments);
+            close_segment(
+                &mut open,
+                &mut trace,
+                proc,
+                now,
+                config.record_segments,
+                &mut probe,
+            );
             // Completion path: local pickup, no global reshuffle.
             if let Some(next) = policy.pick_for_idle(proc) {
                 policy.set_running(proc, Some(next));
                 switches += 1;
                 let task = task_of(&policy, next);
-                open_segment(&mut open, proc, next, task, now, config.record_segments);
+                open_segment(&mut open, proc, next, task, now, track_spans);
             }
         }
 
@@ -341,6 +409,17 @@ pub fn run_theoretical_with<S: Scheduler>(
                         let idx = job.index();
                         grow_to(&mut remaining, idx, Cycles::ZERO);
                         remaining[idx] = demand_of(&policy, job);
+                        if P::ENABLED {
+                            probe.event(
+                                now,
+                                None,
+                                EventKind::JobRelease {
+                                    job: job.as_u32(),
+                                    task: task_of(&policy, job).as_u32(),
+                                    aperiodic: true,
+                                },
+                            );
+                        }
                         if track {
                             grow_to(&mut ledger, idx, (Cycles::ZERO, Cycles::ZERO, true));
                             let b = nominal_of(&policy, job).scale(deg.budget_margin);
@@ -401,12 +480,24 @@ pub fn run_theoretical_with<S: Scheduler>(
                                 let record = policy.kill_job(job, now);
                                 trace.record_abort(&record, task, now);
                                 survival.kills += 1;
+                                if P::ENABLED {
+                                    probe.event(
+                                        now,
+                                        Some(p as u32),
+                                        EventKind::JobComplete {
+                                            job: job.as_u32(),
+                                            task: task.as_u32(),
+                                            met: false,
+                                        },
+                                    );
+                                }
                                 close_segment(
                                     &mut open,
                                     &mut trace,
                                     ProcId::new(p as u32),
                                     now,
                                     config.record_segments,
+                                    &mut probe,
                                 );
                                 if let JobClass::Aperiodic { task_index } = record.class {
                                     // Same re-trigger bookkeeping as a
@@ -419,6 +510,17 @@ pub fn run_theoretical_with<S: Scheduler>(
                                                 let idx = j2.index();
                                                 grow_to(&mut remaining, idx, Cycles::ZERO);
                                                 remaining[idx] = demand_of(&policy, j2);
+                                                if P::ENABLED {
+                                                    probe.event(
+                                                        now,
+                                                        None,
+                                                        EventKind::JobRelease {
+                                                            job: j2.as_u32(),
+                                                            task: task_of(&policy, j2).as_u32(),
+                                                            aperiodic: true,
+                                                        },
+                                                    );
+                                                }
                                                 grow_to(
                                                     &mut ledger,
                                                     idx,
@@ -446,13 +548,35 @@ pub fn run_theoretical_with<S: Scheduler>(
                 let idx = job.index();
                 grow_to(&mut remaining, idx, Cycles::ZERO);
                 remaining[idx] = demand_of(&policy, job);
+                if P::ENABLED {
+                    probe.event(
+                        now,
+                        None,
+                        EventKind::JobRelease {
+                            job: job.as_u32(),
+                            task: task_of(&policy, job).as_u32(),
+                            aperiodic: false,
+                        },
+                    );
+                }
                 if track {
                     grow_to(&mut ledger, idx, (Cycles::ZERO, Cycles::ZERO, true));
                     let b = nominal_of(&policy, job).scale(deg.budget_margin);
                     ledger[idx] = (remaining[idx], b, false);
                 }
             }
-            policy.promote_due(now);
+            for job in policy.promote_due(now) {
+                if P::ENABLED {
+                    probe.event(
+                        now,
+                        None,
+                        EventKind::Promotion {
+                            job: job.as_u32(),
+                            task: task_of(&policy, job).as_u32(),
+                        },
+                    );
+                }
+            }
             let desired = policy.assign();
             let actions = policy.diff(&desired);
             // Two-phase application: processor pairs can exchange tasks
@@ -466,6 +590,7 @@ pub fn run_theoretical_with<S: Scheduler>(
                     action.proc,
                     now,
                     config.record_segments,
+                    &mut probe,
                 );
                 policy.set_running(action.proc, None);
             }
@@ -474,7 +599,7 @@ pub fn run_theoretical_with<S: Scheduler>(
                 switches += 1;
                 if let Some(j) = action.restore {
                     let task = task_of(&policy, j);
-                    open_segment(&mut open, action.proc, j, task, now, config.record_segments);
+                    open_segment(&mut open, action.proc, j, task, now, track_spans);
                 }
             }
             if awaiting_recovery {
@@ -482,6 +607,9 @@ pub fn run_theoretical_with<S: Scheduler>(
                 // assignment is in force.
                 awaiting_recovery = false;
                 survival.recovery_at = Some(now);
+                if P::ENABLED {
+                    probe.event(now, None, EventKind::Recovery);
+                }
             }
         }
     }
@@ -494,6 +622,7 @@ pub fn run_theoretical_with<S: Scheduler>(
             ProcId::new(p as u32),
             config.horizon,
             config.record_segments,
+            &mut probe,
         );
     }
 
@@ -502,12 +631,15 @@ pub fn run_theoretical_with<S: Scheduler>(
         survival.guaranteed_tasks = g as u64;
         survival.total_tasks = total as u64;
     }
-    Ok(SimOutcome {
-        trace,
-        switches,
-        end: now,
-        survival,
-    })
+    Ok((
+        SimOutcome {
+            trace,
+            switches,
+            end: now,
+            survival,
+        },
+        probe,
+    ))
 }
 
 fn grow_to<T: Clone>(v: &mut Vec<T>, idx: usize, fill: T) {
@@ -529,26 +661,36 @@ fn open_segment(
     }
 }
 
-fn close_segment(
+fn close_segment<P: Probe>(
     open: &mut [Option<(JobId, TaskId, Cycles)>],
     trace: &mut Trace,
     proc: ProcId,
     now: Cycles,
-    enabled: bool,
+    record: bool,
+    probe: &mut P,
 ) {
-    if !enabled {
-        return;
-    }
     if let Some((job, task, start)) = open[proc.index()].take() {
         if start < now {
-            trace.segments.push(Segment {
-                proc,
-                job: Some(job),
-                task: Some(task),
-                start,
-                end: now,
-                kind: SegmentKind::Task,
-            });
+            if record {
+                trace.segments.push(Segment {
+                    proc,
+                    job: Some(job),
+                    task: Some(task),
+                    start,
+                    end: now,
+                    kind: SegmentKind::Task,
+                });
+            }
+            if P::ENABLED {
+                probe.span(Span {
+                    proc: proc.as_u32(),
+                    kind: SpanKind::Task,
+                    job: Some(job.as_u32()),
+                    task: Some(task.as_u32()),
+                    start,
+                    end: now,
+                });
+            }
         }
     }
 }
@@ -663,6 +805,34 @@ mod tests {
         let outcome = run_theoretical(simple_policy(1), &[], cfg(10_000).with_segments()).unwrap();
         // 300 + 400 cycles of work on P0.
         assert_eq!(outcome.trace.busy_cycles(ProcId::new(0)), Cycles::new(700));
+    }
+
+    #[test]
+    fn probed_run_matches_unprobed_and_conserves_cycles() {
+        let arrivals = [(Cycles::new(100), 0)];
+        let plain = run_theoretical(simple_policy(2), &arrivals, cfg(20_000)).unwrap();
+        let (probed, rec) = run_theoretical_probed(
+            simple_policy(2),
+            &arrivals,
+            cfg(20_000),
+            &CompiledFaults::none(),
+            mpdp_obs::EventRecorder::new(2),
+        )
+        .unwrap();
+        // Observation never perturbs the simulation.
+        assert_eq!(
+            plain.trace.completions.len(),
+            probed.trace.completions.len()
+        );
+        assert_eq!(plain.switches, probed.switches);
+        // Every cycle on every processor lands in exactly one bucket.
+        rec.ledger()
+            .check_conservation(Cycles::new(20_000))
+            .unwrap();
+        assert!(rec.count_events("release") > 0);
+        assert!(rec.count_events("aperiodic-release") == 1);
+        assert!(rec.count_events("complete") > 0);
+        assert!(rec.spans().iter().all(|s| s.kind == SpanKind::Task));
     }
 
     #[test]

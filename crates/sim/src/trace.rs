@@ -77,6 +77,19 @@ impl Trace {
         finish: Cycles,
     ) {
         let met = job.absolute_deadline.is_none_or(|d| finish <= d);
+        self.record(job, task, finish, met);
+    }
+
+    /// Records an aborted (budget-killed) job at `finish`. The job did not
+    /// deliver its result, so `met` is forced to `false` regardless of how
+    /// much deadline slack remained.
+    pub fn record_abort(&mut self, job: &mpdp_core::policy::Job, task: TaskId, finish: Cycles) {
+        self.record(job, task, finish, false);
+    }
+
+    /// Shared retirement path: completions and aborts differ only in how
+    /// the `met` verdict is decided.
+    fn record(&mut self, job: &mpdp_core::policy::Job, task: TaskId, finish: Cycles, met: bool) {
         self.completions.push(CompletionRecord {
             job: job.id,
             task,
@@ -86,22 +99,6 @@ impl Trace {
             response: finish - job.release,
             deadline: job.absolute_deadline,
             met,
-        });
-    }
-
-    /// Records an aborted (budget-killed) job at `finish`. The job did not
-    /// deliver its result, so `met` is forced to `false` regardless of how
-    /// much deadline slack remained.
-    pub fn record_abort(&mut self, job: &mpdp_core::policy::Job, task: TaskId, finish: Cycles) {
-        self.completions.push(CompletionRecord {
-            job: job.id,
-            task,
-            class: job.class,
-            release: job.release,
-            finish,
-            response: finish - job.release,
-            deadline: job.absolute_deadline,
-            met: false,
         });
     }
 
@@ -173,6 +170,16 @@ mod tests {
         assert_eq!(trace.completions[0].response, Cycles::new(150));
         assert!(trace.completions[0].met);
         assert!(!trace.completions[1].met);
+        assert_eq!(trace.deadline_misses(), 1);
+    }
+
+    #[test]
+    fn abort_forces_met_false_even_with_slack() {
+        let mut trace = Trace::new();
+        trace.record_abort(&job(0, 100, Some(10_000)), TaskId::new(7), Cycles::new(250));
+        let rec = &trace.completions[0];
+        assert!(!rec.met, "aborted job delivered no result");
+        assert_eq!(rec.response, Cycles::new(150));
         assert_eq!(trace.deadline_misses(), 1);
     }
 

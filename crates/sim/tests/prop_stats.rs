@@ -61,7 +61,9 @@ proptest! {
         prop_assert_eq!(stats.count, samples.len());
         prop_assert!(stats.min_s <= stats.p50_s);
         prop_assert!(stats.p50_s <= stats.p95_s);
-        prop_assert!(stats.p95_s <= stats.max_s);
+        prop_assert!(stats.p95_s <= stats.p99_s);
+        prop_assert!(stats.p99_s <= stats.p999_s);
+        prop_assert!(stats.p999_s <= stats.max_s);
         prop_assert!(stats.min_s <= stats.mean_s && stats.mean_s <= stats.max_s);
     }
 

@@ -34,9 +34,10 @@ use mpdp_core::task::{AperiodicTask, MemoryProfile, TaskTable};
 use mpdp_core::time::Cycles;
 use mpdp_faults::{fault_stream, CompiledFaults};
 use mpdp_kernel::KernelCosts;
-use mpdp_sim::prototype::{run_prototype_with, PrototypeConfig};
+use mpdp_obs::{EventRecorder, NullProbe, Probe};
+use mpdp_sim::prototype::{run_prototype_probed, PrototypeConfig};
 use mpdp_sim::stats::{ResponseAccumulator, SurvivalStats};
-use mpdp_sim::theoretical::{run_theoretical_with, TheoreticalConfig};
+use mpdp_sim::theoretical::{run_theoretical_probed, TheoreticalConfig};
 use mpdp_sim::trace::Trace;
 use mpdp_workload::{automotive_task_set, random_task_set, TaskGenConfig};
 
@@ -88,6 +89,35 @@ impl CellResult {
     }
 }
 
+/// Wall-time/throughput self-profile of one cell. Run metadata for the
+/// caller's eyes (a `--profile` flag, a progress bar): wall-clock is
+/// non-deterministic by nature, so profiles are **never** exported and
+/// never enter [`CellResult`].
+#[derive(Debug, Clone, Copy)]
+pub struct CellProfile {
+    /// Cell index.
+    pub index: usize,
+    /// Wall-clock time spent simulating both stacks of this cell.
+    pub wall: Duration,
+    /// Simulated horizon in cycles (each stack covered this span; zero for
+    /// unschedulable cells, which run no simulation).
+    pub sim_cycles: u64,
+    /// Completion records folded into the cell's accumulators, both stacks.
+    pub completions: u64,
+}
+
+impl CellProfile {
+    /// Simulated megacycles per wall-second, both stacks combined.
+    pub fn throughput_mcps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            (2 * self.sim_cycles) as f64 / 1e6 / secs
+        }
+    }
+}
+
 /// A completed sweep: every cell's result in canonical order, plus run
 /// metadata (excluded from exports).
 #[derive(Debug, Clone)]
@@ -102,6 +132,8 @@ pub struct SweepReport {
     pub workers: usize,
     /// Wall-clock duration of the fan-out (not exported).
     pub wall: Duration,
+    /// Per-cell self-profiles, ordered by cell index (not exported).
+    pub profiles: Vec<CellProfile>,
 }
 
 /// Runs every cell of `spec` over `workers` threads (clamped to at least
@@ -114,11 +146,11 @@ pub struct SweepReport {
 /// any cell, or the lowest-indexed cell failure (worker count never
 /// changes *which* error is reported).
 pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepError> {
+    type Slot = Mutex<Option<Result<(CellResult, CellProfile), SweepError>>>;
     spec.validate()?;
     let cells = spec.cells();
     let start = Instant::now();
-    let slots: Vec<Mutex<Option<Result<CellResult, SweepError>>>> =
-        cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Slot> = cells.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = workers.max(1).min(cells.len().max(1));
     std::thread::scope(|scope| {
@@ -126,7 +158,22 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepE
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
-                let result = run_cell(spec, cell);
+                let t0 = Instant::now();
+                let result =
+                    run_cell_inner(spec, cell, NullProbe, NullProbe).map(|(c, _, _, horizon)| {
+                        let completions = (c.theoretical.aperiodic.len()
+                            + c.theoretical.periodic.len()
+                            + c.real.aperiodic.len()
+                            + c.real.periodic.len())
+                            as u64;
+                        let profile = CellProfile {
+                            index: cell.index,
+                            wall: t0.elapsed(),
+                            sim_cycles: horizon.as_u64(),
+                            completions,
+                        };
+                        (c, profile)
+                    });
                 // A poisoned slot mutex means another worker panicked while
                 // holding it; the store below is a single assignment, so
                 // recover the guard rather than cascade the panic.
@@ -136,9 +183,14 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepE
         }
     });
     let mut out = Vec::with_capacity(cells.len());
+    let mut profiles = Vec::with_capacity(cells.len());
     for (i, slot) in slots.into_iter().enumerate() {
         match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
-            Some(result) => out.push(result?),
+            Some(result) => {
+                let (cell, profile) = result?;
+                out.push(cell);
+                profiles.push(profile);
+            }
             None => return Err(SweepError::MissingCell(i)),
         }
     }
@@ -147,7 +199,71 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepE
         faulted: spec.is_faulted(),
         workers,
         wall: start.elapsed(),
+        profiles,
     })
+}
+
+/// Everything the observability layer captured while re-running one cell
+/// probed: one [`EventRecorder`] per stack plus the cell's horizon (the
+/// denominator of each ledger's conservation invariant).
+#[derive(Debug, Clone)]
+pub struct CellObservation {
+    /// Recorder threaded through the theoretical stack.
+    pub theoretical: EventRecorder,
+    /// Recorder threaded through the prototype stack.
+    pub real: EventRecorder,
+    /// Simulated horizon (zero for unschedulable cells, which run nothing).
+    pub horizon: Cycles,
+}
+
+/// [`run_cell`] with an [`EventRecorder`] threaded through both stacks.
+/// The returned [`CellResult`] is identical to the unprobed one —
+/// observation never perturbs the simulation.
+///
+/// # Errors
+///
+/// Same as [`run_cell`].
+pub fn run_cell_probed(
+    spec: &SweepSpec,
+    cell: &CellSpec,
+) -> Result<(CellResult, CellObservation), SweepError> {
+    let (result, theoretical, real, horizon) = run_cell_inner(
+        spec,
+        cell,
+        EventRecorder::new(cell.n_procs),
+        EventRecorder::new(cell.n_procs),
+    )?;
+    Ok((
+        result,
+        CellObservation {
+            theoretical,
+            real,
+            horizon,
+        },
+    ))
+}
+
+/// [`run_sweep`], then a probed re-run of cell `trace_cell` for trace
+/// export. The re-run is a pure function of `(spec, trace_cell)` — worker
+/// count cannot perturb it — so the observation obeys the same determinism
+/// contract as the report.
+///
+/// # Errors
+///
+/// Same as [`run_sweep`], plus [`SweepError::MissingCell`] when
+/// `trace_cell` is outside the grid.
+pub fn run_sweep_traced(
+    spec: &SweepSpec,
+    workers: usize,
+    trace_cell: usize,
+) -> Result<(SweepReport, CellObservation), SweepError> {
+    let report = run_sweep(spec, workers)?;
+    let cells = spec.cells();
+    let cell = cells
+        .get(trace_cell)
+        .ok_or(SweepError::MissingCell(trace_cell))?;
+    let (_, observation) = run_cell_probed(spec, cell)?;
+    Ok((report, observation))
 }
 
 /// Runs one cell on both stacks. Public so callers can run single cells
@@ -157,19 +273,35 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepE
 ///
 /// [`SweepError::Cell`] when either simulator rejects the cell's inputs.
 pub fn run_cell(spec: &SweepSpec, cell: &CellSpec) -> Result<CellResult, SweepError> {
+    run_cell_inner(spec, cell, NullProbe, NullProbe).map(|(c, _, _, _)| c)
+}
+
+/// The single cell code path, generic over one probe per stack. With
+/// [`NullProbe`]s this monomorphizes to the pre-observability engine.
+fn run_cell_inner<PT: Probe, PR: Probe>(
+    spec: &SweepSpec,
+    cell: &CellSpec,
+    theo_probe: PT,
+    real_probe: PR,
+) -> Result<(CellResult, PT, PR, Cycles), SweepError> {
     let knob = &spec.knobs[cell.knob_index];
     let mut rng = StdRng::seed_from_u64(spec.cell_stream(cell));
 
     let (table, target) = match build_cell_table(spec, cell, knob, &mut rng) {
         Some(pair) => pair,
         None => {
-            return Ok(CellResult {
-                cell: *cell,
-                knob_label: knob.label.clone(),
-                schedulable: false,
-                theoretical: StackResult::default(),
-                real: StackResult::default(),
-            })
+            return Ok((
+                CellResult {
+                    cell: *cell,
+                    knob_label: knob.label.clone(),
+                    schedulable: false,
+                    theoretical: StackResult::default(),
+                    real: StackResult::default(),
+                },
+                theo_probe,
+                real_probe,
+                Cycles::ZERO,
+            ))
         }
     };
     let (mut arrivals, horizon) = build_arrivals(spec, &mut rng);
@@ -196,22 +328,24 @@ pub fn run_cell(spec: &SweepSpec, cell: &CellSpec) -> Result<CellResult, SweepEr
         source,
     };
 
-    let theo = run_theoretical_with(
+    let (theo, theo_probe) = run_theoretical_probed(
         MpdpPolicy::new(table.clone()).with_degradation(knob.degradation),
         &arrivals,
         TheoreticalConfig::new(horizon)
             .with_tick(knob.tick)
             .with_overhead(knob.theoretical_overhead),
         &faults,
+        theo_probe,
     )
     .map_err(cell_err)?;
-    let real = run_prototype_with(
+    let (real, real_probe) = run_prototype_probed(
         MpdpPolicy::new(table).with_degradation(knob.degradation),
         &arrivals,
         PrototypeConfig::new(horizon)
             .with_tick(knob.tick)
             .with_kernel_costs(KernelCosts::default().with_context_scale(knob.context_scale)),
         &faults,
+        real_probe,
     )
     .map_err(cell_err)?;
 
@@ -224,13 +358,18 @@ pub fn run_cell(spec: &SweepSpec, cell: &CellSpec) -> Result<CellResult, SweepEr
     real_result.context_words = real.kernel.context_words;
     real_result.survival = real.survival;
 
-    Ok(CellResult {
-        cell: *cell,
-        knob_label: knob.label.clone(),
-        schedulable: true,
-        theoretical,
-        real: real_result,
-    })
+    Ok((
+        CellResult {
+            cell: *cell,
+            knob_label: knob.label.clone(),
+            schedulable: true,
+            theoretical,
+            real: real_result,
+        },
+        theo_probe,
+        real_probe,
+        horizon,
+    ))
 }
 
 /// Builds the analyzed task table for a cell, `None` if the offline
@@ -360,6 +499,51 @@ mod tests {
             assert!(!cell.real.aperiodic.is_empty());
             assert!(cell.slowdown_pct().expect("both stacks completed") > 0.0);
         }
+    }
+
+    #[test]
+    fn sweep_collects_one_profile_per_cell() {
+        let spec = tiny_spec();
+        let report = run_sweep(&spec, 2).expect("valid spec");
+        assert_eq!(report.profiles.len(), report.cells.len());
+        for (i, p) in report.profiles.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert!(p.sim_cycles > 0, "schedulable cells simulate a horizon");
+            assert!(p.completions > 0);
+        }
+    }
+
+    #[test]
+    fn probed_cell_matches_unprobed_and_conserves() {
+        let spec = tiny_spec();
+        let cells = spec.cells();
+        let plain = run_cell(&spec, &cells[0]).expect("cell runs");
+        let (probed, obs) = run_cell_probed(&spec, &cells[0]).expect("cell runs");
+        // Observation never perturbs the simulation: identical results.
+        assert_eq!(plain, probed);
+        // Both stacks' ledgers partition horizon × n_procs exactly.
+        obs.theoretical
+            .ledger()
+            .check_conservation(obs.horizon)
+            .expect("theoretical ledger conserves");
+        obs.real
+            .ledger()
+            .check_conservation(obs.horizon)
+            .expect("prototype ledger conserves");
+        assert!(obs.real.count_events("isr-enter") > 0);
+    }
+
+    #[test]
+    fn traced_sweep_observation_is_worker_independent() {
+        let spec = tiny_spec();
+        let (_, obs1) = run_sweep_traced(&spec, 1, 1).expect("valid spec");
+        let (_, obs8) = run_sweep_traced(&spec, 8, 1).expect("valid spec");
+        assert_eq!(obs1.real.events(), obs8.real.events());
+        assert_eq!(obs1.real.spans(), obs8.real.spans());
+        assert!(matches!(
+            run_sweep_traced(&spec, 1, 99),
+            Err(SweepError::MissingCell(99))
+        ));
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub mod error;
 pub mod report;
 pub mod spec;
 
-pub use engine::{run_cell, run_sweep, CellResult, StackResult, SweepReport};
+pub use engine::{
+    run_cell, run_cell_probed, run_sweep, run_sweep_traced, CellObservation, CellProfile,
+    CellResult, StackResult, SweepReport,
+};
 pub use error::SweepError;
 pub use report::{cells_csv, find_cell, group_summaries, report_json, summary_csv, GroupSummary};
 pub use spec::{ArrivalSpec, CellSpec, Knobs, PolicyKind, SweepSpec, WorkloadSpec};

@@ -183,24 +183,24 @@ fn csv_stack(out: &mut String, acc: &ResponseAccumulator) {
         Some(s) => {
             let _ = write!(
                 out,
-                "{},{:.6},{:.6},{:.6},{:.6}",
-                s.count, s.mean_s, s.p50_s, s.p95_s, s.max_s
+                "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+                s.count, s.mean_s, s.p50_s, s.p95_s, s.p99_s, s.p999_s, s.max_s
             );
         }
-        None => out.push_str("0,,,,"),
+        None => out.push_str("0,,,,,,"),
     }
 }
 
 /// One CSV row per cell, in cell-index order.
 ///
 /// Columns: `cell,knob,n_procs,utilization,seed,schedulable,` then
-/// `{theo,real}_{jobs,mean_s,p50_s,p95_s,max_s}`, then
+/// `{theo,real}_{jobs,mean_s,p50_s,p95_s,p99_s,p999_s,max_s}`, then
 /// `slowdown_pct,periodic_misses,miss_ratio,theo_switches,real_switches,sched_passes,context_words`.
 pub fn cells_csv(report: &SweepReport) -> String {
     let mut out = String::from(
         "cell,knob,n_procs,utilization,seed,schedulable,\
-         theo_jobs,theo_mean_s,theo_p50_s,theo_p95_s,theo_max_s,\
-         real_jobs,real_mean_s,real_p50_s,real_p95_s,real_max_s,\
+         theo_jobs,theo_mean_s,theo_p50_s,theo_p95_s,theo_p99_s,theo_p999_s,theo_max_s,\
+         real_jobs,real_mean_s,real_p50_s,real_p95_s,real_p99_s,real_p999_s,real_max_s,\
          slowdown_pct,periodic_misses,miss_ratio,\
          theo_switches,real_switches,sched_passes,context_words",
     );
@@ -248,8 +248,8 @@ pub fn cells_csv(report: &SweepReport) -> String {
 pub fn summary_csv(report: &SweepReport) -> String {
     let mut out = String::from(
         "knob,n_procs,utilization,cells,unschedulable,\
-         theo_jobs,theo_mean_s,theo_p50_s,theo_p95_s,theo_max_s,\
-         real_jobs,real_mean_s,real_p50_s,real_p95_s,real_max_s,\
+         theo_jobs,theo_mean_s,theo_p50_s,theo_p95_s,theo_p99_s,theo_p999_s,theo_max_s,\
+         real_jobs,real_mean_s,real_p50_s,real_p95_s,real_p99_s,real_p999_s,real_max_s,\
          slowdown_pct,periodic_misses,miss_ratio,\
          real_p25_s,real_p50c_s,real_p75_s,real_p90_s,real_p95c_s,real_p99_s",
     );
@@ -294,8 +294,8 @@ fn json_stack(out: &mut String, acc: &ResponseAccumulator) {
         Some(s) => {
             let _ = write!(
                 out,
-                "{{\"jobs\":{},\"mean_s\":{:.6},\"p50_s\":{:.6},\"p95_s\":{:.6},\"max_s\":{:.6}}}",
-                s.count, s.mean_s, s.p50_s, s.p95_s, s.max_s
+                "{{\"jobs\":{},\"mean_s\":{:.6},\"p50_s\":{:.6},\"p95_s\":{:.6},\"p99_s\":{:.6},\"p999_s\":{:.6},\"max_s\":{:.6}}}",
+                s.count, s.mean_s, s.p50_s, s.p95_s, s.p99_s, s.p999_s, s.max_s
             );
         }
         None => out.push_str("null"),
@@ -447,6 +447,7 @@ mod tests {
             faulted: false,
             workers: 1,
             wall: Duration::ZERO,
+            profiles: Vec::new(),
         }
     }
 
@@ -469,6 +470,10 @@ mod tests {
         let csv = cells_csv(&r);
         assert_eq!(csv.lines().count(), 2);
         assert!(csv.starts_with("cell,knob,n_procs,utilization,seed,schedulable,"));
+        // Tail-latency columns ride along in every export flavor.
+        assert!(csv.lines().next().expect("header").contains("real_p99_s"));
+        assert!(csv.lines().next().expect("header").contains("real_p999_s"));
+        assert!(report_json(&r).contains("\"p999_s\":"));
         assert!(csv
             .lines()
             .nth(1)
@@ -500,7 +505,7 @@ mod tests {
             .lines()
             .nth(1)
             .expect("row")
-            .contains(",false,0,,,,,0,,,,,"));
+            .contains(",false,0,,,,,,,0,,,,,,,"));
         assert!(report_json(&r).contains("\"theoretical\":null"));
         assert!(report_json(&r).contains("\"slowdown_pct\":null"));
     }

@@ -4,8 +4,9 @@
 //! (`core`), the FPGA-platform behavioural models (`hw`), the multiprocessor
 //! interrupt controller (`intc`), the dual-priority microkernel (`kernel`),
 //! the two simulators the paper compares (`sim`), the MiBench automotive
-//! workload (`workload`), the offline analysis tool (`analysis`), and the
-//! deterministic parallel scenario-sweep engine (`sweep`).
+//! workload (`workload`), the offline analysis tool (`analysis`), the
+//! deterministic parallel scenario-sweep engine (`sweep`), and the
+//! cycle-accounting observability layer (`obs`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-reproduction results.
@@ -45,6 +46,7 @@ pub use mpdp_core as core;
 pub use mpdp_hw as hw;
 pub use mpdp_intc as intc;
 pub use mpdp_kernel as kernel;
+pub use mpdp_obs as obs;
 pub use mpdp_sim as sim;
 pub use mpdp_sweep as sweep;
 pub use mpdp_workload as workload;
