@@ -15,6 +15,7 @@
 //! [--workers N]`.
 
 use mpdp_analysis::polling::{polling_server, ServerKind};
+use mpdp_bench::cli::{check_known_flags, runtime_error, workers_flag};
 use mpdp_bench::experiment::ExperimentConfig;
 use mpdp_core::time::Cycles;
 use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
@@ -23,12 +24,8 @@ use mpdp_workload::automotive_task_set;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let workers: usize = args
-        .iter()
-        .position(|a| a == "--workers")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--workers takes a count"))
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    check_known_flags(&args, &["--workers"], &["--workers"]);
+    let workers = workers_flag(&args);
 
     let config = ExperimentConfig::new();
     let n_procs = 2;
@@ -61,7 +58,10 @@ fn main() {
         },
         master_seed: 0,
     };
-    let report = run_sweep(&spec, workers).unwrap();
+    let report = match run_sweep(&spec, workers) {
+        Ok(report) => report,
+        Err(e) => runtime_error(format_args!("sweep failed: {e}")),
+    };
     eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
 
     println!("== scheduling-policy ablation: 2 processors ==");

@@ -19,6 +19,8 @@ use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
 use mpdp_workload::automotive_task_set;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    mpdp_bench::cli::check_known_flags(&args, &[], &[]);
     let config = ExperimentConfig::new();
     let n_procs = 2;
     let utilization = 0.4;

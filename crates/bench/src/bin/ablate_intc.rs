@@ -18,6 +18,8 @@ use mpdp_core::time::Cycles;
 use mpdp_sim::prototype::{PrototypeConfig, PrototypeSim};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    mpdp_bench::cli::check_known_flags(&args, &[], &[]);
     let config = ExperimentConfig::new();
     let n_procs = 3;
     let utilization = 0.5;

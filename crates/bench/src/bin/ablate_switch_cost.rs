@@ -13,18 +13,15 @@
 //! Run with `cargo run --release -p mpdp-bench --bin ablate_switch_cost --
 //! [--workers N]`.
 
+use mpdp_bench::cli::{check_known_flags, runtime_error, workers_flag};
 use mpdp_bench::experiment::{arrival_schedule, ExperimentConfig};
 use mpdp_core::time::Cycles;
 use mpdp_sweep::{run_sweep, ArrivalSpec, Knobs, SweepSpec, WorkloadSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let workers: usize = args
-        .iter()
-        .position(|a| a == "--workers")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--workers takes a count"))
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    check_known_flags(&args, &["--workers"], &["--workers"]);
+    let workers = workers_flag(&args);
 
     let config = ExperimentConfig::new();
     let arrivals = arrival_schedule(&config);
@@ -42,7 +39,10 @@ fn main() {
         arrivals: ArrivalSpec::Explicit { arrivals, horizon },
         master_seed: 0,
     };
-    let report = run_sweep(&spec, workers).unwrap();
+    let report = match run_sweep(&spec, workers) {
+        Ok(report) => report,
+        Err(e) => runtime_error(format_args!("sweep failed: {e}")),
+    };
     eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
 
     println!("== context-switch cost ablation: 3 processors, 50% utilization ==");

@@ -13,17 +13,14 @@
 //! Run with `cargo run --release -p mpdp-bench --bin ablate_tick --
 //! [--workers N]`.
 
+use mpdp_bench::cli::{check_known_flags, runtime_error, workers_flag};
 use mpdp_core::time::Cycles;
 use mpdp_sweep::{run_sweep, ArrivalSpec, Knobs, SweepSpec, WorkloadSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let workers: usize = args
-        .iter()
-        .position(|a| a == "--workers")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--workers takes a count"))
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    check_known_flags(&args, &["--workers"], &["--workers"]);
+    let workers = workers_flag(&args);
 
     let tick_ms = [10u64, 50, 100, 200, 500];
     let spec = SweepSpec {
@@ -43,7 +40,10 @@ fn main() {
         },
         master_seed: 0,
     };
-    let report = run_sweep(&spec, workers).unwrap();
+    let report = match run_sweep(&spec, workers) {
+        Ok(report) => report,
+        Err(e) => runtime_error(format_args!("sweep failed: {e}")),
+    };
     eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
 
     println!("== tick-period ablation: 2 processors, 50% utilization ==");

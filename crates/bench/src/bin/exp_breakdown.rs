@@ -14,6 +14,8 @@ use mpdp_core::time::DEFAULT_TICK;
 use mpdp_workload::automotive_task_set;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    mpdp_bench::cli::check_known_flags(&args, &[], &[]);
     println!("== breakdown utilization of the MiBench automotive set ==");
     println!(
         "{:<6} {:>22} {:>22} {:>22}",

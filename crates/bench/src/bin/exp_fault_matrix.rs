@@ -7,126 +7,67 @@
 //! transient bus-latency spike, and — at the highest level — a processor
 //! fail-stop with online re-admission of the dead core's partition. The
 //! three policies are the paper's MPDP dual-priority scheduler and the two
-//! §5 baselines (background service, aperiodic-first).
+//! §5 baselines (background service, aperiodic-first). The grid itself
+//! lives in `mpdp_bench::fault_matrix_spec` so tests and the audit binary
+//! sweep the exact same cells.
 //!
 //! The whole grid runs through the `mpdp-sweep` engine, so `--workers N`
-//! parallelizes it without changing a single output byte.
+//! parallelizes it without changing a single output byte. `--resume
+//! journal.mpdpj` runs it through the self-healing executor with an
+//! fsynced checkpoint journal — re-running after an interruption picks up
+//! where it stopped and still exports identical bytes. `--monitor`
+//! replays every cell through the runtime invariant monitors afterwards
+//! and exits non-zero if any MPDP invariant was violated.
 //!
 //! Run with `cargo run --release -p mpdp-bench --bin exp_fault_matrix --
-//! [--workers N] [--seeds K] [--csv out.csv] [--json out.json] [--quick]`.
+//! [--workers N] [--seeds K] [--csv out.csv] [--json out.json] [--quick]
+//! [--resume journal.mpdpj] [--monitor]`. `--max-cells N` (only with
+//! `--resume`) stops the executor after N fresh cells — a deterministic
+//! stand-in for a mid-sweep crash, used by the CI resume smoke.
 
-use mpdp_core::policy::{DegradationPolicy, OverrunAction};
-use mpdp_core::time::Cycles;
-use mpdp_faults::{BusSpike, FailStop, FaultPlan, InterruptFaults, OverloadBurst, WcetOverrun};
-use mpdp_sweep::{
-    cells_csv, group_summaries, report_json, run_sweep, ArrivalSpec, Knobs, PolicyKind, SweepSpec,
-    WorkloadSpec,
+use mpdp_bench::cli::{
+    check_known_flags, flag_value, has_flag, parse_flag, runtime_error, workers_flag, write_output,
 };
-
-/// The swept fault intensities, mildest first.
-const INTENSITIES: [&str; 3] = ["none", "stress", "failover"];
-
-/// The degradation configuration every faulted knob runs: kill jobs that
-/// blow past 1.5× their nominal WCET, shed aperiodic arrivals beyond four
-/// queued jobs.
-fn degradation() -> DegradationPolicy {
-    DegradationPolicy::default()
-        .with_overrun(OverrunAction::Kill)
-        .with_budget_margin(1.5)
-        .with_shed_limit(4)
-}
-
-/// The fault plan for one intensity level.
-fn plan_of(intensity: &str) -> FaultPlan {
-    match intensity {
-        "none" => FaultPlan::default(),
-        "stress" => FaultPlan::default()
-            .with_wcet(WcetOverrun::new(0.05, 1.3))
-            .with_burst(OverloadBurst::new(
-                Cycles::from_secs(3),
-                3,
-                Cycles::from_millis(400),
-            ))
-            .with_interrupts(InterruptFaults {
-                lost_probability: 0.02,
-                spurious: vec![Cycles::from_secs(2), Cycles::from_secs(9)],
-            })
-            .with_bus_spike(BusSpike::new(
-                Cycles::from_secs(5),
-                Cycles::from_millis(500),
-                2.0,
-            )),
-        _ => FaultPlan::default()
-            .with_wcet(WcetOverrun::new(0.10, 1.3).with_tail(0.01, 3.0))
-            .with_burst(OverloadBurst::new(
-                Cycles::from_secs(3),
-                5,
-                Cycles::from_millis(400),
-            ))
-            .with_interrupts(InterruptFaults {
-                lost_probability: 0.05,
-                spurious: vec![Cycles::from_secs(2), Cycles::from_secs(9)],
-            })
-            .with_bus_spike(BusSpike::new(
-                Cycles::from_secs(5),
-                Cycles::from_secs(1),
-                3.0,
-            ))
-            // Processor 1 dies mid-run on every column of the grid.
-            .with_fail_stop(FailStop::new(1, Cycles::from_secs(6))),
-    }
-}
-
-/// The full fault-matrix spec: one knob per (intensity × policy), over the
-/// given processor counts at 50% utilization.
-pub fn fault_matrix_spec(proc_counts: Vec<usize>, seeds: usize) -> SweepSpec {
-    let mut knobs = Vec::new();
-    for intensity in INTENSITIES {
-        for policy in [
-            PolicyKind::Mpdp,
-            PolicyKind::Background,
-            PolicyKind::AperiodicFirst,
-        ] {
-            knobs.push(
-                Knobs::named(format!("{intensity}/{}", policy.name()))
-                    .with_policy(policy)
-                    .with_faults(plan_of(intensity))
-                    .with_degradation(degradation()),
-            );
-        }
-    }
-    SweepSpec {
-        utilizations: vec![0.5],
-        proc_counts,
-        seeds: (0..seeds as u64).collect(),
-        knobs,
-        workload: WorkloadSpec::Automotive,
-        arrivals: ArrivalSpec::Bursts {
-            activations: 2,
-            gap: Cycles::from_secs(12),
-        },
-        master_seed: 0xFA_17,
-    }
-}
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
+use mpdp_bench::{audit_sweep, fault_matrix_spec, INTENSITIES};
+use mpdp_sweep::{
+    cells_csv, group_summaries, report_json, run_sweep, run_sweep_healing, HealConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    check_known_flags(
+        &args,
+        &[
+            "--csv",
+            "--json",
+            "--workers",
+            "--seeds",
+            "--quick",
+            "--resume",
+            "--monitor",
+            "--max-cells",
+        ],
+        &[
+            "--csv",
+            "--json",
+            "--workers",
+            "--seeds",
+            "--resume",
+            "--max-cells",
+        ],
+    );
     let csv_path = flag_value(&args, "--csv");
     let json_path = flag_value(&args, "--json");
-    let quick = args.iter().any(|a| a == "--quick");
-    let workers: usize = flag_value(&args, "--workers")
-        .map(|v| v.parse().expect("--workers takes a count"))
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let seeds: usize = flag_value(&args, "--seeds")
-        .map(|v| v.parse().expect("--seeds takes a count"))
-        .unwrap_or(if quick { 1 } else { 2 });
+    let quick = has_flag(&args, "--quick");
+    let monitor = has_flag(&args, "--monitor");
+    let resume = flag_value(&args, "--resume");
+    let max_cells: Option<usize> = parse_flag(&args, "--max-cells", "a cell count");
+    if max_cells.is_some() && resume.is_none() {
+        mpdp_bench::cli::usage_error(format_args!("--max-cells requires --resume <journal>"));
+    }
+    let workers = workers_flag(&args);
+    let seeds: usize =
+        parse_flag(&args, "--seeds", "a seed count").unwrap_or(if quick { 1 } else { 2 });
 
     let proc_counts = if quick { vec![2] } else { vec![2, 3, 4] };
     let spec = fault_matrix_spec(proc_counts, seeds);
@@ -135,7 +76,27 @@ fn main() {
         INTENSITIES.len(),
         spec.cell_count()
     );
-    let report = run_sweep(&spec, workers).expect("the fault-matrix spec is valid");
+    let report = match &resume {
+        Some(journal) => {
+            let mut heal = HealConfig::default().with_journal(journal);
+            if let Some(n) = max_cells {
+                heal = heal.with_max_cells(n);
+            }
+            match run_sweep_healing(&spec, workers, &heal) {
+                Ok(healed) => {
+                    if healed.resumed > 0 {
+                        eprintln!("resumed {} cell(s) from {journal}", healed.resumed);
+                    }
+                    healed.report
+                }
+                Err(e) => runtime_error(format_args!("sweep failed: {e}")),
+            }
+        }
+        None => match run_sweep(&spec, workers) {
+            Ok(report) => report,
+            Err(e) => runtime_error(format_args!("sweep failed: {e}")),
+        },
+    };
     eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
     let groups = group_summaries(&report);
 
@@ -187,13 +148,30 @@ fn main() {
     }
 
     if let Some(path) = csv_path {
-        std::fs::write(&path, cells_csv(&report))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path}");
+        write_output(&path, &cells_csv(&report));
     }
     if let Some(path) = json_path {
-        std::fs::write(&path, report_json(&report))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path}");
+        write_output(&path, &report_json(&report));
+    }
+
+    if monitor {
+        eprintln!(
+            "auditing {} cells against the invariant monitors ...",
+            report.cells.len()
+        );
+        let audit = match audit_sweep(&spec) {
+            Ok(audit) => audit,
+            Err(e) => runtime_error(format_args!("audit failed: {e}")),
+        };
+        for line in audit.diagnostics() {
+            eprintln!("{line}");
+        }
+        if !audit.is_clean() {
+            runtime_error(format_args!(
+                "monitor audit found {} invariant violation(s)",
+                audit.violation_count()
+            ));
+        }
+        eprintln!("monitor audit clean: {} cells", audit.audits.len());
     }
 }

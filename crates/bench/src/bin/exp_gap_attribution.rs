@@ -16,20 +16,19 @@
 //! l.json]`. `--quick` runs the single 2P/40% cell with one activation
 //! (CI smoke); the default runs the full 2–4P × 40/50/60% grid.
 
+use mpdp_bench::cli::{check_known_flags, flag_value, has_flag, write_output};
 use mpdp_bench::experiment::{fig4_spec, ExperimentConfig};
 use mpdp_obs::{chrome_trace_json_multi, ledger_csv, ledger_json, validate_json, Bucket, BUCKETS};
 use mpdp_sweep::{run_cell_probed, CellObservation};
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    check_known_flags(
+        &args,
+        &["--quick", "--trace-out", "--ledger-csv", "--ledger-json"],
+        &["--trace-out", "--ledger-csv", "--ledger-json"],
+    );
+    let quick = has_flag(&args, "--quick");
     let trace_out = flag_value(&args, "--trace-out");
     let ledger_csv_path = flag_value(&args, "--ledger-csv");
     let ledger_json_path = flag_value(&args, "--ledger-json");
@@ -144,21 +143,18 @@ fn main() {
 
     let obs = first_obs.expect("grid has at least one cell");
     if let Some(path) = ledger_csv_path {
-        std::fs::write(&path, ledger_csv(obs.real.ledger()))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path}");
+        write_output(&path, &ledger_csv(obs.real.ledger()));
     }
     if let Some(path) = ledger_json_path {
         let doc = ledger_json(obs.real.ledger());
         validate_json(&doc).expect("ledger JSON is well-formed");
-        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path}");
+        write_output(&path, &doc);
     }
     if let Some(path) = trace_out {
         let doc =
             chrome_trace_json_multi(&[(&obs.theoretical, "theoretical"), (&obs.real, "prototype")]);
         validate_json(&doc).expect("trace JSON is well-formed");
-        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path} (open in https://ui.perfetto.dev)");
+        write_output(&path, &doc);
+        eprintln!("open {path} in https://ui.perfetto.dev");
     }
 }

@@ -13,10 +13,15 @@ use mpdp_hw::DDR_SERVICE_CYCLES;
 use mpdp_intc::MpInterruptController;
 
 fn main() {
-    let n_procs: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4);
+    let n_procs: usize = match std::env::args().nth(1) {
+        Some(raw) => match raw.parse() {
+            Ok(n) if (1..=8).contains(&n) => n,
+            _ => mpdp_bench::cli::usage_error(format_args!(
+                "expected a processor count in 1..=8, got `{raw}`"
+            )),
+        },
+        None => 4,
+    };
     let n_tasks = 19; // the paper's experiment: 18 periodic + 1 aperiodic
     let mem = MemoryMap::new(n_procs, n_tasks);
     let intc = MpInterruptController::new(n_procs, 4, Cycles::new(50_000));

@@ -20,6 +20,8 @@ fn name_of(policy: &MpdpPolicy, job: JobId) -> String {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    mpdp_bench::cli::check_known_flags(&args, &[], &[]);
     let config = ExperimentConfig::new();
     let table = build_table(2, 0.5, &config);
     let mut policy = MpdpPolicy::new(table);

@@ -23,6 +23,7 @@
 
 use std::collections::BTreeMap;
 
+use mpdp_bench::cli::{check_known_flags, flag_value, write_output};
 use mpdp_core::ids::{ProcId, TaskId};
 use mpdp_core::policy::MpdpPolicy;
 use mpdp_core::priority::Priority;
@@ -56,11 +57,8 @@ fn task_table() -> TaskTable {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let trace_out = args
-        .iter()
-        .position(|a| a == "--trace-out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    check_known_flags(&args, &["--trace-out"], &["--trace-out"]);
+    let trace_out = flag_value(&args, "--trace-out");
     let table = task_table();
 
     println!("== Figure 3 task table ==");
@@ -166,7 +164,7 @@ fn main() {
         .unwrap();
         let doc = chrome_trace_json_multi(&[(&rec_a, "schedule-A"), (&rec_b, "schedule-B")]);
         validate_json(&doc).expect("trace JSON is well-formed");
-        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path} (open in https://ui.perfetto.dev)");
+        write_output(&path, &doc);
+        eprintln!("open {path} in https://ui.perfetto.dev");
     }
 }

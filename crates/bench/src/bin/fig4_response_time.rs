@@ -11,41 +11,65 @@
 //!
 //! Run with `cargo run --release -p mpdp-bench --bin fig4_response_time --
 //! [--workers N] [--seeds K] [--csv out.csv] [--json out.json]
-//! [--profile] [--trace-out t.json] [--trace-cell I]`.
+//! [--profile] [--trace-out t.json] [--trace-cell I]
+//! [--resume journal.mpdpj] [--monitor]`.
 //!
 //! `--profile` prints per-cell wall-time/throughput self-profiles to
 //! stderr; `--trace-out` writes a Chrome trace-event JSON (open in
 //! <https://ui.perfetto.dev>) of cell `--trace-cell` (default 0), captured
 //! by a probed re-run so stdout stays byte-identical to an unprobed run.
+//! `--resume` routes the sweep through the self-healing executor with an
+//! fsynced checkpoint journal, so an interrupted run resumes where it
+//! stopped with identical output bytes. `--monitor` replays every cell
+//! through the `mpdp-monitor` runtime invariant monitors and differential
+//! oracle after the sweep: violations go to stderr and the exit status
+//! turns non-zero, while stdout and every export stay byte-identical.
 
+use mpdp_bench::audit_sweep;
+use mpdp_bench::cli::{
+    check_known_flags, flag_value, has_flag, parse_flag, runtime_error, workers_flag, write_output,
+};
 use mpdp_bench::experiment::{fig4_spec, ExperimentConfig};
 use mpdp_obs::{chrome_trace_json_multi, validate_json};
 use mpdp_sweep::{
-    cells_csv, group_summaries, report_json, run_cell_probed, run_sweep, ArrivalSpec,
+    cells_csv, group_summaries, report_json, run_cell_probed, run_sweep, run_sweep_healing,
+    ArrivalSpec, HealConfig,
 };
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    check_known_flags(
+        &args,
+        &[
+            "--csv",
+            "--json",
+            "--workers",
+            "--seeds",
+            "--profile",
+            "--trace-out",
+            "--trace-cell",
+            "--resume",
+            "--monitor",
+        ],
+        &[
+            "--csv",
+            "--json",
+            "--workers",
+            "--seeds",
+            "--trace-out",
+            "--trace-cell",
+            "--resume",
+        ],
+    );
     let csv_path = flag_value(&args, "--csv");
     let json_path = flag_value(&args, "--json");
-    let workers: usize = flag_value(&args, "--workers")
-        .map(|v| v.parse().expect("--workers takes a count"))
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let seeds: usize = flag_value(&args, "--seeds")
-        .map(|v| v.parse().expect("--seeds takes a count"))
-        .unwrap_or(1);
-    let profile = args.iter().any(|a| a == "--profile");
+    let workers = workers_flag(&args);
+    let seeds: usize = parse_flag(&args, "--seeds", "a seed count").unwrap_or(1);
+    let profile = has_flag(&args, "--profile");
     let trace_out = flag_value(&args, "--trace-out");
-    let trace_cell: usize = flag_value(&args, "--trace-cell")
-        .map(|v| v.parse().expect("--trace-cell takes a cell index"))
-        .unwrap_or(0);
+    let trace_cell: usize = parse_flag(&args, "--trace-cell", "a cell index").unwrap_or(0);
+    let monitor = has_flag(&args, "--monitor");
+    let resume = flag_value(&args, "--resume");
 
     let config = ExperimentConfig::new();
     let mut spec = fig4_spec(&config);
@@ -63,7 +87,24 @@ fn main() {
         config.activations,
         spec.cell_count()
     );
-    let report = run_sweep(&spec, workers).unwrap();
+    let report = match &resume {
+        Some(journal) => {
+            let heal = HealConfig::default().with_journal(journal);
+            match run_sweep_healing(&spec, workers, &heal) {
+                Ok(healed) => {
+                    if healed.resumed > 0 {
+                        eprintln!("resumed {} cell(s) from {journal}", healed.resumed);
+                    }
+                    healed.report
+                }
+                Err(e) => runtime_error(format_args!("sweep failed: {e}")),
+            }
+        }
+        None => match run_sweep(&spec, workers) {
+            Ok(report) => report,
+            Err(e) => runtime_error(format_args!("sweep failed: {e}")),
+        },
+    };
     eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
     if profile {
         // Self-profile to stderr only: wall-clock is non-deterministic, so
@@ -184,25 +225,48 @@ fn main() {
     );
 
     if let Some(path) = csv_path {
-        std::fs::write(&path, cells_csv(&report))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path}");
+        write_output(&path, &cells_csv(&report));
     }
     if let Some(path) = json_path {
-        std::fs::write(&path, report_json(&report))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path}");
+        write_output(&path, &report_json(&report));
     }
     if let Some(path) = trace_out {
         let cells = spec.cells();
-        let cell = cells
-            .get(trace_cell)
-            .expect("--trace-cell is within the grid");
-        let (_, obs) = run_cell_probed(&spec, cell).expect("traced cell runs");
+        let Some(cell) = cells.get(trace_cell) else {
+            runtime_error(format_args!(
+                "--trace-cell {trace_cell} is outside the {}-cell grid",
+                cells.len()
+            ));
+        };
+        let (_, obs) = match run_cell_probed(&spec, cell) {
+            Ok(traced) => traced,
+            Err(e) => runtime_error(format_args!("traced cell failed: {e}")),
+        };
         let doc =
             chrome_trace_json_multi(&[(&obs.theoretical, "theoretical"), (&obs.real, "prototype")]);
         validate_json(&doc).expect("trace JSON is well-formed");
-        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path} (open in https://ui.perfetto.dev)");
+        write_output(&path, &doc);
+        eprintln!("open {path} in https://ui.perfetto.dev");
+    }
+
+    if monitor {
+        eprintln!(
+            "auditing {} cells against the invariant monitors ...",
+            report.cells.len()
+        );
+        let audit = match audit_sweep(&spec) {
+            Ok(audit) => audit,
+            Err(e) => runtime_error(format_args!("audit failed: {e}")),
+        };
+        for line in audit.diagnostics() {
+            eprintln!("{line}");
+        }
+        if !audit.is_clean() {
+            runtime_error(format_args!(
+                "monitor audit found {} invariant violation(s)",
+                audit.violation_count()
+            ));
+        }
+        eprintln!("monitor audit clean: {} cells", audit.audits.len());
     }
 }

@@ -18,6 +18,8 @@ use mpdp_sim::prototype::{run_prototype, PrototypeConfig};
 use mpdp_workload::wcet::{BenchSpec, Dataset, Program};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    mpdp_bench::cli::check_known_flags(&args, &[], &[]);
     let config = ExperimentConfig::new();
     let susan = BenchSpec::new(Program::Susan, Dataset::Large);
 

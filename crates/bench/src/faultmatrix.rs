@@ -1,0 +1,114 @@
+//! The fault-matrix sweep specification: graceful degradation under
+//! injected faults, swept over fault intensity × processor count ×
+//! scheduling policy. Shared between the `exp_fault_matrix` binary, the
+//! monitor-audit binary, and the checkpoint/resume tests so they all
+//! exercise the exact same grid.
+
+use mpdp_core::policy::{DegradationPolicy, OverrunAction};
+use mpdp_core::time::Cycles;
+use mpdp_faults::{BusSpike, FailStop, FaultPlan, InterruptFaults, OverloadBurst, WcetOverrun};
+use mpdp_sweep::{ArrivalSpec, Knobs, PolicyKind, SweepSpec, WorkloadSpec};
+
+/// The swept fault intensities, mildest first.
+pub const INTENSITIES: [&str; 3] = ["none", "stress", "failover"];
+
+/// The degradation configuration every faulted knob runs: kill jobs that
+/// blow past 1.5× their nominal WCET, shed aperiodic arrivals beyond four
+/// queued jobs.
+fn degradation() -> DegradationPolicy {
+    DegradationPolicy::default()
+        .with_overrun(OverrunAction::Kill)
+        .with_budget_margin(1.5)
+        .with_shed_limit(4)
+}
+
+/// The fault plan for one intensity level.
+fn plan_of(intensity: &str) -> FaultPlan {
+    match intensity {
+        "none" => FaultPlan::default(),
+        "stress" => FaultPlan::default()
+            .with_wcet(WcetOverrun::new(0.05, 1.3))
+            .with_burst(OverloadBurst::new(
+                Cycles::from_secs(3),
+                3,
+                Cycles::from_millis(400),
+            ))
+            .with_interrupts(InterruptFaults {
+                lost_probability: 0.02,
+                spurious: vec![Cycles::from_secs(2), Cycles::from_secs(9)],
+            })
+            .with_bus_spike(BusSpike::new(
+                Cycles::from_secs(5),
+                Cycles::from_millis(500),
+                2.0,
+            )),
+        _ => FaultPlan::default()
+            .with_wcet(WcetOverrun::new(0.10, 1.3).with_tail(0.01, 3.0))
+            .with_burst(OverloadBurst::new(
+                Cycles::from_secs(3),
+                5,
+                Cycles::from_millis(400),
+            ))
+            .with_interrupts(InterruptFaults {
+                lost_probability: 0.05,
+                spurious: vec![Cycles::from_secs(2), Cycles::from_secs(9)],
+            })
+            .with_bus_spike(BusSpike::new(
+                Cycles::from_secs(5),
+                Cycles::from_secs(1),
+                3.0,
+            ))
+            // Processor 1 dies mid-run on every column of the grid.
+            .with_fail_stop(FailStop::new(1, Cycles::from_secs(6))),
+    }
+}
+
+/// The full fault-matrix spec: one knob per (intensity × policy), over the
+/// given processor counts at 50% utilization.
+pub fn fault_matrix_spec(proc_counts: Vec<usize>, seeds: usize) -> SweepSpec {
+    let mut knobs = Vec::new();
+    for intensity in INTENSITIES {
+        for policy in [
+            PolicyKind::Mpdp,
+            PolicyKind::Background,
+            PolicyKind::AperiodicFirst,
+        ] {
+            knobs.push(
+                Knobs::named(format!("{intensity}/{}", policy.name()))
+                    .with_policy(policy)
+                    .with_faults(plan_of(intensity))
+                    .with_degradation(degradation()),
+            );
+        }
+    }
+    SweepSpec {
+        utilizations: vec![0.5],
+        proc_counts,
+        seeds: (0..seeds as u64).collect(),
+        knobs,
+        workload: WorkloadSpec::Automotive,
+        arrivals: ArrivalSpec::Bursts {
+            activations: 2,
+            gap: Cycles::from_secs(12),
+        },
+        master_seed: 0xFA_17,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validates_and_only_none_knobs_are_fault_free() {
+        let spec = fault_matrix_spec(vec![2], 1);
+        spec.validate().expect("fault-matrix spec is valid");
+        assert_eq!(spec.knobs.len(), 9);
+        for knob in &spec.knobs {
+            let clean = crate::audit::knob_is_fault_free(knob);
+            // Even the "none" intensity runs a live degradation policy,
+            // so every knob of this matrix counts as faulted for audits.
+            assert!(!clean, "knob {} unexpectedly fault-free", knob.label);
+        }
+    }
+}

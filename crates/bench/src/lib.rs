@@ -16,9 +16,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod cli;
 pub mod experiment;
+pub mod faultmatrix;
 
+pub use audit::{
+    audit_cell, audit_sweep, knob_is_fault_free, prototype_config, theoretical_config, CellAudit,
+    SweepAudit,
+};
 pub use experiment::{
     fig4_point, fig4_report, fig4_spec, fig4_sweep, knobs_of, point_from_cell, ExperimentConfig,
     Fig4Point,
 };
+pub use faultmatrix::{fault_matrix_spec, INTENSITIES};

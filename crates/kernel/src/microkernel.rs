@@ -264,6 +264,13 @@ impl<S: Scheduler> Microkernel<S> {
                 let rf = RegisterFile::from_words(words);
                 let mut expected = RegisterFile::new();
                 expected.stamp(restore.as_u32());
+                // Internal invariant, deliberately a panic rather than a
+                // typed error: a mismatched stamp means the shared-memory
+                // context vector handed us another job's registers, and no
+                // caller can meaningfully recover mid-switch. The sweep's
+                // self-healing executor isolates the panic per cell, and
+                // the runtime monitor reports the same class of breach as
+                // an overlapping-execution/context-slot violation.
                 assert_eq!(
                     rf, expected,
                     "context slot for {restore} corrupted or mixed up"

@@ -1,0 +1,148 @@
+//! The static task knowledge a monitor checks a run against.
+//!
+//! Monitors consume the flat `u32` ids carried by [`mpdp_obs::ObsEvent`]s,
+//! so the catalog indexes the analyzed [`TaskTable`] by raw task id and
+//! keeps only what the invariants need: deadline offsets, promotion
+//! offsets, periods, and which ids are aperiodic. Holding a catalog instead
+//! of the table keeps the monitor decoupled from the simulator that
+//! produced the stream — a recorded trace can be audited long after the
+//! policy object is gone.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mpdp_core::task::TaskTable;
+use mpdp_core::time::{hyperperiod, Cycles};
+
+/// What the offline analysis promised about one periodic task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodicFacts {
+    /// Relative deadline (release + deadline = absolute deadline).
+    pub deadline: Cycles,
+    /// Promotion offset: the job moves to its high-band priority exactly
+    /// `promotion` cycles after release (the paper's D − ttr instant).
+    pub promotion: Cycles,
+    /// Period.
+    pub period: Cycles,
+}
+
+impl PeriodicFacts {
+    /// Whether the offline analysis guarantees this task's deadline: a
+    /// promotion instant strictly inside the deadline window. The
+    /// never-promote baseline sets `promotion ≥ deadline`, deliberately
+    /// giving up the guarantee.
+    pub fn guaranteed(&self) -> bool {
+        self.promotion < self.deadline
+    }
+}
+
+/// Per-task facts extracted from an analyzed [`TaskTable`], keyed by the
+/// raw `u32` task ids that appear in the observability event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskCatalog {
+    periodic: BTreeMap<u32, PeriodicFacts>,
+    aperiodic: BTreeSet<u32>,
+    n_procs: usize,
+}
+
+impl TaskCatalog {
+    /// Extracts the catalog from an analyzed table.
+    pub fn new(table: &TaskTable) -> Self {
+        let periodic = table
+            .periodic()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                (
+                    t.id().as_u32(),
+                    PeriodicFacts {
+                        deadline: t.deadline(),
+                        promotion: table.promotion(i),
+                        period: t.period(),
+                    },
+                )
+            })
+            .collect();
+        let aperiodic = table.aperiodic().iter().map(|t| t.id().as_u32()).collect();
+        TaskCatalog {
+            periodic,
+            aperiodic,
+            n_procs: table.n_procs(),
+        }
+    }
+
+    /// Facts about periodic task `id`, `None` if the id is unknown or
+    /// aperiodic.
+    pub fn periodic(&self, id: u32) -> Option<&PeriodicFacts> {
+        self.periodic.get(&id)
+    }
+
+    /// Whether `id` names an aperiodic task.
+    pub fn is_aperiodic(&self, id: u32) -> bool {
+        self.aperiodic.contains(&id)
+    }
+
+    /// Number of processors the table was analyzed for.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Number of periodic tasks.
+    pub fn n_periodic(&self) -> usize {
+        self.periodic.len()
+    }
+
+    /// Least common multiple of the periodic periods — the span after which
+    /// the release pattern repeats, and the window within which the
+    /// mutation smoke test must catch a seeded promotion bug.
+    pub fn hyperperiod(&self) -> Cycles {
+        hyperperiod(self.periodic.values().map(|p| p.period))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_core::ids::TaskId;
+    use mpdp_core::priority::Priority;
+    use mpdp_core::rta::build_task_table;
+    use mpdp_core::task::{AperiodicTask, PeriodicTask};
+
+    fn table() -> TaskTable {
+        let t0 = PeriodicTask::new(TaskId::new(0), "t0", Cycles::new(300), Cycles::new(10_000))
+            .with_priorities(Priority::new(1), Priority::new(4));
+        let t1 = PeriodicTask::new(TaskId::new(1), "t1", Cycles::new(400), Cycles::new(4_000))
+            .with_priorities(Priority::new(0), Priority::new(3));
+        let ap = AperiodicTask::new(TaskId::new(7), "ap", Cycles::new(500));
+        build_task_table(vec![t0, t1], vec![ap], 1).expect("schedulable")
+    }
+
+    #[test]
+    fn catalog_mirrors_the_table() {
+        let table = table();
+        let cat = TaskCatalog::new(&table);
+        assert_eq!(cat.n_procs(), 1);
+        assert_eq!(cat.n_periodic(), 2);
+        assert!(cat.is_aperiodic(7));
+        assert!(!cat.is_aperiodic(0));
+        let t0 = cat.periodic(0).expect("known task");
+        assert_eq!(t0.period, Cycles::new(10_000));
+        assert_eq!(t0.promotion, table.promotion(0));
+        assert!(cat.periodic(7).is_none());
+        assert_eq!(cat.hyperperiod(), Cycles::new(20_000));
+    }
+
+    #[test]
+    fn guarantee_follows_the_promotion_window() {
+        let guaranteed = PeriodicFacts {
+            deadline: Cycles::new(100),
+            promotion: Cycles::new(40),
+            period: Cycles::new(100),
+        };
+        assert!(guaranteed.guaranteed());
+        let never_promoted = PeriodicFacts {
+            promotion: Cycles::new(100),
+            ..guaranteed
+        };
+        assert!(!never_promoted.guaranteed());
+    }
+}

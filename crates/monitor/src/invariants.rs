@@ -1,0 +1,873 @@
+//! The online invariant monitor: a [`Probe`] that checks the MPDP
+//! scheduling contract event-by-event as a simulation runs.
+//!
+//! # Invariant catalogue
+//!
+//! | # | invariant | violation kinds |
+//! |---|---|---|
+//! | I1 | event stamps are monotone, spans are well-formed | `NonMonotonicStamp` |
+//! | I2 | every periodic job promotes at exactly release + (D − ttr), never early, never past the tolerance, at most once | `EarlyPromotion`, `LatePromotion`, `DuplicatePromotion`, `MissingPromotion` |
+//! | I3 | aperiodic jobs start executing in release (FIFO) order | `FifoInversion` |
+//! | I4 | the dual-priority bands never invert: a ready, never-run aperiodic job is not left waiting while an *unpromoted* periodic job executes | `BandInversion` |
+//! | I5 | no guaranteed periodic task misses its deadline when the fault plan is empty, and every completion's `met` verdict matches the stamps | `GuaranteedDeadlineMiss`, `DeadlineVerdictMismatch` |
+//! | I6 | context-slot consistency: one outstanding job per aperiodic task, no job executing on two processors at once, no event for an unreleased or retired job | `ContextSlotOverflow`, `OverlappingExecution`, `OrphanEvent`, `DuplicateCompletion` |
+//! | I7 | INTC/ISR state consistency: ISR exits match entries per processor | `IsrImbalance` |
+//! | I8 | cycle-ledger conservation: every processor's buckets sum to the horizon | `LedgerImbalance` |
+//! | I9 | no fault-model event appears in a run declared fault-free | `UnexpectedFault` |
+//!
+//! Checks that are only sound on a healthy platform (I3–I6 beyond
+//! duplicates, plus the deadline half of I5) are gated on
+//! [`MonitorConfig::fault_free`]; timing checks carry a configurable
+//! [`MonitorConfig::tolerance`] because the tick-driven stacks stamp
+//! releases and promotions at the scheduling pass that applies them, up to
+//! one tick (plus kernel latency on the prototype) after the nominal
+//! instant. Early promotion is **never** tolerated — both stacks apply
+//! promotions at or after the computed instant, so any early stamp is a
+//! scheduler bug (this is what catches the off-by-one mutation).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+use mpdp_core::time::Cycles;
+use mpdp_obs::{Bucket, CycleLedger, EventKind, EventRecorder, ObsEvent, Probe, Span, SpanKind};
+
+use crate::catalog::TaskCatalog;
+
+/// How strictly the monitor interprets the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// `true` when the cell's fault plan is empty and its degradation
+    /// policy inert: enables the guaranteed-deadline, FIFO, band-ordering,
+    /// and context-slot invariants, which injected faults legitimately
+    /// break.
+    pub fault_free: bool,
+    /// Slack allowed on *late* stamps (promotions after their instant,
+    /// aperiodic service after release). One tick for the tick-driven
+    /// theoretical stack; a little more for the prototype, whose passes run
+    /// behind ISR and kernel-burst latency. Zero for the event-driven
+    /// theoretical mode, where stamps are exact.
+    pub tolerance: Cycles,
+    /// Slack allowed on *early* promotion stamps. Zero for the theoretical
+    /// stack (pass quantization rounds instants up, so a genuinely early
+    /// promotion is always a scheduler bug — this is what the off-by-one
+    /// mutation test relies on). The prototype needs a small allowance:
+    /// releases and promotions are stamped inside ISRs, so a release
+    /// stamped a few latency cycles late makes the *computed* promotion
+    /// instant late, and the actual promotion can then look early by that
+    /// same jitter.
+    pub early_slack: Cycles,
+    /// Number of trailing events captured as the violation window.
+    pub window: usize,
+}
+
+impl MonitorConfig {
+    /// Strict configuration for a fault-free run with the given lateness
+    /// tolerance.
+    pub fn fault_free(tolerance: Cycles) -> Self {
+        MonitorConfig {
+            fault_free: true,
+            tolerance,
+            early_slack: Cycles::ZERO,
+            window: 16,
+        }
+    }
+
+    /// Relaxed configuration for a run under fault injection: only the
+    /// invariants that hold on a faulty platform are checked.
+    pub fn faulted(tolerance: Cycles) -> Self {
+        MonitorConfig {
+            fault_free: false,
+            tolerance,
+            early_slack: Cycles::ZERO,
+            window: 16,
+        }
+    }
+
+    /// Sets the early-promotion slack (see
+    /// [`early_slack`](Self::early_slack)); use for prototype streams,
+    /// whose stamps carry ISR latency jitter.
+    pub fn with_early_slack(mut self, slack: Cycles) -> Self {
+        self.early_slack = slack;
+        self
+    }
+}
+
+/// What kind of contract breach a [`Violation`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ViolationKind {
+    /// An event was stamped before its predecessor, or a span ends before
+    /// it starts.
+    NonMonotonicStamp,
+    /// A promotion fired before release + promotion offset.
+    EarlyPromotion,
+    /// A promotion fired more than the tolerance after its instant.
+    LatePromotion,
+    /// A job promoted twice.
+    DuplicatePromotion,
+    /// A job outlived its promotion instant (plus tolerance) without a
+    /// promotion event.
+    MissingPromotion,
+    /// Aperiodic jobs began execution out of release order.
+    FifoInversion,
+    /// An unpromoted (low-band) periodic job executed while an aperiodic
+    /// (middle-band) job waited, ready, having never run.
+    BandInversion,
+    /// A guaranteed periodic task missed its deadline in a fault-free run.
+    GuaranteedDeadlineMiss,
+    /// A completion's `met` flag contradicts its stamps.
+    DeadlineVerdictMismatch,
+    /// A second job of the same aperiodic task was released while one was
+    /// outstanding (the context vector holds one slot per task).
+    ContextSlotOverflow,
+    /// One job executed on two processors at the same time.
+    OverlappingExecution,
+    /// An event referenced a job that was never released, already retired,
+    /// or an unknown task.
+    OrphanEvent,
+    /// A job completed twice.
+    DuplicateCompletion,
+    /// An ISR exit without a matching entry, or an entry never exited.
+    IsrImbalance,
+    /// The cycle ledger does not partition `horizon × n_procs`.
+    LedgerImbalance,
+    /// A fault-model event (fail-stop, recovery) in a fault-free run.
+    UnexpectedFault,
+}
+
+impl ViolationKind {
+    /// Stable kebab-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::NonMonotonicStamp => "non-monotonic-stamp",
+            ViolationKind::EarlyPromotion => "early-promotion",
+            ViolationKind::LatePromotion => "late-promotion",
+            ViolationKind::DuplicatePromotion => "duplicate-promotion",
+            ViolationKind::MissingPromotion => "missing-promotion",
+            ViolationKind::FifoInversion => "fifo-inversion",
+            ViolationKind::BandInversion => "band-inversion",
+            ViolationKind::GuaranteedDeadlineMiss => "guaranteed-deadline-miss",
+            ViolationKind::DeadlineVerdictMismatch => "deadline-verdict-mismatch",
+            ViolationKind::ContextSlotOverflow => "context-slot-overflow",
+            ViolationKind::OverlappingExecution => "overlapping-execution",
+            ViolationKind::OrphanEvent => "orphan-event",
+            ViolationKind::DuplicateCompletion => "duplicate-completion",
+            ViolationKind::IsrImbalance => "isr-imbalance",
+            ViolationKind::LedgerImbalance => "ledger-imbalance",
+            ViolationKind::UnexpectedFault => "unexpected-fault",
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One typed, cycle-stamped contract breach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Cycle the breach was detected at.
+    pub at: Cycles,
+    /// Processor attribution, if the offending event carried one.
+    pub proc: Option<u32>,
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// Human-readable diagnosis with the offending quantities.
+    pub detail: String,
+    /// The trailing event window ending at (and including) the offender —
+    /// the context a human needs to replay the breach.
+    pub window: Vec<ObsEvent>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} @ {} cyc", self.kind, self.at.as_u64())?;
+        if let Some(p) = self.proc {
+            write!(f, " P{p}")?;
+        }
+        write!(f, "] {}", self.detail)
+    }
+}
+
+/// The verdict of one monitored run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MonitorReport {
+    /// Every violation, in detection order.
+    pub violations: Vec<Violation>,
+    /// Instant events inspected.
+    pub events_seen: usize,
+    /// Jobs tracked (released within the run).
+    pub jobs_tracked: usize,
+    /// Promotion events whose timing was checked.
+    pub promotions_checked: usize,
+}
+
+impl MonitorReport {
+    /// Whether the run satisfied every checked invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation counts per kind, sorted by kind name — the summary line
+    /// the audit binaries print.
+    pub fn counts(&self) -> Vec<(&'static str, usize)> {
+        let mut map: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for v in &self.violations {
+            *map.entry(v.kind.name()).or_insert(0) += 1;
+        }
+        map.into_iter().collect()
+    }
+
+    /// One line per violation kind plus the first full diagnosis.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return format!(
+                "clean: {} events, {} jobs, {} promotions checked",
+                self.events_seen, self.jobs_tracked, self.promotions_checked
+            );
+        }
+        let mut out = String::new();
+        for (name, n) in self.counts() {
+            out.push_str(&format!("{name} x{n}; "));
+        }
+        out.push_str(&format!("first: {}", self.violations[0]));
+        out
+    }
+}
+
+/// Per-job bookkeeping derived from the event stream.
+#[derive(Debug, Clone)]
+struct JobState {
+    task: u32,
+    aperiodic: bool,
+    release: Cycles,
+    /// `release + promotion offset` for periodic jobs of known tasks.
+    expected_promotion: Option<Cycles>,
+    /// `release + deadline offset`, likewise.
+    expected_deadline: Option<Cycles>,
+    /// Whether the offline analysis guarantees this job's deadline.
+    guaranteed: bool,
+    promoted_at: Option<Cycles>,
+    completed_at: Option<Cycles>,
+    /// Global release order among aperiodic jobs (FIFO check).
+    fifo_seq: Option<usize>,
+}
+
+/// The online runtime-verification monitor. Use it directly as the probe
+/// of a simulator run, or [`replay`](InvariantMonitor::replay) a recorded
+/// [`EventRecorder`] through it; then call
+/// [`finish`](InvariantMonitor::finish) to run the end-of-stream checks
+/// and collect the [`MonitorReport`].
+#[derive(Debug, Clone)]
+pub struct InvariantMonitor {
+    catalog: TaskCatalog,
+    config: MonitorConfig,
+    violations: Vec<Violation>,
+    window: VecDeque<ObsEvent>,
+    last_at: Cycles,
+    jobs: BTreeMap<u32, JobState>,
+    /// Outstanding (released, not completed) jobs per aperiodic task id.
+    outstanding: BTreeMap<u32, u32>,
+    aperiodic_seq: usize,
+    /// Open-ISR depth per processor.
+    isr_depth: BTreeMap<u32, u64>,
+    /// Task spans, kept whole for the finish-time FIFO/band/overlap scans.
+    task_spans: Vec<Span>,
+    ledger: CycleLedger,
+    charged: bool,
+    events_seen: usize,
+    promotions_checked: usize,
+}
+
+impl InvariantMonitor {
+    /// A monitor for one simulated stack.
+    pub fn new(catalog: TaskCatalog, config: MonitorConfig) -> Self {
+        let n_procs = catalog.n_procs();
+        InvariantMonitor {
+            catalog,
+            config,
+            violations: Vec::new(),
+            window: VecDeque::with_capacity(config.window.max(1)),
+            last_at: Cycles::ZERO,
+            jobs: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            aperiodic_seq: 0,
+            isr_depth: BTreeMap::new(),
+            task_spans: Vec::new(),
+            ledger: CycleLedger::new(n_procs),
+            charged: false,
+            events_seen: 0,
+            promotions_checked: 0,
+        }
+    }
+
+    /// Feeds a recorded stream through the monitor: all events in order,
+    /// then spans, then the ledger. Equivalent to having run the simulation
+    /// with this monitor as its probe.
+    pub fn replay(&mut self, recorded: &EventRecorder) {
+        recorded.replay_into(self);
+    }
+
+    fn flag(&mut self, at: Cycles, proc: Option<u32>, kind: ViolationKind, detail: String) {
+        self.violations.push(Violation {
+            at,
+            proc,
+            kind,
+            detail,
+            window: self.window.iter().copied().collect(),
+        });
+    }
+
+    /// Runs the end-of-stream checks (unfinished jobs, FIFO order, band
+    /// ordering, ISR balance, ledger conservation over `horizon`) and
+    /// returns the report.
+    pub fn finish(mut self, horizon: Cycles) -> MonitorReport {
+        self.check_unfinished(horizon);
+        self.check_overlaps();
+        if self.config.fault_free {
+            self.check_fifo(horizon);
+            self.check_bands(horizon);
+            for (&proc, &depth) in self.isr_depth.clone().iter() {
+                if depth > 0 {
+                    self.flag(
+                        horizon,
+                        Some(proc),
+                        ViolationKind::IsrImbalance,
+                        format!("{depth} ISR entr{} never exited", plural_y(depth)),
+                    );
+                }
+            }
+        }
+        if self.charged && !horizon.is_zero() {
+            if let Err(imbalance) = self.ledger.check_conservation(horizon) {
+                self.flag(
+                    horizon,
+                    Some(imbalance.proc as u32),
+                    ViolationKind::LedgerImbalance,
+                    imbalance.to_string(),
+                );
+            }
+        }
+        MonitorReport {
+            events_seen: self.events_seen,
+            jobs_tracked: self.jobs.len(),
+            promotions_checked: self.promotions_checked,
+            violations: self.violations,
+        }
+    }
+
+    fn check_unfinished(&mut self, horizon: Cycles) {
+        for (id, job) in self.jobs.clone() {
+            if job.completed_at.is_some() {
+                continue;
+            }
+            if self.config.fault_free && job.guaranteed {
+                if let Some(d) = job.expected_deadline {
+                    if d < horizon {
+                        self.flag(
+                            horizon,
+                            None,
+                            ViolationKind::GuaranteedDeadlineMiss,
+                            format!(
+                                "job {id} (task {}) unfinished at the horizon, deadline was \
+                                 {} cyc",
+                                job.task,
+                                d.as_u64()
+                            ),
+                        );
+                    }
+                }
+            }
+            if self.config.fault_free && job.promoted_at.is_none() {
+                if let Some(e) = job.expected_promotion {
+                    if e.saturating_add(self.config.tolerance) < horizon && job.guaranteed {
+                        self.flag(
+                            horizon,
+                            None,
+                            ViolationKind::MissingPromotion,
+                            format!(
+                                "job {id} (task {}) alive past its promotion instant \
+                                 ({} cyc) with no promotion event",
+                                job.task,
+                                e.as_u64()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// First execution start per job, from the recorded task spans.
+    fn first_starts(&self) -> BTreeMap<u32, Cycles> {
+        let mut firsts: BTreeMap<u32, Cycles> = BTreeMap::new();
+        for s in &self.task_spans {
+            let Some(job) = s.job else { continue };
+            firsts
+                .entry(job)
+                .and_modify(|f| *f = (*f).min(s.start))
+                .or_insert(s.start);
+        }
+        firsts
+    }
+
+    fn check_fifo(&mut self, horizon: Cycles) {
+        let firsts = self.first_starts();
+        // (fifo_seq, job id, first start) for every aperiodic job; a job
+        // that never ran is ordered at the horizon, so an inversion against
+        // a later release that *did* run is still caught.
+        let mut order: Vec<(usize, u32, Cycles)> = self
+            .jobs
+            .iter()
+            .filter_map(|(&id, j)| {
+                j.fifo_seq
+                    .map(|seq| (seq, id, firsts.get(&id).copied().unwrap_or(horizon)))
+            })
+            .collect();
+        order.sort_unstable_by_key(|&(seq, _, _)| seq);
+        for pair in order.windows(2) {
+            let (earlier, later) = (pair[0], pair[1]);
+            if earlier.2 > later.2 {
+                self.flag(
+                    later.2,
+                    None,
+                    ViolationKind::FifoInversion,
+                    format!(
+                        "aperiodic job {} (released earlier) first ran at {} cyc, after \
+                         job {} at {} cyc",
+                        earlier.1,
+                        earlier.2.as_u64(),
+                        later.1,
+                        later.2.as_u64()
+                    ),
+                );
+            }
+        }
+    }
+
+    fn check_bands(&mut self, horizon: Cycles) {
+        let firsts = self.first_starts();
+        // Every window in which an aperiodic job sat ready without ever
+        // having run: (release + tolerance, first start).
+        let waits: Vec<(u32, Cycles, Cycles)> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.aperiodic)
+            .map(|(&id, j)| {
+                let wait_from = j.release.saturating_add(self.config.tolerance);
+                let served = firsts
+                    .get(&id)
+                    .copied()
+                    .unwrap_or(horizon)
+                    .min(j.completed_at.unwrap_or(horizon));
+                (id, wait_from, served)
+            })
+            .filter(|&(_, from, to)| from < to)
+            .collect();
+        if waits.is_empty() {
+            return;
+        }
+        let mut inversions = Vec::new();
+        for s in &self.task_spans {
+            let (Some(job), Some(_)) = (s.job, s.task) else {
+                continue;
+            };
+            let Some(state) = self.jobs.get(&job) else {
+                continue;
+            };
+            if state.aperiodic {
+                continue;
+            }
+            // The span is low-band only until the job's promotion fires.
+            let unpromoted_end = state.promoted_at.map_or(s.end, |p| s.end.min(p));
+            if unpromoted_end <= s.start {
+                continue;
+            }
+            for &(waiter, from, to) in &waits {
+                let lo = s.start.max(from);
+                let hi = unpromoted_end.min(to);
+                if lo < hi {
+                    inversions.push((
+                        lo,
+                        s.proc,
+                        format!(
+                            "unpromoted periodic job {} ran [{}, {}) cyc on P{} while \
+                             aperiodic job {waiter} waited (ready since {} cyc)",
+                            job,
+                            lo.as_u64(),
+                            hi.as_u64(),
+                            s.proc,
+                            from.saturating_sub(self.config.tolerance).as_u64()
+                        ),
+                    ));
+                }
+            }
+        }
+        for (at, proc, detail) in inversions {
+            self.flag(at, Some(proc), ViolationKind::BandInversion, detail);
+        }
+    }
+
+    fn check_overlaps(&mut self) {
+        // Spans of the same job must not overlap in time across processors
+        // — one context, one processor at a time.
+        let mut by_job: BTreeMap<u32, Vec<(Cycles, Cycles, u32)>> = BTreeMap::new();
+        for s in &self.task_spans {
+            if let Some(job) = s.job {
+                by_job
+                    .entry(job)
+                    .or_default()
+                    .push((s.start, s.end, s.proc));
+            }
+        }
+        for (job, mut spans) in by_job {
+            spans.sort_unstable_by_key(|&(start, ..)| start);
+            for pair in spans.windows(2) {
+                let ((_, end_a, proc_a), (start_b, _, proc_b)) = (pair[0], pair[1]);
+                if start_b < end_a && proc_a != proc_b {
+                    self.flag(
+                        start_b,
+                        Some(proc_b),
+                        ViolationKind::OverlappingExecution,
+                        format!(
+                            "job {job} ran on P{proc_a} until {} cyc but started on \
+                             P{proc_b} at {} cyc",
+                            end_a.as_u64(),
+                            start_b.as_u64()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_release(&mut self, at: Cycles, job: u32, task: u32, aperiodic: bool) {
+        if self.jobs.contains_key(&job) {
+            self.flag(
+                at,
+                None,
+                ViolationKind::OrphanEvent,
+                format!("job {job} released twice"),
+            );
+            return;
+        }
+        let mut state = JobState {
+            task,
+            aperiodic,
+            release: at,
+            expected_promotion: None,
+            expected_deadline: None,
+            guaranteed: false,
+            promoted_at: None,
+            completed_at: None,
+            fifo_seq: None,
+        };
+        if aperiodic {
+            if !self.catalog.is_aperiodic(task) {
+                self.flag(
+                    at,
+                    None,
+                    ViolationKind::OrphanEvent,
+                    format!("job {job} released as aperiodic but task {task} is not"),
+                );
+            }
+            let outstanding = self.outstanding.entry(task).or_insert(0);
+            *outstanding += 1;
+            if *outstanding > 1 && self.config.fault_free {
+                let n = *outstanding;
+                self.flag(
+                    at,
+                    None,
+                    ViolationKind::ContextSlotOverflow,
+                    format!("aperiodic task {task} has {n} jobs in flight (one context slot)"),
+                );
+            }
+            state.fifo_seq = Some(self.aperiodic_seq);
+            self.aperiodic_seq += 1;
+        } else {
+            match self.catalog.periodic(task) {
+                Some(&facts) => {
+                    state.expected_promotion = Some(at.saturating_add(facts.promotion));
+                    state.expected_deadline = Some(at.saturating_add(facts.deadline));
+                    state.guaranteed = facts.guaranteed();
+                }
+                None => self.flag(
+                    at,
+                    None,
+                    ViolationKind::OrphanEvent,
+                    format!("job {job} released for unknown periodic task {task}"),
+                ),
+            }
+        }
+        self.jobs.insert(job, state);
+    }
+
+    fn on_promotion(&mut self, at: Cycles, job: u32, task: u32) {
+        let Some(state) = self.jobs.get(&job).cloned() else {
+            self.flag(
+                at,
+                None,
+                ViolationKind::OrphanEvent,
+                format!("promotion of job {job} (task {task}) before any release"),
+            );
+            return;
+        };
+        if state.aperiodic {
+            self.flag(
+                at,
+                None,
+                ViolationKind::OrphanEvent,
+                format!("aperiodic job {job} cannot promote"),
+            );
+            return;
+        }
+        if state.completed_at.is_some() {
+            self.flag(
+                at,
+                None,
+                ViolationKind::OrphanEvent,
+                format!("promotion of job {job} after it completed"),
+            );
+            return;
+        }
+        if state.promoted_at.is_some() {
+            self.flag(
+                at,
+                None,
+                ViolationKind::DuplicatePromotion,
+                format!("job {job} promoted twice"),
+            );
+            return;
+        }
+        // Promotion timing is only checked on fault-free runs: lost timer
+        // interrupts shift release stamps by whole ticks, and a fail-stop's
+        // online re-admission rewrites promotion offsets the offline
+        // catalog knows nothing about.
+        if let Some(expected) = state.expected_promotion.filter(|_| self.config.fault_free) {
+            self.promotions_checked += 1;
+            if at.saturating_add(self.config.early_slack) < expected {
+                let early = expected - at;
+                self.flag(
+                    at,
+                    None,
+                    ViolationKind::EarlyPromotion,
+                    format!(
+                        "job {job} (task {task}) promoted {} cyc early: at {} cyc, \
+                         release {} + offset puts D\u{2212}ttr at {} cyc",
+                        early.as_u64(),
+                        at.as_u64(),
+                        state.release.as_u64(),
+                        expected.as_u64()
+                    ),
+                );
+            } else if at > expected.saturating_add(self.config.tolerance) {
+                let late = at - expected;
+                self.flag(
+                    at,
+                    None,
+                    ViolationKind::LatePromotion,
+                    format!(
+                        "job {job} (task {task}) promoted {} cyc late (instant {} cyc, \
+                         tolerance {} cyc)",
+                        late.as_u64(),
+                        expected.as_u64(),
+                        self.config.tolerance.as_u64()
+                    ),
+                );
+            }
+        }
+        if let Some(s) = self.jobs.get_mut(&job) {
+            s.promoted_at = Some(at);
+        }
+    }
+
+    fn on_complete(&mut self, at: Cycles, proc: Option<u32>, job: u32, task: u32, met: bool) {
+        let Some(state) = self.jobs.get(&job).cloned() else {
+            self.flag(
+                at,
+                proc,
+                ViolationKind::OrphanEvent,
+                format!("completion of job {job} (task {task}) before any release"),
+            );
+            return;
+        };
+        if state.completed_at.is_some() {
+            self.flag(
+                at,
+                proc,
+                ViolationKind::DuplicateCompletion,
+                format!("job {job} completed twice"),
+            );
+            return;
+        }
+        if state.aperiodic {
+            if let Some(outstanding) = self.outstanding.get_mut(&task) {
+                *outstanding = outstanding.saturating_sub(1);
+            }
+        }
+        if self.config.fault_free {
+            if let Some(d) = state.expected_deadline {
+                // The stamped release (and hence the monitor's absolute
+                // deadline) can trail the nominal one by up to the
+                // tolerance, so only verdicts that contradict the stamps by
+                // *more* than the tolerance are flagged — the simulator
+                // computes `met` against the exact deadline, which the
+                // monitor cannot reconstruct closer than this.
+                let clearly_on_time = at.saturating_add(self.config.tolerance) <= d;
+                let clearly_late = at > d.saturating_add(self.config.tolerance);
+                if (met && clearly_late) || (!met && clearly_on_time) {
+                    self.flag(
+                        at,
+                        proc,
+                        ViolationKind::DeadlineVerdictMismatch,
+                        format!(
+                            "job {job} finished at {} cyc against deadline {} cyc \
+                             (\u{00b1}{} cyc) but was reported met={met}",
+                            at.as_u64(),
+                            d.as_u64(),
+                            self.config.tolerance.as_u64()
+                        ),
+                    );
+                }
+                // The simulator's own verdict is ground truth for misses —
+                // it checks the exact absolute deadline.
+                if !met && state.guaranteed {
+                    self.flag(
+                        at,
+                        proc,
+                        ViolationKind::GuaranteedDeadlineMiss,
+                        format!(
+                            "guaranteed task {} missed: job {job} completed at {} cyc, \
+                             past its deadline (\u{2248}{} cyc)",
+                            state.task,
+                            at.as_u64(),
+                            d.as_u64()
+                        ),
+                    );
+                }
+            }
+            if state.promoted_at.is_none() && state.guaranteed {
+                if let Some(e) = state.expected_promotion {
+                    if at > e.saturating_add(self.config.tolerance) {
+                        self.flag(
+                            at,
+                            proc,
+                            ViolationKind::MissingPromotion,
+                            format!(
+                                "job {job} (task {}) ran past its promotion instant \
+                                 ({} cyc) and completed unpromoted",
+                                state.task,
+                                e.as_u64()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(s) = self.jobs.get_mut(&job) {
+            s.completed_at = Some(at);
+        }
+    }
+}
+
+impl Probe for InvariantMonitor {
+    const ENABLED: bool = true;
+
+    fn event(&mut self, at: Cycles, proc: Option<u32>, kind: EventKind) {
+        self.events_seen += 1;
+        if self.window.len() == self.config.window.max(1) {
+            self.window.pop_front();
+        }
+        self.window.push_back(ObsEvent { at, proc, kind });
+        if at < self.last_at {
+            self.flag(
+                at,
+                proc,
+                ViolationKind::NonMonotonicStamp,
+                format!(
+                    "event stamped {} cyc after one at {} cyc",
+                    at.as_u64(),
+                    self.last_at.as_u64()
+                ),
+            );
+        }
+        self.last_at = self.last_at.max(at);
+        match kind {
+            EventKind::JobRelease {
+                job,
+                task,
+                aperiodic,
+            } => self.on_release(at, job, task, aperiodic),
+            EventKind::Promotion { job, task } => self.on_promotion(at, job, task),
+            EventKind::JobComplete { job, task, met } => self.on_complete(at, proc, job, task, met),
+            EventKind::IsrEnter { .. } => match proc {
+                Some(p) => *self.isr_depth.entry(p).or_insert(0) += 1,
+                None => self.flag(
+                    at,
+                    None,
+                    ViolationKind::IsrImbalance,
+                    "ISR entry with no processor attribution".to_string(),
+                ),
+            },
+            EventKind::IsrExit => match proc.and_then(|p| self.isr_depth.get_mut(&p)) {
+                Some(depth) if *depth > 0 => *depth -= 1,
+                _ => self.flag(
+                    at,
+                    proc,
+                    ViolationKind::IsrImbalance,
+                    "ISR exit without a matching entry".to_string(),
+                ),
+            },
+            EventKind::FailStop { proc: p } if self.config.fault_free => self.flag(
+                at,
+                Some(p),
+                ViolationKind::UnexpectedFault,
+                format!("processor {p} fail-stopped in a run declared fault-free"),
+            ),
+            EventKind::Recovery if self.config.fault_free => self.flag(
+                at,
+                proc,
+                ViolationKind::UnexpectedFault,
+                "recovery event in a run declared fault-free".to_string(),
+            ),
+            _ => {}
+        }
+    }
+
+    fn span(&mut self, span: Span) {
+        if span.end < span.start {
+            self.flag(
+                span.start,
+                Some(span.proc),
+                ViolationKind::NonMonotonicStamp,
+                format!(
+                    "span ends at {} cyc before it starts at {} cyc",
+                    span.end.as_u64(),
+                    span.start.as_u64()
+                ),
+            );
+            return;
+        }
+        if span.kind == SpanKind::Task {
+            self.task_spans.push(span);
+        }
+    }
+
+    fn charge(&mut self, proc: usize, bucket: Bucket, cycles: u64) {
+        if proc < self.ledger.n_procs() {
+            self.charged = true;
+            self.ledger.charge(proc, bucket, cycles);
+        }
+    }
+}
+
+fn plural_y(n: u64) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
+}

@@ -1,0 +1,60 @@
+//! Test-only scheduler mutations that prove the monitor is not vacuous.
+//!
+//! A monitor that never fires is indistinguishable from a monitor that
+//! checks nothing. The mutation smoke test seeds a known scheduler bug —
+//! an off-by-one in the promotion-time computation — runs a cell with the
+//! mutated table against a catalog built from the *unmutated* table, and
+//! asserts the monitor flags the bug within one hyperperiod. The hooks
+//! live here (not behind `#[cfg(test)]`) so integration tests and the
+//! audit binary's self-test mode can reach them, but nothing in any
+//! runtime path calls them.
+
+use mpdp_core::task::TaskTable;
+use mpdp_core::time::Cycles;
+
+/// Seeds the classic off-by-one: every periodic task's promotion offset is
+/// shifted one cycle **early**, so each job's promotion fires at
+/// `D − ttr − 1` instead of `D − ttr`. Returns how many offsets moved
+/// (offsets already at zero cannot go earlier and are left alone).
+///
+/// Run the mutated table under an event-driven theoretical config — the
+/// tick-driven stacks quantize promotion stamps to the scheduling pass,
+/// which would mask a one-cycle skew.
+pub fn promotion_off_by_one(table: &mut TaskTable) -> usize {
+    let mut mutated = 0;
+    for i in 0..table.periodic().len() {
+        let offset = table.promotion(i);
+        if offset.is_zero() {
+            continue;
+        }
+        table.set_promotion(i, offset - Cycles::new(1));
+        mutated += 1;
+    }
+    mutated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_core::ids::TaskId;
+    use mpdp_core::priority::Priority;
+    use mpdp_core::rta::build_task_table;
+    use mpdp_core::task::{AperiodicTask, PeriodicTask};
+
+    #[test]
+    fn shifts_every_nonzero_offset_one_cycle_early() {
+        let t0 = PeriodicTask::new(TaskId::new(0), "t0", Cycles::new(300), Cycles::new(10_000))
+            .with_priorities(Priority::new(1), Priority::new(4));
+        let t1 = PeriodicTask::new(TaskId::new(1), "t1", Cycles::new(400), Cycles::new(4_000))
+            .with_priorities(Priority::new(0), Priority::new(3));
+        let ap = AperiodicTask::new(TaskId::new(7), "ap", Cycles::new(500));
+        let mut table = build_task_table(vec![t0, t1], vec![ap], 1).expect("schedulable");
+        let before: Vec<Cycles> = (0..2).map(|i| table.promotion(i)).collect();
+        assert!(before.iter().all(|p| !p.is_zero()), "fixture must promote");
+        let mutated = promotion_off_by_one(&mut table);
+        assert_eq!(mutated, 2);
+        for (i, b) in before.iter().enumerate() {
+            assert_eq!(table.promotion(i), *b - Cycles::new(1));
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The differential oracle: cross-checks the theoretical and prototype
+//! event streams of the *same* cell and localizes their first divergence.
+//!
+//! The two stacks share one scheduling policy but assign job ids
+//! independently (per-stack, in release order), so the oracle never
+//! compares job ids. It compares what the paper says must agree: the
+//! per-task **release history** (how many jobs of each task were released)
+//! and the per-task **completion history** (how many jobs completed, and
+//! the per-occurrence sequence of deadline verdicts). Cycle stamps are
+//! reported for localization but never compared — the prototype's ISR and
+//! kernel latencies legitimately shift every stamp.
+//!
+//! The oracle is only sound for fault-free cells: a lost interrupt or
+//! fail-stop makes the prototype drop work the theoretical stack performs,
+//! which is divergence by design, not a bug.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mpdp_core::time::Cycles;
+use mpdp_obs::{EventKind, ObsEvent};
+
+/// Which agreed-upon aspect of the streams diverged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// A task released a different number of jobs in each stack.
+    ReleaseCount,
+    /// A task completed a different number of jobs in each stack.
+    CompletionCount,
+    /// The same occurrence of a task completed with opposite deadline
+    /// verdicts.
+    DeadlineVerdict,
+    /// A task appears in one stream and not the other at all.
+    MissingTask,
+}
+
+impl DivergenceKind {
+    /// Stable kebab-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DivergenceKind::ReleaseCount => "release-count",
+            DivergenceKind::CompletionCount => "completion-count",
+            DivergenceKind::DeadlineVerdict => "deadline-verdict",
+            DivergenceKind::MissingTask => "missing-task",
+        }
+    }
+}
+
+/// The earliest localized disagreement between the two streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// The task whose histories disagree.
+    pub task: u32,
+    /// Zero-based occurrence index at which they first disagree (for count
+    /// mismatches, the first occurrence present in one stream only).
+    pub occurrence: usize,
+    /// What kind of disagreement.
+    pub kind: DivergenceKind,
+    /// Stamp of the occurrence in the theoretical stream, if it has one.
+    pub theoretical_at: Option<Cycles>,
+    /// Stamp of the occurrence in the prototype stream, if it has one.
+    pub prototype_at: Option<Cycles>,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} task {} occurrence {}] {}",
+            self.kind.name(),
+            self.task,
+            self.occurrence,
+            self.detail
+        )
+    }
+}
+
+/// The verdict of one cross-check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleReport {
+    /// Per-task occurrences that matched across both streams.
+    pub matched: usize,
+    /// The first divergence, if any — ordered by the earliest stamp either
+    /// stream attaches to the disagreeing occurrence.
+    pub divergence: Option<Divergence>,
+}
+
+impl OracleReport {
+    /// Whether the streams agree on the whole compared prefix.
+    pub fn is_agreed(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// One task's observable history in one stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct TaskHistory {
+    /// Release stamps, in stream order.
+    releases: Vec<Cycles>,
+    /// (stamp, met) per completion, in stream order.
+    completions: Vec<(Cycles, bool)>,
+}
+
+fn histories(events: &[ObsEvent]) -> BTreeMap<u32, TaskHistory> {
+    let mut map: BTreeMap<u32, TaskHistory> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::JobRelease { task, .. } => {
+                map.entry(task).or_default().releases.push(e.at);
+            }
+            EventKind::JobComplete { task, met, .. } => {
+                map.entry(task).or_default().completions.push((e.at, met));
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Cross-checks two recorded streams of the same cell and localizes the
+/// first divergence, earliest-stamped first. `theoretical` and `prototype`
+/// are the full instant-event streams of each stack.
+pub fn diff_streams(theoretical: &[ObsEvent], prototype: &[ObsEvent]) -> OracleReport {
+    let theo = histories(theoretical);
+    let proto = histories(prototype);
+    let mut matched = 0usize;
+    let mut candidates: Vec<(Cycles, Divergence)> = Vec::new();
+
+    let mut tasks: Vec<u32> = theo.keys().chain(proto.keys()).copied().collect();
+    tasks.sort_unstable();
+    tasks.dedup();
+
+    let empty = TaskHistory::default();
+    for task in tasks {
+        let (t, p) = (theo.get(&task), proto.get(&task));
+        if t.is_none() || p.is_none() {
+            let present = t.or(p).unwrap_or(&empty);
+            let at = present
+                .releases
+                .first()
+                .copied()
+                .or_else(|| present.completions.first().map(|&(at, _)| at));
+            let side = if t.is_some() {
+                "theoretical"
+            } else {
+                "prototype"
+            };
+            candidates.push((
+                at.unwrap_or(Cycles::ZERO),
+                Divergence {
+                    task,
+                    occurrence: 0,
+                    kind: DivergenceKind::MissingTask,
+                    theoretical_at: if t.is_some() { at } else { None },
+                    prototype_at: if p.is_some() { at } else { None },
+                    detail: format!("task {task} appears only in the {side} stream"),
+                },
+            ));
+            continue;
+        }
+        let (t, p) = (t.unwrap(), p.unwrap());
+
+        let shared_releases = t.releases.len().min(p.releases.len());
+        matched += shared_releases;
+        if t.releases.len() != p.releases.len() {
+            let occurrence = shared_releases;
+            let theoretical_at = t.releases.get(occurrence).copied();
+            let prototype_at = p.releases.get(occurrence).copied();
+            let at = theoretical_at.or(prototype_at).unwrap_or(Cycles::ZERO);
+            candidates.push((
+                at,
+                Divergence {
+                    task,
+                    occurrence,
+                    kind: DivergenceKind::ReleaseCount,
+                    theoretical_at,
+                    prototype_at,
+                    detail: format!(
+                        "task {task} released {} jobs theoretically vs {} on the prototype",
+                        t.releases.len(),
+                        p.releases.len()
+                    ),
+                },
+            ));
+        }
+
+        let shared_completions = t.completions.len().min(p.completions.len());
+        for (occurrence, (&(ta, tm), &(pa, pm))) in
+            t.completions.iter().zip(&p.completions).enumerate()
+        {
+            if tm != pm {
+                candidates.push((
+                    ta.min(pa),
+                    Divergence {
+                        task,
+                        occurrence,
+                        kind: DivergenceKind::DeadlineVerdict,
+                        theoretical_at: Some(ta),
+                        prototype_at: Some(pa),
+                        detail: format!(
+                            "completion {occurrence} of task {task}: met={tm} theoretically \
+                             (at {} cyc) vs met={pm} on the prototype (at {} cyc)",
+                            ta.as_u64(),
+                            pa.as_u64()
+                        ),
+                    },
+                ));
+                break; // later verdicts of this task are downstream noise
+            }
+            matched += 1;
+        }
+        if t.completions.len() != p.completions.len() {
+            let occurrence = shared_completions;
+            let theoretical_at = t.completions.get(occurrence).map(|&(at, _)| at);
+            let prototype_at = p.completions.get(occurrence).map(|&(at, _)| at);
+            let at = theoretical_at.or(prototype_at).unwrap_or(Cycles::ZERO);
+            candidates.push((
+                at,
+                Divergence {
+                    task,
+                    occurrence,
+                    kind: DivergenceKind::CompletionCount,
+                    theoretical_at,
+                    prototype_at,
+                    detail: format!(
+                        "task {task} completed {} jobs theoretically vs {} on the prototype",
+                        t.completions.len(),
+                        p.completions.len()
+                    ),
+                },
+            ));
+        }
+    }
+
+    candidates.sort_by_key(|&(at, ref d)| (at, d.task, d.occurrence));
+    OracleReport {
+        matched,
+        divergence: candidates.into_iter().next().map(|(_, d)| d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn release(at: u64, task: u32, job: u32) -> ObsEvent {
+        ObsEvent {
+            at: Cycles::new(at),
+            proc: None,
+            kind: EventKind::JobRelease {
+                job,
+                task,
+                aperiodic: false,
+            },
+        }
+    }
+
+    fn complete(at: u64, task: u32, job: u32, met: bool) -> ObsEvent {
+        ObsEvent {
+            at: Cycles::new(at),
+            proc: Some(0),
+            kind: EventKind::JobComplete { job, task, met },
+        }
+    }
+
+    #[test]
+    fn identical_histories_agree_despite_different_job_ids_and_stamps() {
+        let theo = [release(0, 1, 0), complete(80, 1, 0, true)];
+        // Prototype stamps drift and job ids differ — still the same story.
+        let proto = [release(12, 1, 7), complete(95, 1, 7, true)];
+        let report = diff_streams(&theo, &proto);
+        assert!(report.is_agreed(), "{:?}", report.divergence);
+        assert_eq!(report.matched, 2);
+    }
+
+    #[test]
+    fn missing_completion_is_localized() {
+        let theo = [
+            release(0, 1, 0),
+            complete(80, 1, 0, true),
+            release(100, 1, 1),
+            complete(180, 1, 1, true),
+        ];
+        let proto = [
+            release(0, 1, 0),
+            complete(90, 1, 0, true),
+            release(100, 1, 1),
+        ];
+        let report = diff_streams(&theo, &proto);
+        let d = report.divergence.expect("must diverge");
+        assert_eq!(d.kind, DivergenceKind::CompletionCount);
+        assert_eq!(d.task, 1);
+        assert_eq!(d.occurrence, 1);
+        assert_eq!(d.theoretical_at, Some(Cycles::new(180)));
+        assert_eq!(d.prototype_at, None);
+    }
+
+    #[test]
+    fn earliest_divergence_wins() {
+        let theo = [
+            release(0, 1, 0),
+            release(0, 2, 1),
+            complete(50, 2, 1, true),
+            complete(80, 1, 0, true),
+        ];
+        // Task 2's verdict flips at 50 cyc; task 1 also loses a completion
+        // at 80 cyc. The verdict flip is earlier and must be reported.
+        let proto = [
+            release(0, 1, 0),
+            release(0, 2, 1),
+            complete(55, 2, 1, false),
+        ];
+        let report = diff_streams(&theo, &proto);
+        let d = report.divergence.expect("must diverge");
+        assert_eq!(d.kind, DivergenceKind::DeadlineVerdict);
+        assert_eq!(d.task, 2);
+    }
+
+    #[test]
+    fn task_present_in_one_stream_only() {
+        let theo = [release(0, 1, 0), release(5, 9, 1)];
+        let proto = [release(0, 1, 0)];
+        let report = diff_streams(&theo, &proto);
+        let d = report.divergence.expect("must diverge");
+        assert_eq!(d.kind, DivergenceKind::MissingTask);
+        assert_eq!(d.task, 9);
+        assert!(d.detail.contains("theoretical"));
+    }
+}

@@ -91,6 +91,31 @@ impl EventRecorder {
     pub fn count_events(&self, name: &str) -> usize {
         self.events.iter().filter(|e| e.kind.name() == name).count()
     }
+
+    /// Feeds everything this recorder captured into another probe: events
+    /// in emission order, then spans in close order, then the ledger cell
+    /// by cell. A probe driven this way sees the same stream it would have
+    /// seen live (spans and charges arrive late, but both are only
+    /// inspected at end-of-run by the consumers that care).
+    pub fn replay_into<P: Probe>(&self, probe: &mut P) {
+        if !P::ENABLED {
+            return;
+        }
+        for e in &self.events {
+            probe.event(e.at, e.proc, e.kind);
+        }
+        for s in &self.spans {
+            probe.span(*s);
+        }
+        for proc in 0..self.ledger.n_procs() {
+            for &bucket in &crate::ledger::BUCKETS {
+                let cycles = self.ledger.get(proc, bucket);
+                if cycles > 0 {
+                    probe.charge(proc, bucket, cycles);
+                }
+            }
+        }
+    }
 }
 
 impl Probe for EventRecorder {

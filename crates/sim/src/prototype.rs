@@ -864,6 +864,22 @@ impl<S: Scheduler, P: Probe> PrototypeSim<S, P> {
                     self.ensure_job(*job);
                 }
                 if P::ENABLED {
+                    // The aperiodic job is released by `try_aperiodic_isr`
+                    // itself, before the scheduling pass, so it is never in
+                    // `pass.released` — emit its release here or the event
+                    // stream shows completions with no matching release.
+                    if let Some(j) = job {
+                        let task = self.task_of(j).as_u32();
+                        self.probe.event(
+                            self.now,
+                            None,
+                            EventKind::JobRelease {
+                                job: j.as_u32(),
+                                task,
+                                aperiodic: true,
+                            },
+                        );
+                    }
                     self.release_events(&pass.released, &pass.promoted);
                 }
                 let busy = self.priced_burst(proc, pass.cost);

@@ -91,6 +91,30 @@ impl ResponseAccumulator {
         self.missed += other.missed;
     }
 
+    /// Reassembles an accumulator from its serialized parts: the raw
+    /// samples (cycles, in observation order), the hard-deadline completion
+    /// count, and the miss count. Inverse of
+    /// [`samples`](Self::samples)/[`hard_count`](Self::hard_count)/
+    /// [`misses`](Self::misses) — a checkpoint journal round-trips through
+    /// these and must reproduce the accumulator bit for bit.
+    pub fn from_parts(responses: Vec<u64>, hard: usize, missed: usize) -> Self {
+        ResponseAccumulator {
+            responses,
+            hard,
+            missed,
+        }
+    }
+
+    /// The raw response samples in observation order, in cycles.
+    pub fn samples(&self) -> &[u64] {
+        &self.responses
+    }
+
+    /// Hard-deadline completions observed (the miss ratio's denominator).
+    pub fn hard_count(&self) -> usize {
+        self.hard
+    }
+
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
         self.responses.len()

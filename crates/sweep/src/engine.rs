@@ -372,6 +372,17 @@ fn run_cell_inner<PT: Probe, PR: Probe>(
     ))
 }
 
+/// Reconstructs the analyzed task table a cell ran under, `None` if the
+/// offline analysis rejects it (the cell is then reported unschedulable).
+/// A pure function of `(spec, cell)` — the RNG is re-derived from the
+/// cell's stream exactly as the engine does it — so audit tooling can
+/// rebuild the table long after the sweep without perturbing anything.
+pub fn cell_table(spec: &SweepSpec, cell: &CellSpec) -> Option<(TaskTable, TaskId)> {
+    let knob = &spec.knobs[cell.knob_index];
+    let mut rng = StdRng::seed_from_u64(spec.cell_stream(cell));
+    build_cell_table(spec, cell, knob, &mut rng)
+}
+
 /// Builds the analyzed task table for a cell, `None` if the offline
 /// analysis rejects it. Also returns the target aperiodic task id.
 fn build_cell_table(
@@ -419,7 +430,7 @@ fn build_cell_table(
         PolicyKind::Background => background_service(periodic, aperiodic, cell.n_procs).ok()?,
         PolicyKind::AperiodicFirst => aperiodic_first(periodic, aperiodic, cell.n_procs).ok()?,
     };
-    let target = table.aperiodic()[0].id();
+    let target = table.aperiodic().first()?.id();
     Some((table, target))
 }
 

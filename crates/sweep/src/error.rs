@@ -49,6 +49,35 @@ pub enum SweepError {
     /// A worker abandoned a cell without producing a result (a bug in the
     /// engine, surfaced instead of unwrapped).
     MissingCell(usize),
+    /// A cell panicked and exhausted its retry budget (self-healing
+    /// execution only; plain [`run_sweep`](crate::run_sweep) propagates the
+    /// panic).
+    CellPanicked {
+        /// Canonical index of the failing cell.
+        cell: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A cell overran the watchdog deadline and exhausted its retry budget.
+    CellTimedOut {
+        /// Canonical index of the failing cell.
+        cell: usize,
+    },
+    /// The run stopped before covering the grid (a cell cap was reached or
+    /// an abort was requested); completed cells are in the journal.
+    Interrupted {
+        /// Cells completed (and journaled) before the stop.
+        completed: usize,
+        /// Total cells in the grid.
+        total: usize,
+    },
+    /// The checkpoint journal could not be opened, read, or appended.
+    Journal {
+        /// Path of the journal file.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -75,6 +104,25 @@ impl fmt::Display for SweepError {
             }
             SweepError::MissingCell(cell) => {
                 write!(f, "cell {cell} produced no result")
+            }
+            SweepError::CellPanicked { cell, message } => {
+                write!(f, "cell {cell} panicked after retries: {message}")
+            }
+            SweepError::CellTimedOut { cell } => {
+                write!(
+                    f,
+                    "cell {cell} exceeded the watchdog deadline after retries"
+                )
+            }
+            SweepError::Interrupted { completed, total } => {
+                write!(
+                    f,
+                    "sweep interrupted after {completed} of {total} cells; completed cells \
+                     are journaled and the run can be resumed"
+                )
+            }
+            SweepError::Journal { path, detail } => {
+                write!(f, "checkpoint journal {path}: {detail}")
             }
         }
     }

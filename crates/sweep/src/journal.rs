@@ -1,0 +1,467 @@
+//! Crash-safe checkpoint journal for interrupted sweeps.
+//!
+//! The journal is an append-only text file: a header binding it to one
+//! [`SweepSpec`], then one record per completed cell, fsynced as written.
+//! On open, the file is recovered: the header's spec fingerprint must
+//! match, records are parsed in order, and the file is truncated at the
+//! first malformed record (a torn final write from a crash loses at most
+//! that one cell). Each record is keyed by the cell's RNG stream id, so a
+//! record can never be replayed against a spec that would have simulated
+//! different inputs.
+//!
+//! # Format
+//!
+//! ```text
+//! MPDPJ1 fp=<16-hex FNV-1a of the spec's Debug form>
+//! cell <index> <16-hex stream> <0|1 schedulable> <theoretical> <real> #<16-hex FNV-1a of the line body>
+//! ```
+//!
+//! Each stack serializes as
+//! `<hard>:<missed>:<samples…>;<hard>:<missed>:<samples…>;<switches>;<passes>;<words>;<survival…>`
+//! (aperiodic accumulator, periodic accumulator, kernel counters, the 13
+//! survival fields comma-joined with `-` for absent instants). Samples are
+//! raw cycles, comma-joined, in observation order — the accumulator
+//! round-trips bit for bit, which is what makes a resumed sweep's exports
+//! byte-identical to an uninterrupted run's.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use mpdp_core::time::Cycles;
+use mpdp_sim::stats::{ResponseAccumulator, SurvivalStats};
+
+use crate::engine::{CellResult, StackResult};
+use crate::error::SweepError;
+use crate::spec::SweepSpec;
+
+/// Magic + version tag of the journal header line.
+const MAGIC: &str = "MPDPJ1";
+
+/// FNV-1a over a byte string; the journal's fingerprint and record
+/// checksum. Not cryptographic — it detects torn writes and accidental
+/// spec drift, which is all a local checkpoint needs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The fingerprint binding a journal to a spec: FNV-1a over the spec's
+/// `Debug` form, which covers every field that shapes a cell's inputs.
+pub fn spec_fingerprint(spec: &SweepSpec) -> u64 {
+    fnv1a(format!("{spec:?}").as_bytes())
+}
+
+/// An open checkpoint journal: the records recovered from disk plus an
+/// append handle. Appends are serialized through an internal mutex and
+/// fsynced one by one, so the file is consistent after a kill at any
+/// instant.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+    recovered: BTreeMap<usize, CellResult>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for `spec`.
+    ///
+    /// An existing file is recovered: the header fingerprint must match
+    /// `spec` (a mismatch is an error — resuming someone else's sweep
+    /// would silently mix incompatible results), every well-formed record
+    /// whose stream id matches the spec's derivation is returned in
+    /// [`recovered`](Self::recovered), and the file is truncated at the
+    /// first malformed or mismatched record.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Journal`] on I/O failure or fingerprint mismatch.
+    pub fn open(path: &Path, spec: &SweepSpec) -> Result<Self, SweepError> {
+        let err = |detail: String| SweepError::Journal {
+            path: path.display().to_string(),
+            detail,
+        };
+        let fingerprint = spec_fingerprint(spec);
+        let header = format!("{MAGIC} fp={fingerprint:016x}\n");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| err(format!("cannot open: {e}")))?;
+        let mut contents = String::new();
+        file.read_to_string(&mut contents)
+            .map_err(|e| err(format!("cannot read: {e}")))?;
+
+        let mut recovered = BTreeMap::new();
+        if contents.is_empty() {
+            file.write_all(header.as_bytes())
+                .map_err(|e| err(format!("cannot write header: {e}")))?;
+            file.sync_data()
+                .map_err(|e| err(format!("cannot sync: {e}")))?;
+        } else {
+            let mut lines = contents.split_inclusive('\n');
+            let head = lines.next().unwrap_or("");
+            if head.trim_end() != header.trim_end() {
+                return Err(err(format!(
+                    "spec fingerprint mismatch (journal was written for a different sweep); \
+                     expected header `{}`",
+                    header.trim_end()
+                )));
+            }
+            // Parse records until the first malformed line, then truncate
+            // there: a torn final write loses one cell, never the file.
+            let mut good = head.len() as u64;
+            for line in lines {
+                if !line.ends_with('\n') {
+                    break; // torn tail
+                }
+                match parse_record(line.trim_end(), spec) {
+                    Some((index, result)) => {
+                        recovered.insert(index, result);
+                        good += line.len() as u64;
+                    }
+                    None => break,
+                }
+            }
+            if good < contents.len() as u64 {
+                file.set_len(good)
+                    .map_err(|e| err(format!("cannot truncate recovered tail: {e}")))?;
+            }
+            file.seek(SeekFrom::End(0))
+                .map_err(|e| err(format!("cannot seek: {e}")))?;
+        }
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            recovered,
+        })
+    }
+
+    /// The records recovered from disk at open, keyed by cell index.
+    pub fn recovered(&self) -> &BTreeMap<usize, CellResult> {
+        &self.recovered
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed cell and fsyncs. `stream` must be the cell's
+    /// [`SweepSpec::cell_stream`] id — it is what lets a later open refuse
+    /// records that no longer match the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Journal`] on I/O failure.
+    pub fn append(&self, stream: u64, result: &CellResult) -> Result<(), SweepError> {
+        let err = |detail: String| SweepError::Journal {
+            path: self.path.display().to_string(),
+            detail,
+        };
+        let line = format_record(stream, result);
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(line.as_bytes())
+            .map_err(|e| err(format!("cannot append cell {}: {e}", result.cell.index)))?;
+        file.sync_data()
+            .map_err(|e| err(format!("cannot sync cell {}: {e}", result.cell.index)))
+    }
+}
+
+fn format_accumulator(acc: &ResponseAccumulator) -> String {
+    let samples: Vec<String> = acc.samples().iter().map(u64::to_string).collect();
+    format!(
+        "{}:{}:{}",
+        acc.hard_count(),
+        acc.misses(),
+        samples.join(",")
+    )
+}
+
+fn parse_accumulator(field: &str) -> Option<ResponseAccumulator> {
+    let mut parts = field.splitn(3, ':');
+    let hard: usize = parts.next()?.parse().ok()?;
+    let missed: usize = parts.next()?.parse().ok()?;
+    let raw = parts.next()?;
+    let samples = if raw.is_empty() {
+        Vec::new()
+    } else {
+        raw.split(',')
+            .map(|s| s.parse().ok())
+            .collect::<Option<Vec<u64>>>()?
+    };
+    Some(ResponseAccumulator::from_parts(samples, hard, missed))
+}
+
+fn opt_cycles_str(c: Option<Cycles>) -> String {
+    c.map_or_else(|| "-".to_string(), |c| c.as_u64().to_string())
+}
+
+fn parse_opt_cycles(s: &str) -> Option<Option<Cycles>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        s.parse().ok().map(|v| Some(Cycles::new(v)))
+    }
+}
+
+fn format_survival(sv: &SurvivalStats) -> String {
+    let failed = sv
+        .failed_proc
+        .map_or_else(|| "-".to_string(), |p| p.to_string());
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        sv.miss_events,
+        opt_cycles_str(sv.first_miss),
+        sv.overruns,
+        sv.kills,
+        sv.demotions,
+        sv.shed,
+        sv.lost_irqs,
+        sv.spurious_irqs,
+        failed,
+        opt_cycles_str(sv.fail_at),
+        opt_cycles_str(sv.recovery_at),
+        sv.guaranteed_tasks,
+        sv.total_tasks
+    )
+}
+
+fn parse_survival(field: &str) -> Option<SurvivalStats> {
+    let parts: Vec<&str> = field.split(',').collect();
+    let [me, fm, ov, ki, de, sh, li, si, fp, fa, ra, gt, tt] = parts.as_slice() else {
+        return None;
+    };
+    Some(SurvivalStats {
+        miss_events: me.parse().ok()?,
+        first_miss: parse_opt_cycles(fm)?,
+        overruns: ov.parse().ok()?,
+        kills: ki.parse().ok()?,
+        demotions: de.parse().ok()?,
+        shed: sh.parse().ok()?,
+        lost_irqs: li.parse().ok()?,
+        spurious_irqs: si.parse().ok()?,
+        failed_proc: if *fp == "-" {
+            None
+        } else {
+            Some(fp.parse().ok()?)
+        },
+        fail_at: parse_opt_cycles(fa)?,
+        recovery_at: parse_opt_cycles(ra)?,
+        guaranteed_tasks: gt.parse().ok()?,
+        total_tasks: tt.parse().ok()?,
+    })
+}
+
+fn format_stack(s: &StackResult) -> String {
+    format!(
+        "{};{};{};{};{};{}",
+        format_accumulator(&s.aperiodic),
+        format_accumulator(&s.periodic),
+        s.switches,
+        s.sched_passes,
+        s.context_words,
+        format_survival(&s.survival)
+    )
+}
+
+fn parse_stack(field: &str) -> Option<StackResult> {
+    let parts: Vec<&str> = field.split(';').collect();
+    let [ap, pe, sw, sp, cw, sv] = parts.as_slice() else {
+        return None;
+    };
+    Some(StackResult {
+        aperiodic: parse_accumulator(ap)?,
+        periodic: parse_accumulator(pe)?,
+        switches: sw.parse().ok()?,
+        sched_passes: sp.parse().ok()?,
+        context_words: cw.parse().ok()?,
+        survival: parse_survival(sv)?,
+    })
+}
+
+fn format_record(stream: u64, result: &CellResult) -> String {
+    let body = format!(
+        "cell {} {stream:016x} {} {} {}",
+        result.cell.index,
+        u8::from(result.schedulable),
+        format_stack(&result.theoretical),
+        format_stack(&result.real)
+    );
+    format!("{body} #{:016x}\n", fnv1a(body.as_bytes()))
+}
+
+/// Parses one record line (no trailing newline). Returns `None` for any
+/// malformed, checksum-failing, or spec-mismatched record — the caller
+/// truncates the file there.
+fn parse_record(line: &str, spec: &SweepSpec) -> Option<(usize, CellResult)> {
+    let (body, crc) = line.rsplit_once(" #")?;
+    let crc: u64 = u64::from_str_radix(crc, 16).ok()?;
+    if crc != fnv1a(body.as_bytes()) {
+        return None;
+    }
+    let mut tokens = body.split(' ');
+    if tokens.next()? != "cell" {
+        return None;
+    }
+    let index: usize = tokens.next()?.parse().ok()?;
+    let stream = u64::from_str_radix(tokens.next()?, 16).ok()?;
+    let schedulable = match tokens.next()? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let theoretical = parse_stack(tokens.next()?)?;
+    let real = parse_stack(tokens.next()?)?;
+    if tokens.next().is_some() {
+        return None;
+    }
+    // Re-derive the cell from the spec and refuse records whose stream id
+    // no longer matches — the spec must be byte-for-byte the one that
+    // wrote the journal (the header fingerprint already guarantees this;
+    // the per-record check catches hand-edited or spliced files).
+    let cells = spec.cells();
+    let cell = *cells.get(index)?;
+    if spec.cell_stream(&cell) != stream {
+        return None;
+    }
+    Some((
+        index,
+        CellResult {
+            cell,
+            knob_label: spec.knobs[cell.knob_index].label.clone(),
+            schedulable,
+            theoretical,
+            real,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_cell;
+    use crate::spec::{ArrivalSpec, Knobs, WorkloadSpec};
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            utilizations: vec![0.4],
+            proc_counts: vec![2],
+            seeds: vec![0, 1],
+            knobs: vec![Knobs::default()],
+            workload: WorkloadSpec::Automotive,
+            arrivals: ArrivalSpec::Bursts {
+                activations: 1,
+                gap: Cycles::from_secs(12),
+            },
+            master_seed: 42,
+        }
+    }
+
+    fn tempfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpdp-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    #[test]
+    fn record_round_trips_bit_for_bit() {
+        let spec = tiny_spec();
+        let cells = spec.cells();
+        let result = run_cell(&spec, &cells[0]).expect("cell runs");
+        let stream = spec.cell_stream(&cells[0]);
+        let line = format_record(stream, &result);
+        let (index, parsed) = parse_record(line.trim_end(), &spec).expect("parses");
+        assert_eq!(index, 0);
+        assert_eq!(parsed, result);
+    }
+
+    #[test]
+    fn journal_recovers_appends_and_truncates_torn_tail() {
+        let spec = tiny_spec();
+        let cells = spec.cells();
+        let path = tempfile("recover");
+        let results: Vec<CellResult> = cells
+            .iter()
+            .map(|c| run_cell(&spec, c).expect("cell runs"))
+            .collect();
+
+        let journal = Journal::open(&path, &spec).expect("creates");
+        assert!(journal.recovered().is_empty());
+        journal
+            .append(spec.cell_stream(&cells[0]), &results[0])
+            .expect("appends");
+        drop(journal);
+
+        // Simulate a crash mid-append: a torn, newline-less partial record.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+            f.write_all(b"cell 1 deadbeef").expect("tear");
+        }
+        let len_torn = std::fs::metadata(&path).expect("stat").len();
+        let journal = Journal::open(&path, &spec).expect("recovers");
+        assert_eq!(journal.recovered().len(), 1);
+        assert_eq!(journal.recovered()[&0], results[0]);
+        assert!(std::fs::metadata(&path).expect("stat").len() < len_torn);
+
+        // The recovered handle appends cleanly after the truncation.
+        journal
+            .append(spec.cell_stream(&cells[1]), &results[1])
+            .expect("appends after recovery");
+        drop(journal);
+        let journal = Journal::open(&path, &spec).expect("reopens");
+        assert_eq!(journal.recovered().len(), 2);
+        assert_eq!(journal.recovered()[&1], results[1]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_refuses_a_different_spec() {
+        let spec = tiny_spec();
+        let path = tempfile("fingerprint");
+        drop(Journal::open(&path, &spec).expect("creates"));
+        let mut other = tiny_spec();
+        other.master_seed = 7;
+        match Journal::open(&path, &other) {
+            Err(SweepError::Journal { detail, .. }) => {
+                assert!(detail.contains("fingerprint mismatch"), "{detail}");
+            }
+            other => panic!("expected fingerprint rejection, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_record_is_dropped_not_fatal() {
+        let spec = tiny_spec();
+        let cells = spec.cells();
+        let path = tempfile("corrupt");
+        let result = run_cell(&spec, &cells[0]).expect("cell runs");
+        let journal = Journal::open(&path, &spec).expect("creates");
+        journal
+            .append(spec.cell_stream(&cells[0]), &result)
+            .expect("appends");
+        drop(journal);
+
+        // Flip one byte inside the record body: the checksum must catch it.
+        let mut contents = std::fs::read_to_string(&path).expect("read");
+        let flip = contents.len() - 30;
+        // A digit is always safe to flip to a different digit.
+        let original = contents.as_bytes()[flip];
+        let replacement = if original == b'7' { b'8' } else { b'7' };
+        contents.replace_range(flip..flip + 1, std::str::from_utf8(&[replacement]).unwrap());
+        std::fs::write(&path, &contents).expect("write");
+
+        let journal = Journal::open(&path, &spec).expect("recovers");
+        assert!(journal.recovered().is_empty(), "corrupt record must drop");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -39,19 +39,33 @@
 //! [`mpdp_core::policy::DegradationPolicy`]; the report then grows
 //! survivability columns. Both default to inert, in which case every
 //! export byte is identical to a fault-free build.
+//!
+//! ## Self-healing execution
+//!
+//! [`run_sweep_healing`] runs the same grid with per-cell panic isolation,
+//! an optional watchdog deadline, bounded seed-preserving retries, and an
+//! fsynced checkpoint [`Journal`] — an interrupted sweep resumes where it
+//! stopped and still exports byte-identical files, because every cell is a
+//! pure function of `(spec, cell index)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod error;
+pub mod journal;
 pub mod report;
+pub mod resilient;
 pub mod spec;
 
 pub use engine::{
-    run_cell, run_cell_probed, run_sweep, run_sweep_traced, CellObservation, CellProfile,
-    CellResult, StackResult, SweepReport,
+    cell_table, run_cell, run_cell_probed, run_sweep, run_sweep_traced, CellObservation,
+    CellProfile, CellResult, StackResult, SweepReport,
 };
 pub use error::SweepError;
+pub use journal::{spec_fingerprint, Journal};
 pub use report::{cells_csv, find_cell, group_summaries, report_json, summary_csv, GroupSummary};
+pub use resilient::{
+    run_sweep_healing, run_sweep_healing_with, CellOutcome, HealConfig, HealedSweep,
+};
 pub use spec::{ArrivalSpec, CellSpec, Knobs, PolicyKind, SweepSpec, WorkloadSpec};

@@ -1,0 +1,519 @@
+//! Self-healing sweep execution: panic isolation, a watchdog, bounded
+//! retries, and checkpoint/resume on top of the deterministic engine.
+//!
+//! [`run_sweep_healing`] covers the same grid as
+//! [`run_sweep`](crate::run_sweep) and produces the same
+//! [`SweepReport`] — cell results are a pure function of `(spec, cell)`,
+//! so surviving a panic, killing a hung cell, retrying, or resuming from a
+//! journal cannot change a single exported byte. What changes is the
+//! failure envelope:
+//!
+//! - every cell attempt runs under `catch_unwind`, so one poisoned cell
+//!   reports a typed [`CellOutcome::Panicked`] instead of tearing down the
+//!   whole fan-out;
+//! - an optional watchdog deadline abandons runaway cells
+//!   ([`CellOutcome::TimedOut`]);
+//! - failed attempts are retried up to a bounded count with capped
+//!   exponential backoff, re-running the *same* RNG stream
+//!   ([`CellOutcome::Retried`] on eventual success);
+//! - completed cells stream into an fsynced [`Journal`], and a later run
+//!   against the same spec skips them ([`CellOutcome::Resumed`]).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::engine::{run_cell, CellProfile, CellResult, SweepReport};
+use crate::error::SweepError;
+use crate::journal::Journal;
+use crate::spec::{CellSpec, SweepSpec};
+
+/// How one cell of a self-healing run concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Completed on the first attempt.
+    Ok,
+    /// Completed after `attempts` failed attempts (panics or timeouts);
+    /// the rerun used the same RNG stream, so the result is identical to a
+    /// first-try success.
+    Retried {
+        /// Failed attempts before the success.
+        attempts: u32,
+    },
+    /// Panicked on every attempt; the payload of the last panic.
+    Panicked {
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// Exceeded the watchdog deadline on every attempt.
+    TimedOut,
+    /// Skipped: recovered from the checkpoint journal.
+    Resumed,
+}
+
+/// Configuration of the self-healing executor.
+#[derive(Debug, Clone)]
+pub struct HealConfig {
+    /// Retries after a failed attempt (so `retries + 1` attempts total).
+    pub retries: u32,
+    /// Watchdog deadline per attempt. `None` disables the watchdog (and
+    /// the per-attempt runner thread it requires).
+    pub cell_timeout: Option<Duration>,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+    /// Ceiling on the backoff sleep.
+    pub backoff_cap: Duration,
+    /// Checkpoint journal path. Completed cells are appended (fsynced) as
+    /// they finish; cells already in the journal are not re-run.
+    pub journal: Option<PathBuf>,
+    /// Stop after executing this many cells this run (journal hits do not
+    /// count). The run then returns [`SweepError::Interrupted`] with the
+    /// completed work safely journaled — the test hook for kill-and-resume,
+    /// and a practical "run 30 more cells tonight" lever.
+    pub max_cells: Option<usize>,
+}
+
+impl Default for HealConfig {
+    fn default() -> Self {
+        HealConfig {
+            retries: 1,
+            cell_timeout: None,
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+            journal: None,
+            max_cells: None,
+        }
+    }
+}
+
+impl HealConfig {
+    /// Sets the retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the watchdog deadline.
+    pub fn with_cell_timeout(mut self, timeout: Duration) -> Self {
+        self.cell_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the checkpoint journal path.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Caps the number of cells executed this run.
+    pub fn with_max_cells(mut self, max: usize) -> Self {
+        self.max_cells = Some(max);
+        self
+    }
+
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(10);
+        self.backoff.saturating_mul(factor).min(self.backoff_cap)
+    }
+}
+
+/// A completed self-healing sweep.
+#[derive(Debug, Clone)]
+pub struct HealedSweep {
+    /// The report, bit-identical to what [`run_sweep`](crate::run_sweep)
+    /// would have produced for the same spec (profiles excepted: resumed
+    /// cells carry zero wall time, and self-healed runs do not re-measure
+    /// simulated cycles — profiles are run metadata, never exported).
+    pub report: SweepReport,
+    /// Per-cell outcomes, indexed by cell index.
+    pub outcomes: Vec<CellOutcome>,
+    /// Cells recovered from the journal instead of executed.
+    pub resumed: usize,
+}
+
+/// What one guarded attempt produced.
+enum Attempt {
+    Done(Box<Result<CellResult, SweepError>>),
+    Panicked(String),
+    TimedOut,
+}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One attempt at one cell: `catch_unwind` always; a runner thread plus
+/// `recv_timeout` watchdog when a deadline is configured. A timed-out
+/// runner thread is abandoned, not killed — safe Rust cannot cancel it —
+/// so its eventual result (if any) is discarded with the channel.
+fn attempt_cell<F>(
+    runner: &Arc<F>,
+    spec: &Arc<SweepSpec>,
+    cell: CellSpec,
+    timeout: Option<Duration>,
+) -> Attempt
+where
+    F: Fn(&SweepSpec, &CellSpec) -> Result<CellResult, SweepError> + Send + Sync + 'static,
+{
+    match timeout {
+        None => match catch_unwind(AssertUnwindSafe(|| runner(spec, &cell))) {
+            Ok(result) => Attempt::Done(Box::new(result)),
+            Err(payload) => Attempt::Panicked(payload_message(payload)),
+        },
+        Some(deadline) => {
+            let (tx, rx) = mpsc::channel();
+            let runner = Arc::clone(runner);
+            let spec = Arc::clone(spec);
+            std::thread::spawn(move || {
+                let outcome = match catch_unwind(AssertUnwindSafe(|| runner(&spec, &cell))) {
+                    Ok(result) => Attempt::Done(Box::new(result)),
+                    Err(payload) => Attempt::Panicked(payload_message(payload)),
+                };
+                // The receiver is gone iff the watchdog already fired.
+                let _ = tx.send(outcome);
+            });
+            rx.recv_timeout(deadline).unwrap_or(Attempt::TimedOut)
+        }
+    }
+}
+
+/// Runs every cell of `spec` with panic isolation, watchdog, retries, and
+/// checkpoint/resume per `heal`. See the module docs.
+///
+/// # Errors
+///
+/// Everything [`run_sweep`](crate::run_sweep) can return, plus:
+///
+/// - [`SweepError::CellPanicked`] / [`SweepError::CellTimedOut`] when a
+///   cell fails every attempt (the lowest-indexed such cell is reported;
+///   cells completed before the stop are journaled if a journal is
+///   configured);
+/// - [`SweepError::Interrupted`] when [`HealConfig::max_cells`] stops the
+///   run before the grid is covered;
+/// - [`SweepError::Journal`] when the journal cannot be opened or written.
+pub fn run_sweep_healing(
+    spec: &SweepSpec,
+    workers: usize,
+    heal: &HealConfig,
+) -> Result<HealedSweep, SweepError> {
+    run_sweep_healing_with(spec, workers, heal, run_cell)
+}
+
+/// [`run_sweep_healing`] with an injectable cell runner — the seam the
+/// panic/timeout/retry tests use to simulate failing cells without
+/// corrupting a real simulator.
+pub fn run_sweep_healing_with<F>(
+    spec: &SweepSpec,
+    workers: usize,
+    heal: &HealConfig,
+    runner: F,
+) -> Result<HealedSweep, SweepError>
+where
+    F: Fn(&SweepSpec, &CellSpec) -> Result<CellResult, SweepError> + Send + Sync + 'static,
+{
+    spec.validate()?;
+    let start = Instant::now();
+    let journal = match &heal.journal {
+        Some(path) => Some(Journal::open(path, spec)?),
+        None => None,
+    };
+    let cells = spec.cells();
+    let total = cells.len();
+    let recovered = journal
+        .as_ref()
+        .map(|j| j.recovered().clone())
+        .unwrap_or_default();
+
+    // Only cells not already journaled are (re-)executed.
+    let pending: Vec<CellSpec> = cells
+        .iter()
+        .filter(|c| !recovered.contains_key(&c.index))
+        .copied()
+        .collect();
+    let budget = heal.max_cells.unwrap_or(usize::MAX);
+    let to_run = pending.len().min(budget);
+
+    let spec_arc = Arc::new(spec.clone());
+    let runner = Arc::new(runner);
+    type Slot = Mutex<Option<(Result<CellResult, SweepError>, CellOutcome, Duration)>>;
+    let slots: Vec<Slot> = pending.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let n_workers = workers.max(1).min(to_run.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= to_run {
+                    break;
+                }
+                let cell = pending[i];
+                let t0 = Instant::now();
+                let mut failed_attempts = 0u32;
+                let entry = loop {
+                    match attempt_cell(&runner, &spec_arc, cell, heal.cell_timeout) {
+                        Attempt::Done(result) => {
+                            let outcome = if failed_attempts == 0 {
+                                CellOutcome::Ok
+                            } else {
+                                CellOutcome::Retried {
+                                    attempts: failed_attempts,
+                                }
+                            };
+                            break (*result, outcome, t0.elapsed());
+                        }
+                        Attempt::Panicked(message) => {
+                            if failed_attempts >= heal.retries {
+                                abort.store(true, Ordering::Relaxed);
+                                break (
+                                    Err(SweepError::CellPanicked {
+                                        cell: cell.index,
+                                        message: message.clone(),
+                                    }),
+                                    CellOutcome::Panicked { message },
+                                    t0.elapsed(),
+                                );
+                            }
+                            std::thread::sleep(heal.backoff_for(failed_attempts));
+                            failed_attempts += 1;
+                        }
+                        Attempt::TimedOut => {
+                            if failed_attempts >= heal.retries {
+                                abort.store(true, Ordering::Relaxed);
+                                break (
+                                    Err(SweepError::CellTimedOut { cell: cell.index }),
+                                    CellOutcome::TimedOut,
+                                    t0.elapsed(),
+                                );
+                            }
+                            std::thread::sleep(heal.backoff_for(failed_attempts));
+                            failed_attempts += 1;
+                        }
+                    }
+                };
+                // Journal successes immediately so a later kill loses
+                // nothing that finished.
+                if let (Some(j), Ok(result)) = (&journal, &entry.0) {
+                    if let Err(e) = j.append(spec_arc.cell_stream(&cell), result) {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut slot = slots[i].lock().unwrap_or_else(|p| p.into_inner());
+                        *slot = Some((Err(e), entry.1, entry.2));
+                        continue;
+                    }
+                }
+                let mut slot = slots[i].lock().unwrap_or_else(|p| p.into_inner());
+                *slot = Some(entry);
+            });
+        }
+    });
+
+    // Collect: journal hits first, then executed slots, lowest failing
+    // cell index wins so the reported error is worker-count independent.
+    let mut results: Vec<Option<(CellResult, CellOutcome, Duration)>> = Vec::new();
+    results.resize_with(total, || None);
+    for (index, result) in &recovered {
+        results[*index] = Some((result.clone(), CellOutcome::Resumed, Duration::ZERO));
+    }
+    let mut executed = 0usize;
+    let mut first_error: Option<(usize, SweepError)> = None;
+    for (slot, cell) in slots.into_iter().zip(&pending) {
+        match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some((Ok(result), outcome, wall)) => {
+                executed += 1;
+                results[cell.index] = Some((result, outcome, wall));
+            }
+            Some((Err(e), _, _)) if first_error.as_ref().is_none_or(|(i, _)| cell.index < *i) => {
+                first_error = Some((cell.index, e));
+            }
+            Some((Err(_), _, _)) => {}
+            None => {} // never claimed (abort or budget)
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    let completed = recovered.len() + executed;
+    if completed < total {
+        return Err(SweepError::Interrupted { completed, total });
+    }
+
+    let mut out_cells = Vec::with_capacity(total);
+    let mut outcomes = Vec::with_capacity(total);
+    let mut profiles = Vec::with_capacity(total);
+    for (index, entry) in results.into_iter().enumerate() {
+        let (result, outcome, wall) = entry.ok_or(SweepError::MissingCell(index))?;
+        let completions = (result.theoretical.aperiodic.len()
+            + result.theoretical.periodic.len()
+            + result.real.aperiodic.len()
+            + result.real.periodic.len()) as u64;
+        profiles.push(CellProfile {
+            index,
+            wall,
+            sim_cycles: 0,
+            completions,
+        });
+        outcomes.push(outcome);
+        out_cells.push(result);
+    }
+    let resumed = recovered.len();
+    Ok(HealedSweep {
+        report: SweepReport {
+            cells: out_cells,
+            faulted: spec.is_faulted(),
+            workers: n_workers,
+            wall: start.elapsed(),
+            profiles,
+        },
+        outcomes,
+        resumed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ArrivalSpec, Knobs, WorkloadSpec};
+    use mpdp_core::time::Cycles;
+    use std::collections::HashMap;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            utilizations: vec![0.4],
+            proc_counts: vec![2],
+            seeds: vec![0, 1, 2],
+            knobs: vec![Knobs::default()],
+            workload: WorkloadSpec::Automotive,
+            arrivals: ArrivalSpec::Bursts {
+                activations: 1,
+                gap: Cycles::from_secs(12),
+            },
+            master_seed: 42,
+        }
+    }
+
+    fn quick_heal() -> HealConfig {
+        HealConfig {
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            ..HealConfig::default()
+        }
+    }
+
+    #[test]
+    fn healing_run_matches_the_plain_engine() {
+        let spec = tiny_spec();
+        let plain = crate::run_sweep(&spec, 1).expect("plain run");
+        let healed = run_sweep_healing(&spec, 2, &quick_heal()).expect("healed run");
+        assert_eq!(healed.report.cells, plain.cells);
+        assert_eq!(healed.resumed, 0);
+        assert!(healed.outcomes.iter().all(|o| *o == CellOutcome::Ok));
+    }
+
+    #[test]
+    fn panicking_cell_is_retried_with_the_same_result() {
+        let spec = tiny_spec();
+        let plain = crate::run_sweep(&spec, 1).expect("plain run");
+        // Cell 1 panics on its first attempt only.
+        let tried: Arc<Mutex<HashMap<usize, u32>>> = Arc::default();
+        let tried_in = Arc::clone(&tried);
+        let healed = run_sweep_healing_with(&spec, 1, &quick_heal(), move |spec, cell| {
+            // The injected panic below poisons this mutex; recover it —
+            // the map itself is never left mid-update.
+            let mut tried = tried_in.lock().unwrap_or_else(|p| p.into_inner());
+            let n = tried.entry(cell.index).or_insert(0);
+            *n += 1;
+            let first_try = cell.index == 1 && *n == 1;
+            drop(tried);
+            if first_try {
+                panic!("injected test panic");
+            }
+            run_cell(spec, cell)
+        })
+        .expect("heals");
+        assert_eq!(healed.report.cells, plain.cells);
+        assert_eq!(
+            healed.outcomes[1],
+            CellOutcome::Retried { attempts: 1 },
+            "{:?}",
+            healed.outcomes
+        );
+        assert_eq!(healed.outcomes[0], CellOutcome::Ok);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_typed_error() {
+        let spec = tiny_spec();
+        let heal = quick_heal().with_retries(2);
+        let err = run_sweep_healing_with(&spec, 2, &heal, |spec, cell| {
+            if cell.index == 2 {
+                panic!("always broken");
+            }
+            run_cell(spec, cell)
+        })
+        .expect_err("must fail");
+        assert_eq!(
+            err,
+            SweepError::CellPanicked {
+                cell: 2,
+                message: "always broken".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn watchdog_abandons_a_hung_cell() {
+        let spec = tiny_spec();
+        let heal = HealConfig {
+            retries: 0,
+            cell_timeout: Some(Duration::from_millis(20)),
+            ..quick_heal()
+        };
+        let err = run_sweep_healing_with(&spec, 1, &heal, |spec, cell| {
+            if cell.index == 0 {
+                std::thread::sleep(Duration::from_secs(5));
+            }
+            run_cell(spec, cell)
+        })
+        .expect_err("must time out");
+        assert_eq!(err, SweepError::CellTimedOut { cell: 0 });
+    }
+
+    #[test]
+    fn max_cells_interrupts_and_journal_resumes_byte_identically() {
+        let spec = tiny_spec();
+        let path = std::env::temp_dir().join(format!(
+            "mpdp-resilient-{}-resume.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let plain = crate::run_sweep(&spec, 1).expect("plain run");
+
+        let partial = quick_heal().with_journal(&path).with_max_cells(1);
+        match run_sweep_healing(&spec, 1, &partial) {
+            Err(SweepError::Interrupted { completed, total }) => {
+                assert_eq!((completed, total), (1, 3));
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+
+        let resumed = run_sweep_healing(&spec, 2, &quick_heal().with_journal(&path))
+            .expect("resumes to completion");
+        assert_eq!(resumed.resumed, 1);
+        assert_eq!(resumed.outcomes[0], CellOutcome::Resumed);
+        assert_eq!(resumed.report.cells, plain.cells);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -5,8 +5,9 @@
 //! interrupt controller (`intc`), the dual-priority microkernel (`kernel`),
 //! the two simulators the paper compares (`sim`), the MiBench automotive
 //! workload (`workload`), the offline analysis tool (`analysis`), the
-//! deterministic parallel scenario-sweep engine (`sweep`), and the
-//! cycle-accounting observability layer (`obs`).
+//! deterministic parallel scenario-sweep engine (`sweep`), the
+//! cycle-accounting observability layer (`obs`), and the runtime
+//! invariant monitors with their differential oracle (`monitor`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-reproduction results.
@@ -46,6 +47,7 @@ pub use mpdp_core as core;
 pub use mpdp_hw as hw;
 pub use mpdp_intc as intc;
 pub use mpdp_kernel as kernel;
+pub use mpdp_monitor as monitor;
 pub use mpdp_obs as obs;
 pub use mpdp_sim as sim;
 pub use mpdp_sweep as sweep;

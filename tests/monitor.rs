@@ -1,0 +1,171 @@
+//! Workspace-level contracts of the runtime invariant monitors:
+//!
+//! 1. **Non-vacuity (mutation smoke)** — a seeded scheduler bug (the
+//!    classic off-by-one in the promotion-time computation) is flagged by
+//!    the monitor within one hyperperiod, while the unmutated scheduler
+//!    replays violation-free under the exact same configuration.
+//! 2. **Observation-only** — auditing a cell never changes its results:
+//!    the probed re-run's `CellResult` is equal to the unprobed one, so
+//!    every export stays byte-identical with monitors enabled.
+//! 3. **Differential oracle** — the theoretical and prototype streams of a
+//!    fault-free cell agree on every release/completion occurrence, and a
+//!    tampered stream is localized to its first divergence.
+
+use mpdp::core::ids::TaskId;
+use mpdp::core::policy::MpdpPolicy;
+use mpdp::core::priority::Priority;
+use mpdp::core::rta::build_task_table;
+use mpdp::core::task::{AperiodicTask, PeriodicTask, TaskTable};
+use mpdp::core::time::Cycles;
+use mpdp::monitor::{
+    diff_streams, promotion_off_by_one, DivergenceKind, InvariantMonitor, MonitorConfig,
+    MonitorReport, TaskCatalog, ViolationKind,
+};
+use mpdp::obs::{EventKind, EventRecorder};
+use mpdp::sim::theoretical::{run_theoretical_probed, TheoreticalConfig};
+use mpdp_bench::{audit_cell, fig4_spec, ExperimentConfig};
+use mpdp_faults::CompiledFaults;
+use mpdp_sweep::{run_cell, run_cell_probed};
+
+/// A two-periodic, one-aperiodic table on one processor whose promotion
+/// offsets are all nonzero. The aperiodic flood keeps the processor busy
+/// in the middle band, so every periodic job is still waiting when its
+/// promotion instant arrives — promotions actually fire.
+fn mutation_fixture() -> TaskTable {
+    let t0 = PeriodicTask::new(TaskId::new(0), "t0", Cycles::new(300), Cycles::new(10_000))
+        .with_priorities(Priority::new(1), Priority::new(4));
+    let t1 = PeriodicTask::new(TaskId::new(1), "t1", Cycles::new(400), Cycles::new(4_000))
+        .with_priorities(Priority::new(0), Priority::new(3));
+    let ap = AperiodicTask::new(TaskId::new(7), "ap", Cycles::new(500));
+    build_task_table(vec![t0, t1], vec![ap], 1).expect("fixture is schedulable")
+}
+
+/// Aperiodic arrivals every 600 cycles across the horizon.
+fn flood(horizon: Cycles) -> Vec<(Cycles, usize)> {
+    (0..horizon.as_u64() / 600)
+        .map(|i| (Cycles::new(600 * i), 0usize))
+        .collect()
+}
+
+/// Runs `table` on the event-driven theoretical simulator (exact stamps,
+/// so a one-cycle skew is visible) and replays the stream through a
+/// zero-tolerance monitor whose expectations come from `catalog_table`.
+fn replay_against(table: TaskTable, catalog_table: &TaskTable, horizon: Cycles) -> MonitorReport {
+    let config = TheoreticalConfig::new(horizon)
+        .with_tick(Cycles::new(1_000))
+        .with_event_driven();
+    let arrivals = flood(horizon);
+    let (_, recorder) = run_theoretical_probed(
+        MpdpPolicy::new(table),
+        &arrivals,
+        config,
+        &CompiledFaults::none(),
+        EventRecorder::new(1),
+    )
+    .expect("fixture simulates");
+    let mut monitor = InvariantMonitor::new(
+        TaskCatalog::new(catalog_table),
+        MonitorConfig::fault_free(Cycles::ZERO),
+    );
+    monitor.replay(&recorder);
+    monitor.finish(horizon)
+}
+
+#[test]
+fn seeded_promotion_off_by_one_is_flagged_within_one_hyperperiod() {
+    let pristine = mutation_fixture();
+    let hyperperiod = TaskCatalog::new(&pristine).hyperperiod();
+    assert_eq!(hyperperiod, Cycles::new(20_000), "fixture hyperperiod");
+
+    // Control: the unmutated scheduler replays clean — the monitor flags
+    // the bug below, not the fixture.
+    let clean = replay_against(pristine.clone(), &pristine, hyperperiod);
+    assert!(
+        clean.is_clean(),
+        "unmutated control must be violation-free, got: {}",
+        clean.summary()
+    );
+    assert!(clean.promotions_checked > 0, "control exercised promotions");
+
+    // Seed the bug: every promotion offset one cycle early.
+    let mut mutated = pristine.clone();
+    assert_eq!(promotion_off_by_one(&mut mutated), 2);
+    let report = replay_against(mutated, &pristine, hyperperiod);
+    let early: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.kind == ViolationKind::EarlyPromotion)
+        .collect();
+    assert!(
+        !early.is_empty(),
+        "the off-by-one must be flagged, got: {}",
+        report.summary()
+    );
+    assert!(
+        early.iter().all(|v| v.at <= hyperperiod),
+        "flagged within one hyperperiod"
+    );
+    // The diagnosis names the skew exactly.
+    assert!(
+        early[0].detail.contains("1 cyc early"),
+        "diagnosis pins the one-cycle skew: {}",
+        early[0].detail
+    );
+}
+
+#[test]
+fn auditing_a_cell_is_observation_only() {
+    let config = ExperimentConfig::quick();
+    let mut spec = fig4_spec(&config);
+    spec.proc_counts = vec![2];
+    spec.utilizations = vec![0.5];
+    let cells = spec.cells();
+    let cell = &cells[0];
+
+    let plain = run_cell(&spec, cell).expect("unprobed run");
+    let (probed, _) = run_cell_probed(&spec, cell).expect("probed run");
+    assert_eq!(plain, probed, "probing perturbed the cell results");
+
+    let audit = audit_cell(&spec, cell).expect("audit runs");
+    assert!(audit.schedulable);
+    assert!(
+        audit.is_clean(),
+        "figure-4 cell must satisfy every invariant"
+    );
+    assert!(audit.theoretical.promotions_checked > 0 || audit.theoretical.jobs_tracked > 0);
+}
+
+#[test]
+fn oracle_agrees_on_fault_free_cell_and_localizes_tampering() {
+    let config = ExperimentConfig::quick();
+    let mut spec = fig4_spec(&config);
+    spec.proc_counts = vec![2];
+    spec.utilizations = vec![0.4];
+    let cells = spec.cells();
+    let (_, obs) = run_cell_probed(&spec, &cells[0]).expect("probed run");
+
+    let agreed = diff_streams(obs.theoretical.events(), obs.real.events());
+    assert!(
+        agreed.is_agreed(),
+        "stacks diverged: {:?}",
+        agreed.divergence
+    );
+    assert!(agreed.matched > 0, "oracle matched occurrences");
+
+    // Tamper: drop the first prototype completion. The oracle localizes
+    // the divergence to that task rather than reporting garbage downstream.
+    let mut tampered: Vec<_> = obs.real.events().to_vec();
+    let victim = tampered
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::JobComplete { .. }))
+        .expect("prototype stream has completions");
+    let victim_task = match tampered[victim].kind {
+        EventKind::JobComplete { task, .. } => task,
+        _ => unreachable!(),
+    };
+    tampered.remove(victim);
+    let caught = diff_streams(obs.theoretical.events(), &tampered);
+    let d = caught.divergence.expect("tampering detected");
+    assert_eq!(d.task, victim_task, "divergence localized to the victim");
+    assert_eq!(d.kind, DivergenceKind::CompletionCount);
+}

@@ -1,0 +1,144 @@
+//! Crash-safety contract of the self-healing sweep executor: a sweep that
+//! is killed partway and later resumed from its checkpoint journal exports
+//! **byte-identical** CSV and JSON to an uninterrupted golden run — across
+//! worker counts, and regardless of where the interruption landed.
+//!
+//! The kill is driven through the journal API (`HealConfig::max_cells`
+//! stops the executor after N fresh cells, exactly as a SIGKILL between
+//! two fsynced appends would), so the test exercises the same recovery
+//! path a real crash takes: reopen the journal, validate the spec
+//! fingerprint, replay intact records, truncate any torn tail, run only
+//! what is missing.
+
+use mpdp::core::time::Cycles;
+use mpdp::sweep::{
+    cells_csv, report_json, run_sweep, run_sweep_healing, summary_csv, ArrivalSpec, CellOutcome,
+    HealConfig, Journal, Knobs, SweepError, SweepSpec, WorkloadSpec,
+};
+
+/// The ≥100-cell regression grid from the determinism suite: 2-processor
+/// automotive cells, one aperiodic burst, two knob settings, 26 seeds —
+/// 104 cells.
+fn grid() -> SweepSpec {
+    SweepSpec {
+        utilizations: vec![0.4, 0.5],
+        proc_counts: vec![2],
+        seeds: (0..26).collect(),
+        knobs: vec![
+            Knobs::default(),
+            Knobs::named("fast-tick").with_tick(Cycles::from_millis(50)),
+        ],
+        workload: WorkloadSpec::Automotive,
+        arrivals: ArrivalSpec::Bursts {
+            activations: 1,
+            gap: Cycles::from_secs(8),
+        },
+        master_seed: 0xD1CE,
+    }
+}
+
+fn unique_journal(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mpdp-resume-tests");
+    std::fs::create_dir_all(&dir).expect("create journal dir");
+    dir.join(format!("{tag}-{}.mpdpj", std::process::id()))
+}
+
+#[test]
+fn killed_and_resumed_sweep_exports_identical_bytes() {
+    let spec = grid();
+    assert_eq!(spec.cell_count(), 104, "the regression grid is 104 cells");
+    let golden = run_sweep(&spec, 4).expect("uninterrupted golden run");
+
+    for workers in [1usize, 8] {
+        let journal = unique_journal(&format!("kill-resume-{workers}"));
+        let _ = std::fs::remove_file(&journal);
+
+        // Phase 1: killed after 40 cells. The executor reports the
+        // interruption as a typed error, not a partial success.
+        let heal = HealConfig::default()
+            .with_journal(&journal)
+            .with_max_cells(40);
+        let err = run_sweep_healing(&spec, workers, &heal)
+            .expect_err("a capped run must report interruption");
+        match err {
+            SweepError::Interrupted { completed, total } => {
+                assert_eq!(completed, 40, "exactly the capped cells ran");
+                assert_eq!(total, 104);
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
+
+        // Phase 2: killed again mid-way through the remainder.
+        let heal = HealConfig::default()
+            .with_journal(&journal)
+            .with_max_cells(30);
+        let err = run_sweep_healing(&spec, workers, &heal)
+            .expect_err("still incomplete after the second kill");
+        assert!(matches!(
+            err,
+            SweepError::Interrupted {
+                completed: 70,
+                total: 104
+            }
+        ));
+
+        // Phase 3: resume to completion. Exactly 70 cells come from the
+        // journal; the rest run fresh.
+        let heal = HealConfig::default().with_journal(&journal);
+        let healed = run_sweep_healing(&spec, workers, &heal).expect("resumed run completes");
+        assert_eq!(healed.resumed, 70, "resumed cells come from the journal");
+        assert_eq!(
+            healed
+                .outcomes
+                .iter()
+                .filter(|o| matches!(o, CellOutcome::Resumed))
+                .count(),
+            70
+        );
+
+        // The contract: byte-identical exports to the uninterrupted run.
+        assert_eq!(healed.report.cells.len(), golden.cells.len());
+        for (a, b) in golden.cells.iter().zip(&healed.report.cells) {
+            assert_eq!(a, b, "cell {} diverged after resume", a.cell.index);
+        }
+        assert_eq!(cells_csv(&golden), cells_csv(&healed.report));
+        assert_eq!(summary_csv(&golden), summary_csv(&healed.report));
+        assert_eq!(report_json(&golden), report_json(&healed.report));
+
+        let _ = std::fs::remove_file(&journal);
+    }
+}
+
+#[test]
+fn journal_survives_a_torn_tail_and_still_resumes_identically() {
+    let mut spec = grid();
+    spec.seeds = (0..4).collect(); // 16 cells: enough to interrupt twice
+    let golden = run_sweep(&spec, 2).expect("golden");
+
+    let journal = unique_journal("torn-tail");
+    let _ = std::fs::remove_file(&journal);
+    let heal = HealConfig::default()
+        .with_journal(&journal)
+        .with_max_cells(9);
+    run_sweep_healing(&spec, 2, &heal).expect_err("interrupted");
+
+    // Simulate a crash mid-append: chop bytes off the last record. The
+    // reopened journal must truncate the torn record and keep the intact
+    // prefix.
+    let bytes = std::fs::read(&journal).expect("journal exists");
+    std::fs::write(&journal, &bytes[..bytes.len() - 7]).expect("tear the tail");
+    let reopened = Journal::open(&journal, &spec).expect("recovery tolerates the torn tail");
+    assert_eq!(
+        reopened.recovered().len(),
+        8,
+        "one record lost to the tear, the intact prefix survives"
+    );
+    drop(reopened);
+
+    let healed = run_sweep_healing(&spec, 2, &HealConfig::default().with_journal(&journal))
+        .expect("resume after tear");
+    assert_eq!(healed.resumed, 8);
+    assert_eq!(report_json(&golden), report_json(&healed.report));
+
+    let _ = std::fs::remove_file(&journal);
+}
