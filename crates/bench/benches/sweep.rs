@@ -1,0 +1,41 @@
+//! Criterion bench: per-cell sweep pipeline throughput — one cell end to end
+//! (table build + both simulators + summarisation) and the full 104-cell
+//! fig4-style grid at 1 and 8 workers.
+//!
+//! These complement `bench_sweep` (the BENCH_sweep.json exporter / perf gate):
+//! Criterion gives distribution-aware per-iteration timing for local work,
+//! the exporter gives a single committed wall-clock number for CI gating.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mpdp_bench::experiment::bench104_spec;
+use mpdp_sweep::{run_cell, run_sweep};
+
+fn bench_single_cell(c: &mut Criterion) {
+    let spec = bench104_spec();
+    let cells = spec.cells();
+    let cell = &cells[0];
+    let mut group = c.benchmark_group("sweep_single_cell");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("run_cell", |b| {
+        b.iter(|| black_box(run_cell(&spec, cell).expect("cell runs")));
+    });
+    group.finish();
+}
+
+fn bench_grid104(c: &mut Criterion) {
+    let spec = bench104_spec();
+    let n_cells = spec.cells().len() as u64;
+    let mut group = c.benchmark_group("sweep_grid104");
+    group.throughput(Throughput::Elements(n_cells));
+    for workers in [1usize, 8] {
+        group.bench_function(BenchmarkId::new("run_sweep", workers), |b| {
+            b.iter(|| black_box(run_sweep(&spec, workers).expect("sweep runs")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_cell, bench_grid104);
+criterion_main!(benches);

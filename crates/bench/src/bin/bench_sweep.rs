@@ -1,0 +1,201 @@
+//! Perf trajectory for the sweep pipeline: times a single Figure-4 cell
+//! and the 104-cell benchmark grid (1 and 8 workers), writes the repo's
+//! `BENCH_sweep.json`, and optionally gates against a committed baseline.
+//!
+//! Run with `cargo run --release -p mpdp-bench --bin bench_sweep --
+//! [--out BENCH_sweep.json] [--repeats N] [--quick]
+//! [--gate baseline.json] [--threshold PCT]`.
+//!
+//! Each measurement is the **minimum** wall-clock over `--repeats` runs
+//! (minimum, not mean: noise on a shared machine only ever adds time, so
+//! the minimum is the most reproducible estimator of the true cost).
+//! `--gate` re-reads a previously written report and fails (exit 1) if any
+//! benchmark regressed by more than `--threshold` percent (default 15),
+//! which is what the CI perf smoke job runs against the committed baseline.
+
+use std::time::Instant;
+
+use mpdp_bench::cli::{
+    check_known_flags, flag_value, has_flag, parse_flag, runtime_error, write_output,
+};
+use mpdp_bench::experiment::{bench104_spec, fig4_spec, ExperimentConfig};
+use mpdp_obs::validate_json;
+use mpdp_sweep::{run_sweep, SweepSpec};
+
+/// One measured benchmark point.
+struct Bench {
+    name: &'static str,
+    cells: usize,
+    workers: usize,
+    wall_ms: f64,
+}
+
+impl Bench {
+    fn cells_per_s(&self) -> f64 {
+        self.cells as f64 / (self.wall_ms / 1000.0)
+    }
+}
+
+/// Minimum wall-clock over `repeats` full sweeps of `spec`.
+fn time_sweep(spec: &SweepSpec, workers: usize, repeats: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let report = match run_sweep(spec, workers) {
+            Ok(report) => report,
+            Err(e) => runtime_error(format_args!("sweep failed: {e}")),
+        };
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(report.cells.len(), spec.cell_count());
+        best = best.min(ms);
+    }
+    best
+}
+
+fn report_json(benches: &[Bench]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"mpdp-bench-sweep/1\",\n  \"benches\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cells\": {}, \"workers\": {}, \"wall_ms\": {:.3}, \"cells_per_s\": {:.1}}}{}\n",
+            b.name,
+            b.cells,
+            b.workers,
+            b.wall_ms,
+            b.cells_per_s(),
+            if i + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts `(name, wall_ms)` pairs from a `mpdp-bench-sweep/1` report.
+/// The format is fixed (we wrote it), so a line scanner is enough; a line
+/// that looks like a bench entry but does not parse is a hard error rather
+/// than a silently skipped gate.
+fn parse_baseline(doc: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            runtime_error(format_args!("malformed baseline line: {line}"));
+        };
+        let name = rest[..name_end].to_string();
+        let Some(wall_at) = line.find("\"wall_ms\": ") else {
+            runtime_error(format_args!("baseline entry without wall_ms: {line}"));
+        };
+        let tail = &line[wall_at + 11..];
+        let digits: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        match digits.parse::<f64>() {
+            Ok(ms) => out.push((name, ms)),
+            Err(_) => runtime_error(format_args!("unparsable wall_ms in baseline: {line}")),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    check_known_flags(
+        &args,
+        &["--out", "--repeats", "--quick", "--gate", "--threshold"],
+        &["--out", "--repeats", "--gate", "--threshold"],
+    );
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let quick = has_flag(&args, "--quick");
+    let repeats: usize =
+        parse_flag(&args, "--repeats", "a repeat count").unwrap_or(if quick { 1 } else { 3 });
+    let gate = flag_value(&args, "--gate");
+    let threshold: f64 = parse_flag(&args, "--threshold", "a percentage").unwrap_or(15.0);
+    if repeats == 0 {
+        runtime_error("--repeats must be at least 1");
+    }
+
+    let single = {
+        let mut spec = fig4_spec(&ExperimentConfig::new());
+        spec.utilizations = vec![0.4];
+        spec.proc_counts = vec![2];
+        spec
+    };
+    let grid = bench104_spec();
+
+    eprintln!(
+        "bench_sweep: single cell + {}-cell grid, {repeats} repeat(s) ...",
+        grid.cell_count()
+    );
+    let benches = [
+        Bench {
+            name: "fig4_single_cell",
+            cells: 1,
+            workers: 1,
+            // The single cell runs in ~1.5 ms, so its minimum is much
+            // noisier than the grid's; 10× the repeats stabilize it for
+            // well under one grid repeat of extra wall-clock.
+            wall_ms: time_sweep(&single, 1, (repeats * 10).max(20)),
+        },
+        Bench {
+            name: "grid104_workers1",
+            cells: grid.cell_count(),
+            workers: 1,
+            wall_ms: time_sweep(&grid, 1, repeats),
+        },
+        Bench {
+            name: "grid104_workers8",
+            cells: grid.cell_count(),
+            workers: 8,
+            wall_ms: time_sweep(&grid, 8, repeats),
+        },
+    ];
+    for b in &benches {
+        eprintln!(
+            "  {:<20} {:>10.1} ms  ({:.1} cells/s, {} worker(s))",
+            b.name,
+            b.wall_ms,
+            b.cells_per_s(),
+            b.workers
+        );
+    }
+
+    let doc = report_json(&benches);
+    validate_json(&doc).expect("bench report JSON is well-formed");
+    write_output(&out_path, &doc);
+
+    if let Some(baseline_path) = gate {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(doc) => parse_baseline(&doc),
+            Err(e) => runtime_error(format_args!("cannot read {baseline_path}: {e}")),
+        };
+        if baseline.is_empty() {
+            runtime_error(format_args!("{baseline_path} contains no bench entries"));
+        }
+        let mut failed = false;
+        for (name, base_ms) in &baseline {
+            let Some(now) = benches.iter().find(|b| b.name == name) else {
+                eprintln!("gate: `{name}` missing from this run (renamed?)");
+                failed = true;
+                continue;
+            };
+            let delta_pct = 100.0 * (now.wall_ms / base_ms - 1.0);
+            let verdict = if delta_pct > threshold { "FAIL" } else { "ok" };
+            eprintln!(
+                "gate: {name:<20} {base_ms:>9.1} ms -> {:>9.1} ms  ({delta_pct:>+6.1}%)  {verdict}",
+                now.wall_ms
+            );
+            if delta_pct > threshold {
+                failed = true;
+            }
+        }
+        if failed {
+            runtime_error(format_args!(
+                "perf gate: regression beyond {threshold}% against {baseline_path}"
+            ));
+        }
+        eprintln!("perf gate clean (threshold {threshold}%)");
+    }
+}

@@ -151,6 +151,28 @@ pub fn fig4_spec(config: &ExperimentConfig) -> SweepSpec {
     }
 }
 
+/// The 104-cell benchmark grid: the same shape as the determinism
+/// regression grid (2 utilizations × 2 processors × 26 seeds × 2 knob
+/// settings, single-burst arrivals) so the perf trajectory and the
+/// byte-identity contract exercise one and the same workload.
+pub fn bench104_spec() -> SweepSpec {
+    SweepSpec {
+        utilizations: vec![0.4, 0.5],
+        proc_counts: vec![2],
+        seeds: (0..26).collect(),
+        knobs: vec![
+            Knobs::default(),
+            Knobs::named("fast-tick").with_tick(Cycles::from_millis(50)),
+        ],
+        workload: WorkloadSpec::Automotive,
+        arrivals: ArrivalSpec::Bursts {
+            activations: 1,
+            gap: Cycles::from_secs(8),
+        },
+        master_seed: 0xD1CE,
+    }
+}
+
 /// Converts one sweep cell into the Figure 4 point shape.
 ///
 /// # Panics

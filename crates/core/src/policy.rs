@@ -48,6 +48,7 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::ids::{JobId, ProcId, TaskId};
 use crate::priority::Priority;
@@ -347,7 +348,13 @@ pub trait Scheduler {
 /// division of labour between the policy and its caller.
 #[derive(Debug, Clone)]
 pub struct MpdpPolicy {
-    table: TaskTable,
+    /// The analyzed table, shared: a sweep hands every cell of a
+    /// `(workload, procs)` coordinate the same `Arc`, so constructing a
+    /// policy never deep-copies the task set. The policy itself only
+    /// writes to it on [`MpdpPolicy::fail_processor`] (online
+    /// re-admission), which clones-on-write via [`Arc::make_mut`] and so
+    /// never perturbs other cells sharing the allocation.
+    table: Arc<TaskTable>,
     jobs: Vec<Option<Job>>,
     /// Nominal next release per periodic task.
     next_release: Vec<Cycles>,
@@ -371,7 +378,8 @@ pub struct MpdpPolicy {
 impl MpdpPolicy {
     /// Creates the initial state: every periodic task parked in the Waiting
     /// Periodic Queue at its first-release offset; all processors idle.
-    pub fn new(table: TaskTable) -> Self {
+    pub fn new(table: impl Into<Arc<TaskTable>>) -> Self {
+        let table = table.into();
         let n_procs = table.n_procs();
         let mut wpq = WaitingPeriodicQueue::new();
         let mut next_release = Vec::with_capacity(table.periodic().len());
@@ -880,7 +888,7 @@ impl MpdpPolicy {
                 .min_by(|&a, &b| load[a].total_cmp(&load[b]))
                 .expect("at least one live processor");
             load[best] += self.table.periodic()[ti].utilization();
-            self.table.set_processor(ti, ProcId::new(best as u32));
+            Arc::make_mut(&mut self.table).set_processor(ti, ProcId::new(best as u32));
         }
 
         // 3. Online re-admission: per live processor, recompute worst-case
@@ -914,10 +922,10 @@ impl MpdpPolicy {
                 Some(w) => {
                     let deadline = self.table.periodic()[ti].deadline();
                     let promotion = (deadline - w).min(self.table.promotion(ti));
-                    self.table.set_promotion(ti, promotion);
+                    Arc::make_mut(&mut self.table).set_promotion(ti, promotion);
                     self.guaranteed[ti] = true;
                 }
-                None => self.table.set_promotion(ti, Cycles::ZERO),
+                None => Arc::make_mut(&mut self.table).set_promotion(ti, Cycles::ZERO),
             }
         }
 

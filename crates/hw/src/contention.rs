@@ -93,20 +93,42 @@ impl ContentionModel {
     ///
     /// Panics if any rate is negative or not finite.
     pub fn speeds(&self, access_rates: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.speeds_into(access_rates, &mut out);
+        out
+    }
+
+    /// [`ContentionModel::speeds`] writing into a caller-owned buffer, so a
+    /// hot loop recomputing speeds on every scheduling event does not
+    /// allocate. `out` is cleared and refilled; the arithmetic sequence is
+    /// identical to [`ContentionModel::speeds`] (same fixed point, same
+    /// rounding), so results are bit-equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is negative or not finite.
+    pub fn speeds_into(&self, access_rates: &[f64], out: &mut Vec<f64>) {
         for &a in access_rates {
             assert!(
                 a.is_finite() && a >= 0.0,
                 "access rate must be non-negative, got {a}"
             );
         }
+        out.clear();
         if access_rates.is_empty() {
-            return Vec::new();
+            return;
         }
         let s = self.service;
         let n = access_rates.len();
-        let mut x = vec![1.0f64; n];
+        let x = out;
+        x.resize(n, 1.0f64);
+        // One scratch allocation per *call*; the fixed-point loop itself
+        // (up to MAX_ITERS rounds) allocates nothing.
+        let mut contrib = vec![0.0f64; n];
         for _ in 0..MAX_ITERS {
-            let contrib: Vec<f64> = (0..n).map(|i| x[i] * access_rates[i] * s).collect();
+            for i in 0..n {
+                contrib[i] = x[i] * access_rates[i] * s;
+            }
             let rho_total: f64 = contrib.iter().sum();
             let mut max_delta = 0.0f64;
             for i in 0..n {
@@ -125,11 +147,10 @@ impl ContentionModel {
         // service-cycle per cycle.
         let rho_total: f64 = x.iter().zip(access_rates).map(|(&xi, &a)| xi * a * s).sum();
         if rho_total > 1.0 {
-            for xi in &mut x {
+            for xi in x.iter_mut() {
                 *xi /= rho_total;
             }
         }
-        x
     }
 
     /// M/D/1 mean queueing delay at utilization `rho`.

@@ -19,8 +19,9 @@
 //! Wall-clock time is measured for the caller's benefit but deliberately
 //! kept out of every export.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -136,6 +137,70 @@ pub struct SweepReport {
     pub profiles: Vec<CellProfile>,
 }
 
+/// Cache key of an analyzed table: the exact cell coordinates that reach
+/// the offline analysis. The seed axis is deliberately absent — it only
+/// perturbs arrival phases — and the knob axis is collapsed to its index,
+/// which covers every analysis-relevant knob (tick, WCET margin, policy).
+type TableKey = (u64, usize, usize);
+
+/// Cached value: the analyzed table (shared, clone-on-write) and the
+/// sweep's target aperiodic task, or `None` for unschedulable coordinates.
+type CachedTable = Option<(Arc<TaskTable>, TaskId)>;
+
+/// Per-sweep memo of analyzed task tables, shared by every worker.
+///
+/// The offline analysis (`prepare()` and the promotion fixed point) is a
+/// pure function of `(workload, utilization, n_procs, knob)`; sweeping the
+/// seed axis re-runs it redundantly for every cell. Workloads that draw
+/// from the cell's RNG stream ([`WorkloadSpec::Random`]) bypass the cache
+/// entirely, so caching can never perturb a stream. Both sides of a miss
+/// race may compute the table; both compute the identical value (purity),
+/// so the second insert is harmless.
+#[derive(Debug, Default)]
+pub(crate) struct TableCache {
+    tables: Mutex<HashMap<TableKey, CachedTable>>,
+}
+
+impl TableCache {
+    fn get_or_build(
+        &self,
+        spec: &SweepSpec,
+        cell: &CellSpec,
+        knob: &Knobs,
+        rng: &mut StdRng,
+    ) -> Option<(Arc<TaskTable>, TaskId)> {
+        if !matches!(spec.workload, WorkloadSpec::Automotive) {
+            // The generator seed comes from `rng`: building is part of the
+            // cell's RNG stream and must happen exactly once per cell.
+            return build_cell_table(spec, cell, knob, rng).map(|(t, id)| (Arc::new(t), id));
+        }
+        let key = (cell.utilization.to_bits(), cell.n_procs, cell.knob_index);
+        if let Some(hit) = self
+            .tables
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            return hit.clone();
+        }
+        // Build outside the lock so a slow analysis never serializes the
+        // other workers' cache hits.
+        let built = build_cell_table(spec, cell, knob, rng).map(|(t, id)| (Arc::new(t), id));
+        self.tables
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, built.clone());
+        built
+    }
+}
+
+/// Per-worker scratch reused across every cell the worker claims, so the
+/// fan-out does not re-allocate the arrival stream per cell.
+#[derive(Debug, Default)]
+pub(crate) struct CellScratch {
+    arrivals: Vec<(Cycles, usize)>,
+}
+
 /// Runs every cell of `spec` over `workers` threads (clamped to at least
 /// one) and returns the report. See the module docs for the determinism
 /// contract.
@@ -153,14 +218,24 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepE
     let slots: Vec<Slot> = cells.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = workers.max(1).min(cells.len().max(1));
+    let cache = TableCache::default();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = cells.get(i) else { break };
-                let t0 = Instant::now();
-                let result =
-                    run_cell_inner(spec, cell, NullProbe, NullProbe).map(|(c, _, _, horizon)| {
+            scope.spawn(|| {
+                let mut scratch = CellScratch::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let t0 = Instant::now();
+                    let result = run_cell_inner(
+                        spec,
+                        cell,
+                        NullProbe,
+                        NullProbe,
+                        Some(&cache),
+                        &mut scratch,
+                    )
+                    .map(|(c, _, _, horizon)| {
                         let completions = (c.theoretical.aperiodic.len()
                             + c.theoretical.periodic.len()
                             + c.real.aperiodic.len()
@@ -174,11 +249,13 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepE
                         };
                         (c, profile)
                     });
-                // A poisoned slot mutex means another worker panicked while
-                // holding it; the store below is a single assignment, so
-                // recover the guard rather than cascade the panic.
-                let mut slot = slots[i].lock().unwrap_or_else(|e| e.into_inner());
-                *slot = Some(result);
+                    // A poisoned slot mutex means another worker panicked
+                    // while holding it; the store below is a single
+                    // assignment, so recover the guard rather than cascade
+                    // the panic.
+                    let mut slot = slots[i].lock().unwrap_or_else(|e| e.into_inner());
+                    *slot = Some(result);
+                }
             });
         }
     });
@@ -232,6 +309,8 @@ pub fn run_cell_probed(
         cell,
         EventRecorder::new(cell.n_procs),
         EventRecorder::new(cell.n_procs),
+        None,
+        &mut CellScratch::default(),
     )?;
     Ok((
         result,
@@ -273,7 +352,34 @@ pub fn run_sweep_traced(
 ///
 /// [`SweepError::Cell`] when either simulator rejects the cell's inputs.
 pub fn run_cell(spec: &SweepSpec, cell: &CellSpec) -> Result<CellResult, SweepError> {
-    run_cell_inner(spec, cell, NullProbe, NullProbe).map(|(c, _, _, _)| c)
+    run_cell_inner(
+        spec,
+        cell,
+        NullProbe,
+        NullProbe,
+        None,
+        &mut CellScratch::default(),
+    )
+    .map(|(c, _, _, _)| c)
+}
+
+/// [`run_cell`] sharing a sweep-scoped [`TableCache`] — the self-healing
+/// executor's runner, so resumed/retried sweeps get the same analysis
+/// memoization as the plain fan-out.
+pub(crate) fn run_cell_cached(
+    spec: &SweepSpec,
+    cell: &CellSpec,
+    cache: &TableCache,
+) -> Result<CellResult, SweepError> {
+    run_cell_inner(
+        spec,
+        cell,
+        NullProbe,
+        NullProbe,
+        Some(cache),
+        &mut CellScratch::default(),
+    )
+    .map(|(c, _, _, _)| c)
 }
 
 /// The single cell code path, generic over one probe per stack. With
@@ -283,11 +389,17 @@ fn run_cell_inner<PT: Probe, PR: Probe>(
     cell: &CellSpec,
     theo_probe: PT,
     real_probe: PR,
+    cache: Option<&TableCache>,
+    scratch: &mut CellScratch,
 ) -> Result<(CellResult, PT, PR, Cycles), SweepError> {
     let knob = &spec.knobs[cell.knob_index];
     let mut rng = StdRng::seed_from_u64(spec.cell_stream(cell));
 
-    let (table, target) = match build_cell_table(spec, cell, knob, &mut rng) {
+    let built = match cache {
+        Some(cache) => cache.get_or_build(spec, cell, knob, &mut rng),
+        None => build_cell_table(spec, cell, knob, &mut rng).map(|(t, id)| (Arc::new(t), id)),
+    };
+    let (table, target) = match built {
         Some(pair) => pair,
         None => {
             return Ok((
@@ -304,7 +416,8 @@ fn run_cell_inner<PT: Probe, PR: Probe>(
             ))
         }
     };
-    let (mut arrivals, horizon) = build_arrivals(spec, &mut rng);
+    let horizon = build_arrivals_into(spec, &mut rng, &mut scratch.arrivals);
+    let arrivals = &mut scratch.arrivals;
 
     // Compile the knob's fault plan against this cell's coordinates. The
     // stream is salted away from the cell's workload stream so adding a
@@ -329,8 +442,8 @@ fn run_cell_inner<PT: Probe, PR: Probe>(
     };
 
     let (theo, theo_probe) = run_theoretical_probed(
-        MpdpPolicy::new(table.clone()).with_degradation(knob.degradation),
-        &arrivals,
+        MpdpPolicy::new(Arc::clone(&table)).with_degradation(knob.degradation),
+        arrivals,
         TheoreticalConfig::new(horizon)
             .with_tick(knob.tick)
             .with_overhead(knob.theoretical_overhead),
@@ -340,7 +453,7 @@ fn run_cell_inner<PT: Probe, PR: Probe>(
     .map_err(cell_err)?;
     let (real, real_probe) = run_prototype_probed(
         MpdpPolicy::new(table).with_degradation(knob.degradation),
-        &arrivals,
+        arrivals,
         PrototypeConfig::new(horizon)
             .with_tick(knob.tick)
             .with_kernel_costs(KernelCosts::default().with_context_scale(knob.context_scale)),
@@ -434,33 +547,41 @@ fn build_cell_table(
     Some((table, target))
 }
 
-/// Builds the cell's aperiodic arrival stream and the simulation horizon.
-fn build_arrivals(spec: &SweepSpec, rng: &mut StdRng) -> (Vec<(Cycles, usize)>, Cycles) {
+/// Builds the cell's aperiodic arrival stream into a caller-owned buffer
+/// (cleared first), so a worker sweeping many cells reuses one
+/// allocation. Returns the simulation horizon. The RNG draws depend only
+/// on the spec — buffer reuse never touches a cell's stream.
+fn build_arrivals_into(
+    spec: &SweepSpec,
+    rng: &mut StdRng,
+    out: &mut Vec<(Cycles, usize)>,
+) -> Cycles {
+    out.clear();
     match &spec.arrivals {
         &ArrivalSpec::Bursts { activations, gap } => {
-            let arrivals: Vec<(Cycles, usize)> = (0..activations.max(1))
-                .map(|i| {
-                    // Sub-tick phase jitter: the camera is not synchronized
-                    // to the scheduler tick.
-                    let jitter = Cycles::from_millis(rng.gen_range(0u64..100));
-                    (Cycles::from_secs(1) + gap * i as u64 + jitter, 0usize)
-                })
-                .collect();
+            out.extend((0..activations.max(1)).map(|i| {
+                // Sub-tick phase jitter: the camera is not synchronized
+                // to the scheduler tick.
+                let jitter = Cycles::from_millis(rng.gen_range(0u64..100));
+                (Cycles::from_secs(1) + gap * i as u64 + jitter, 0usize)
+            }));
             // `activations.max(1)` above guarantees a last element; fall
             // back to the burst origin rather than panic if that changes.
-            let last = arrivals.last().map_or(Cycles::from_secs(1), |a| a.0);
-            let horizon = last + gap + Cycles::from_secs(5);
-            (arrivals, horizon)
+            let last = out.last().map_or(Cycles::from_secs(1), |a| a.0);
+            last + gap + Cycles::from_secs(5)
         }
         &ArrivalSpec::Poisson { mean_gap, window } => {
-            let arrivals: Vec<(Cycles, usize)> =
+            out.extend(
                 mpdp_workload::poisson_arrivals(rng, mean_gap, window)
                     .into_iter()
-                    .map(|t| (t, 0usize))
-                    .collect();
-            (arrivals, window + Cycles::from_secs(10))
+                    .map(|t| (t, 0usize)),
+            );
+            window + Cycles::from_secs(10)
         }
-        ArrivalSpec::Explicit { arrivals, horizon } => (arrivals.clone(), *horizon),
+        ArrivalSpec::Explicit { arrivals, horizon } => {
+            out.extend_from_slice(arrivals);
+            *horizon
+        }
     }
 }
 
@@ -574,8 +695,9 @@ mod tests {
         let cells = spec.cells();
         let mut rng_a = StdRng::seed_from_u64(spec.cell_stream(&cells[0]));
         let mut rng_b = StdRng::seed_from_u64(spec.cell_stream(&cells[1]));
-        let (arr_a, _) = build_arrivals(&spec, &mut rng_a);
-        let (arr_b, _) = build_arrivals(&spec, &mut rng_b);
+        let (mut arr_a, mut arr_b) = (Vec::new(), Vec::new());
+        build_arrivals_into(&spec, &mut rng_a, &mut arr_a);
+        build_arrivals_into(&spec, &mut rng_b, &mut arr_b);
         assert_ne!(
             arr_a, arr_b,
             "distinct seeds produced identical arrival phases"

@@ -26,7 +26,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::engine::{run_cell, CellProfile, CellResult, SweepReport};
+use crate::engine::{run_cell_cached, CellProfile, CellResult, SweepReport, TableCache};
 use crate::error::SweepError;
 use crate::journal::Journal;
 use crate::spec::{CellSpec, SweepSpec};
@@ -205,7 +205,14 @@ pub fn run_sweep_healing(
     workers: usize,
     heal: &HealConfig,
 ) -> Result<HealedSweep, SweepError> {
-    run_sweep_healing_with(spec, workers, heal, run_cell)
+    // One analysis memo for the whole healing run: retries and resumed
+    // sweeps skip redundant `prepare()` calls exactly like the plain
+    // fan-out. Results are unchanged — the cache is keyed on everything
+    // the analysis reads (see `TableCache`).
+    let cache = Arc::new(TableCache::default());
+    run_sweep_healing_with(spec, workers, heal, move |spec, cell| {
+        run_cell_cached(spec, cell, &cache)
+    })
 }
 
 /// [`run_sweep_healing`] with an injectable cell runner — the seam the
@@ -385,6 +392,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run_cell;
     use crate::spec::{ArrivalSpec, Knobs, WorkloadSpec};
     use mpdp_core::time::Cycles;
     use std::collections::HashMap;
