@@ -373,6 +373,12 @@ pub struct MpdpPolicy {
     /// the task has upper-band protection before its deadline; recomputed by
     /// [`MpdpPolicy::fail_processor`].
     guaranteed: Vec<bool>,
+    /// Mutation-campaign injection point (`StaleTableAfterFailover`): when
+    /// armed, [`MpdpPolicy::fail_processor`] re-homes the dead partition
+    /// but skips the online re-admission analysis, leaving stale promotion
+    /// offsets and pre-failure guarantees in the table.
+    #[cfg(any(test, feature = "mutation"))]
+    stale_failover: bool,
 }
 
 impl MpdpPolicy {
@@ -406,12 +412,25 @@ impl MpdpPolicy {
             alive: vec![true; n_procs],
             miss_seen: Vec::new(),
             guaranteed,
+            #[cfg(any(test, feature = "mutation"))]
+            stale_failover: false,
         }
     }
 
     /// Sets the graceful-degradation configuration.
     pub fn with_degradation(mut self, degradation: DegradationPolicy) -> Self {
         self.degradation = degradation;
+        self
+    }
+
+    /// Arms the `StaleTableAfterFailover` mutant: [`Self::fail_processor`]
+    /// will re-home the dead processor's partition but skip the online
+    /// re-admission analysis, so the table keeps its pre-failure promotion
+    /// offsets and guarantees. Mutation-campaign injection point — never
+    /// compiled into production builds.
+    #[cfg(any(test, feature = "mutation"))]
+    pub fn with_stale_failover(mut self) -> Self {
+        self.stale_failover = true;
         self
     }
 
@@ -899,6 +918,31 @@ impl MpdpPolicy {
         // one — reshaping its promotions would silently turn the baseline
         // into MPDP. Promotions only ever move *earlier* (more
         // protection), so an immediate-promotion table stays immediate.
+        #[cfg(any(test, feature = "mutation"))]
+        if self.stale_failover {
+            // Seeded bug (`StaleTableAfterFailover`): skip the re-admission
+            // analysis. The re-homed tasks keep the promotion offsets and
+            // guarantees the *pre-failure* analysis proved — which the
+            // degraded platform can no longer honor.
+            let guaranteed = self.guaranteed.iter().filter(|&&g| g).count();
+            while let Some(id) = self.hplrq[p].peek() {
+                self.hplrq[p].remove(id);
+                let JobClass::Periodic { task_index } = self.job(id).class else {
+                    unreachable!("only periodic jobs live in a HPLRQ")
+                };
+                let spec = &self.table.periodic()[task_index];
+                let (new_proc, high) = (spec.processor(), spec.priorities().high);
+                self.hplrq[new_proc.index()].push(id, high);
+            }
+            return FailoverReport {
+                proc,
+                at: now,
+                lost,
+                moved,
+                guaranteed,
+                total,
+            };
+        }
         let protected: Vec<bool> = (0..total)
             .map(|i| self.table.promotion(i) < self.table.periodic()[i].deadline())
             .collect();

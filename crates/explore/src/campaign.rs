@@ -1,0 +1,373 @@
+//! The mutation campaign: which checking layer kills which seeded bug.
+//!
+//! Each catalog mutant is thrown at three independent layers:
+//!
+//! - **explorer** — bounded exhaustive exploration of a small model
+//!   ([`explore`]); a kill is a minimized counterexample path on which a
+//!   monitor fires or the cross-stack oracle diverges;
+//! - **monitor** — a single *sampled* run (a fixed dense arrival schedule,
+//!   no exploration) replayed through the invariant monitors; a kill is a
+//!   monitor violation. This measures what production-style runtime
+//!   monitoring alone would catch;
+//! - **suite** — in-process replays of the assertions the repo's existing
+//!   test suite makes (the promotion-off-by-one smoke, the survivability
+//!   guarantee checks, the degradation counters, the progress-ledger sum,
+//!   the completion-count contract). A mutant with no corresponding
+//!   existing assertion is honestly recorded as *not* killed by this
+//!   layer — that asymmetry is the campaign's finding, not a bug.
+//!
+//! The campaign fails loudly (in the binary and in CI) if any mutant
+//! survives all three layers, or if the pristine scheduler fails any
+//! exhaustive exploration.
+
+use mpdp_core::ids::{ProcId, TaskId};
+use mpdp_core::policy::{DegradationPolicy, MpdpPolicy, OverrunAction};
+use mpdp_core::priority::Priority;
+use mpdp_core::rta::build_task_table;
+use mpdp_core::task::{AperiodicTask, PeriodicTask, TaskTable};
+use mpdp_core::time::Cycles;
+use mpdp_core::TaskSetError;
+use mpdp_faults::{CompiledFaults, FaultPlan, WcetOverrun};
+use mpdp_monitor::{
+    InvariantMonitor, MonitorConfig, MutantPolicy, Mutation, TaskCatalog, ViolationKind,
+};
+use mpdp_obs::{EventKind, EventRecorder};
+use mpdp_sim::prototype::run_prototype_probed;
+use mpdp_sim::theoretical::{run_theoretical_probed, run_theoretical_with, TheoreticalConfig};
+
+use crate::explore::{explore, Counterexample, ExploreConfig, ExploreReport};
+use crate::model::ExploreModel;
+use crate::run::run_path;
+
+/// Which layers killed one mutant.
+#[derive(Debug, Clone)]
+pub struct KillRecord {
+    /// The seeded bug.
+    pub mutation: Mutation,
+    /// Killed by bounded exhaustive exploration (monitor or oracle on some
+    /// explored path).
+    pub explorer: bool,
+    /// Killed by the invariant monitors on the fixed sampled run.
+    pub monitor: bool,
+    /// Killed by a replayed existing-suite assertion.
+    pub suite: bool,
+    /// One-line evidence for the strongest kill (or why it survived).
+    pub detail: String,
+    /// The explorer's minimized counterexample, when it killed.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl KillRecord {
+    /// Whether at least one layer killed the mutant.
+    pub fn killed(&self) -> bool {
+        self.explorer || self.monitor || self.suite
+    }
+}
+
+/// The full campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Pristine exhaustive explorations, one per model — all must be
+    /// clean and closed (not budget-exhausted) for the campaign to count.
+    pub pristine: Vec<(&'static str, ExploreReport)>,
+    /// One record per catalog mutant, in catalog order.
+    pub records: Vec<KillRecord>,
+}
+
+impl CampaignOutcome {
+    /// Every pristine exploration clean and closed, every mutant killed.
+    pub fn passed(&self) -> bool {
+        self.pristine
+            .iter()
+            .all(|(_, r)| r.is_clean() && !r.budget_exhausted)
+            && self.records.iter().all(KillRecord::killed)
+    }
+
+    /// Mutants no layer killed.
+    pub fn survivors(&self) -> Vec<Mutation> {
+        self.records
+            .iter()
+            .filter(|r| !r.killed())
+            .map(|r| r.mutation)
+            .collect()
+    }
+}
+
+/// The model whose nondeterminism space gives `mutation` the best chance
+/// to express itself: migration needs two processors, everything else
+/// needs queueing contention.
+pub fn model_for(mutation: Mutation) -> ExploreModel {
+    match mutation {
+        Mutation::LostPromotionOnMigration => ExploreModel::two_proc(),
+        _ => ExploreModel::contended(),
+    }
+}
+
+/// The fixed dense arrival schedule of the monitor layer's sampled run:
+/// six arrivals spread over the first three quarters of the horizon,
+/// alternating aperiodic tasks.
+fn sampled_schedule(model: &ExploreModel) -> Vec<(Cycles, usize)> {
+    let n_ap = model.n_aperiodic();
+    let step = model.horizon.as_u64() / 8;
+    (0..6)
+        .map(|i| (Cycles::new(2 + step * i), (i as usize) % n_ap))
+        .collect()
+}
+
+/// Runs the full campaign.
+///
+/// # Errors
+///
+/// Propagates simulator [`TaskSetError`]s — harness failures, never kills.
+pub fn run_campaign(config: &ExploreConfig) -> Result<CampaignOutcome, TaskSetError> {
+    let mut pristine = Vec::new();
+    for model in [ExploreModel::two_proc(), ExploreModel::contended()] {
+        let report = explore(&model, None, config)?;
+        pristine.push((model.name, report));
+    }
+
+    let mut records = Vec::new();
+    for &mutation in Mutation::catalog() {
+        let model = model_for(mutation);
+        let explorer_report = explore(&model, Some(mutation), config)?;
+        let counterexample = explorer_report.counterexample.clone();
+        let explorer = counterexample.is_some();
+
+        let sampled = run_path(&model, Some(mutation), &sampled_schedule(&model))?;
+        let monitor = sampled.monitor_flagged();
+
+        let (suite, suite_detail) = suite_layer(mutation)?;
+
+        let detail = if let Some(cex) = &counterexample {
+            format!("explorer: {}", cex.reason)
+        } else if monitor {
+            format!(
+                "monitor (sampled run): {}",
+                sampled.reason().unwrap_or_default()
+            )
+        } else {
+            suite_detail.clone()
+        };
+        records.push(KillRecord {
+            mutation,
+            explorer,
+            monitor,
+            suite,
+            detail,
+            counterexample,
+        });
+    }
+    Ok(CampaignOutcome { pristine, records })
+}
+
+/// The 1-processor fixture of `tests/monitor.rs`: promotions fire under an
+/// aperiodic flood, so promotion-timing assertions are non-vacuous.
+fn smoke_table() -> TaskTable {
+    let t0 = PeriodicTask::new(TaskId::new(0), "t0", Cycles::new(300), Cycles::new(10_000))
+        .with_priorities(Priority::new(1), Priority::new(4));
+    let t1 = PeriodicTask::new(TaskId::new(1), "t1", Cycles::new(400), Cycles::new(4_000))
+        .with_priorities(Priority::new(0), Priority::new(3));
+    let ap = AperiodicTask::new(TaskId::new(7), "ap", Cycles::new(500));
+    build_task_table(vec![t0, t1], vec![ap], 1).expect("smoke fixture is schedulable")
+}
+
+/// Replays the assertion the existing suite makes against this mutant, or
+/// reports that no existing assertion covers it.
+fn suite_layer(mutation: Mutation) -> Result<(bool, String), TaskSetError> {
+    match mutation {
+        Mutation::PromotionEarly | Mutation::PromotionLate => {
+            // tests/monitor.rs seeds the promotion skew and expects the
+            // zero-tolerance monitor to flag it within one hyperperiod
+            // (the existing smoke only seeds the early direction; the late
+            // direction rides the same assertion shape).
+            let pristine = smoke_table();
+            let mut mutated = pristine.clone();
+            mutation.seed_table(&mut mutated).expect("non-vacuous");
+            let horizon = Cycles::new(20_000);
+            let arrivals: Vec<(Cycles, usize)> = (0..horizon.as_u64() / 600)
+                .map(|i| (Cycles::new(600 * i), 0usize))
+                .collect();
+            let config = TheoreticalConfig::new(horizon)
+                .with_tick(Cycles::new(1_000))
+                .with_event_driven();
+            let (_, recorder) = run_theoretical_probed(
+                MpdpPolicy::new(mutated),
+                &arrivals,
+                config,
+                &CompiledFaults::none(),
+                EventRecorder::new(1),
+            )?;
+            let mut monitor = InvariantMonitor::new(
+                TaskCatalog::new(&pristine),
+                MonitorConfig::fault_free(Cycles::ZERO),
+            );
+            monitor.replay(&recorder);
+            let report = monitor.finish(horizon);
+            let wanted: &[ViolationKind] = if mutation == Mutation::PromotionEarly {
+                &[ViolationKind::EarlyPromotion]
+            } else {
+                &[
+                    ViolationKind::LatePromotion,
+                    ViolationKind::MissingPromotion,
+                ]
+            };
+            let hit = report.violations.iter().find(|v| wanted.contains(&v.kind));
+            match (mutation, hit) {
+                (_, Some(v)) => Ok((true, format!("suite smoke: {} at {}", v.kind, v.at))),
+                (Mutation::PromotionEarly, None) => Ok((
+                    false,
+                    "suite smoke unexpectedly missed the early skew".into(),
+                )),
+                (_, None) => Ok((
+                    false,
+                    "no existing suite assertion covers late promotion".into(),
+                )),
+            }
+        }
+        Mutation::BandOrderInversion
+        | Mutation::FifoViolation
+        | Mutation::LostPromotionOnMigration => Ok((
+            false,
+            format!("no existing suite assertion covers {mutation}"),
+        )),
+        Mutation::BudgetEnforcementSkip => {
+            // The degradation tests assert overruns are detected under an
+            // always-overrunning fault plan with budget enforcement armed.
+            let deg = DegradationPolicy::default().with_overrun(OverrunAction::Kill);
+            let faults = FaultPlan::default()
+                .with_wcet(WcetOverrun::new(1.0, 1.5))
+                .compile(7, 1);
+            let config = TheoreticalConfig::new(Cycles::new(40_000))
+                .with_tick(Cycles::new(1_000))
+                .with_overhead(0.0);
+            let healthy = run_theoretical_with(
+                MpdpPolicy::new(smoke_table()).with_degradation(deg),
+                &[],
+                config,
+                &faults,
+            )?;
+            let mutant = MutantPolicy::new(
+                MpdpPolicy::new(smoke_table()).with_degradation(deg),
+                Mutation::BudgetEnforcementSkip,
+            );
+            let fired = mutant.activation_counter();
+            let skipped = run_theoretical_with(mutant, &[], config, &faults)?;
+            let killed =
+                healthy.survival.overruns > 0 && skipped.survival.overruns == 0 && fired.get() > 0;
+            Ok((
+                killed,
+                format!(
+                    "suite degradation counters: healthy {} overruns vs mutant {}",
+                    healthy.survival.overruns, skipped.survival.overruns
+                ),
+            ))
+        }
+        Mutation::StaleTableAfterFailover => {
+            // The survivability suite asserts the online re-admission
+            // downgrades guarantees the degraded platform cannot honor.
+            let mk = || {
+                let t0 = PeriodicTask::new(
+                    TaskId::new(0),
+                    "t0",
+                    Cycles::new(6_000),
+                    Cycles::new(10_000),
+                )
+                .with_priorities(Priority::new(0), Priority::new(10))
+                .with_processor(ProcId::new(0));
+                let t1 = PeriodicTask::new(
+                    TaskId::new(1),
+                    "t1",
+                    Cycles::new(6_000),
+                    Cycles::new(10_000),
+                )
+                .with_priorities(Priority::new(1), Priority::new(11))
+                .with_processor(ProcId::new(1));
+                build_task_table(vec![t0, t1], vec![], 2).expect("schedulable on two processors")
+            };
+            let mut honest = MpdpPolicy::new(mk());
+            let honest_report = honest.fail_processor(ProcId::new(1), Cycles::new(500));
+            let mut stale = MpdpPolicy::new(mk()).with_stale_failover();
+            let stale_report = stale.fail_processor(ProcId::new(1), Cycles::new(500));
+            let killed = honest_report.guaranteed < honest_report.total
+                && stale_report.guaranteed == stale_report.total;
+            Ok((
+                killed,
+                format!(
+                    "suite failover guarantees: honest {}/{} vs stale {}/{}",
+                    honest_report.guaranteed,
+                    honest_report.total,
+                    stale_report.guaranteed,
+                    stale_report.total
+                ),
+            ))
+        }
+        Mutation::IsrReleaseDrop => {
+            // The fault-free trace contract: every injected arrival
+            // completes exactly once.
+            let model = ExploreModel::contended();
+            let arrivals: Vec<(Cycles, usize)> =
+                (0..4).map(|i| (Cycles::new(30 * i), 0usize)).collect();
+            let completions = |drop: bool| -> Result<usize, TaskSetError> {
+                let mut config = model.prototype_config();
+                if drop {
+                    config = config.with_isr_drop_every(2);
+                }
+                let (_, rec) = run_prototype_probed(
+                    MpdpPolicy::new(model.table().clone()),
+                    &arrivals,
+                    config,
+                    &CompiledFaults::none(),
+                    EventRecorder::new(model.n_procs()),
+                )?;
+                Ok(rec
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e.kind, EventKind::JobComplete { task, .. } if task == 7))
+                    .count())
+            };
+            let healthy = completions(false)?;
+            let dropped = completions(true)?;
+            Ok((
+                healthy == arrivals.len() && dropped < healthy,
+                format!(
+                    "suite completion count: healthy {healthy}/{} vs mutant {dropped}",
+                    arrivals.len()
+                ),
+            ))
+        }
+        Mutation::WorkAccountingTruncation => {
+            // tests/progress_accounting.rs asserts the `on_progress` deltas
+            // sum exactly to each job's integer demand; under a fractional
+            // WCET-overrun factor the truncating ledger falls short.
+            let model = ExploreModel::contended();
+            let arrivals: Vec<(Cycles, usize)> =
+                (0..3).map(|i| (Cycles::new(40 * i), 0usize)).collect();
+            let faults = FaultPlan::default()
+                .with_wcet(WcetOverrun::new(1.0, 1.5))
+                .compile(11, model.n_procs());
+            let ledger_total = |truncate: bool| -> Result<u64, TaskSetError> {
+                let mut config = model.prototype_config();
+                if truncate {
+                    config = config.with_truncated_progress();
+                }
+                let policy = MutantPolicy::observer(MpdpPolicy::new(model.table().clone()));
+                let ledger = policy.progress_ledger();
+                run_prototype_probed(
+                    policy,
+                    &arrivals,
+                    config,
+                    &faults,
+                    EventRecorder::new(model.n_procs()),
+                )?;
+                let total = ledger.borrow().values().sum();
+                Ok(total)
+            };
+            let exact = ledger_total(false)?;
+            let truncated = ledger_total(true)?;
+            Ok((
+                exact > 0 && truncated < exact,
+                format!("suite progress ledger: exact {exact} cycles vs truncating {truncated}"),
+            ))
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Bounded exhaustive DFS over a model's nondeterminism space.
+//!
+//! The decision tree assigns each arrival slot one of: *silent*, or
+//! *(aperiodic task, ISR delay)*. A leaf's resolved arrivals are grouped
+//! by instant and every permutation of each same-instant group is
+//! enumerated — the tie-order dimension. Each fully-ordered concrete
+//! schedule is canonicalized to a byte key and deduplicated (different
+//! decision vectors can resolve to the same schedule, e.g. slot 0 with
+//! delay 2 versus slot 2 with delay 0), so "exhaustive" means *every
+//! distinct observable schedule*, each executed exactly once.
+//!
+//! The DFS visit order is permuted by a seeded LCG. Exploration results
+//! must not depend on that order — the order-independence property test in
+//! `tests/explore.rs` pins it — which guards against the classic explorer
+//! bug of a dedup key that accidentally encodes visit history.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mpdp_core::error::TaskSetError;
+use mpdp_core::time::Cycles;
+use mpdp_monitor::Mutation;
+
+use crate::model::ExploreModel;
+use crate::run::{run_path, PathOutcome};
+
+/// Exploration limits and visit-order seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Maximum number of *distinct* schedules to execute. Exploration
+    /// stops (reporting `budget_exhausted`) rather than run past this.
+    pub path_budget: u64,
+    /// Seed for the LCG that permutes DFS choice order at every node.
+    pub visit_seed: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            path_budget: 4096,
+            visit_seed: 0,
+        }
+    }
+}
+
+/// A minimized failing schedule, printable as a replayable spec.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Model the schedule runs on.
+    pub model: &'static str,
+    /// Mutation under which it fails (`None` = pristine scheduler bug!).
+    pub mutation: Option<Mutation>,
+    /// The concrete arrival schedule `(instant, aperiodic index)`.
+    pub arrivals: Vec<(Cycles, usize)>,
+    /// One-line diagnosis from the first failing layer.
+    pub reason: String,
+    /// Arrivals in the original (pre-minimization) failing schedule.
+    pub original_len: usize,
+}
+
+impl Counterexample {
+    /// The `--replay` argument that reproduces this schedule through
+    /// `exp_mutation_campaign`.
+    pub fn replay_spec(&self) -> String {
+        // `none` keeps the flag's value non-empty when the schedule
+        // minimized all the way down to the periodic skeleton.
+        let arrivals = if self.arrivals.is_empty() {
+            "none".to_string()
+        } else {
+            self.arrivals
+                .iter()
+                .map(|(at, task)| format!("{}:{}", at.as_u64(), task))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mutant = self
+            .mutation
+            .map(|m| format!(" --mutant {}", m.name()))
+            .unwrap_or_default();
+        format!("--replay {} --arrivals {arrivals}{mutant}", self.model)
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "counterexample on model `{}` ({}; minimized {} -> {} arrivals):",
+            self.model,
+            self.mutation.map(|m| m.name()).unwrap_or("pristine"),
+            self.original_len,
+            self.arrivals.len()
+        )?;
+        for (at, task) in &self.arrivals {
+            writeln!(f, "  aperiodic[{task}] arrives at cycle {at}")?;
+        }
+        writeln!(f, "  reason: {}", self.reason)?;
+        write!(f, "  replay: exp_mutation_campaign {}", self.replay_spec())
+    }
+}
+
+/// What an exploration did and found.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Decision-tree leaves visited (before dedup, including every tie
+    /// permutation).
+    pub leaves_visited: u64,
+    /// Distinct schedules executed.
+    pub paths_run: u64,
+    /// Leaves skipped because their schedule was already executed.
+    pub paths_deduped: u64,
+    /// True if the path budget stopped exploration before closure.
+    pub budget_exhausted: bool,
+    /// First failing schedule, minimized; `None` when every explored path
+    /// was clean.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl ExploreReport {
+    /// Whether every explored path satisfied every layer.
+    pub fn is_clean(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Multiplicative LCG (Knuth's MMIX constants) — deterministic visit-order
+/// permutation without touching any global RNG state.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Fisher–Yates permutation of `0..n`.
+    fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (self.next() % (i as u64 + 1)) as usize;
+            idx.swap(i, j);
+        }
+        idx
+    }
+}
+
+/// One slot decision: silent, or (aperiodic task index, delay).
+type Choice = Option<(usize, u64)>;
+
+struct Dfs<'a> {
+    model: &'a ExploreModel,
+    mutation: Option<Mutation>,
+    config: ExploreConfig,
+    choices: Vec<Choice>,
+    seen: BTreeSet<Vec<u8>>,
+    report: ExploreReport,
+    rng: Lcg,
+    error: Option<TaskSetError>,
+}
+
+/// Canonical byte key of a concrete schedule.
+fn schedule_key(schedule: &[(Cycles, usize)]) -> Vec<u8> {
+    let mut key = Vec::with_capacity(schedule.len() * 9);
+    for (at, task) in schedule {
+        key.extend_from_slice(&at.as_u64().to_le_bytes());
+        key.push(*task as u8);
+    }
+    key
+}
+
+impl Dfs<'_> {
+    /// Whether exploration should stop (found a counterexample, blew the
+    /// budget, or hit a simulator error).
+    fn done(&self) -> bool {
+        self.report.counterexample.is_some() || self.report.budget_exhausted || self.error.is_some()
+    }
+
+    fn assign_slot(&mut self, depth: usize) {
+        if self.done() {
+            return;
+        }
+        if depth == self.model.slots.len() {
+            let resolved: Vec<(Cycles, usize)> = self
+                .model
+                .slots
+                .iter()
+                .zip(&self.choices)
+                .filter_map(|(slot, choice)| {
+                    choice.map(|(task, delay)| (*slot + Cycles::new(delay), task))
+                })
+                .collect();
+            self.tie_orders(resolved);
+            return;
+        }
+        // Choice list: silent, then every (task, delay) pair; visit order
+        // permuted per node so order-dependence bugs cannot hide.
+        let mut options: Vec<Choice> = vec![None];
+        for task in 0..self.model.n_aperiodic() {
+            for &delay in &self.model.delays {
+                options.push(Some((task, delay)));
+            }
+        }
+        for i in self.rng.permutation(options.len()) {
+            if self.done() {
+                return;
+            }
+            self.choices[depth] = options[i];
+            self.assign_slot(depth + 1);
+        }
+        self.choices[depth] = None;
+    }
+
+    /// Enumerates every ordering of same-instant arrivals and runs each
+    /// distinct concrete schedule.
+    fn tie_orders(&mut self, mut resolved: Vec<(Cycles, usize)>) {
+        resolved.sort_by_key(|&(at, task)| (at, task));
+        self.permute_group(&mut resolved, 0);
+    }
+
+    /// Recursively permutes the tie group starting at `start` (arrivals
+    /// sharing `resolved[start].0`), then the following groups.
+    fn permute_group(&mut self, resolved: &mut Vec<(Cycles, usize)>, start: usize) {
+        if self.done() {
+            return;
+        }
+        if start >= resolved.len() {
+            self.execute(resolved.clone());
+            return;
+        }
+        let at = resolved[start].0;
+        let end = resolved[start..]
+            .iter()
+            .position(|&(a, _)| a != at)
+            .map_or(resolved.len(), |p| start + p);
+        if end - start <= 1 {
+            self.permute_group(resolved, end);
+            return;
+        }
+        self.permute_positions(resolved, start, end);
+    }
+
+    /// All orderings of positions `pos..end` by recursive swap; groups are
+    /// at most the slot count, so the factorial stays tiny. Permutations
+    /// of *identical* entries (same task, same cycle) produce identical
+    /// schedules, which the canonical-key dedup then collapses.
+    fn permute_positions(&mut self, resolved: &mut Vec<(Cycles, usize)>, pos: usize, end: usize) {
+        if pos >= end {
+            // The group is fully ordered; move on to the next group.
+            self.permute_group(resolved, end);
+            return;
+        }
+        for i in pos..end {
+            resolved.swap(pos, i);
+            self.permute_positions(resolved, pos + 1, end);
+            resolved.swap(pos, i);
+            if self.done() {
+                return;
+            }
+        }
+    }
+
+    fn execute(&mut self, schedule: Vec<(Cycles, usize)>) {
+        self.report.leaves_visited += 1;
+        if !self.seen.insert(schedule_key(&schedule)) {
+            self.report.paths_deduped += 1;
+            return;
+        }
+        if self.report.paths_run >= self.config.path_budget {
+            self.report.budget_exhausted = true;
+            return;
+        }
+        self.report.paths_run += 1;
+        match run_path(self.model, self.mutation, &schedule) {
+            Ok(outcome) => {
+                if !outcome.is_clean() {
+                    let reason = outcome.reason().unwrap_or_else(|| "unknown".into());
+                    let original_len = schedule.len();
+                    let minimized = minimize(self.model, self.mutation, schedule);
+                    let reason = run_path(self.model, self.mutation, &minimized)
+                        .ok()
+                        .and_then(|o| o.reason())
+                        .unwrap_or(reason);
+                    self.report.counterexample = Some(Counterexample {
+                        model: self.model.name,
+                        mutation: self.mutation,
+                        arrivals: minimized,
+                        reason,
+                        original_len,
+                    });
+                }
+            }
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Greedy 1-minimality: repeatedly try dropping each arrival, then
+/// snapping each arrival's instant back to an earlier nominal slot (undoing
+/// its delivery delay), keeping any change under which the path still
+/// fails. The result still fails and no single remaining arrival can be
+/// dropped.
+fn minimize(
+    model: &ExploreModel,
+    mutation: Option<Mutation>,
+    mut schedule: Vec<(Cycles, usize)>,
+) -> Vec<(Cycles, usize)> {
+    let fails = |candidate: &[(Cycles, usize)]| {
+        run_path(model, mutation, candidate)
+            .map(|o| !o.is_clean())
+            .unwrap_or(false)
+    };
+    'shrink: loop {
+        for i in 0..schedule.len() {
+            let mut candidate = schedule.clone();
+            candidate.remove(i);
+            if fails(&candidate) {
+                schedule = candidate;
+                continue 'shrink;
+            }
+        }
+        for i in 0..schedule.len() {
+            let at = schedule[i].0;
+            for &slot in model.slots.iter().filter(|&&s| s < at) {
+                let mut candidate = schedule.clone();
+                candidate[i].0 = slot;
+                candidate.sort_by_key(|&(a, t)| (a, t));
+                if fails(&candidate) {
+                    schedule = candidate;
+                    continue 'shrink;
+                }
+            }
+        }
+        return schedule;
+    }
+}
+
+/// Explores every distinct concrete schedule of `model` under `mutation`
+/// (or the pristine scheduler when `None`), stopping at the first failing
+/// path or when the budget is exhausted.
+///
+/// # Errors
+///
+/// Propagates simulator [`TaskSetError`]s — a harness failure, distinct
+/// from a counterexample.
+pub fn explore(
+    model: &ExploreModel,
+    mutation: Option<Mutation>,
+    config: &ExploreConfig,
+) -> Result<ExploreReport, TaskSetError> {
+    let mut dfs = Dfs {
+        model,
+        mutation,
+        config: *config,
+        choices: vec![None; model.slots.len()],
+        seen: BTreeSet::new(),
+        report: ExploreReport {
+            leaves_visited: 0,
+            paths_run: 0,
+            paths_deduped: 0,
+            budget_exhausted: false,
+            counterexample: None,
+        },
+        rng: Lcg(config.visit_seed.wrapping_mul(2654435761).wrapping_add(1)),
+        error: None,
+    };
+    dfs.assign_slot(0);
+    match dfs.error {
+        Some(e) => Err(e),
+        None => Ok(dfs.report),
+    }
+}
+
+/// Re-runs one concrete schedule (a counterexample replay) and returns the
+/// outcome.
+///
+/// # Errors
+///
+/// Propagates simulator [`TaskSetError`]s.
+pub fn replay(
+    model: &ExploreModel,
+    mutation: Option<Mutation>,
+    arrivals: &[(Cycles, usize)],
+) -> Result<PathOutcome, TaskSetError> {
+    let mut sorted = arrivals.to_vec();
+    sorted.sort_by_key(|&(at, task)| (at, task));
+    run_path(model, mutation, &sorted)
+}

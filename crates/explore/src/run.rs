@@ -1,0 +1,193 @@
+//! Running one concrete arrival schedule through both stacks and every
+//! checking layer.
+//!
+//! A *path* is a fully-resolved arrival schedule (the explorer's decision
+//! vector after delay resolution and tie ordering). Running it means:
+//!
+//! 1. arm the mutation (if any) at its injection site — table seeding,
+//!    policy wrapper, or simulator/kernel configuration;
+//! 2. run the event-driven theoretical stack and the full prototype stack
+//!    over the *same* schedule, each under an [`EventRecorder`];
+//! 3. replay both probe streams through [`InvariantMonitor`]s whose
+//!    expectations come from the **pristine** catalog (the mutation must
+//!    not be allowed to rewrite the spec it is checked against);
+//! 4. cross-check the two streams with [`diff_streams`].
+//!
+//! The path fails if any monitor reports a violation or the oracle finds a
+//! divergence — which is exactly the explorer's counterexample condition
+//! and the campaign's kill condition.
+
+use mpdp_core::error::TaskSetError;
+use mpdp_core::policy::{MpdpPolicy, Scheduler};
+use mpdp_core::time::Cycles;
+use mpdp_faults::CompiledFaults;
+use mpdp_monitor::{
+    diff_streams, InvariantMonitor, MonitorReport, MutantPolicy, Mutation, MutationSite,
+    OracleReport, TaskCatalog,
+};
+use mpdp_obs::EventRecorder;
+use mpdp_sim::prototype::{run_prototype_probed, PrototypeConfig};
+use mpdp_sim::theoretical::run_theoretical_probed;
+
+use crate::model::ExploreModel;
+
+/// Everything the three checking layers said about one path.
+#[derive(Debug, Clone)]
+pub struct PathOutcome {
+    /// Zero-tolerance monitor over the theoretical stream.
+    pub theoretical: MonitorReport,
+    /// Tick-tolerance monitor over the prototype stream.
+    pub prototype: MonitorReport,
+    /// Cross-stack differential verdict.
+    pub oracle: OracleReport,
+}
+
+impl PathOutcome {
+    /// Whether every layer was satisfied.
+    pub fn is_clean(&self) -> bool {
+        self.theoretical.is_clean() && self.prototype.is_clean() && self.oracle.is_agreed()
+    }
+
+    /// Whether a monitor (either stream) flagged a violation.
+    pub fn monitor_flagged(&self) -> bool {
+        !self.theoretical.is_clean() || !self.prototype.is_clean()
+    }
+
+    /// The first failure, as a one-line diagnosis; `None` when clean.
+    pub fn reason(&self) -> Option<String> {
+        if let Some(v) = self.theoretical.violations.first() {
+            return Some(format!(
+                "theoretical monitor: {} at {}: {}",
+                v.kind, v.at, v.detail
+            ));
+        }
+        if let Some(v) = self.prototype.violations.first() {
+            return Some(format!(
+                "prototype monitor: {} at {}: {}",
+                v.kind, v.at, v.detail
+            ));
+        }
+        self.oracle.divergence.as_ref().map(|d| {
+            format!(
+                "oracle: {} task {} occurrence {}: {}",
+                d.kind.name(),
+                d.task,
+                d.occurrence,
+                d.detail
+            )
+        })
+    }
+}
+
+/// Runs one concrete arrival schedule under `mutation` (or pristine when
+/// `None`) through both stacks and all checking layers.
+///
+/// # Errors
+///
+/// Propagates simulator [`TaskSetError`]s (unsorted schedules, invalid
+/// parameters). Exploration treats these as harness bugs, not kills.
+pub fn run_path(
+    model: &ExploreModel,
+    mutation: Option<Mutation>,
+    arrivals: &[(Cycles, usize)],
+) -> Result<PathOutcome, TaskSetError> {
+    let catalog = TaskCatalog::new(model.table());
+    let mut table = model.table().clone();
+    if let Some(m) = mutation {
+        if m.site() == MutationSite::Table {
+            m.seed_table(&mut table)
+                .expect("table mutation must not be vacuous on an explore model");
+        }
+    }
+    let mut proto_config = model.prototype_config();
+    match mutation {
+        Some(Mutation::IsrReleaseDrop) => {
+            proto_config = proto_config.with_isr_drop_every(2);
+        }
+        Some(Mutation::WorkAccountingTruncation) => {
+            proto_config = proto_config.with_truncated_progress();
+        }
+        _ => {}
+    }
+    match mutation {
+        Some(m) if m.wrappable() => run_stacks(model, arrivals, proto_config, &catalog, || {
+            MutantPolicy::new(MpdpPolicy::new(table.clone()), m)
+        }),
+        Some(Mutation::StaleTableAfterFailover) => {
+            run_stacks(model, arrivals, proto_config, &catalog, || {
+                MpdpPolicy::new(table.clone()).with_stale_failover()
+            })
+        }
+        _ => run_stacks(model, arrivals, proto_config, &catalog, || {
+            MpdpPolicy::new(table.clone())
+        }),
+    }
+}
+
+/// Drives both stacks with independently-built policies (`mk` is called
+/// once per stack) and replays the streams through the monitors.
+fn run_stacks<S: Scheduler, F: Fn() -> S>(
+    model: &ExploreModel,
+    arrivals: &[(Cycles, usize)],
+    proto_config: PrototypeConfig,
+    catalog: &TaskCatalog,
+    mk: F,
+) -> Result<PathOutcome, TaskSetError> {
+    let faults = CompiledFaults::none();
+    let (_, rec_t) = run_theoretical_probed(
+        mk(),
+        arrivals,
+        model.theoretical_config(),
+        &faults,
+        EventRecorder::new(model.n_procs()),
+    )?;
+    let (_, rec_p) = run_prototype_probed(
+        mk(),
+        arrivals,
+        proto_config,
+        &faults,
+        EventRecorder::new(model.n_procs()),
+    )?;
+
+    let mut mon_t = InvariantMonitor::new(catalog.clone(), model.monitor_theoretical());
+    mon_t.replay(&rec_t);
+    let theoretical = mon_t.finish(model.horizon);
+
+    let mut mon_p = InvariantMonitor::new(catalog.clone(), model.monitor_prototype());
+    mon_p.replay(&rec_p);
+    let prototype = mon_p.finish(model.horizon);
+
+    let oracle = diff_streams(rec_t.events(), rec_p.events());
+    Ok(PathOutcome {
+        theoretical,
+        prototype,
+        oracle,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ExploreModel;
+
+    #[test]
+    fn pristine_quiet_path_is_clean() {
+        let model = ExploreModel::two_proc();
+        // No aperiodic arrivals at all: pure periodic schedule.
+        let outcome = run_path(&model, None, &[]).expect("path runs");
+        assert!(outcome.is_clean(), "quiet path: {:?}", outcome.reason());
+        assert!(outcome.oracle.matched > 0, "oracle matched periodic jobs");
+    }
+
+    #[test]
+    fn pristine_contended_path_is_clean_and_promotes() {
+        let model = ExploreModel::contended();
+        let arrivals = vec![(Cycles::new(0), 0), (Cycles::new(14), 1)];
+        let outcome = run_path(&model, None, &arrivals).expect("path runs");
+        assert!(outcome.is_clean(), "contended path: {:?}", outcome.reason());
+        assert!(
+            outcome.theoretical.promotions_checked > 0,
+            "the contended model exercises promotions"
+        );
+    }
+}

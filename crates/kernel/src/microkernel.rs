@@ -72,6 +72,14 @@ pub struct Microkernel<S> {
     mem: MemoryMap,
     costs: KernelCosts,
     stats: KernelStats,
+    /// Seeded bug (`IsrReleaseDrop`): when `Some(n)`, every `n`-th aperiodic
+    /// ISR silently drops its release — the interrupt is acknowledged but no
+    /// job is enqueued, exactly as if the peripheral event were lost between
+    /// latch and handler.
+    #[cfg(any(test, feature = "mutation"))]
+    isr_drop_every: Option<u32>,
+    #[cfg(any(test, feature = "mutation"))]
+    isr_seq: u32,
 }
 
 impl<S: Scheduler> Microkernel<S> {
@@ -102,7 +110,18 @@ impl<S: Scheduler> Microkernel<S> {
             mem,
             costs,
             stats: KernelStats::default(),
+            #[cfg(any(test, feature = "mutation"))]
+            isr_drop_every: None,
+            #[cfg(any(test, feature = "mutation"))]
+            isr_seq: 0,
         }
+    }
+
+    /// Arms the seeded `IsrReleaseDrop` bug: every `every`-th aperiodic ISR
+    /// (1-based) drops its release on the floor. Mutation-campaign only.
+    #[cfg(any(test, feature = "mutation"))]
+    pub fn set_isr_drop_every(&mut self, every: Option<u32>) {
+        self.isr_drop_every = every;
     }
 
     /// The modeled cores (architectural state, retirement counters).
@@ -198,6 +217,24 @@ impl<S: Scheduler> Microkernel<S> {
         arrival: Cycles,
         now: Cycles,
     ) -> (Option<JobId>, SchedulingPass) {
+        #[cfg(any(test, feature = "mutation"))]
+        if let Some(every) = self.isr_drop_every {
+            self.isr_seq += 1;
+            if self.isr_seq.is_multiple_of(every) {
+                // The interrupt fired and is acknowledged (ISR entry cost
+                // paid), but the release never reaches the policy.
+                self.stats.aperiodic_shed += 1;
+                return (
+                    None,
+                    SchedulingPass {
+                        released: Vec::new(),
+                        promoted: Vec::new(),
+                        actions: Vec::new(),
+                        cost: self.costs.aperiodic_isr(),
+                    },
+                );
+            }
+        }
         match self.policy.try_release_aperiodic(task_index, arrival) {
             Some(job) => {
                 self.stats.aperiodic_releases += 1;

@@ -131,6 +131,96 @@ mod tests {
         assert_eq!(cat.hyperperiod(), Cycles::new(20_000));
     }
 
+    /// Co-prime periods multiply, never divide: large mutually-prime
+    /// periods overflow the u64 LCM, which must saturate at `Cycles::MAX`
+    /// (a usable "longer than any horizon" sentinel), not wrap to a small
+    /// bogus hyperperiod that would silently truncate a smoke window.
+    #[test]
+    fn hyperperiod_saturates_on_coprime_period_overflow() {
+        // 2^31−1 and 2^32−5 are both prime; their product overflows u64
+        // when multiplied by a third co-prime factor.
+        let p1 = Cycles::new(2_147_483_647);
+        let p2 = Cycles::new(4_294_967_291);
+        let p3 = Cycles::new(999_999_937);
+        let mk = |id: u32, period: Cycles| {
+            PeriodicTask::new(TaskId::new(id), "t", Cycles::new(1), period)
+                .with_priorities(Priority::new(id), Priority::new(id + 10))
+        };
+        let table = build_task_table(vec![mk(0, p1), mk(1, p2), mk(2, p3)], vec![], 1)
+            .expect("tiny WCETs are schedulable");
+        let cat = TaskCatalog::new(&table);
+        assert_eq!(cat.hyperperiod(), Cycles::MAX, "saturated, not wrapped");
+        // Two co-prime periods that fit exactly still multiply.
+        let small = build_task_table(
+            vec![mk(0, Cycles::new(7)), mk(1, Cycles::new(13))],
+            vec![],
+            1,
+        )
+        .expect("schedulable");
+        assert_eq!(TaskCatalog::new(&small).hyperperiod(), Cycles::new(91));
+    }
+
+    /// After a fail-stop, `fail_processor` rewrites promotions online; a
+    /// catalog rebuilt from the degraded table must reflect the *degraded*
+    /// guarantees — in particular a task whose re-admission failed gets
+    /// promotion 0 < deadline, which `guaranteed()` still reads as
+    /// protected. The policy's own `guaranteed_tasks()` is the authority
+    /// on degraded tables; the catalog only mirrors the promotion window.
+    #[test]
+    fn guaranteed_on_degraded_tables_mirrors_the_promotion_window() {
+        use mpdp_core::ids::ProcId;
+        use mpdp_core::policy::MpdpPolicy;
+
+        let mk = |id: u32, wcet: u64, proc: u32| {
+            PeriodicTask::new(TaskId::new(id), "t", Cycles::new(wcet), Cycles::new(10_000))
+                .with_priorities(Priority::new(id), Priority::new(id + 10))
+                .with_processor(ProcId::new(proc))
+        };
+        // Two processors, each ~60% utilized: the survivor cannot absorb
+        // both partitions, so re-admission degrades at least one task.
+        let table = build_task_table(vec![mk(0, 6_000, 0), mk(1, 6_000, 1)], vec![], 2)
+            .expect("schedulable on two processors");
+        let healthy = TaskCatalog::new(&table);
+        assert!(
+            (0..2).all(|i| healthy.periodic(i).unwrap().guaranteed()),
+            "both tasks guaranteed before the failure"
+        );
+
+        let mut policy = MpdpPolicy::new(table);
+        let report = policy.fail_processor(ProcId::new(1), Cycles::new(500));
+        assert!(
+            report.guaranteed < report.total,
+            "120% on one processor cannot keep every guarantee"
+        );
+
+        // Catalog over the degraded table: the promotion windows the
+        // online analysis kept are still marked guaranteed, and the
+        // catalog's count never exceeds the policy's own verdict — a task
+        // degraded to promotion 0 keeps upper-band protection (guaranteed
+        // by the window) even though the analysis could not re-prove its
+        // deadline.
+        let degraded = TaskCatalog::new(policy.table());
+        let window_guaranteed = (0..2)
+            .filter(|&i| degraded.periodic(i).unwrap().guaranteed())
+            .count();
+        assert!(
+            window_guaranteed >= report.guaranteed,
+            "promotion-window guarantees ({window_guaranteed}) at least cover the \
+             re-admitted tasks ({})",
+            report.guaranteed
+        );
+        // The degraded table re-homed every task onto the survivor.
+        assert_eq!(degraded.n_procs(), 2, "catalog keeps the platform size");
+        assert!(
+            policy
+                .table()
+                .periodic()
+                .iter()
+                .all(|t| t.processor() == ProcId::new(0)),
+            "dead processor's partition re-homed"
+        );
+    }
+
     #[test]
     fn guarantee_follows_the_promotion_window() {
         let guaranteed = PeriodicFacts {

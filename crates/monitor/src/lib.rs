@@ -13,8 +13,9 @@
 //! - [`oracle::diff_streams`] cross-checks the theoretical and prototype
 //!   streams of the same cell (releases and completions per task) and
 //!   localizes their first divergence;
-//! - [`mutation`] holds the deliberate scheduler bugs the smoke tests seed
-//!   to prove the monitor actually fires.
+//! - [`mutation`] holds the catalog of deliberate scheduler bugs
+//!   ([`mutation::Mutation`]) the smoke tests and the mutation campaign
+//!   seed to prove the monitors actually fire.
 //!
 //! Monitoring is observation-only: a monitored run produces byte-identical
 //! exports to an unmonitored one, because the monitor only *reads* the
@@ -30,5 +31,8 @@ pub mod oracle;
 
 pub use catalog::{PeriodicFacts, TaskCatalog};
 pub use invariants::{InvariantMonitor, MonitorConfig, MonitorReport, Violation, ViolationKind};
-pub use mutation::promotion_off_by_one;
+pub use mutation::{
+    promotion_off_by_one, ActivationCounter, MutantPolicy, Mutation, MutationError, MutationSite,
+    ProgressLedger,
+};
 pub use oracle::{diff_streams, Divergence, DivergenceKind, OracleReport};

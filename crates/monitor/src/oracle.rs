@@ -32,6 +32,15 @@ pub enum DivergenceKind {
     DeadlineVerdict,
     /// A task appears in one stream and not the other at all.
     MissingTask,
+    /// A stream carries no release or completion events at all. Comparing
+    /// nothing against nothing (or something) is instrumentation failure,
+    /// not agreement — reported as a stream-level divergence with `task`
+    /// set to 0 (meaningless for this kind).
+    EmptyStream,
+    /// One stream completed the same job twice. The per-task occurrence
+    /// histories count completions, so a duplication mirrored into both
+    /// streams would otherwise cancel out and "agree" silently.
+    DuplicateCompletion,
 }
 
 impl DivergenceKind {
@@ -42,6 +51,8 @@ impl DivergenceKind {
             DivergenceKind::CompletionCount => "completion-count",
             DivergenceKind::DeadlineVerdict => "deadline-verdict",
             DivergenceKind::MissingTask => "missing-task",
+            DivergenceKind::EmptyStream => "empty-stream",
+            DivergenceKind::DuplicateCompletion => "duplicate-completion",
         }
     }
 }
@@ -119,14 +130,77 @@ fn histories(events: &[ObsEvent]) -> BTreeMap<u32, TaskHistory> {
     map
 }
 
+/// Scans one stream for a job completing twice. Occurrence histories drop
+/// job ids, so a duplicated completion mirrored into both streams would
+/// otherwise count equal on both sides and silently agree.
+fn duplicate_completion(events: &[ObsEvent], theoretical: bool) -> Option<(Cycles, Divergence)> {
+    let mut first: BTreeMap<(u32, u32), Cycles> = BTreeMap::new();
+    let mut occurrences: BTreeMap<u32, usize> = BTreeMap::new();
+    for e in events {
+        if let EventKind::JobComplete { job, task, .. } = e.kind {
+            let occurrence = *occurrences.entry(task).and_modify(|n| *n += 1).or_insert(0);
+            if let Some(&at_first) = first.get(&(task, job)) {
+                let side = if theoretical {
+                    "theoretical"
+                } else {
+                    "prototype"
+                };
+                return Some((
+                    e.at,
+                    Divergence {
+                        task,
+                        occurrence,
+                        kind: DivergenceKind::DuplicateCompletion,
+                        theoretical_at: theoretical.then_some(e.at),
+                        prototype_at: (!theoretical).then_some(e.at),
+                        detail: format!(
+                            "job {job} of task {task} completed twice in the {side} stream \
+                             (first at {} cyc, again at {} cyc)",
+                            at_first.as_u64(),
+                            e.at.as_u64()
+                        ),
+                    },
+                ));
+            }
+            first.insert((task, job), e.at);
+        }
+    }
+    None
+}
+
 /// Cross-checks two recorded streams of the same cell and localizes the
 /// first divergence, earliest-stamped first. `theoretical` and `prototype`
 /// are the full instant-event streams of each stack.
 pub fn diff_streams(theoretical: &[ObsEvent], prototype: &[ObsEvent]) -> OracleReport {
     let theo = histories(theoretical);
     let proto = histories(prototype);
+
+    // An empty stream is instrumentation failure, not vacuous agreement:
+    // a cell whose probe recorded nothing has nothing to cross-check.
+    if theo.is_empty() || proto.is_empty() {
+        let detail = match (theo.is_empty(), proto.is_empty()) {
+            (true, true) => "both streams carry no release or completion events",
+            (true, false) => "the theoretical stream carries no release or completion events",
+            (false, true) => "the prototype stream carries no release or completion events",
+            (false, false) => unreachable!(),
+        };
+        return OracleReport {
+            matched: 0,
+            divergence: Some(Divergence {
+                task: 0,
+                occurrence: 0,
+                kind: DivergenceKind::EmptyStream,
+                theoretical_at: None,
+                prototype_at: None,
+                detail: detail.to_string(),
+            }),
+        };
+    }
+
     let mut matched = 0usize;
     let mut candidates: Vec<(Cycles, Divergence)> = Vec::new();
+    candidates.extend(duplicate_completion(theoretical, true));
+    candidates.extend(duplicate_completion(prototype, false));
 
     let mut tasks: Vec<u32> = theo.keys().chain(proto.keys()).copied().collect();
     tasks.sort_unstable();
@@ -316,6 +390,83 @@ mod tests {
         let d = report.divergence.expect("must diverge");
         assert_eq!(d.kind, DivergenceKind::DeadlineVerdict);
         assert_eq!(d.task, 2);
+    }
+
+    #[test]
+    fn empty_streams_are_a_typed_divergence_not_agreement() {
+        // Both empty: nothing to cross-check is instrumentation failure.
+        let report = diff_streams(&[], &[]);
+        assert!(!report.is_agreed(), "empty streams must not agree");
+        let d = report.divergence.expect("typed divergence");
+        assert_eq!(d.kind, DivergenceKind::EmptyStream);
+        assert_eq!(report.matched, 0);
+        assert!(d.detail.contains("both streams"));
+
+        // One side empty: the empty side is named.
+        let theo = [release(0, 1, 0), complete(80, 1, 0, true)];
+        let one_sided = diff_streams(&theo, &[]);
+        let d = one_sided.divergence.expect("typed divergence");
+        assert_eq!(d.kind, DivergenceKind::EmptyStream);
+        assert!(d.detail.contains("prototype stream"), "{}", d.detail);
+
+        let other_side = diff_streams(&[], &theo);
+        let d = other_side.divergence.expect("typed divergence");
+        assert!(d.detail.contains("theoretical stream"), "{}", d.detail);
+
+        // Streams with events but none comparable (ISR noise only) are
+        // also empty to the oracle.
+        let noise = [ObsEvent {
+            at: Cycles::new(5),
+            proc: Some(0),
+            kind: EventKind::IsrExit,
+        }];
+        let noisy = diff_streams(&noise, &noise);
+        assert_eq!(
+            noisy.divergence.expect("typed divergence").kind,
+            DivergenceKind::EmptyStream
+        );
+    }
+
+    #[test]
+    fn mirrored_duplicate_completion_is_caught_not_cancelled() {
+        // Job 0 completes twice in *both* streams: per-task counts agree
+        // (2 == 2), so without the per-stream job-id scan this would be
+        // silent agreement.
+        let theo = [
+            release(0, 1, 0),
+            complete(80, 1, 0, true),
+            complete(85, 1, 0, true),
+        ];
+        let proto = [
+            release(0, 1, 0),
+            complete(90, 1, 0, true),
+            complete(95, 1, 0, true),
+        ];
+        let report = diff_streams(&theo, &proto);
+        let d = report.divergence.expect("duplication detected");
+        assert_eq!(d.kind, DivergenceKind::DuplicateCompletion);
+        assert_eq!(d.task, 1);
+        assert_eq!(d.occurrence, 1, "the second completion is the offender");
+        // The theoretical duplicate (85 cyc) is earlier than the prototype
+        // one (95 cyc) and wins the earliest-first ordering.
+        assert_eq!(d.theoretical_at, Some(Cycles::new(85)));
+        assert_eq!(d.prototype_at, None);
+        assert!(d.detail.contains("theoretical stream"), "{}", d.detail);
+    }
+
+    #[test]
+    fn single_stream_duplicate_is_attributed_to_its_side() {
+        let theo = [release(0, 1, 0), complete(80, 1, 0, true)];
+        let proto = [
+            release(0, 1, 0),
+            complete(90, 1, 0, true),
+            complete(95, 1, 0, true),
+        ];
+        let report = diff_streams(&theo, &proto);
+        let d = report.divergence.expect("duplication detected");
+        assert_eq!(d.kind, DivergenceKind::DuplicateCompletion);
+        assert!(d.detail.contains("prototype stream"), "{}", d.detail);
+        assert_eq!(d.prototype_at, Some(Cycles::new(95)));
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 pub mod export;
 pub mod gantt;
+pub mod hooks;
 pub mod micro;
 pub mod prototype;
 pub mod stats;
@@ -52,6 +53,7 @@ pub mod trace;
 
 pub use export::{completions_csv, segments_csv};
 pub use gantt::render_gantt;
+pub use hooks::{run_prototype_hooked, run_theoretical_hooked, SimHooks};
 pub use micro::{run_micro, AccessModel, MicroConfig, MicroResult, MicroTask};
 pub use prototype::{
     run_prototype, run_prototype_probed, run_prototype_with, PrototypeConfig, PrototypeOutcome,

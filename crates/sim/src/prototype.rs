@@ -65,6 +65,19 @@ pub struct PrototypeConfig {
     /// (timer and peripherals) is delivered only to this processor. `None`
     /// (the default) uses the paper's multiprocessor distribution.
     pub pin_interrupts_to: Option<ProcId>,
+    /// Seeded bug (`IsrReleaseDrop`): forwarded to the microkernel's
+    /// `set_isr_drop_every` — every n-th aperiodic ISR drops its release.
+    /// Gated on the `mutation` feature alone (not `cfg(test)`) because it
+    /// reaches across the crate boundary into mpdp-kernel, whose injection
+    /// point only exists when *its* feature is on.
+    #[cfg(feature = "mutation")]
+    pub isr_drop_every: Option<u32>,
+    /// Seeded bug (`WorkAccountingTruncation`): report each advance's
+    /// retired work truncated independently instead of as the delta of the
+    /// rounded cumulative total, and skip the completion flush — the exact
+    /// float-drift bug the cumulative ledger exists to prevent.
+    #[cfg(any(test, feature = "mutation"))]
+    pub truncate_progress: bool,
 }
 
 impl PrototypeConfig {
@@ -80,7 +93,27 @@ impl PrototypeConfig {
             isr_bus_rate: 0.01,
             record_segments: false,
             pin_interrupts_to: None,
+            #[cfg(feature = "mutation")]
+            isr_drop_every: None,
+            #[cfg(any(test, feature = "mutation"))]
+            truncate_progress: false,
         }
+    }
+
+    /// Arms the seeded `IsrReleaseDrop` bug (every `every`-th aperiodic ISR
+    /// drops its release). Mutation-campaign only.
+    #[cfg(feature = "mutation")]
+    pub fn with_isr_drop_every(mut self, every: u32) -> Self {
+        self.isr_drop_every = Some(every);
+        self
+    }
+
+    /// Arms the seeded `WorkAccountingTruncation` bug (per-step truncation
+    /// of reported progress). Mutation-campaign only.
+    #[cfg(any(test, feature = "mutation"))]
+    pub fn with_truncated_progress(mut self) -> Self {
+        self.truncate_progress = true;
+        self
     }
 
     /// Pins every interrupt to one processor (the stock-controller
@@ -307,7 +340,10 @@ impl<S: Scheduler, P: Probe> PrototypeSim<S, P> {
         let n_procs = policy.n_procs();
         let n_periph = policy.table().aperiodic().len().max(1);
         let deg = policy.degradation();
-        let kernel = Microkernel::new(policy, config.kernel_costs);
+        #[allow(unused_mut)]
+        let mut kernel = Microkernel::new(policy, config.kernel_costs);
+        #[cfg(feature = "mutation")]
+        kernel.set_isr_drop_every(config.isr_drop_every);
         PrototypeSim {
             intc: MpInterruptController::new(n_procs, n_periph, config.intc_ack_timeout),
             timer: SystemTimer::new(config.tick),
@@ -694,6 +730,19 @@ impl<S: Scheduler, P: Probe> PrototypeSim<S, P> {
                     // 0.5 cycles, and the errors do not cancel).
                     let prog = &mut self.progress[job.index()];
                     prog.done += retired;
+                    #[cfg(any(test, feature = "mutation"))]
+                    if self.config.truncate_progress {
+                        // Seeded bug (`WorkAccountingTruncation`): truncate
+                        // each step independently — the fractional residue
+                        // is dropped every step and never made up, so the
+                        // reported total drifts below the retired work.
+                        let delta = retired as u64;
+                        prog.reported += delta;
+                        self.kernel
+                            .policy_mut()
+                            .on_progress(job, Cycles::new(delta), t);
+                        continue;
+                    }
                     let total = prog.done.round() as u64;
                     let delta = total - prog.reported;
                     prog.reported = total;
@@ -1213,7 +1262,11 @@ impl<S: Scheduler, P: Probe> PrototypeSim<S, P> {
             // so the deltas reported via `on_progress` sum exactly to it.
             let prog = &mut self.progress[job.index()];
             let target = prog.demand.round() as u64;
-            if target > prog.reported {
+            #[cfg(any(test, feature = "mutation"))]
+            let skip_flush = self.config.truncate_progress;
+            #[cfg(not(any(test, feature = "mutation")))]
+            let skip_flush = false;
+            if !skip_flush && target > prog.reported {
                 let delta = target - prog.reported;
                 prog.reported = target;
                 prog.done = prog.demand;

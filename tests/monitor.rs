@@ -87,9 +87,14 @@ fn seeded_promotion_off_by_one_is_flagged_within_one_hyperperiod() {
     );
     assert!(clean.promotions_checked > 0, "control exercised promotions");
 
-    // Seed the bug: every promotion offset one cycle early.
+    // Seed the bug: every promotion offset one cycle early. The seeder
+    // returns `Err` on a vacuous mutation, so a fixture whose offsets
+    // cannot move fails here instead of passing the test vacuously.
     let mut mutated = pristine.clone();
-    assert_eq!(promotion_off_by_one(&mut mutated), 2);
+    assert_eq!(
+        promotion_off_by_one(&mut mutated).expect("mutation must not be vacuous"),
+        2
+    );
     let report = replay_against(mutated, &pristine, hyperperiod);
     let early: Vec<_> = report
         .violations
