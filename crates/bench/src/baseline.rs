@@ -1,0 +1,240 @@
+//! Typed loading of `BENCH_sweep.json` perf baselines.
+//!
+//! The perf gate compares a fresh run against a committed baseline file.
+//! A missing, truncated, or schema-drifted baseline used to die wherever
+//! the scanner happened to trip; here each failure mode is a
+//! [`BaselineError`] the caller maps to a usage exit (the baseline is an
+//! *input* the user named, so a bad one is a usage error, not a runtime
+//! crash).
+
+use std::error::Error;
+use std::fmt;
+
+use mpdp_obs::validate_json;
+
+/// The schema marker every readable baseline must carry.
+pub const BASELINE_SCHEMA: &str = "mpdp-bench-sweep/1";
+
+/// Why a perf baseline could not be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The file could not be read at all.
+    Missing {
+        /// The path that was named.
+        path: String,
+        /// The OS diagnosis.
+        detail: String,
+    },
+    /// The file is not well-formed JSON — a truncated write, a merge
+    /// conflict, or a non-JSON file named by mistake.
+    Invalid {
+        /// The path that was named.
+        path: String,
+        /// The validator's diagnosis.
+        detail: String,
+    },
+    /// The file is valid JSON but not a `mpdp-bench-sweep/1` report (wrong
+    /// schema marker, a malformed bench entry, or no entries at all).
+    Schema {
+        /// The path that was named.
+        path: String,
+        /// What was wrong with the shape.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Missing { path, detail } => {
+                write!(f, "baseline {path} cannot be read: {detail}")
+            }
+            BaselineError::Invalid { path, detail } => {
+                write!(
+                    f,
+                    "baseline {path} is not valid JSON ({detail}); truncated write?"
+                )
+            }
+            BaselineError::Schema { path, detail } => {
+                write!(
+                    f,
+                    "baseline {path} is not a {BASELINE_SCHEMA} report: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+/// Extracts `(name, wall_ms)` pairs from the entry lines of a validated
+/// report body. The format is fixed (this repo writes it), so a line
+/// scanner is enough; a line that looks like a bench entry but does not
+/// parse is a typed error rather than a silently skipped gate.
+fn parse_entries(path: &str, doc: &str) -> Result<Vec<(String, f64)>, BaselineError> {
+    let schema_err = |detail: String| BaselineError::Schema {
+        path: path.to_string(),
+        detail,
+    };
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            return Err(schema_err(format!(
+                "malformed bench entry: {}",
+                line.trim()
+            )));
+        };
+        let name = rest[..name_end].to_string();
+        let Some(wall_at) = line.find("\"wall_ms\": ") else {
+            return Err(schema_err(format!(
+                "bench entry without wall_ms: {}",
+                line.trim()
+            )));
+        };
+        let tail = &line[wall_at + 11..];
+        let digits: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        match digits.parse::<f64>() {
+            Ok(ms) => out.push((name, ms)),
+            Err(_) => {
+                return Err(schema_err(format!(
+                    "unparsable wall_ms in entry: {}",
+                    line.trim()
+                )))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(schema_err("no bench entries".to_string()));
+    }
+    Ok(out)
+}
+
+/// Loads a `BENCH_sweep.json` baseline, returning its `(name, wall_ms)`
+/// pairs.
+///
+/// # Errors
+///
+/// [`BaselineError::Missing`] when the file cannot be read,
+/// [`BaselineError::Invalid`] when it is not well-formed JSON (which is
+/// what a truncated write looks like), [`BaselineError::Schema`] when it
+/// is JSON but not a recognizable bench report.
+pub fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, BaselineError> {
+    let doc = std::fs::read_to_string(path).map_err(|e| BaselineError::Missing {
+        path: path.to_string(),
+        detail: e.to_string(),
+    })?;
+    if let Err(e) = validate_json(&doc) {
+        return Err(BaselineError::Invalid {
+            path: path.to_string(),
+            detail: e.to_string(),
+        });
+    }
+    if !doc.contains(&format!("\"schema\": \"{BASELINE_SCHEMA}\"")) {
+        return Err(BaselineError::Schema {
+            path: path.to_string(),
+            detail: format!("missing schema marker \"{BASELINE_SCHEMA}\""),
+        });
+    }
+    parse_entries(path, &doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str, contents: Option<&str>) -> String {
+        let path =
+            std::env::temp_dir().join(format!("mpdp-baseline-{}-{name}.json", std::process::id()));
+        match contents {
+            Some(doc) => std::fs::write(&path, doc).expect("write baseline"),
+            None => {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        path.display().to_string()
+    }
+
+    const GOOD: &str = "{\n  \"schema\": \"mpdp-bench-sweep/1\",\n  \"benches\": [\n    \
+        {\"name\": \"a\", \"cells\": 1, \"workers\": 1, \"wall_ms\": 1.500, \"cells_per_s\": 666.7},\n    \
+        {\"name\": \"b\", \"cells\": 104, \"workers\": 8, \"wall_ms\": 20.000, \"cells_per_s\": 5200.0}\n  ]\n}\n";
+
+    #[test]
+    fn good_baseline_loads_every_entry() {
+        let path = temp("good", Some(GOOD));
+        let entries = load_baseline(&path).expect("loads");
+        assert_eq!(
+            entries,
+            vec![("a".to_string(), 1.5), ("b".to_string(), 20.0)]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_error() {
+        let path = temp("absent", None);
+        assert!(matches!(
+            load_baseline(&path),
+            Err(BaselineError::Missing { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_json_is_invalid_not_a_panic() {
+        // Chop the document mid-entry, as a torn write would.
+        let path = temp("torn", Some(&GOOD[..GOOD.len() / 2]));
+        assert!(matches!(
+            load_baseline(&path),
+            Err(BaselineError::Invalid { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_schema_marker_is_rejected() {
+        let path = temp(
+            "marker",
+            Some("{\"schema\": \"other/9\", \"benches\": []}\n"),
+        );
+        match load_baseline(&path) {
+            Err(BaselineError::Schema { detail, .. }) => {
+                assert!(detail.contains("schema marker"), "{detail}");
+            }
+            other => panic!("expected Schema, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn entry_without_wall_ms_is_rejected() {
+        let doc = "{\n  \"schema\": \"mpdp-bench-sweep/1\",\n  \"benches\": [\n    \
+            {\"name\": \"a\", \"cells\": 1}\n  ]\n}\n";
+        let path = temp("no-wall", Some(doc));
+        match load_baseline(&path) {
+            Err(BaselineError::Schema { detail, .. }) => {
+                assert!(detail.contains("wall_ms"), "{detail}");
+            }
+            other => panic!("expected Schema, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_bench_list_is_rejected() {
+        let doc = "{\n  \"schema\": \"mpdp-bench-sweep/1\",\n  \"benches\": []\n}\n";
+        let path = temp("empty", Some(doc));
+        match load_baseline(&path) {
+            Err(BaselineError::Schema { detail, .. }) => {
+                assert!(detail.contains("no bench entries"), "{detail}");
+            }
+            other => panic!("expected Schema, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

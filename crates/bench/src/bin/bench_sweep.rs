@@ -16,15 +16,19 @@
 use std::time::Instant;
 
 use mpdp_bench::cli::{
-    check_known_flags, flag_value, has_flag, parse_flag, runtime_error, write_output,
+    check_known_flags, flag_value, has_flag, parse_flag, runtime_error, usage_error, write_output,
 };
 use mpdp_bench::experiment::{bench104_spec, fig4_spec, ExperimentConfig};
+use mpdp_bench::load_baseline;
 use mpdp_obs::validate_json;
-use mpdp_sweep::{run_sweep, SweepSpec};
+use mpdp_shard::{
+    parse_worker_invocation, run_worker, self_launcher, supervise, SuperviseConfig, WorkerConfig,
+};
+use mpdp_sweep::{cells_csv, run_sweep, SweepSpec};
 
 /// One measured benchmark point.
 struct Bench {
-    name: &'static str,
+    name: String,
     cells: usize,
     workers: usize,
     wall_ms: f64,
@@ -69,43 +73,83 @@ fn report_json(benches: &[Bench]) -> String {
     out
 }
 
-/// Extracts `(name, wall_ms)` pairs from a `mpdp-bench-sweep/1` report.
-/// The format is fixed (we wrote it), so a line scanner is enough; a line
-/// that looks like a bench entry but does not parse is a hard error rather
-/// than a silently skipped gate.
-fn parse_baseline(doc: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for line in doc.lines() {
-        let Some(name_at) = line.find("\"name\": \"") else {
-            continue;
+/// Minimum wall-clock over `repeats` supervised multi-process sharded
+/// sweeps of `spec`, each from a fresh journal directory (a reused
+/// directory would resume instead of re-running and report a fantasy
+/// time). Every repeat's merged CSV is checked byte-identical to the
+/// in-process `golden_csv` — a sharded bench that returned different
+/// bytes would be measuring a different computation.
+fn time_sharded(spec: &SweepSpec, shards: usize, repeats: usize, golden_csv: &str) -> f64 {
+    let dir = std::env::temp_dir().join(format!("mpdp-bench-shards-{}", std::process::id()));
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let _ = std::fs::remove_dir_all(&dir);
+        let launch = match self_launcher(Vec::new(), 1, std::time::Duration::ZERO) {
+            Ok(launch) => launch,
+            Err(e) => runtime_error(format_args!("cannot resolve own executable: {e}")),
         };
-        let rest = &line[name_at + 9..];
-        let Some(name_end) = rest.find('"') else {
-            runtime_error(format_args!("malformed baseline line: {line}"));
+        let cfg = SuperviseConfig::default()
+            .with_shards(shards)
+            .with_dir(dir.clone());
+        let start = Instant::now();
+        let sup = match supervise(spec, &cfg, launch, |_| {}) {
+            Ok(sup) => sup,
+            Err(e) => runtime_error(format_args!("sharded sweep failed: {e}")),
         };
-        let name = rest[..name_end].to_string();
-        let Some(wall_at) = line.find("\"wall_ms\": ") else {
-            runtime_error(format_args!("baseline entry without wall_ms: {line}"));
-        };
-        let tail = &line[wall_at + 11..];
-        let digits: String = tail
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.')
-            .collect();
-        match digits.parse::<f64>() {
-            Ok(ms) => out.push((name, ms)),
-            Err(_) => runtime_error(format_args!("unparsable wall_ms in baseline: {line}")),
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        if cells_csv(&sup.report) != golden_csv {
+            runtime_error(format_args!(
+                "sharded run produced different bytes than the in-process run"
+            ));
         }
+        best = best.min(ms);
     }
-    out
+    let _ = std::fs::remove_dir_all(&dir);
+    best
+}
+
+/// Hidden shard-worker mode for `--shards`: runs one shard of the
+/// 104-cell grid (the only spec the sharded bench measures) and exits.
+fn shard_worker(args: &[String]) -> ! {
+    let invocation = match parse_worker_invocation(args) {
+        Some(Ok(invocation)) => invocation,
+        Some(Err(e)) => usage_error(e),
+        None => unreachable!("caller checked for the worker flag"),
+    };
+    let spec = bench104_spec();
+    let cfg = WorkerConfig {
+        threads: invocation.threads,
+        throttle: invocation.throttle,
+        ..WorkerConfig::default()
+    };
+    match run_worker(
+        &spec,
+        invocation.start..invocation.end,
+        &invocation.journal,
+        &invocation.heartbeat,
+        &cfg,
+    ) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => runtime_error(format_args!("shard worker failed: {e}")),
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == mpdp_shard::WORKER_FLAG) {
+        shard_worker(&args);
+    }
     check_known_flags(
         &args,
-        &["--out", "--repeats", "--quick", "--gate", "--threshold"],
-        &["--out", "--repeats", "--gate", "--threshold"],
+        &[
+            "--out",
+            "--repeats",
+            "--quick",
+            "--gate",
+            "--threshold",
+            "--shards",
+        ],
+        &["--out", "--repeats", "--gate", "--threshold", "--shards"],
     );
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
     let quick = has_flag(&args, "--quick");
@@ -113,6 +157,7 @@ fn main() {
         parse_flag(&args, "--repeats", "a repeat count").unwrap_or(if quick { 1 } else { 3 });
     let gate = flag_value(&args, "--gate");
     let threshold: f64 = parse_flag(&args, "--threshold", "a percentage").unwrap_or(15.0);
+    let shards: Option<usize> = parse_flag(&args, "--shards", "a shard count");
     if repeats == 0 {
         runtime_error("--repeats must be at least 1");
     }
@@ -129,9 +174,9 @@ fn main() {
         "bench_sweep: single cell + {}-cell grid, {repeats} repeat(s) ...",
         grid.cell_count()
     );
-    let benches = [
+    let mut benches = vec![
         Bench {
-            name: "fig4_single_cell",
+            name: "fig4_single_cell".to_string(),
             cells: 1,
             workers: 1,
             // The single cell runs in ~1.5 ms, so its minimum is much
@@ -140,18 +185,33 @@ fn main() {
             wall_ms: time_sweep(&single, 1, (repeats * 10).max(20)),
         },
         Bench {
-            name: "grid104_workers1",
+            name: "grid104_workers1".to_string(),
             cells: grid.cell_count(),
             workers: 1,
             wall_ms: time_sweep(&grid, 1, repeats),
         },
         Bench {
-            name: "grid104_workers8",
+            name: "grid104_workers8".to_string(),
             cells: grid.cell_count(),
             workers: 8,
             wall_ms: time_sweep(&grid, 8, repeats),
         },
     ];
+    if let Some(n_shards) = shards {
+        // Multi-process point: the supervised fleet pays process spawn +
+        // journal fsync per cell, so this quantifies the sharding overhead
+        // against the in-process workers above.
+        let golden = match run_sweep(&grid, 1) {
+            Ok(report) => cells_csv(&report),
+            Err(e) => runtime_error(format_args!("golden sweep failed: {e}")),
+        };
+        benches.push(Bench {
+            name: format!("grid104_shards{n_shards}"),
+            cells: grid.cell_count(),
+            workers: n_shards,
+            wall_ms: time_sharded(&grid, n_shards, repeats, &golden),
+        });
+    }
     for b in &benches {
         eprintln!(
             "  {:<20} {:>10.1} ms  ({:.1} cells/s, {} worker(s))",
@@ -167,16 +227,17 @@ fn main() {
     write_output(&out_path, &doc);
 
     if let Some(baseline_path) = gate {
-        let baseline = match std::fs::read_to_string(&baseline_path) {
-            Ok(doc) => parse_baseline(&doc),
-            Err(e) => runtime_error(format_args!("cannot read {baseline_path}: {e}")),
+        // A missing, truncated, or schema-drifted baseline is a typed
+        // usage error (exit 2): the user named a file that is not a
+        // usable baseline, which is different from a real regression
+        // (exit 1).
+        let baseline = match load_baseline(&baseline_path) {
+            Ok(baseline) => baseline,
+            Err(e) => usage_error(e),
         };
-        if baseline.is_empty() {
-            runtime_error(format_args!("{baseline_path} contains no bench entries"));
-        }
         let mut failed = false;
         for (name, base_ms) in &baseline {
-            let Some(now) = benches.iter().find(|b| b.name == name) else {
+            let Some(now) = benches.iter().find(|b| b.name == *name) else {
                 eprintln!("gate: `{name}` missing from this run (renamed?)");
                 failed = true;
                 continue;

@@ -27,17 +27,52 @@
 
 use mpdp_bench::audit_sweep;
 use mpdp_bench::cli::{
-    check_known_flags, flag_value, has_flag, parse_flag, runtime_error, workers_flag, write_output,
+    check_known_flags, flag_value, has_flag, parse_flag, runtime_error, usage_error, workers_flag,
+    write_output,
 };
-use mpdp_bench::experiment::{fig4_spec, ExperimentConfig};
+use mpdp_bench::experiment::{fig4_seeded_spec, ExperimentConfig};
 use mpdp_obs::{chrome_trace_json_multi, validate_json};
+use mpdp_shard::{
+    parse_worker_invocation, run_worker, self_launcher, supervise, SuperviseConfig, WorkerConfig,
+};
 use mpdp_sweep::{
     cells_csv, group_summaries, report_json, run_cell_probed, run_sweep, run_sweep_healing,
-    ArrivalSpec, HealConfig,
+    spec_fingerprint, HealConfig,
 };
+
+/// Hidden shard-worker mode: a `--shards` supervisor re-executed this
+/// binary with a worker flag block. Rebuild the spec from the same
+/// `--seeds` flag the parent saw, run the assigned range, exit.
+fn shard_worker(args: &[String]) -> ! {
+    let invocation = match parse_worker_invocation(args) {
+        Some(Ok(invocation)) => invocation,
+        Some(Err(e)) => usage_error(e),
+        None => unreachable!("caller checked for the worker flag"),
+    };
+    let seeds: usize = parse_flag(args, "--seeds", "a seed count").unwrap_or(1);
+    let spec = fig4_seeded_spec(&ExperimentConfig::new(), seeds);
+    let cfg = WorkerConfig {
+        threads: invocation.threads,
+        throttle: invocation.throttle,
+        ..WorkerConfig::default()
+    };
+    match run_worker(
+        &spec,
+        invocation.start..invocation.end,
+        &invocation.journal,
+        &invocation.heartbeat,
+        &cfg,
+    ) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => runtime_error(format_args!("shard worker failed: {e}")),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == mpdp_shard::WORKER_FLAG) {
+        shard_worker(&args);
+    }
     check_known_flags(
         &args,
         &[
@@ -45,6 +80,8 @@ fn main() {
             "--json",
             "--workers",
             "--seeds",
+            "--shards",
+            "--shard-dir",
             "--profile",
             "--trace-out",
             "--trace-cell",
@@ -56,6 +93,8 @@ fn main() {
             "--json",
             "--workers",
             "--seeds",
+            "--shards",
+            "--shard-dir",
             "--trace-out",
             "--trace-cell",
             "--resume",
@@ -70,40 +109,71 @@ fn main() {
     let trace_cell: usize = parse_flag(&args, "--trace-cell", "a cell index").unwrap_or(0);
     let monitor = has_flag(&args, "--monitor");
     let resume = flag_value(&args, "--resume");
+    let shards: Option<usize> = parse_flag(&args, "--shards", "a shard count");
+    if shards.is_some() && resume.is_some() {
+        usage_error("--shards and --resume are mutually exclusive (shards journal per worker)");
+    }
 
     let config = ExperimentConfig::new();
-    let mut spec = fig4_spec(&config);
-    if seeds > 1 {
-        // Monte Carlo mode: per-seed arrival phases drawn from each cell's
-        // RNG stream instead of the pinned classic schedule.
-        spec.arrivals = ArrivalSpec::Bursts {
-            activations: config.activations,
-            gap: config.activation_gap,
-        };
-        spec.seeds = (0..seeds as u64).collect();
-    }
+    // Monte Carlo mode (seeds > 1): per-seed arrival phases drawn from each
+    // cell's RNG stream instead of the pinned classic schedule.
+    let spec = fig4_seeded_spec(&config, seeds);
     eprintln!(
         "figure 4: mean response of susan-large (aperiodic), {} activations per cell, {} cells over {workers} worker(s) ...",
         config.activations,
         spec.cell_count()
     );
-    let report = match &resume {
-        Some(journal) => {
-            let heal = HealConfig::default().with_journal(journal);
-            match run_sweep_healing(&spec, workers, &heal) {
-                Ok(healed) => {
-                    if healed.resumed > 0 {
-                        eprintln!("resumed {} cell(s) from {journal}", healed.resumed);
-                    }
-                    healed.report
-                }
-                Err(e) => runtime_error(format_args!("sweep failed: {e}")),
-            }
+    let report = if let Some(n_shards) = shards {
+        // Multi-process mode: supervise one worker process per shard; the
+        // merged report's exports are byte-identical to the in-process run.
+        let dir = flag_value(&args, "--shard-dir")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::temp_dir()
+                    .join(format!("mpdp-fig4-shards-{:016x}", spec_fingerprint(&spec)))
+            });
+        let mut passthrough = Vec::new();
+        if seeds > 1 {
+            passthrough.push("--seeds".to_string());
+            passthrough.push(seeds.to_string());
         }
-        None => match run_sweep(&spec, workers) {
-            Ok(report) => report,
-            Err(e) => runtime_error(format_args!("sweep failed: {e}")),
-        },
+        let launch = match self_launcher(passthrough, 1, std::time::Duration::ZERO) {
+            Ok(launch) => launch,
+            Err(e) => runtime_error(format_args!("cannot resolve own executable: {e}")),
+        };
+        let cfg = SuperviseConfig::default()
+            .with_shards(n_shards)
+            .with_dir(dir);
+        match supervise(&spec, &cfg, launch, |line| eprintln!("shard: {line}")) {
+            Ok(sup) => {
+                let launches: u32 = sup.shards.iter().map(|s| s.launches).sum();
+                eprintln!(
+                    "supervised {} worker process(es) across {launches} launch(es)",
+                    sup.shards.len()
+                );
+                sup.report
+            }
+            Err(e) => runtime_error(format_args!("sharded sweep failed: {e}")),
+        }
+    } else {
+        match &resume {
+            Some(journal) => {
+                let heal = HealConfig::default().with_journal(journal);
+                match run_sweep_healing(&spec, workers, &heal) {
+                    Ok(healed) => {
+                        if healed.resumed > 0 {
+                            eprintln!("resumed {} cell(s) from {journal}", healed.resumed);
+                        }
+                        healed.report
+                    }
+                    Err(e) => runtime_error(format_args!("sweep failed: {e}")),
+                }
+            }
+            None => match run_sweep(&spec, workers) {
+                Ok(report) => report,
+                Err(e) => runtime_error(format_args!("sweep failed: {e}")),
+            },
+        }
     };
     eprintln!("swept {} cells in {:.2?}", report.cells.len(), report.wall);
     if profile {

@@ -151,6 +151,24 @@ pub fn fig4_spec(config: &ExperimentConfig) -> SweepSpec {
     }
 }
 
+/// [`fig4_spec`] with a `seeds`-seed Monte Carlo transform: for `seeds >
+/// 1` the pinned classic arrival schedule is replaced by per-seed
+/// randomized burst phases drawn from each cell's RNG stream. This is the
+/// one place the transform lives, so the `fig4_response_time` binary, its
+/// shard workers, and any merge invocation agree on the spec (and thus the
+/// journal fingerprint) by construction.
+pub fn fig4_seeded_spec(config: &ExperimentConfig, seeds: usize) -> SweepSpec {
+    let mut spec = fig4_spec(config);
+    if seeds > 1 {
+        spec.arrivals = ArrivalSpec::Bursts {
+            activations: config.activations,
+            gap: config.activation_gap,
+        };
+        spec.seeds = (0..seeds as u64).collect();
+    }
+    spec
+}
+
 /// The 104-cell benchmark grid: the same shape as the determinism
 /// regression grid (2 utilizations × 2 processors × 26 seeds × 2 knob
 /// settings, single-burst arrivals) so the perf trajectory and the

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod baseline;
 pub mod cli;
 pub mod experiment;
 pub mod faultmatrix;
@@ -25,8 +26,9 @@ pub use audit::{
     audit_cell, audit_sweep, knob_is_fault_free, prototype_config, theoretical_config, CellAudit,
     SweepAudit,
 };
+pub use baseline::{load_baseline, BaselineError, BASELINE_SCHEMA};
 pub use experiment::{
-    fig4_point, fig4_report, fig4_spec, fig4_sweep, knobs_of, point_from_cell, ExperimentConfig,
-    Fig4Point,
+    fig4_point, fig4_report, fig4_seeded_spec, fig4_spec, fig4_sweep, knobs_of, point_from_cell,
+    ExperimentConfig, Fig4Point,
 };
 pub use faultmatrix::{fault_matrix_spec, INTENSITIES};

@@ -1,0 +1,907 @@
+//! The supervisor side of the shard protocol: launch one OS process per
+//! shard, watch heartbeats and exits, retry failures with deterministic
+//! capped exponential backoff, and merge the shard journals into a report
+//! whose exports are byte-identical to a single-process run.
+//!
+//! ## Failure envelope
+//!
+//! The supervisor treats worker fail-stop as a first-class, recoverable
+//! event. Every launch can end five ways — spawn failure, nonzero exit,
+//! fatal signal (`kill -9`), heartbeat stall (the watchdog kills the
+//! process), or a clean exit with an incomplete journal — and each is
+//! recorded as a typed [`ShardFailure`] and retried until the shard's
+//! budget is spent. Retries are *seed-preserving by construction*: a
+//! relaunched worker runs the same `(spec, cell index)` functions, resumes
+//! from the journal's fsynced prefix (including a torn tail, which journal
+//! recovery truncates), and therefore cannot change a single merged byte.
+//!
+//! ## Chaos harness
+//!
+//! [`ChaosPlan`] makes the supervisor its own adversary: it SIGKILLs
+//! victim workers when their journals reach seeded record-count
+//! thresholds (progress-based, so the kill provably lands mid-run rather
+//! than racing wall-clock against a fast worker), and optionally tears the
+//! first victim's journal mid-record before the relaunch. Chaos kills do
+//! not consume the organic retry budget — they test the recovery path,
+//! not the budget arithmetic.
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ExitStatus};
+use std::time::{Duration, Instant};
+
+use mpdp_sweep::{
+    merge_journal_files, plan_spec_shards, read_shard_journal, ShardPlan, SweepReport, SweepSpec,
+};
+
+use crate::error::{ShardError, ShardFailure};
+
+/// Deterministic fault injection for supervised runs: SIGKILL `kills`
+/// victim workers at seeded points of their journal progress.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Workers to SIGKILL over the run.
+    pub kills: u32,
+    /// Seed for victim shard and kill-point selection.
+    pub seed: u64,
+    /// Additionally truncate the first victim's journal mid-record before
+    /// its relaunch, exercising torn-tail recovery end to end.
+    pub tear_first: bool,
+}
+
+impl ChaosPlan {
+    /// A plan that kills `kills` workers, seeded by `seed`.
+    pub fn new(kills: u32, seed: u64) -> Self {
+        ChaosPlan {
+            kills,
+            seed,
+            tear_first: false,
+        }
+    }
+
+    /// Enables the torn-journal injection.
+    pub fn with_tear(mut self) -> Self {
+        self.tear_first = true;
+        self
+    }
+}
+
+/// Supervisor knobs.
+#[derive(Debug, Clone)]
+pub struct SuperviseConfig {
+    /// Worker processes to split the grid across (clamped to the cell
+    /// count by shard planning).
+    pub shards: usize,
+    /// Directory for shard journals (`shard-N.mpdpj`) and heartbeats
+    /// (`shard-N.hb`). Created if absent. Journals persist across
+    /// supervisor restarts, so a rerun of the same spec resumes; use a
+    /// fresh directory per spec.
+    pub dir: PathBuf,
+    /// Relaunches after a failed launch (so `retries + 1` launches per
+    /// shard before it is declared failed). Chaos kills are exempt.
+    pub retries: u32,
+    /// Sleep before the first relaunch; doubles per subsequent failure.
+    pub backoff: Duration,
+    /// Ceiling on the relaunch backoff.
+    pub backoff_cap: Duration,
+    /// A worker whose heartbeat file content does not change for this long
+    /// is declared hung and killed (then retried). Must exceed the longest
+    /// single cell.
+    pub stall_timeout: Duration,
+    /// Supervisor poll cadence.
+    pub poll_interval: Duration,
+    /// Optional chaos injection.
+    pub chaos: Option<ChaosPlan>,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            shards: 2,
+            dir: std::env::temp_dir().join("mpdp-shards"),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            stall_timeout: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(10),
+            chaos: None,
+        }
+    }
+}
+
+impl SuperviseConfig {
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the journal/heartbeat directory.
+    pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = dir.into();
+        self
+    }
+
+    /// Sets the per-shard relaunch budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the heartbeat stall deadline.
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// Sets the poll cadence.
+    pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Sets the base backoff and its cap.
+    pub fn with_backoff(mut self, backoff: Duration, cap: Duration) -> Self {
+        self.backoff = backoff;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Enables chaos injection.
+    pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Deterministic capped exponential backoff before relaunch number
+    /// `failures + 1`: `backoff * 2^failures`, capped.
+    fn backoff_for(&self, failures: u32) -> Duration {
+        let factor = 1u32 << failures.min(10);
+        self.backoff.saturating_mul(factor).min(self.backoff_cap)
+    }
+}
+
+/// How one shard's supervision concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// The shard's journal covers its whole range.
+    Completed,
+    /// The shard exhausted its retry budget; the payload is the final
+    /// launch's failure.
+    Failed(ShardFailure),
+}
+
+/// Per-shard bookkeeping of a supervised run.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// The shard's slice of the grid.
+    pub plan: ShardPlan,
+    /// The shard's journal path (kept on disk — it is the shard's output).
+    pub journal: PathBuf,
+    /// Worker processes launched for this shard (including the first).
+    pub launches: u32,
+    /// Chaos SIGKILLs delivered to this shard's workers.
+    pub chaos_kills: u32,
+    /// Organic (non-chaos) failures, in order of occurrence.
+    pub failures: Vec<ShardFailure>,
+    /// Terminal state.
+    pub outcome: ShardOutcome,
+}
+
+/// A completed supervised sharded sweep.
+#[derive(Debug)]
+pub struct SupervisedSweep {
+    /// The merged report — exports byte-identical to a single-process
+    /// [`run_sweep`](mpdp_sweep::run_sweep) of the same spec.
+    pub report: SweepReport,
+    /// Per-shard supervision bookkeeping.
+    pub shards: Vec<ShardReport>,
+    /// Total chaos SIGKILLs delivered.
+    pub chaos_kills: u32,
+    /// Journals torn mid-record by chaos injection.
+    pub torn: u32,
+}
+
+/// SplitMix64 finalizer over `(seed, lane)` — the crate's one source of
+/// "randomness", fully determined by the chaos seed.
+fn mix(seed: u64, lane: u64) -> u64 {
+    let mut z = seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Complete (newline-terminated) journal records currently on disk.
+/// A torn tail or missing file counts as zero-progress for that part.
+fn journal_records(path: &Path) -> usize {
+    match std::fs::read_to_string(path) {
+        Ok(contents) => contents
+            .split_inclusive('\n')
+            .filter(|line| line.ends_with('\n'))
+            .count()
+            .saturating_sub(1), // the header line
+        Err(_) => 0,
+    }
+}
+
+/// Tears the journal's last record mid-write (drops the final 7 bytes —
+/// inside the checksum field), as a crash between `write` and `fsync`
+/// would. Returns false when there is no complete record to tear.
+fn tear_tail(path: &Path) -> bool {
+    let Ok(bytes) = std::fs::read(path) else {
+        return false;
+    };
+    let lines = bytes.iter().filter(|b| **b == b'\n').count();
+    if lines < 2 || bytes.last() != Some(&b'\n') {
+        return false; // header only, or already torn
+    }
+    std::fs::write(path, &bytes[..bytes.len() - 7]).is_ok()
+}
+
+#[cfg(unix)]
+fn signal_of(status: &ExitStatus) -> Option<i32> {
+    use std::os::unix::process::ExitStatusExt;
+    status.signal()
+}
+
+#[cfg(not(unix))]
+fn signal_of(_status: &ExitStatus) -> Option<i32> {
+    None
+}
+
+/// One shard's live supervision state.
+enum Phase {
+    /// Waiting to (re)launch at `at`.
+    Pending { at: Instant },
+    /// A worker process is running.
+    Running {
+        child: Child,
+        /// Last observed heartbeat file content.
+        beat: String,
+        /// When the heartbeat content last changed.
+        beat_at: Instant,
+        /// The supervisor killed this worker as a chaos victim; its death
+        /// must not count against the organic retry budget.
+        chaos_kill: bool,
+        /// The supervisor killed this worker for a heartbeat stall.
+        stall_kill: bool,
+    },
+    /// Journal covers the range.
+    Done,
+    /// Retry budget exhausted.
+    Dead,
+}
+
+struct ShardState {
+    plan: ShardPlan,
+    journal: PathBuf,
+    heartbeat: PathBuf,
+    launches: u32,
+    chaos_kills: u32,
+    failures: Vec<ShardFailure>,
+    /// Pending chaos kill thresholds (journal record counts), ascending.
+    kill_at: VecDeque<usize>,
+    phase: Phase,
+}
+
+impl ShardState {
+    /// Records an organic failure and either schedules a relaunch or
+    /// declares the shard dead.
+    fn fail(&mut self, failure: ShardFailure, cfg: &SuperviseConfig, log: &mut dyn FnMut(&str)) {
+        let failures = self.failures.len() as u32;
+        self.failures.push(failure.clone());
+        if failures >= cfg.retries {
+            log(&format!(
+                "shard {}: {failure}; retry budget exhausted after {} launches",
+                self.plan.index, self.launches
+            ));
+            self.phase = Phase::Dead;
+        } else {
+            let wait = cfg.backoff_for(failures);
+            log(&format!(
+                "shard {}: {failure}; relaunching in {wait:?}",
+                self.plan.index
+            ));
+            self.phase = Phase::Pending {
+                at: Instant::now() + wait,
+            };
+        }
+    }
+}
+
+/// Supervises a full sharded run of `spec`: plans disjoint shards,
+/// launches a worker per shard via `launch`, watches heartbeats and
+/// exits, retries failures, applies the configured chaos, and merges the
+/// shard journals into a [`SupervisedSweep`]. `log` receives the
+/// recovery transcript, one human-readable line per event.
+///
+/// `launch` is called as `launch(&plan, launch_number, journal_path,
+/// heartbeat_path)` and must start a worker process that runs exactly the
+/// plan's cells — normally by re-executing the current binary with hidden
+/// worker flags (see [`reexec`](crate::reexec)); tests substitute shell
+/// stand-ins.
+///
+/// # Errors
+///
+/// [`ShardError::Spec`] before anything launches,
+/// [`ShardError::ShardFailed`] when a shard exhausts its budget (other
+/// shards are still driven to completion first, so their journals remain
+/// resumable), [`ShardError::Merge`] if the completed journals will not
+/// recombine, and [`ShardError::Io`] for supervisor-side filesystem
+/// failures.
+pub fn supervise<L, G>(
+    spec: &SweepSpec,
+    cfg: &SuperviseConfig,
+    mut launch: L,
+    mut log: G,
+) -> Result<SupervisedSweep, ShardError>
+where
+    L: FnMut(&ShardPlan, u32, &Path, &Path) -> io::Result<Child>,
+    G: FnMut(&str),
+{
+    let plans = plan_spec_shards(spec, cfg.shards).map_err(ShardError::Spec)?;
+    std::fs::create_dir_all(&cfg.dir).map_err(|e| ShardError::Io {
+        path: cfg.dir.display().to_string(),
+        detail: e.to_string(),
+    })?;
+
+    // Seeded chaos schedule: (victim shard, record-count threshold) pairs.
+    // Thresholds are strictly below the shard's cell count, so the kill
+    // lands while the worker still has cells to run.
+    let mut tear_pending = cfg.chaos.as_ref().is_some_and(|c| c.tear_first);
+    let mut kill_plan: Vec<VecDeque<usize>> = vec![VecDeque::new(); plans.len()];
+    if let Some(chaos) = &cfg.chaos {
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); plans.len()];
+        for k in 0..chaos.kills {
+            let lane = 2 * u64::from(k);
+            let victim = (mix(chaos.seed, lane) % plans.len() as u64) as usize;
+            let span = plans[victim].len().saturating_sub(1).max(1) as u64;
+            let threshold = 1 + (mix(chaos.seed, lane + 1) % span) as usize;
+            per_shard[victim].push(threshold);
+        }
+        for (shard, mut thresholds) in per_shard.into_iter().enumerate() {
+            thresholds.sort_unstable();
+            kill_plan[shard] = thresholds.into();
+        }
+    }
+
+    let now = Instant::now();
+    let mut shards: Vec<ShardState> = plans
+        .iter()
+        .map(|plan| ShardState {
+            plan: *plan,
+            journal: cfg.dir.join(format!("shard-{}.mpdpj", plan.index)),
+            heartbeat: cfg.dir.join(format!("shard-{}.hb", plan.index)),
+            launches: 0,
+            chaos_kills: 0,
+            failures: Vec::new(),
+            kill_at: std::mem::take(&mut kill_plan[plan.index]),
+            phase: Phase::Pending { at: now },
+        })
+        .collect();
+    let mut total_chaos_kills = 0u32;
+    let mut torn = 0u32;
+
+    loop {
+        let mut active = false;
+        for s in &mut shards {
+            match &mut s.phase {
+                Phase::Done | Phase::Dead => continue,
+                Phase::Pending { at } => {
+                    active = true;
+                    if Instant::now() < *at {
+                        continue;
+                    }
+                    let attempt = s.launches;
+                    match launch(&s.plan, attempt, &s.journal, &s.heartbeat) {
+                        Ok(child) => {
+                            s.launches += 1;
+                            log(&format!(
+                                "shard {}: launched worker pid {} (launch {}, cells {}..{})",
+                                s.plan.index,
+                                child.id(),
+                                s.launches,
+                                s.plan.start,
+                                s.plan.end
+                            ));
+                            s.phase = Phase::Running {
+                                child,
+                                beat: String::new(),
+                                beat_at: Instant::now(),
+                                chaos_kill: false,
+                                stall_kill: false,
+                            };
+                        }
+                        Err(e) => {
+                            s.launches += 1;
+                            s.fail(
+                                ShardFailure::Spawn {
+                                    detail: e.to_string(),
+                                },
+                                cfg,
+                                &mut log,
+                            );
+                        }
+                    }
+                }
+                Phase::Running {
+                    child,
+                    beat,
+                    beat_at,
+                    chaos_kill,
+                    stall_kill,
+                } => {
+                    active = true;
+                    match child.try_wait() {
+                        Err(e) => {
+                            let detail = e.to_string();
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            s.fail(ShardFailure::Spawn { detail }, cfg, &mut log);
+                            continue;
+                        }
+                        Ok(Some(status)) => {
+                            let was_chaos = *chaos_kill;
+                            let was_stall = *stall_kill;
+                            let index = s.plan.index;
+                            if was_chaos {
+                                if tear_pending && tear_tail(&s.journal) {
+                                    tear_pending = false;
+                                    torn += 1;
+                                    log(&format!(
+                                        "shard {index}: journal torn mid-record after chaos kill"
+                                    ));
+                                }
+                                log(&format!(
+                                    "shard {index}: chaos victim reaped; relaunching to resume"
+                                ));
+                                s.phase = Phase::Pending {
+                                    at: Instant::now() + cfg.backoff,
+                                };
+                            } else if was_stall {
+                                let journaled = journal_records(&s.journal);
+                                s.fail(ShardFailure::Stalled { journaled }, cfg, &mut log);
+                            } else if status.success() {
+                                let journaled = match read_shard_journal(&s.journal, spec) {
+                                    Ok(records) => records
+                                        .iter()
+                                        .filter(|(i, _)| s.plan.range().contains(i))
+                                        .count(),
+                                    Err(_) => 0,
+                                };
+                                if journaled == s.plan.len() {
+                                    if !s.kill_at.is_empty() {
+                                        log(&format!(
+                                            "shard {index}: {} chaos kill(s) skipped (worker finished first)",
+                                            s.kill_at.len()
+                                        ));
+                                        s.kill_at.clear();
+                                    }
+                                    log(&format!(
+                                        "shard {index}: completed ({journaled} cells, {} launch(es))",
+                                        s.launches
+                                    ));
+                                    s.phase = Phase::Done;
+                                } else {
+                                    s.fail(
+                                        ShardFailure::Incomplete {
+                                            journaled,
+                                            expected: s.plan.len(),
+                                        },
+                                        cfg,
+                                        &mut log,
+                                    );
+                                }
+                            } else if let Some(code) = status.code() {
+                                s.fail(ShardFailure::Exited { code }, cfg, &mut log);
+                            } else {
+                                s.fail(
+                                    ShardFailure::Crashed {
+                                        signal: signal_of(&status),
+                                    },
+                                    cfg,
+                                    &mut log,
+                                );
+                            }
+                        }
+                        Ok(None) => {
+                            // Still running: chaos first, then the stall
+                            // watchdog.
+                            if let Some(&threshold) = s.kill_at.front() {
+                                let records = journal_records(&s.journal);
+                                if records >= threshold {
+                                    s.kill_at.pop_front();
+                                    let _ = child.kill();
+                                    *chaos_kill = true;
+                                    s.chaos_kills += 1;
+                                    total_chaos_kills += 1;
+                                    log(&format!(
+                                        "shard {}: chaos SIGKILL at {records} journaled cells \
+                                         (threshold {threshold})",
+                                        s.plan.index
+                                    ));
+                                    continue;
+                                }
+                            }
+                            let current = std::fs::read_to_string(&s.heartbeat).unwrap_or_default();
+                            if current != *beat {
+                                *beat = current;
+                                *beat_at = Instant::now();
+                            } else if beat_at.elapsed() > cfg.stall_timeout {
+                                let _ = child.kill();
+                                *stall_kill = true;
+                                log(&format!(
+                                    "shard {}: heartbeat stalled for {:?}; killing worker",
+                                    s.plan.index, cfg.stall_timeout
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !active {
+            break;
+        }
+        std::thread::sleep(cfg.poll_interval);
+    }
+
+    let reports: Vec<ShardReport> = shards
+        .iter()
+        .map(|s| ShardReport {
+            plan: s.plan,
+            journal: s.journal.clone(),
+            launches: s.launches,
+            chaos_kills: s.chaos_kills,
+            failures: s.failures.clone(),
+            outcome: if matches!(s.phase, Phase::Done) {
+                ShardOutcome::Completed
+            } else {
+                ShardOutcome::Failed(s.failures.last().cloned().unwrap_or(ShardFailure::Spawn {
+                    detail: "never launched".to_string(),
+                }))
+            },
+        })
+        .collect();
+
+    if let Some(failed) = reports
+        .iter()
+        .find(|r| matches!(r.outcome, ShardOutcome::Failed(_)))
+    {
+        let ShardOutcome::Failed(failure) = failed.outcome.clone() else {
+            unreachable!("filtered on Failed");
+        };
+        return Err(ShardError::ShardFailed {
+            shard: failed.plan.index,
+            failure,
+            launches: failed.launches,
+        });
+    }
+
+    let journals: Vec<PathBuf> = reports.iter().map(|r| r.journal.clone()).collect();
+    let report = merge_journal_files(spec, &journals)?;
+    log(&format!(
+        "merged {} shard journal(s): {} cells, {} chaos kill(s), {} torn journal(s)",
+        journals.len(),
+        report.cells.len(),
+        total_chaos_kills,
+        torn
+    ));
+    Ok(SupervisedSweep {
+        report,
+        shards: reports,
+        chaos_kills: total_chaos_kills,
+        torn,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_sweep::{run_cell, spec_fingerprint, Journal, SweepSpec};
+    use std::process::Command;
+
+    /// A 9-cell grid (3 procs × 3 utilizations × 1 seed × 1 knob).
+    fn spec() -> SweepSpec {
+        let mut spec = SweepSpec::figure4();
+        spec.seeds = vec![0];
+        spec
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpdp-sup-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_cfg(dir: PathBuf) -> SuperviseConfig {
+        SuperviseConfig::default()
+            .with_dir(dir)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(8))
+            .with_poll_interval(Duration::from_millis(2))
+    }
+
+    /// Completes `plan`'s cells in its journal in-process, then returns a
+    /// trivially-succeeding child. The supervisor cannot tell this from a
+    /// real worker: the journal is the protocol.
+    fn fill_journal(spec: &SweepSpec, plan: &ShardPlan, journal: &Path) {
+        let cells = spec.cells();
+        let j = Journal::open(journal, spec).expect("journal opens");
+        let done = j.recovered().clone();
+        for index in plan.range() {
+            if done.contains_key(&index) {
+                continue;
+            }
+            let result = run_cell(spec, &cells[index]).expect("cell runs");
+            j.append(spec.cell_stream(&cells[index]), &result)
+                .expect("appends");
+        }
+    }
+
+    fn sh(script: &str) -> io::Result<Child> {
+        Command::new("sh").arg("-c").arg(script).spawn()
+    }
+
+    #[test]
+    fn happy_path_supervises_and_merges_byte_identically() {
+        let spec = spec();
+        let golden = mpdp_sweep::run_sweep(&spec, 1).expect("golden");
+        let dir = tempdir("happy");
+        let cfg = quick_cfg(dir.clone()).with_shards(3);
+        let mut transcript = Vec::new();
+        let sup = supervise(
+            &spec,
+            &cfg,
+            |plan, _attempt, journal, _hb| {
+                fill_journal(&spec, plan, journal);
+                sh("true")
+            },
+            |line| transcript.push(line.to_string()),
+        )
+        .expect("supervised run completes");
+        assert_eq!(sup.shards.len(), 3);
+        assert!(sup
+            .shards
+            .iter()
+            .all(|s| s.outcome == ShardOutcome::Completed && s.launches == 1));
+        assert_eq!(
+            mpdp_sweep::cells_csv(&golden),
+            mpdp_sweep::cells_csv(&sup.report)
+        );
+        assert_eq!(
+            mpdp_sweep::report_json(&golden),
+            mpdp_sweep::report_json(&sup.report)
+        );
+        assert!(transcript.iter().any(|l| l.contains("completed")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crashed_worker_is_retried_and_the_run_still_completes() {
+        let spec = spec();
+        let dir = tempdir("crash");
+        let cfg = quick_cfg(dir.clone()).with_shards(1).with_retries(2);
+        let mut transcript = Vec::new();
+        let sup = supervise(
+            &spec,
+            &cfg,
+            |plan, attempt, journal, _hb| {
+                if attempt == 0 {
+                    // First launch dies by SIGKILL before journaling.
+                    sh("kill -9 $$")
+                } else {
+                    fill_journal(&spec, plan, journal);
+                    sh("true")
+                }
+            },
+            |line| transcript.push(line.to_string()),
+        )
+        .expect("retry recovers the crash");
+        assert_eq!(sup.shards[0].launches, 2);
+        assert_eq!(
+            sup.shards[0].failures,
+            vec![ShardFailure::Crashed { signal: Some(9) }]
+        );
+        assert!(transcript.iter().any(|l| l.contains("killed by signal 9")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stalled_worker_is_killed_and_retried() {
+        let spec = spec();
+        let dir = tempdir("stall");
+        let cfg = quick_cfg(dir.clone())
+            .with_shards(1)
+            .with_retries(1)
+            .with_stall_timeout(Duration::from_millis(40));
+        let sup = supervise(
+            &spec,
+            &cfg,
+            |plan, attempt, journal, _hb| {
+                if attempt == 0 {
+                    // Never heartbeats, never exits: a hang.
+                    sh("sleep 30")
+                } else {
+                    fill_journal(&spec, plan, journal);
+                    sh("true")
+                }
+            },
+            |_| {},
+        )
+        .expect("watchdog breaks the hang");
+        assert_eq!(sup.shards[0].launches, 2);
+        assert_eq!(
+            sup.shards[0].failures,
+            vec![ShardFailure::Stalled { journaled: 0 }]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_failed_shard() {
+        let spec = spec();
+        let dir = tempdir("dead");
+        let cfg = quick_cfg(dir.clone()).with_shards(2).with_retries(1);
+        let err = supervise(
+            &spec,
+            &cfg,
+            |plan, _attempt, journal, _hb| {
+                if plan.index == 1 {
+                    sh("exit 9")
+                } else {
+                    fill_journal(&spec, plan, journal);
+                    sh("true")
+                }
+            },
+            |_| {},
+        )
+        .expect_err("shard 1 must fail");
+        match err {
+            ShardError::ShardFailed {
+                shard,
+                failure,
+                launches,
+            } => {
+                assert_eq!(shard, 1);
+                assert_eq!(failure, ShardFailure::Exited { code: 9 });
+                assert_eq!(launches, 2, "retries + 1 launches");
+            }
+            other => panic!("expected ShardFailed, got {other}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_exit_with_a_short_journal_counts_as_a_failure() {
+        let spec = spec();
+        let dir = tempdir("short");
+        let cfg = quick_cfg(dir.clone()).with_shards(1).with_retries(1);
+        let sup = supervise(
+            &spec,
+            &cfg,
+            |plan, attempt, journal, _hb| {
+                if attempt == 0 {
+                    // Journals all but the last cell, then lies with exit 0.
+                    let partial = ShardPlan {
+                        end: plan.end - 1,
+                        ..*plan
+                    };
+                    fill_journal(&spec, &partial, journal);
+                } else {
+                    fill_journal(&spec, plan, journal);
+                }
+                sh("true")
+            },
+            |_| {},
+        )
+        .expect("retry completes the journal");
+        assert_eq!(
+            sup.shards[0].failures,
+            vec![ShardFailure::Incomplete {
+                journaled: 8,
+                expected: 9
+            }]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_kill_and_torn_journal_recover_without_spending_the_budget() {
+        let spec = spec();
+        let golden = mpdp_sweep::run_sweep(&spec, 1).expect("golden");
+        let dir = tempdir("chaos");
+        // retries 0: any organic failure would abort, proving the chaos
+        // kill and the torn journal are exempt from the budget. The torn
+        // journal shows up as one extra Incomplete? No — the relaunched
+        // worker (fill_journal) completes the missing cells before exit,
+        // so no organic failure occurs at all.
+        let cfg = quick_cfg(dir.clone())
+            .with_shards(1)
+            .with_retries(0)
+            .with_chaos(ChaosPlan::new(1, 0xC0FFEE).with_tear());
+        let mut transcript = Vec::new();
+        let sup = supervise(
+            &spec,
+            &cfg,
+            |plan, attempt, journal, _hb| {
+                // First launch journals everything, then hangs: the chaos
+                // kill always lands mid-"run". The relaunch repairs the
+                // torn tail and exits cleanly.
+                fill_journal(&spec, plan, journal);
+                if attempt == 0 {
+                    sh("sleep 30")
+                } else {
+                    sh("true")
+                }
+            },
+            |line| transcript.push(line.to_string()),
+        )
+        .expect("chaos victim recovers");
+        assert_eq!(sup.chaos_kills, 1);
+        assert_eq!(sup.torn, 1);
+        assert!(sup.shards[0].failures.is_empty(), "{:?}", sup.shards[0]);
+        assert!(sup.shards[0].launches >= 2);
+        assert_eq!(
+            mpdp_sweep::cells_csv(&golden),
+            mpdp_sweep::cells_csv(&sup.report)
+        );
+        assert_eq!(
+            mpdp_sweep::report_json(&golden),
+            mpdp_sweep::report_json(&sup.report)
+        );
+        assert!(transcript.iter().any(|l| l.contains("chaos SIGKILL")));
+        assert!(transcript.iter().any(|l| l.contains("torn mid-record")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journals_persist_for_resume_across_supervisor_restarts() {
+        let spec = spec();
+        let dir = tempdir("restart");
+        let cfg = quick_cfg(dir.clone()).with_shards(1).with_retries(0);
+        // First supervision run completes and leaves the journal behind.
+        supervise(
+            &spec,
+            &cfg,
+            |plan, _a, journal, _hb| {
+                fill_journal(&spec, plan, journal);
+                sh("true")
+            },
+            |_| {},
+        )
+        .expect("first run");
+        // A second supervisor over the same dir needs no cell work at all:
+        // its worker (a bare `true`) exits instantly and the journal
+        // already covers the range.
+        let sup = supervise(&spec, &cfg, |_p, _a, _j, _hb| sh("true"), |_| {})
+            .expect("restart resumes from journals");
+        assert_eq!(sup.shards[0].launches, 1);
+        assert_eq!(sup.report.cells.len(), spec.cell_count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_record_counter_ignores_torn_tails() {
+        let spec = spec();
+        let dir = tempdir("records");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("j.mpdpj");
+        assert_eq!(journal_records(&path), 0, "missing file");
+        let plan = ShardPlan {
+            index: 0,
+            count: 1,
+            start: 0,
+            end: 3,
+        };
+        fill_journal(&spec, &plan, &path);
+        assert_eq!(journal_records(&path), 3);
+        assert!(tear_tail(&path));
+        assert_eq!(journal_records(&path), 2, "torn record no longer counts");
+        // Sanity: the torn journal still opens and recovers the prefix.
+        let j = Journal::open(&path, &spec).expect("recovery");
+        assert_eq!(j.recovered().len(), 2);
+        assert_eq!(spec_fingerprint(&spec), spec_fingerprint(&spec));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,133 @@
+//! The worker side of the shard protocol: run one shard's cells, journal
+//! every completion, and bump a heartbeat file so the supervisor can tell
+//! a slow shard from a dead one.
+//!
+//! A worker is deliberately boring: it is
+//! [`run_shard_healing`](mpdp_sweep::run_shard_healing) (panic isolation,
+//! in-process retries, checkpoint journal) plus a heartbeat side channel.
+//! All of its crash tolerance lives in the journal — a worker that is
+//! SIGKILLed mid-cell leaves an fsynced prefix, and its replacement
+//! resumes from it. The heartbeat is advisory: failing to write it never
+//! fails the shard (the supervisor would just see a stall and restart a
+//! healthy worker, which is safe, merely wasteful).
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use mpdp_sweep::{run_shard_healing, HealConfig, ShardRun, SweepError, SweepSpec};
+
+/// Worker-side knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Worker-pool threads inside this process.
+    pub threads: usize,
+    /// In-process retry budget per cell (see [`HealConfig::retries`]).
+    pub retries: u32,
+    /// Artificial pause after each completed cell. Zero in production;
+    /// chaos tests use it to keep workers alive long enough to be killed
+    /// mid-run deterministically.
+    pub throttle: Duration,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            threads: 1,
+            retries: 1,
+            throttle: Duration::ZERO,
+        }
+    }
+}
+
+/// Writes `count` to the heartbeat file. Advisory — errors are ignored
+/// (see the module docs for why that is safe).
+fn beat(path: &Path, count: u64) {
+    let _ = std::fs::write(path, format!("{count}\n"));
+}
+
+/// Runs the cells `range` of `spec`, journaling into `journal` and
+/// heartbeating into `heartbeat`. Returns the shard bookkeeping on
+/// success; the caller (the `sweep_shard worker` subcommand) maps errors
+/// to a nonzero exit the supervisor observes and retries.
+///
+/// The heartbeat protocol: write `0` immediately (proof of launch), then
+/// the cumulative completed-cell count after every durable completion.
+/// The supervisor declares a stall only when the file's *content* stops
+/// changing, so any forward progress — however slow — keeps a worker
+/// alive.
+///
+/// # Errors
+///
+/// Everything [`run_shard_healing`] can return; the journal keeps every
+/// completed cell regardless.
+pub fn run_worker(
+    spec: &SweepSpec,
+    range: std::ops::Range<usize>,
+    journal: &Path,
+    heartbeat: &Path,
+    cfg: &WorkerConfig,
+) -> Result<ShardRun, SweepError> {
+    beat(heartbeat, 0);
+    let completed = AtomicU64::new(0);
+    let heal = HealConfig::default()
+        .with_retries(cfg.retries)
+        .with_journal(journal);
+    let throttle = cfg.throttle;
+    run_shard_healing(spec, range, cfg.threads, &heal, |_cell| {
+        let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        beat(heartbeat, n);
+        if !throttle.is_zero() {
+            std::thread::sleep(throttle);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_sweep::SweepSpec;
+
+    fn tempdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpdp-worker-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn worker_journals_its_range_and_heartbeats_every_cell() {
+        let mut spec = SweepSpec::figure4();
+        spec.proc_counts = vec![2];
+        spec.utilizations = vec![0.4, 0.5];
+        let dir = tempdir("happy");
+        let journal = dir.join("shard.mpdpj");
+        let heartbeat = dir.join("shard.hb");
+        let run = run_worker(&spec, 0..2, &journal, &heartbeat, &WorkerConfig::default())
+            .expect("worker completes");
+        assert_eq!((run.executed, run.resumed), (2, 0));
+        let beats = std::fs::read_to_string(&heartbeat).expect("heartbeat written");
+        assert_eq!(beats, "2\n", "final heartbeat is the completed count");
+        // A relaunch resumes entirely from the journal.
+        let rerun = run_worker(&spec, 0..2, &journal, &heartbeat, &WorkerConfig::default())
+            .expect("relaunch resumes");
+        assert_eq!((rerun.executed, rerun.resumed), (0, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_reports_a_bad_range_as_a_typed_error() {
+        let spec = SweepSpec::figure4();
+        let dir = tempdir("bad-range");
+        let err = run_worker(
+            &spec,
+            0..spec.cell_count() + 1,
+            &dir.join("j"),
+            &dir.join("hb"),
+            &WorkerConfig::default(),
+        )
+        .expect_err("range exceeds grid");
+        assert!(matches!(err, SweepError::ShardRange { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -71,6 +71,16 @@ pub enum SweepError {
         /// Total cells in the grid.
         total: usize,
     },
+    /// A shard's cell-index range does not fit the spec's grid (a stale or
+    /// mistyped range handed to a worker process).
+    ShardRange {
+        /// First cell index of the requested shard (inclusive).
+        start: usize,
+        /// One past the last cell index (exclusive).
+        end: usize,
+        /// Total cells in the grid.
+        total: usize,
+    },
     /// The checkpoint journal could not be opened, read, or appended.
     Journal {
         /// Path of the journal file.
@@ -119,6 +129,12 @@ impl fmt::Display for SweepError {
                     f,
                     "sweep interrupted after {completed} of {total} cells; completed cells \
                      are journaled and the run can be resumed"
+                )
+            }
+            SweepError::ShardRange { start, end, total } => {
+                write!(
+                    f,
+                    "shard range {start}..{end} does not fit a {total}-cell grid"
                 )
             }
             SweepError::Journal { path, detail } => {

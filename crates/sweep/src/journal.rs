@@ -38,7 +38,22 @@ use crate::error::SweepError;
 use crate::spec::SweepSpec;
 
 /// Magic + version tag of the journal header line.
-const MAGIC: &str = "MPDPJ1";
+pub(crate) const MAGIC: &str = "MPDPJ1";
+
+/// The header line (no trailing newline) binding a journal to `fingerprint`.
+pub(crate) fn header_line(fingerprint: u64) -> String {
+    format!("{MAGIC} fp={fingerprint:016x}")
+}
+
+/// Parses a journal header line (no trailing newline) into its spec
+/// fingerprint, `None` if the line is not a well-formed header.
+pub(crate) fn parse_header(line: &str) -> Option<u64> {
+    let rest = line.strip_prefix(MAGIC)?.strip_prefix(" fp=")?;
+    if rest.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(rest, 16).ok()
+}
 
 /// FNV-1a over a byte string; the journal's fingerprint and record
 /// checksum. Not cryptographic — it detects torn writes and accidental
@@ -88,7 +103,7 @@ impl Journal {
             detail,
         };
         let fingerprint = spec_fingerprint(spec);
-        let header = format!("{MAGIC} fp={fingerprint:016x}\n");
+        let header = format!("{}\n", header_line(fingerprint));
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -106,6 +121,18 @@ impl Journal {
                 .map_err(|e| err(format!("cannot write header: {e}")))?;
             file.sync_data()
                 .map_err(|e| err(format!("cannot sync: {e}")))?;
+        } else if !contents.contains('\n') && header.starts_with(&contents) {
+            // A kill landed mid-header-write: the file holds a strict
+            // prefix of the expected header. Nothing was journaled yet, so
+            // reset the file rather than reject it as a different sweep.
+            file.set_len(0)
+                .map_err(|e| err(format!("cannot reset torn header: {e}")))?;
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| err(format!("cannot seek: {e}")))?;
+            file.write_all(header.as_bytes())
+                .map_err(|e| err(format!("cannot write header: {e}")))?;
+            file.sync_data()
+                .map_err(|e| err(format!("cannot sync: {e}")))?;
         } else {
             let mut lines = contents.split_inclusive('\n');
             let head = lines.next().unwrap_or("");
@@ -118,12 +145,15 @@ impl Journal {
             }
             // Parse records until the first malformed line, then truncate
             // there: a torn final write loses one cell, never the file.
+            // Cells are enumerated once up front: record validation is
+            // then O(1) per record instead of O(grid) per record.
+            let cells = spec.cells();
             let mut good = head.len() as u64;
             for line in lines {
                 if !line.ends_with('\n') {
                     break; // torn tail
                 }
-                match parse_record(line.trim_end(), spec) {
+                match parse_record_with(line.trim_end(), spec, &cells) {
                     Some((index, result)) => {
                         recovered.insert(index, result);
                         good += line.len() as u64;
@@ -299,10 +329,14 @@ fn format_record(stream: u64, result: &CellResult) -> String {
     format!("{body} #{:016x}\n", fnv1a(body.as_bytes()))
 }
 
-/// Parses one record line (no trailing newline). Returns `None` for any
-/// malformed, checksum-failing, or spec-mismatched record — the caller
-/// truncates the file there.
-fn parse_record(line: &str, spec: &SweepSpec) -> Option<(usize, CellResult)> {
+/// Parses one record line (no trailing newline) against a pre-enumerated
+/// cell list. Returns `None` for any malformed, checksum-failing, or
+/// spec-mismatched record — the caller truncates (or stops reading) there.
+pub(crate) fn parse_record_with(
+    line: &str,
+    spec: &SweepSpec,
+    cells: &[crate::spec::CellSpec],
+) -> Option<(usize, CellResult)> {
     let (body, crc) = line.rsplit_once(" #")?;
     let crc: u64 = u64::from_str_radix(crc, 16).ok()?;
     if crc != fnv1a(body.as_bytes()) {
@@ -328,7 +362,6 @@ fn parse_record(line: &str, spec: &SweepSpec) -> Option<(usize, CellResult)> {
     // no longer matches — the spec must be byte-for-byte the one that
     // wrote the journal (the header fingerprint already guarantees this;
     // the per-record check catches hand-edited or spliced files).
-    let cells = spec.cells();
     let cell = *cells.get(index)?;
     if spec.cell_stream(&cell) != stream {
         return None;
@@ -379,9 +412,28 @@ mod tests {
         let result = run_cell(&spec, &cells[0]).expect("cell runs");
         let stream = spec.cell_stream(&cells[0]);
         let line = format_record(stream, &result);
-        let (index, parsed) = parse_record(line.trim_end(), &spec).expect("parses");
+        let (index, parsed) = parse_record_with(line.trim_end(), &spec, &cells).expect("parses");
         assert_eq!(index, 0);
         assert_eq!(parsed, result);
+    }
+
+    #[test]
+    fn torn_header_resets_instead_of_rejecting() {
+        let spec = tiny_spec();
+        let cells = spec.cells();
+        let path = tempfile("torn-header");
+        // A kill mid-header-write leaves a newline-less header prefix.
+        std::fs::write(&path, &header_line(spec_fingerprint(&spec))[..4]).expect("tear header");
+        let journal = Journal::open(&path, &spec).expect("recovers from a torn header");
+        assert!(journal.recovered().is_empty());
+        let result = run_cell(&spec, &cells[0]).expect("cell runs");
+        journal
+            .append(spec.cell_stream(&cells[0]), &result)
+            .expect("appends after reset");
+        drop(journal);
+        let journal = Journal::open(&path, &spec).expect("reopens");
+        assert_eq!(journal.recovered().len(), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -54,8 +54,10 @@
 pub mod engine;
 pub mod error;
 pub mod journal;
+pub mod merge;
 pub mod report;
 pub mod resilient;
+pub mod shard;
 pub mod spec;
 
 pub use engine::{
@@ -64,8 +66,11 @@ pub use engine::{
 };
 pub use error::SweepError;
 pub use journal::{spec_fingerprint, Journal};
+pub use merge::{merge_journal_files, read_shard_journal, MergeError};
 pub use report::{cells_csv, find_cell, group_summaries, report_json, summary_csv, GroupSummary};
 pub use resilient::{
-    run_sweep_healing, run_sweep_healing_with, CellOutcome, HealConfig, HealedSweep,
+    run_shard_healing, run_sweep_healing, run_sweep_healing_with, CellOutcome, HealConfig,
+    HealedSweep, ShardRun,
 };
+pub use shard::{plan_shards, plan_spec_shards, ShardPlan};
 pub use spec::{ArrivalSpec, CellSpec, Knobs, PolicyKind, SweepSpec, WorkloadSpec};

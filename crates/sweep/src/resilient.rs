@@ -186,6 +186,237 @@ where
     }
 }
 
+/// What one pending cell produced: the result (or the typed failure after
+/// exhausted retries), how it concluded, and its wall time.
+type SlotEntry = (Result<CellResult, SweepError>, CellOutcome, Duration);
+
+/// The shared worker-pool core of every self-healing run: claims pending
+/// cells from an atomic cursor, runs each under
+/// [`attempt_cell`]'s panic/watchdog guard with bounded backoff retries,
+/// journals successes immediately (fsynced, so a later kill loses nothing
+/// that finished), and reports `progress(cell_index)` after each durable
+/// success — the hook shard workers use to bump their heartbeat file.
+///
+/// Returns one entry per pending cell, `None` for cells never claimed
+/// (budget exhausted or a peer aborted the pool).
+#[allow(clippy::too_many_arguments)]
+fn heal_pending<F>(
+    spec_arc: &Arc<SweepSpec>,
+    pending: &[CellSpec],
+    to_run: usize,
+    n_workers: usize,
+    heal: &HealConfig,
+    journal: Option<&Journal>,
+    runner: &Arc<F>,
+    progress: &(dyn Fn(usize) + Sync),
+) -> Vec<Option<SlotEntry>>
+where
+    F: Fn(&SweepSpec, &CellSpec) -> Result<CellResult, SweepError> + Send + Sync + 'static,
+{
+    let slots: Vec<Mutex<Option<SlotEntry>>> = pending.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= to_run {
+                    break;
+                }
+                let cell = pending[i];
+                let t0 = Instant::now();
+                let mut failed_attempts = 0u32;
+                let entry = loop {
+                    match attempt_cell(runner, spec_arc, cell, heal.cell_timeout) {
+                        Attempt::Done(result) => {
+                            let outcome = if failed_attempts == 0 {
+                                CellOutcome::Ok
+                            } else {
+                                CellOutcome::Retried {
+                                    attempts: failed_attempts,
+                                }
+                            };
+                            break (*result, outcome, t0.elapsed());
+                        }
+                        Attempt::Panicked(message) => {
+                            if failed_attempts >= heal.retries {
+                                abort.store(true, Ordering::Relaxed);
+                                break (
+                                    Err(SweepError::CellPanicked {
+                                        cell: cell.index,
+                                        message: message.clone(),
+                                    }),
+                                    CellOutcome::Panicked { message },
+                                    t0.elapsed(),
+                                );
+                            }
+                            std::thread::sleep(heal.backoff_for(failed_attempts));
+                            failed_attempts += 1;
+                        }
+                        Attempt::TimedOut => {
+                            if failed_attempts >= heal.retries {
+                                abort.store(true, Ordering::Relaxed);
+                                break (
+                                    Err(SweepError::CellTimedOut { cell: cell.index }),
+                                    CellOutcome::TimedOut,
+                                    t0.elapsed(),
+                                );
+                            }
+                            std::thread::sleep(heal.backoff_for(failed_attempts));
+                            failed_attempts += 1;
+                        }
+                    }
+                };
+                // Journal successes immediately so a later kill loses
+                // nothing that finished.
+                if let (Some(j), Ok(result)) = (&journal, &entry.0) {
+                    if let Err(e) = j.append(spec_arc.cell_stream(&cell), result) {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut slot = slots[i].lock().unwrap_or_else(|p| p.into_inner());
+                        *slot = Some((Err(e), entry.1, entry.2));
+                        continue;
+                    }
+                }
+                if entry.0.is_ok() {
+                    progress(cell.index);
+                }
+                let mut slot = slots[i].lock().unwrap_or_else(|p| p.into_inner());
+                *slot = Some(entry);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap_or_else(|p| p.into_inner()))
+        .collect()
+}
+
+/// A completed (or resumed-to-completion) shard run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRun {
+    /// Cells executed this run (journal hits excluded).
+    pub executed: usize,
+    /// Cells recovered from the shard journal instead of executed.
+    pub resumed: usize,
+    /// Per-cell outcomes, indexed by position within the shard's range.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+/// Runs only the cells in `range` — one shard of the grid — with the full
+/// self-healing envelope (panic isolation, watchdog, retries,
+/// checkpoint/resume via [`HealConfig::journal`]). `progress` is invoked
+/// with the cell index after each cell is durably completed (journaled
+/// when a journal is configured); shard worker processes use it to bump
+/// their heartbeat file so the supervisor can tell a slow shard from a
+/// hung one.
+///
+/// Results are **not** returned — a shard's output is its journal, which
+/// [`merge_journal_files`](crate::merge_journal_files) recombines
+/// byte-exactly. The returned [`ShardRun`] is bookkeeping.
+///
+/// # Errors
+///
+/// Everything [`run_sweep_healing`] can return, plus
+/// [`SweepError::ShardRange`] when `range` does not fit the grid.
+/// [`SweepError::Interrupted`] counts `completed`/`total` within the
+/// shard, not the grid.
+pub fn run_shard_healing<P>(
+    spec: &SweepSpec,
+    range: std::ops::Range<usize>,
+    workers: usize,
+    heal: &HealConfig,
+    progress: P,
+) -> Result<ShardRun, SweepError>
+where
+    P: Fn(usize) + Sync,
+{
+    spec.validate()?;
+    let cells = spec.cells();
+    if range.start > range.end || range.end > cells.len() {
+        return Err(SweepError::ShardRange {
+            start: range.start,
+            end: range.end,
+            total: cells.len(),
+        });
+    }
+    let journal = match &heal.journal {
+        Some(path) => Some(Journal::open(path, spec)?),
+        None => None,
+    };
+    let recovered = journal
+        .as_ref()
+        .map(|j| j.recovered().clone())
+        .unwrap_or_default();
+    let shard_cells = &cells[range.clone()];
+    let pending: Vec<CellSpec> = shard_cells
+        .iter()
+        .filter(|c| !recovered.contains_key(&c.index))
+        .copied()
+        .collect();
+    let budget = heal.max_cells.unwrap_or(usize::MAX);
+    let to_run = pending.len().min(budget);
+
+    let spec_arc = Arc::new(spec.clone());
+    let cache = Arc::new(TableCache::default());
+    let runner =
+        Arc::new(move |spec: &SweepSpec, cell: &CellSpec| run_cell_cached(spec, cell, &cache));
+    let n_workers = workers.max(1).min(to_run.max(1));
+    let entries = heal_pending(
+        &spec_arc,
+        &pending,
+        to_run,
+        n_workers,
+        heal,
+        journal.as_ref(),
+        &runner,
+        &progress,
+    );
+
+    let mut outcomes: Vec<Option<CellOutcome>> = vec![None; shard_cells.len()];
+    let mut resumed = 0usize;
+    for (pos, cell) in shard_cells.iter().enumerate() {
+        if recovered.contains_key(&cell.index) {
+            outcomes[pos] = Some(CellOutcome::Resumed);
+            resumed += 1;
+        }
+    }
+    let mut executed = 0usize;
+    let mut first_error: Option<(usize, SweepError)> = None;
+    for (entry, cell) in entries.into_iter().zip(&pending) {
+        match entry {
+            Some((Ok(_), outcome, _)) => {
+                executed += 1;
+                outcomes[cell.index - range.start] = Some(outcome);
+            }
+            Some((Err(e), _, _)) if first_error.as_ref().is_none_or(|(i, _)| cell.index < *i) => {
+                first_error = Some((cell.index, e));
+            }
+            Some((Err(_), _, _)) => {}
+            None => {} // never claimed (abort or budget)
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    let completed = resumed + executed;
+    if completed < shard_cells.len() {
+        return Err(SweepError::Interrupted {
+            completed,
+            total: shard_cells.len(),
+        });
+    }
+    Ok(ShardRun {
+        executed,
+        resumed,
+        outcomes: outcomes.into_iter().flatten().collect(),
+    })
+}
+
 /// Runs every cell of `spec` with panic isolation, watchdog, retries, and
 /// checkpoint/resume per `heal`. See the module docs.
 ///
@@ -251,81 +482,17 @@ where
 
     let spec_arc = Arc::new(spec.clone());
     let runner = Arc::new(runner);
-    type Slot = Mutex<Option<(Result<CellResult, SweepError>, CellOutcome, Duration)>>;
-    let slots: Vec<Slot> = pending.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
     let n_workers = workers.max(1).min(to_run.max(1));
-
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= to_run {
-                    break;
-                }
-                let cell = pending[i];
-                let t0 = Instant::now();
-                let mut failed_attempts = 0u32;
-                let entry = loop {
-                    match attempt_cell(&runner, &spec_arc, cell, heal.cell_timeout) {
-                        Attempt::Done(result) => {
-                            let outcome = if failed_attempts == 0 {
-                                CellOutcome::Ok
-                            } else {
-                                CellOutcome::Retried {
-                                    attempts: failed_attempts,
-                                }
-                            };
-                            break (*result, outcome, t0.elapsed());
-                        }
-                        Attempt::Panicked(message) => {
-                            if failed_attempts >= heal.retries {
-                                abort.store(true, Ordering::Relaxed);
-                                break (
-                                    Err(SweepError::CellPanicked {
-                                        cell: cell.index,
-                                        message: message.clone(),
-                                    }),
-                                    CellOutcome::Panicked { message },
-                                    t0.elapsed(),
-                                );
-                            }
-                            std::thread::sleep(heal.backoff_for(failed_attempts));
-                            failed_attempts += 1;
-                        }
-                        Attempt::TimedOut => {
-                            if failed_attempts >= heal.retries {
-                                abort.store(true, Ordering::Relaxed);
-                                break (
-                                    Err(SweepError::CellTimedOut { cell: cell.index }),
-                                    CellOutcome::TimedOut,
-                                    t0.elapsed(),
-                                );
-                            }
-                            std::thread::sleep(heal.backoff_for(failed_attempts));
-                            failed_attempts += 1;
-                        }
-                    }
-                };
-                // Journal successes immediately so a later kill loses
-                // nothing that finished.
-                if let (Some(j), Ok(result)) = (&journal, &entry.0) {
-                    if let Err(e) = j.append(spec_arc.cell_stream(&cell), result) {
-                        abort.store(true, Ordering::Relaxed);
-                        let mut slot = slots[i].lock().unwrap_or_else(|p| p.into_inner());
-                        *slot = Some((Err(e), entry.1, entry.2));
-                        continue;
-                    }
-                }
-                let mut slot = slots[i].lock().unwrap_or_else(|p| p.into_inner());
-                *slot = Some(entry);
-            });
-        }
-    });
+    let entries = heal_pending(
+        &spec_arc,
+        &pending,
+        to_run,
+        n_workers,
+        heal,
+        journal.as_ref(),
+        &runner,
+        &|_| {},
+    );
 
     // Collect: journal hits first, then executed slots, lowest failing
     // cell index wins so the reported error is worker-count independent.
@@ -336,8 +503,8 @@ where
     }
     let mut executed = 0usize;
     let mut first_error: Option<(usize, SweepError)> = None;
-    for (slot, cell) in slots.into_iter().zip(&pending) {
-        match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+    for (entry, cell) in entries.into_iter().zip(&pending) {
+        match entry {
             Some((Ok(result), outcome, wall)) => {
                 executed += 1;
                 results[cell.index] = Some((result, outcome, wall));
@@ -497,6 +664,60 @@ mod tests {
         })
         .expect_err("must time out");
         assert_eq!(err, SweepError::CellTimedOut { cell: 0 });
+    }
+
+    #[test]
+    fn shard_run_journals_its_range_and_reports_progress() {
+        let spec = tiny_spec();
+        let path = std::env::temp_dir().join(format!(
+            "mpdp-resilient-{}-shard.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // Run cells 1..3 as a shard; progress must fire once per cell.
+        let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let heal = quick_heal().with_journal(&path);
+        let run = run_shard_healing(&spec, 1..3, 1, &heal, |index| {
+            seen.lock().expect("progress lock").push(index);
+        })
+        .expect("shard completes");
+        assert_eq!((run.executed, run.resumed), (2, 0));
+        assert_eq!(run.outcomes, vec![CellOutcome::Ok, CellOutcome::Ok]);
+        let mut progressed = seen.into_inner().expect("progress lock");
+        progressed.sort_unstable();
+        assert_eq!(progressed, vec![1, 2]);
+
+        // Re-running the same shard resumes everything from the journal.
+        let rerun = run_shard_healing(&spec, 1..3, 1, &heal, |_| {}).expect("resumes");
+        assert_eq!((rerun.executed, rerun.resumed), (0, 2));
+        assert!(rerun.outcomes.iter().all(|o| *o == CellOutcome::Resumed));
+
+        // The journaled records are the engine's, bit for bit.
+        let plain = crate::run_sweep(&spec, 1).expect("plain run");
+        let recovered = Journal::open(&path, &spec)
+            .expect("reopens")
+            .recovered()
+            .clone();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[&1], plain.cells[1]);
+        assert_eq!(recovered[&2], plain.cells[2]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_run_rejects_a_range_outside_the_grid() {
+        let spec = tiny_spec();
+        let err = run_shard_healing(&spec, 1..9, 1, &quick_heal(), |_| {})
+            .expect_err("range exceeds the 3-cell grid");
+        assert_eq!(
+            err,
+            SweepError::ShardRange {
+                start: 1,
+                end: 9,
+                total: 3
+            }
+        );
     }
 
     #[test]

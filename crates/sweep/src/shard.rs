@@ -1,0 +1,131 @@
+//! Shard planning: splitting a sweep's cell grid into disjoint,
+//! contiguous index ranges for independent worker processes.
+//!
+//! A shard is nothing but a slice of the canonical cell enumeration — a
+//! cell's inputs are a pure function of `(spec, cell index)`, so *which*
+//! process runs a cell cannot change its result. Each worker journals its
+//! cells into its own checkpoint [`Journal`](crate::Journal) (fingerprinted
+//! against the full spec), and [`merge`](crate::merge) recombines the
+//! journals into the same bytes a single-process run exports.
+
+use crate::error::SweepError;
+use crate::spec::SweepSpec;
+
+/// One shard of a sweep: the contiguous cell-index range `[start, end)`
+/// assigned to one worker, plus its position in the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Shard index, `0..count`.
+    pub index: usize,
+    /// Total shards in the plan.
+    pub count: usize,
+    /// First cell index (inclusive).
+    pub start: usize,
+    /// One past the last cell index (exclusive).
+    pub end: usize,
+}
+
+impl ShardPlan {
+    /// Cells assigned to this shard.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the shard has no cells (never produced by
+    /// [`plan_shards`], which clamps the shard count to the grid).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The cell-index range.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// Splits `cell_count` cells into `shards` balanced contiguous ranges.
+///
+/// The shard count is clamped to `1..=cell_count` (a grid never produces
+/// an empty shard; asking for more shards than cells just yields one cell
+/// per shard). Earlier shards absorb the remainder, so shard sizes differ
+/// by at most one and the plan is a pure function of `(cell_count,
+/// shards)` — every supervisor, worker, and merge invocation that agrees
+/// on the spec agrees on the plan.
+pub fn plan_shards(cell_count: usize, shards: usize) -> Vec<ShardPlan> {
+    let count = shards.clamp(1, cell_count.max(1));
+    let base = cell_count / count;
+    let remainder = cell_count % count;
+    let mut out = Vec::with_capacity(count);
+    let mut start = 0;
+    for index in 0..count {
+        let len = base + usize::from(index < remainder);
+        out.push(ShardPlan {
+            index,
+            count,
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    out
+}
+
+/// [`plan_shards`] for a validated spec.
+///
+/// # Errors
+///
+/// Propagates [`SweepSpec::validate`] rejections, so a supervisor refuses
+/// a malformed spec before any worker process launches.
+pub fn plan_spec_shards(spec: &SweepSpec, shards: usize) -> Result<Vec<ShardPlan>, SweepError> {
+    spec.validate()?;
+    Ok(plan_shards(spec.cell_count(), shards))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coverage(plans: &[ShardPlan]) -> Vec<usize> {
+        plans.iter().flat_map(|p| p.range()).collect()
+    }
+
+    #[test]
+    fn plans_are_disjoint_contiguous_and_balanced() {
+        for cells in [1usize, 2, 7, 9, 104, 1000] {
+            for shards in [1usize, 2, 3, 8, 16] {
+                let plans = plan_shards(cells, shards);
+                assert_eq!(plans.len(), shards.min(cells));
+                assert_eq!(coverage(&plans), (0..cells).collect::<Vec<_>>());
+                let sizes: Vec<usize> = plans.iter().map(ShardPlan::len).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced plan {sizes:?}");
+                assert!(plans.iter().all(|p| !p.is_empty()));
+                for (i, p) in plans.iter().enumerate() {
+                    assert_eq!(p.index, i);
+                    assert_eq!(p.count, plans.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let plans = plan_shards(5, 0);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].range(), 0..5);
+    }
+
+    #[test]
+    fn plan_for_a_spec_validates_first() {
+        let mut spec = SweepSpec::figure4();
+        let plans = plan_spec_shards(&spec, 4).expect("valid spec");
+        assert_eq!(plans.len(), 4);
+        assert_eq!(coverage(&plans).len(), spec.cell_count());
+        spec.seeds.clear();
+        assert_eq!(
+            plan_spec_shards(&spec, 4),
+            Err(SweepError::EmptyAxis("seeds"))
+        );
+    }
+}
