@@ -22,9 +22,11 @@ use mpdp_bench::experiment::{bench104_spec, fig4_spec, ExperimentConfig};
 use mpdp_bench::load_baseline;
 use mpdp_obs::validate_json;
 use mpdp_shard::{
-    parse_worker_invocation, run_worker, self_launcher, supervise, SuperviseConfig, WorkerConfig,
+    parse_worker_invocation, run_worker, self_launcher, supervise_observed, SuperviseConfig,
+    WorkerConfig,
 };
 use mpdp_sweep::{cells_csv, run_sweep, SweepSpec};
+use mpdp_telemetry::NullFleetObserver;
 
 /// One measured benchmark point.
 struct Bench {
@@ -92,7 +94,10 @@ fn time_sharded(spec: &SweepSpec, shards: usize, repeats: usize, golden_csv: &st
             .with_shards(shards)
             .with_dir(dir.clone());
         let start = Instant::now();
-        let sup = match supervise(spec, &cfg, launch, |_| {}) {
+        // The null observer (not a discarded log closure) is the honest
+        // baseline: with `ENABLED = false` every clock read and line
+        // allocation in the supervisor compiles out.
+        let sup = match supervise_observed(spec, &cfg, launch, &NullFleetObserver) {
             Ok(sup) => sup,
             Err(e) => runtime_error(format_args!("sharded sweep failed: {e}")),
         };
@@ -117,9 +122,12 @@ fn shard_worker(args: &[String]) -> ! {
         None => unreachable!("caller checked for the worker flag"),
     };
     let spec = bench104_spec();
+    // metrics: false — this worker exists to be timed, so it must not
+    // pay the per-cell snapshot rewrite the production worker does.
     let cfg = WorkerConfig {
         threads: invocation.threads,
         throttle: invocation.throttle,
+        metrics: false,
         ..WorkerConfig::default()
     };
     match run_worker(

@@ -12,7 +12,8 @@
 //! Run with `cargo run --release -p mpdp-bench --bin fig4_response_time --
 //! [--workers N] [--seeds K] [--csv out.csv] [--json out.json]
 //! [--profile] [--trace-out t.json] [--trace-cell I]
-//! [--resume journal.mpdpj] [--monitor]`.
+//! [--resume journal.mpdpj] [--monitor] [--telemetry-out m.json]
+//! [--fleet-trace trace.json]`.
 //!
 //! `--profile` prints per-cell wall-time/throughput self-profiles to
 //! stderr; `--trace-out` writes a Chrome trace-event JSON (open in
@@ -20,7 +21,10 @@
 //! by a probed re-run so stdout stays byte-identical to an unprobed run.
 //! `--resume` routes the sweep through the self-healing executor with an
 //! fsynced checkpoint journal, so an interrupted run resumes where it
-//! stopped with identical output bytes. `--monitor` replays every cell
+//! stopped with identical output bytes. `--telemetry-out` writes the
+//! `mpdp-fleet-metrics/1` JSON snapshot of an instrumented (`--shards` or
+//! `--resume`) run; `--fleet-trace` writes the Perfetto fleet timeline of
+//! a `--shards` run. `--monitor` replays every cell
 //! through the `mpdp-monitor` runtime invariant monitors and differential
 //! oracle after the sweep: violations go to stderr and the exit status
 //! turns non-zero, while stdout and every export stay byte-identical.
@@ -33,11 +37,16 @@ use mpdp_bench::cli::{
 use mpdp_bench::experiment::{fig4_seeded_spec, ExperimentConfig};
 use mpdp_obs::{chrome_trace_json_multi, validate_json};
 use mpdp_shard::{
-    parse_worker_invocation, run_worker, self_launcher, supervise, SuperviseConfig, WorkerConfig,
+    metrics_path, parse_worker_invocation, run_worker, self_launcher, supervise_observed,
+    SuperviseConfig, WorkerConfig,
 };
 use mpdp_sweep::{
-    cells_csv, group_summaries, report_json, run_cell_probed, run_sweep, run_sweep_healing,
-    spec_fingerprint, HealConfig,
+    cells_csv, group_summaries, report_json, run_cell_probed, run_sweep,
+    run_sweep_healing_observed, spec_fingerprint, HealConfig,
+};
+use mpdp_telemetry::{
+    fleet_trace_json, metrics_json, snapshot_from_text, validate_metrics_json, FleetRecorder,
+    MetricsRegistry, TranscriptObserver,
 };
 
 /// Hidden shard-worker mode: a `--shards` supervisor re-executed this
@@ -87,6 +96,8 @@ fn main() {
             "--trace-cell",
             "--resume",
             "--monitor",
+            "--telemetry-out",
+            "--fleet-trace",
         ],
         &[
             "--csv",
@@ -98,6 +109,8 @@ fn main() {
             "--trace-out",
             "--trace-cell",
             "--resume",
+            "--telemetry-out",
+            "--fleet-trace",
         ],
     );
     let csv_path = flag_value(&args, "--csv");
@@ -112,6 +125,14 @@ fn main() {
     let shards: Option<usize> = parse_flag(&args, "--shards", "a shard count");
     if shards.is_some() && resume.is_some() {
         usage_error("--shards and --resume are mutually exclusive (shards journal per worker)");
+    }
+    let telemetry_out = flag_value(&args, "--telemetry-out");
+    let fleet_trace = flag_value(&args, "--fleet-trace");
+    if fleet_trace.is_some() && shards.is_none() {
+        usage_error("--fleet-trace needs the multi-process fleet: add --shards N");
+    }
+    if telemetry_out.is_some() && shards.is_none() && resume.is_none() {
+        usage_error("--telemetry-out needs an instrumented run: add --shards N or --resume J");
     }
 
     let config = ExperimentConfig::new();
@@ -144,13 +165,38 @@ fn main() {
         let cfg = SuperviseConfig::default()
             .with_shards(n_shards)
             .with_dir(dir);
-        match supervise(&spec, &cfg, launch, |line| eprintln!("shard: {line}")) {
+        let transcript = TranscriptObserver::new(|line: &str| eprintln!("shard: {line}"));
+        let registry = MetricsRegistry::new();
+        let recorder = FleetRecorder::new();
+        match supervise_observed(&spec, &cfg, launch, &(&transcript, &registry, &recorder)) {
             Ok(sup) => {
                 let launches: u32 = sup.shards.iter().map(|s| s.launches).sum();
                 eprintln!(
                     "supervised {} worker process(es) across {launches} launch(es)",
                     sup.shards.len()
                 );
+                if let Some(path) = &telemetry_out {
+                    let mut fleet = registry.snapshot();
+                    for shard in &sup.shards {
+                        if let Ok(text) = std::fs::read_to_string(metrics_path(&shard.journal)) {
+                            if let Ok(worker) = snapshot_from_text(&text) {
+                                fleet.merge(&worker);
+                            }
+                        }
+                    }
+                    let json = metrics_json(&fleet);
+                    if let Err(e) = validate_metrics_json(&json) {
+                        runtime_error(format_args!("telemetry JSON failed validation: {e}"));
+                    }
+                    write_output(path, &json);
+                }
+                if let Some(path) = &fleet_trace {
+                    write_output(
+                        path,
+                        &fleet_trace_json(&recorder.events(), sup.shards.len()),
+                    );
+                    eprintln!("open {path} in https://ui.perfetto.dev");
+                }
                 sup.report
             }
             Err(e) => runtime_error(format_args!("sharded sweep failed: {e}")),
@@ -159,10 +205,20 @@ fn main() {
         match &resume {
             Some(journal) => {
                 let heal = HealConfig::default().with_journal(journal);
-                match run_sweep_healing(&spec, workers, &heal) {
+                let registry = MetricsRegistry::new();
+                match run_sweep_healing_observed(&spec, workers, &heal, &registry) {
                     Ok(healed) => {
                         if healed.resumed > 0 {
                             eprintln!("resumed {} cell(s) from {journal}", healed.resumed);
+                        }
+                        if let Some(path) = &telemetry_out {
+                            let json = metrics_json(&registry.snapshot());
+                            if let Err(e) = validate_metrics_json(&json) {
+                                runtime_error(format_args!(
+                                    "telemetry JSON failed validation: {e}"
+                                ));
+                            }
+                            write_output(path, &json);
                         }
                         healed.report
                     }

@@ -7,7 +7,9 @@
 //! supervise --spec fig4|bench104 [--seeds K] [--shards N] [--dir D]
 //! [--retries R] [--stall-timeout-ms MS] [--throttle-ms MS] [--threads T]
 //! [--chaos-kills K --chaos-seed S [--chaos-tear]] [--verify]
-//! [--csv out.csv] [--json out.json]`.
+//! [--csv out.csv] [--json out.json] [--telemetry-out m.json]
+//! [--telemetry-prom m.prom] [--telemetry-csv m.csv]
+//! [--fleet-trace trace.json]`.
 //!
 //! The supervisor splits the grid into disjoint contiguous shards,
 //! re-executes this binary once per shard with hidden worker flags (the
@@ -19,6 +21,16 @@
 //! `--chaos-kills` turns the run into its own adversary (seeded SIGKILLs
 //! mid-run, `--chaos-tear` additionally truncates the first victim's
 //! journal mid-record); the recovery transcript goes to stderr.
+//!
+//! Telemetry rides along for free: every supervise run also folds the
+//! typed fleet event stream into a metrics snapshot (merged with the
+//! per-worker `.metrics` sidecar files the workers persist next to their
+//! journals), exportable as schema-validated JSON (`--telemetry-out`),
+//! Prometheus text (`--telemetry-prom`), or flat CSV (`--telemetry-csv`).
+//! `--fleet-trace` additionally records the full event stream and writes
+//! a Chrome-trace fleet timeline (one track per shard, a span per launch
+//! attempt, instants for kills/tears/stalls) loadable at
+//! <https://ui.perfetto.dev>.
 //!
 //! `merge --spec S [--seeds K] (--dir D | --journal P ...)` recombines
 //! existing shard journals without running anything, rejecting
@@ -33,12 +45,16 @@ use mpdp_bench::cli::{
 };
 use mpdp_bench::experiment::{bench104_spec, fig4_seeded_spec, ExperimentConfig};
 use mpdp_shard::{
-    parse_worker_invocation, run_worker, self_launcher, supervise, ChaosPlan, SuperviseConfig,
-    WorkerConfig,
+    metrics_path, parse_worker_invocation, run_worker, self_launcher, supervise_observed,
+    ChaosPlan, SuperviseConfig, WorkerConfig,
 };
 use mpdp_sweep::{
     cells_csv, merge_journal_files, report_json, run_sweep, spec_fingerprint, summary_csv,
     SweepSpec,
+};
+use mpdp_telemetry::{
+    fleet_trace_json, metrics_csv, metrics_json, prometheus_text, snapshot_from_text,
+    validate_metrics_json, FleetRecorder, FleetSnapshot, MetricsRegistry, TranscriptObserver,
 };
 
 /// Builds the named sweep grid. `--spec`/`--seeds` are the entire spec
@@ -111,6 +127,10 @@ fn supervise_main(args: &[String]) -> ! {
             "--verify",
             "--csv",
             "--json",
+            "--telemetry-out",
+            "--telemetry-prom",
+            "--telemetry-csv",
+            "--fleet-trace",
         ],
         &[
             "--spec",
@@ -125,6 +145,10 @@ fn supervise_main(args: &[String]) -> ! {
             "--chaos-seed",
             "--csv",
             "--json",
+            "--telemetry-out",
+            "--telemetry-prom",
+            "--telemetry-csv",
+            "--fleet-trace",
         ],
     );
     let (name, seeds) = spec_flags(args);
@@ -173,19 +197,62 @@ fn supervise_main(args: &[String]) -> ! {
         spec.cell_count(),
         dir.display()
     );
-    let sup = match supervise(&spec, &cfg, launch, |line| eprintln!("  {line}")) {
+    // The transcript observer reproduces the historical stderr lines
+    // byte-for-byte; the registry and recorder ride the same event
+    // stream, so the run pays for one emission however many sinks listen.
+    let transcript = TranscriptObserver::new(|line: &str| eprintln!("  {line}"));
+    let registry = MetricsRegistry::new();
+    let recorder = FleetRecorder::new();
+    let sup = match supervise_observed(&spec, &cfg, launch, &(&transcript, &registry, &recorder)) {
         Ok(sup) => sup,
         Err(e) => runtime_error(format_args!("supervised run failed: {e}")),
     };
+
+    // Fold in the cell-level counters each worker process persisted next
+    // to its journal. Advisory files: a missing or torn sidecar is
+    // skipped, never fatal.
+    let mut fleet: FleetSnapshot = registry.snapshot();
+    for shard in &sup.shards {
+        if let Ok(text) = std::fs::read_to_string(metrics_path(&shard.journal)) {
+            if let Ok(worker) = snapshot_from_text(&text) {
+                fleet.merge(&worker);
+            }
+        }
+    }
+
     let launches: u32 = sup.shards.iter().map(|s| s.launches).sum();
     eprintln!(
         "supervised run complete: {} cells, {} shard(s), {launches} launch(es), \
-         {} chaos kill(s), {} torn journal(s)",
+         {} chaos kill(s), {} torn journal(s), {} relaunch(es), {} retry(ies), \
+         {} stall kill(s)",
         sup.report.cells.len(),
         sup.shards.len(),
         sup.chaos_kills,
-        sup.torn
+        sup.torn,
+        fleet.relaunches,
+        fleet.retries,
+        fleet.stall_kills
     );
+
+    if let Some(path) = flag_value(args, "--telemetry-out") {
+        let json = metrics_json(&fleet);
+        if let Err(e) = validate_metrics_json(&json) {
+            runtime_error(format_args!("telemetry JSON failed validation: {e}"));
+        }
+        write_output(&path, &json);
+    }
+    if let Some(path) = flag_value(args, "--telemetry-prom") {
+        write_output(&path, &prometheus_text(&fleet));
+    }
+    if let Some(path) = flag_value(args, "--telemetry-csv") {
+        write_output(&path, &metrics_csv(&fleet));
+    }
+    if let Some(path) = flag_value(args, "--fleet-trace") {
+        write_output(
+            &path,
+            &fleet_trace_json(&recorder.events(), sup.shards.len()),
+        );
+    }
 
     if has_flag(args, "--verify") {
         let golden = match run_sweep(&spec, 1) {

@@ -22,6 +22,7 @@ use std::fmt::Write as _;
 use mpdp_core::time::CLOCK_HZ;
 
 use crate::event::{EventKind, ObsEvent};
+use crate::json::escape_json as escape;
 use crate::recorder::{EventRecorder, Span, SpanKind};
 
 /// Microseconds of platform time per cycle, as an exact ratio at 50 MHz.
@@ -152,26 +153,6 @@ fn event_args(kind: &EventKind) -> String {
             format!("\"job\":{job},\"task\":{task},\"met\":{met}")
         }
     }
-}
-
-/// Escapes a string for embedding in a JSON string literal. Labels are
-/// ASCII in practice; this covers quotes, backslashes, and control bytes.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]

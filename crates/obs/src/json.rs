@@ -200,9 +200,40 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
     Ok(())
 }
 
+/// Escapes a string for embedding in a JSON string literal: quotes,
+/// backslashes, and control bytes. Shared by every hand-rolled exporter
+/// in the workspace (Chrome traces here, fleet telemetry in
+/// `mpdp-telemetry`).
+pub fn escape_json(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn escape_json_covers_specials() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\ny");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("plain"), "plain");
+    }
 
     #[test]
     fn accepts_valid_documents() {

@@ -57,7 +57,7 @@ pub mod recorder;
 
 pub use chrome::{chrome_trace_json, chrome_trace_json_multi};
 pub use event::{EventKind, IrqKind, ObsEvent};
-pub use json::{validate_json, JsonError};
+pub use json::{escape_json, validate_json, JsonError};
 pub use ledger::{Bucket, CycleLedger, LedgerImbalance, WorkSplitter, BUCKETS};
 pub use metrics::{ledger_csv, ledger_json};
 pub use recorder::{EventRecorder, Span, SpanKind};

@@ -11,6 +11,7 @@ use std::error::Error;
 use std::fmt;
 
 use mpdp_sweep::{MergeError, SweepError};
+use mpdp_telemetry::FailureKind;
 
 /// One way a single worker launch can fail. Failures are *per attempt*:
 /// the supervisor records them, backs off, and relaunches until the
@@ -50,26 +51,35 @@ pub enum ShardFailure {
     },
 }
 
-impl fmt::Display for ShardFailure {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl ShardFailure {
+    /// The telemetry mirror of this failure — the self-contained
+    /// [`FailureKind`] events carry. The transcript wording lives on
+    /// `FailureKind`'s `Display` (this type's `Display` delegates), so
+    /// the two can never drift.
+    pub fn kind(&self) -> FailureKind {
         match self {
-            ShardFailure::Spawn { detail } => write!(f, "failed to spawn worker: {detail}"),
-            ShardFailure::Exited { code } => write!(f, "worker exited with code {code}"),
-            ShardFailure::Crashed { signal: Some(s) } => {
-                write!(f, "worker killed by signal {s}")
-            }
-            ShardFailure::Crashed { signal: None } => write!(f, "worker killed by a signal"),
-            ShardFailure::Stalled { journaled } => {
-                write!(f, "worker stalled after {journaled} journaled cells")
-            }
+            ShardFailure::Spawn { detail } => FailureKind::Spawn {
+                detail: detail.clone(),
+            },
+            ShardFailure::Exited { code } => FailureKind::Exited { code: *code },
+            ShardFailure::Crashed { signal } => FailureKind::Crashed { signal: *signal },
+            ShardFailure::Stalled { journaled } => FailureKind::Stalled {
+                journaled: *journaled,
+            },
             ShardFailure::Incomplete {
                 journaled,
                 expected,
-            } => write!(
-                f,
-                "worker exited 0 with {journaled} of {expected} cells journaled"
-            ),
+            } => FailureKind::Incomplete {
+                journaled: *journaled,
+                expected: *expected,
+            },
         }
+    }
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.kind().fmt(f)
     }
 }
 

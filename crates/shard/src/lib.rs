@@ -44,6 +44,7 @@ pub mod worker;
 pub use error::{ShardError, ShardFailure};
 pub use reexec::{parse_worker_invocation, self_launcher, WorkerInvocation, WORKER_FLAG};
 pub use supervisor::{
-    supervise, ChaosPlan, ShardOutcome, ShardReport, SuperviseConfig, SupervisedSweep,
+    supervise, supervise_observed, ChaosPlan, ShardOutcome, ShardReport, SuperviseConfig,
+    SupervisedSweep,
 };
-pub use worker::{run_worker, WorkerConfig};
+pub use worker::{metrics_path, run_worker, WorkerConfig};

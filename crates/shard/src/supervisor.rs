@@ -34,8 +34,29 @@ use std::time::{Duration, Instant};
 use mpdp_sweep::{
     merge_journal_files, plan_spec_shards, read_shard_journal, ShardPlan, SweepReport, SweepSpec,
 };
+use mpdp_telemetry::{FleetEvent, FleetEventKind, FleetObserver, TranscriptObserver};
 
 use crate::error::{ShardError, ShardFailure};
+
+/// Emits one supervision event iff the observer is enabled: the clock
+/// read, the journal stats, and the event construction all compile out
+/// for [`NullFleetObserver`](mpdp_telemetry::NullFleetObserver) — the
+/// disabled path allocates nothing.
+#[inline]
+fn emit<O: FleetObserver>(
+    observer: &O,
+    started: Instant,
+    shard: Option<usize>,
+    kind: impl FnOnce() -> FleetEventKind,
+) {
+    if O::ENABLED {
+        observer.event(&FleetEvent {
+            at: started.elapsed(),
+            shard,
+            kind: kind(),
+        });
+    }
+}
 
 /// Deterministic fault injection for supervised runs: SIGKILL `kills`
 /// victim workers at seeded points of their journal progress.
@@ -288,21 +309,32 @@ struct ShardState {
 impl ShardState {
     /// Records an organic failure and either schedules a relaunch or
     /// declares the shard dead.
-    fn fail(&mut self, failure: ShardFailure, cfg: &SuperviseConfig, log: &mut dyn FnMut(&str)) {
+    fn fail<O: FleetObserver>(
+        &mut self,
+        failure: ShardFailure,
+        cfg: &SuperviseConfig,
+        observer: &O,
+        started: Instant,
+    ) {
         let failures = self.failures.len() as u32;
         self.failures.push(failure.clone());
         if failures >= cfg.retries {
-            log(&format!(
-                "shard {}: {failure}; retry budget exhausted after {} launches",
-                self.plan.index, self.launches
-            ));
+            let launches = self.launches;
+            emit(observer, started, Some(self.plan.index), || {
+                FleetEventKind::RetriesExhausted {
+                    failure: failure.kind(),
+                    launches,
+                }
+            });
             self.phase = Phase::Dead;
         } else {
             let wait = cfg.backoff_for(failures);
-            log(&format!(
-                "shard {}: {failure}; relaunching in {wait:?}",
-                self.plan.index
-            ));
+            emit(observer, started, Some(self.plan.index), || {
+                FleetEventKind::Retry {
+                    failure: failure.kind(),
+                    backoff: wait,
+                }
+            });
             self.phase = Phase::Pending {
                 at: Instant::now() + wait,
             };
@@ -333,12 +365,33 @@ impl ShardState {
 pub fn supervise<L, G>(
     spec: &SweepSpec,
     cfg: &SuperviseConfig,
-    mut launch: L,
-    mut log: G,
+    launch: L,
+    log: G,
 ) -> Result<SupervisedSweep, ShardError>
 where
     L: FnMut(&ShardPlan, u32, &Path, &Path) -> io::Result<Child>,
     G: FnMut(&str),
+{
+    supervise_observed(spec, cfg, launch, &TranscriptObserver::new(log))
+}
+
+/// [`supervise`] with a typed [`FleetObserver`] instead of the line
+/// callback: every supervision decision (launches, heartbeats, chaos
+/// kills, tears, retries, stalls, completions, the merge) is emitted as
+/// a [`FleetEvent`]. [`supervise`] itself is this plus a
+/// [`TranscriptObserver`], which renders the classic transcript
+/// byte-identically; with
+/// [`NullFleetObserver`](mpdp_telemetry::NullFleetObserver) the whole
+/// telemetry path — formatting included — compiles out.
+pub fn supervise_observed<L, O>(
+    spec: &SweepSpec,
+    cfg: &SuperviseConfig,
+    mut launch: L,
+    observer: &O,
+) -> Result<SupervisedSweep, ShardError>
+where
+    L: FnMut(&ShardPlan, u32, &Path, &Path) -> io::Result<Child>,
+    O: FleetObserver,
 {
     let plans = plan_spec_shards(spec, cfg.shards).map_err(ShardError::Spec)?;
     std::fs::create_dir_all(&cfg.dir).map_err(|e| ShardError::Io {
@@ -366,7 +419,7 @@ where
         }
     }
 
-    let now = Instant::now();
+    let started = Instant::now();
     let mut shards: Vec<ShardState> = plans
         .iter()
         .map(|plan| ShardState {
@@ -377,7 +430,7 @@ where
             chaos_kills: 0,
             failures: Vec::new(),
             kill_at: std::mem::take(&mut kill_plan[plan.index]),
-            phase: Phase::Pending { at: now },
+            phase: Phase::Pending { at: started },
         })
         .collect();
     let mut total_chaos_kills = 0u32;
@@ -397,14 +450,24 @@ where
                     match launch(&s.plan, attempt, &s.journal, &s.heartbeat) {
                         Ok(child) => {
                             s.launches += 1;
-                            log(&format!(
-                                "shard {}: launched worker pid {} (launch {}, cells {}..{})",
-                                s.plan.index,
-                                child.id(),
-                                s.launches,
-                                s.plan.start,
-                                s.plan.end
-                            ));
+                            let pid = child.id();
+                            let launch_number = s.launches;
+                            emit(observer, started, Some(s.plan.index), || {
+                                FleetEventKind::ShardLaunched {
+                                    pid,
+                                    launch: launch_number,
+                                    cells_start: s.plan.start,
+                                    cells_end: s.plan.end,
+                                }
+                            });
+                            if O::ENABLED {
+                                let cells = journal_records(&s.journal);
+                                if cells > 0 {
+                                    emit(observer, started, Some(s.plan.index), || {
+                                        FleetEventKind::Resumed { cells }
+                                    });
+                                }
+                            }
                             s.phase = Phase::Running {
                                 child,
                                 beat: String::new(),
@@ -420,7 +483,8 @@ where
                                     detail: e.to_string(),
                                 },
                                 cfg,
-                                &mut log,
+                                observer,
+                                started,
                             );
                         }
                     }
@@ -438,7 +502,7 @@ where
                             let detail = e.to_string();
                             let _ = child.kill();
                             let _ = child.wait();
-                            s.fail(ShardFailure::Spawn { detail }, cfg, &mut log);
+                            s.fail(ShardFailure::Spawn { detail }, cfg, observer, started);
                             continue;
                         }
                         Ok(Some(status)) => {
@@ -449,19 +513,19 @@ where
                                 if tear_pending && tear_tail(&s.journal) {
                                     tear_pending = false;
                                     torn += 1;
-                                    log(&format!(
-                                        "shard {index}: journal torn mid-record after chaos kill"
-                                    ));
+                                    emit(observer, started, Some(index), || {
+                                        FleetEventKind::JournalTear
+                                    });
                                 }
-                                log(&format!(
-                                    "shard {index}: chaos victim reaped; relaunching to resume"
-                                ));
+                                emit(observer, started, Some(index), || {
+                                    FleetEventKind::ChaosReaped
+                                });
                                 s.phase = Phase::Pending {
                                     at: Instant::now() + cfg.backoff,
                                 };
                             } else if was_stall {
                                 let journaled = journal_records(&s.journal);
-                                s.fail(ShardFailure::Stalled { journaled }, cfg, &mut log);
+                                s.fail(ShardFailure::Stalled { journaled }, cfg, observer, started);
                             } else if status.success() {
                                 let journaled = match read_shard_journal(&s.journal, spec) {
                                     Ok(records) => records
@@ -472,16 +536,19 @@ where
                                 };
                                 if journaled == s.plan.len() {
                                     if !s.kill_at.is_empty() {
-                                        log(&format!(
-                                            "shard {index}: {} chaos kill(s) skipped (worker finished first)",
-                                            s.kill_at.len()
-                                        ));
+                                        let remaining = s.kill_at.len();
+                                        emit(observer, started, Some(index), || {
+                                            FleetEventKind::ChaosSkipped { remaining }
+                                        });
                                         s.kill_at.clear();
                                     }
-                                    log(&format!(
-                                        "shard {index}: completed ({journaled} cells, {} launch(es))",
-                                        s.launches
-                                    ));
+                                    let launches = s.launches;
+                                    emit(observer, started, Some(index), || {
+                                        FleetEventKind::ShardDone {
+                                            cells: journaled,
+                                            launches,
+                                        }
+                                    });
                                     s.phase = Phase::Done;
                                 } else {
                                     s.fail(
@@ -490,18 +557,20 @@ where
                                             expected: s.plan.len(),
                                         },
                                         cfg,
-                                        &mut log,
+                                        observer,
+                                        started,
                                     );
                                 }
                             } else if let Some(code) = status.code() {
-                                s.fail(ShardFailure::Exited { code }, cfg, &mut log);
+                                s.fail(ShardFailure::Exited { code }, cfg, observer, started);
                             } else {
                                 s.fail(
                                     ShardFailure::Crashed {
                                         signal: signal_of(&status),
                                     },
                                     cfg,
-                                    &mut log,
+                                    observer,
+                                    started,
                                 );
                             }
                         }
@@ -516,25 +585,33 @@ where
                                     *chaos_kill = true;
                                     s.chaos_kills += 1;
                                     total_chaos_kills += 1;
-                                    log(&format!(
-                                        "shard {}: chaos SIGKILL at {records} journaled cells \
-                                         (threshold {threshold})",
-                                        s.plan.index
-                                    ));
+                                    emit(observer, started, Some(s.plan.index), || {
+                                        FleetEventKind::ChaosKill {
+                                            journaled: records,
+                                            threshold,
+                                        }
+                                    });
                                     continue;
                                 }
                             }
                             let current = std::fs::read_to_string(&s.heartbeat).unwrap_or_default();
                             if current != *beat {
+                                if O::ENABLED && !current.is_empty() {
+                                    let journaled = current.trim().parse().unwrap_or(0);
+                                    emit(observer, started, Some(s.plan.index), || {
+                                        FleetEventKind::Heartbeat { journaled }
+                                    });
+                                }
                                 *beat = current;
                                 *beat_at = Instant::now();
                             } else if beat_at.elapsed() > cfg.stall_timeout {
                                 let _ = child.kill();
                                 *stall_kill = true;
-                                log(&format!(
-                                    "shard {}: heartbeat stalled for {:?}; killing worker",
-                                    s.plan.index, cfg.stall_timeout
-                                ));
+                                emit(observer, started, Some(s.plan.index), || {
+                                    FleetEventKind::Stalled {
+                                        timeout: cfg.stall_timeout,
+                                    }
+                                });
                             }
                         }
                     }
@@ -580,14 +657,16 @@ where
     }
 
     let journals: Vec<PathBuf> = reports.iter().map(|r| r.journal.clone()).collect();
+    emit(observer, started, None, || FleetEventKind::MergeStarted {
+        journals: journals.len(),
+    });
     let report = merge_journal_files(spec, &journals)?;
-    log(&format!(
-        "merged {} shard journal(s): {} cells, {} chaos kill(s), {} torn journal(s)",
-        journals.len(),
-        report.cells.len(),
-        total_chaos_kills,
-        torn
-    ));
+    emit(observer, started, None, || FleetEventKind::MergeDone {
+        journals: journals.len(),
+        cells: report.cells.len(),
+        chaos_kills: total_chaos_kills,
+        torn,
+    });
     Ok(SupervisedSweep {
         report,
         shards: reports,

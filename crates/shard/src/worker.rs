@@ -10,12 +10,29 @@
 //! resumes from it. The heartbeat is advisory: failing to write it never
 //! fails the shard (the supervisor would just see a stall and restart a
 //! healthy worker, which is safe, merely wasteful).
+//!
+//! ## Metrics side channel
+//!
+//! Worker processes share no memory with the supervisor, so cell-level
+//! telemetry (wall-latency histograms, retry counts) travels the same
+//! way the heartbeat does: as an advisory file next to the journal
+//! (`<journal>.metrics`, the
+//! [`snapshot_to_text`](mpdp_telemetry::snapshot_to_text) format),
+//! rewritten after every durable cell. A relaunched worker preloads the
+//! previous snapshot, so counters survive crashes; the supervisor-side
+//! binary collects and [`merge`](mpdp_telemetry::FleetSnapshot::merge)s
+//! the per-shard files after the run. Histogram merges are exact, so the
+//! fleet totals are independent of shard count and crash history.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use mpdp_sweep::{run_shard_healing, HealConfig, ShardRun, SweepError, SweepSpec};
+use mpdp_sweep::{run_shard_healing_observed, HealConfig, ShardRun, SweepError, SweepSpec};
+use mpdp_telemetry::{
+    snapshot_from_text, snapshot_to_text, FleetEvent, FleetEventKind, FleetObserver,
+    MetricsRegistry, NullFleetObserver,
+};
 
 /// Worker-side knobs.
 #[derive(Debug, Clone)]
@@ -28,6 +45,10 @@ pub struct WorkerConfig {
     /// chaos tests use it to keep workers alive long enough to be killed
     /// mid-run deterministically.
     pub throttle: Duration,
+    /// Persist cell-level telemetry to `<journal>.metrics` after every
+    /// durable cell (advisory, like the heartbeat). Disable for
+    /// benchmarking the true zero-telemetry path.
+    pub metrics: bool,
 }
 
 impl Default for WorkerConfig {
@@ -36,14 +57,46 @@ impl Default for WorkerConfig {
             threads: 1,
             retries: 1,
             throttle: Duration::ZERO,
+            metrics: true,
         }
     }
+}
+
+/// The metrics snapshot path for a shard journal: `<journal>.metrics`
+/// beside it. Shared by workers (writing) and supervisors (collecting).
+pub fn metrics_path(journal: &Path) -> PathBuf {
+    let mut name = journal
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".metrics");
+    journal.with_file_name(name)
 }
 
 /// Writes `count` to the heartbeat file. Advisory — errors are ignored
 /// (see the module docs for why that is safe).
 fn beat(path: &Path, count: u64) {
     let _ = std::fs::write(path, format!("{count}\n"));
+}
+
+/// An observer that folds events into a registry and rewrites the
+/// advisory snapshot file after every durable completion or resume —
+/// the fsync-free analogue of the heartbeat.
+struct PersistedMetrics<'a> {
+    registry: &'a MetricsRegistry,
+    path: &'a Path,
+}
+
+impl FleetObserver for PersistedMetrics<'_> {
+    fn event(&self, event: &FleetEvent) {
+        self.registry.event(event);
+        if matches!(
+            event.kind,
+            FleetEventKind::CellDone { .. } | FleetEventKind::CellResumed { .. }
+        ) {
+            let _ = std::fs::write(self.path, snapshot_to_text(&self.registry.snapshot()));
+        }
+    }
 }
 
 /// Runs the cells `range` of `spec`, journaling into `journal` and
@@ -59,8 +112,8 @@ fn beat(path: &Path, count: u64) {
 ///
 /// # Errors
 ///
-/// Everything [`run_shard_healing`] can return; the journal keeps every
-/// completed cell regardless.
+/// Everything [`run_shard_healing`](mpdp_sweep::run_shard_healing) can
+/// return; the journal keeps every completed cell regardless.
 pub fn run_worker(
     spec: &SweepSpec,
     range: std::ops::Range<usize>,
@@ -74,13 +127,40 @@ pub fn run_worker(
         .with_retries(cfg.retries)
         .with_journal(journal);
     let throttle = cfg.throttle;
-    run_shard_healing(spec, range, cfg.threads, &heal, |_cell| {
+    let progress = |_cell: usize| {
         let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
         beat(heartbeat, n);
         if !throttle.is_zero() {
             std::thread::sleep(throttle);
         }
-    })
+    };
+    if cfg.metrics {
+        let snapshot_path = metrics_path(journal);
+        // Resume the counters a previous (killed) launch persisted; a
+        // missing or torn snapshot file starts fresh — advisory data
+        // must never fail the shard.
+        let registry = match std::fs::read_to_string(&snapshot_path) {
+            Ok(text) => match snapshot_from_text(&text) {
+                Ok(snapshot) => MetricsRegistry::preloaded(snapshot),
+                Err(_) => MetricsRegistry::new(),
+            },
+            Err(_) => MetricsRegistry::new(),
+        };
+        let observer = PersistedMetrics {
+            registry: &registry,
+            path: &snapshot_path,
+        };
+        run_shard_healing_observed(spec, range, cfg.threads, &heal, progress, &observer)
+    } else {
+        run_shard_healing_observed(
+            spec,
+            range,
+            cfg.threads,
+            &heal,
+            progress,
+            &NullFleetObserver,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +192,49 @@ mod tests {
         let rerun = run_worker(&spec, 0..2, &journal, &heartbeat, &WorkerConfig::default())
             .expect("relaunch resumes");
         assert_eq!((rerun.executed, rerun.resumed), (0, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_persists_a_metrics_snapshot_that_survives_relaunches() {
+        let mut spec = SweepSpec::figure4();
+        spec.proc_counts = vec![2];
+        spec.utilizations = vec![0.4, 0.5];
+        let dir = tempdir("metrics");
+        let journal = dir.join("shard.mpdpj");
+        let heartbeat = dir.join("shard.hb");
+        run_worker(&spec, 0..2, &journal, &heartbeat, &WorkerConfig::default())
+            .expect("worker completes");
+        let path = metrics_path(&journal);
+        let text = std::fs::read_to_string(&path).expect("snapshot written");
+        let snapshot = snapshot_from_text(&text).expect("snapshot parses");
+        assert_eq!(snapshot.cells_executed, 2);
+        assert_eq!(snapshot.cells_resumed, 0);
+        assert_eq!(snapshot.cell_wall_us.count(), 2);
+        // A relaunch resumes from the journal and *extends* the previous
+        // snapshot rather than resetting it.
+        run_worker(&spec, 0..2, &journal, &heartbeat, &WorkerConfig::default())
+            .expect("relaunch resumes");
+        let text = std::fs::read_to_string(&path).expect("snapshot rewritten");
+        let resumed = snapshot_from_text(&text).expect("snapshot parses");
+        assert_eq!(resumed.cells_executed, 2, "no re-execution");
+        assert_eq!(resumed.cells_resumed, 2, "both cells resumed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_can_be_disabled() {
+        let mut spec = SweepSpec::figure4();
+        spec.proc_counts = vec![2];
+        spec.utilizations = vec![0.4];
+        let dir = tempdir("no-metrics");
+        let journal = dir.join("shard.mpdpj");
+        let cfg = WorkerConfig {
+            metrics: false,
+            ..WorkerConfig::default()
+        };
+        run_worker(&spec, 0..1, &journal, &dir.join("shard.hb"), &cfg).expect("worker completes");
+        assert!(!metrics_path(&journal).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -69,8 +69,9 @@ pub use journal::{spec_fingerprint, Journal};
 pub use merge::{merge_journal_files, read_shard_journal, MergeError};
 pub use report::{cells_csv, find_cell, group_summaries, report_json, summary_csv, GroupSummary};
 pub use resilient::{
-    run_shard_healing, run_sweep_healing, run_sweep_healing_with, CellOutcome, HealConfig,
-    HealedSweep, ShardRun,
+    run_shard_healing, run_shard_healing_observed, run_sweep_healing, run_sweep_healing_observed,
+    run_sweep_healing_with, run_sweep_healing_with_observed, CellOutcome, HealConfig, HealedSweep,
+    ShardRun,
 };
 pub use shard::{plan_shards, plan_spec_shards, ShardPlan};
 pub use spec::{ArrivalSpec, CellSpec, Knobs, PolicyKind, SweepSpec, WorkloadSpec};

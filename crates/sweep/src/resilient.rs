@@ -26,10 +26,27 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use mpdp_telemetry::{FleetEvent, FleetEventKind, FleetObserver, NullFleetObserver};
+
 use crate::engine::{run_cell_cached, CellProfile, CellResult, SweepReport, TableCache};
 use crate::error::SweepError;
 use crate::journal::Journal;
 use crate::spec::{CellSpec, SweepSpec};
+
+/// Emits one executor event iff the observer is enabled: the clock read
+/// and the event construction compile out entirely for
+/// [`NullFleetObserver`], so the disabled path is exactly the
+/// pre-telemetry code.
+#[inline]
+fn emit<O: FleetObserver>(observer: &O, start: Instant, kind: impl FnOnce() -> FleetEventKind) {
+    if O::ENABLED {
+        observer.event(&FleetEvent {
+            at: start.elapsed(),
+            shard: None,
+            kind: kind(),
+        });
+    }
+}
 
 /// How one cell of a self-healing run concluded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,11 +213,13 @@ type SlotEntry = (Result<CellResult, SweepError>, CellOutcome, Duration);
 /// journals successes immediately (fsynced, so a later kill loses nothing
 /// that finished), and reports `progress(cell_index)` after each durable
 /// success — the hook shard workers use to bump their heartbeat file.
+/// Durable completions, in-process retries, and their wall latencies are
+/// also emitted to `observer` as typed cell events.
 ///
 /// Returns one entry per pending cell, `None` for cells never claimed
 /// (budget exhausted or a peer aborted the pool).
 #[allow(clippy::too_many_arguments)]
-fn heal_pending<F>(
+fn heal_pending<F, O>(
     spec_arc: &Arc<SweepSpec>,
     pending: &[CellSpec],
     to_run: usize,
@@ -209,9 +228,12 @@ fn heal_pending<F>(
     journal: Option<&Journal>,
     runner: &Arc<F>,
     progress: &(dyn Fn(usize) + Sync),
+    observer: &O,
+    start: Instant,
 ) -> Vec<Option<SlotEntry>>
 where
     F: Fn(&SweepSpec, &CellSpec) -> Result<CellResult, SweepError> + Send + Sync + 'static,
+    O: FleetObserver + Sync,
 {
     let slots: Vec<Mutex<Option<SlotEntry>>> = pending.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -254,7 +276,12 @@ where
                                     t0.elapsed(),
                                 );
                             }
-                            std::thread::sleep(heal.backoff_for(failed_attempts));
+                            let backoff = heal.backoff_for(failed_attempts);
+                            emit(observer, start, || FleetEventKind::CellRetried {
+                                cell: cell.index,
+                                backoff,
+                            });
+                            std::thread::sleep(backoff);
                             failed_attempts += 1;
                         }
                         Attempt::TimedOut => {
@@ -266,7 +293,12 @@ where
                                     t0.elapsed(),
                                 );
                             }
-                            std::thread::sleep(heal.backoff_for(failed_attempts));
+                            let backoff = heal.backoff_for(failed_attempts);
+                            emit(observer, start, || FleetEventKind::CellRetried {
+                                cell: cell.index,
+                                backoff,
+                            });
+                            std::thread::sleep(backoff);
                             failed_attempts += 1;
                         }
                     }
@@ -282,6 +314,15 @@ where
                     }
                 }
                 if entry.0.is_ok() {
+                    // Telemetry before the progress hook: the event marks
+                    // the durable completion, and the hook may block (the
+                    // shard worker's throttle sleeps in it) — a kill
+                    // landing there must not swallow the counter.
+                    emit(observer, start, || FleetEventKind::CellDone {
+                        cell: cell.index,
+                        wall: entry.2,
+                        attempts: failed_attempts,
+                    });
                     progress(cell.index);
                 }
                 let mut slot = slots[i].lock().unwrap_or_else(|p| p.into_inner());
@@ -335,6 +376,26 @@ pub fn run_shard_healing<P>(
 where
     P: Fn(usize) + Sync,
 {
+    run_shard_healing_observed(spec, range, workers, heal, progress, &NullFleetObserver)
+}
+
+/// [`run_shard_healing`] with a [`FleetObserver`] receiving typed cell
+/// events (durable completions with wall latency, in-process retries,
+/// journal resumes). With [`NullFleetObserver`] this monomorphizes to
+/// exactly [`run_shard_healing`].
+pub fn run_shard_healing_observed<P, O>(
+    spec: &SweepSpec,
+    range: std::ops::Range<usize>,
+    workers: usize,
+    heal: &HealConfig,
+    progress: P,
+    observer: &O,
+) -> Result<ShardRun, SweepError>
+where
+    P: Fn(usize) + Sync,
+    O: FleetObserver + Sync,
+{
+    let start = Instant::now();
     spec.validate()?;
     let cells = spec.cells();
     if range.start > range.end || range.end > cells.len() {
@@ -365,6 +426,16 @@ where
     let cache = Arc::new(TableCache::default());
     let runner =
         Arc::new(move |spec: &SweepSpec, cell: &CellSpec| run_cell_cached(spec, cell, &cache));
+    if O::ENABLED {
+        for cell in shard_cells
+            .iter()
+            .filter(|c| recovered.contains_key(&c.index))
+        {
+            emit(observer, start, || FleetEventKind::CellResumed {
+                cell: cell.index,
+            });
+        }
+    }
     let n_workers = workers.max(1).min(to_run.max(1));
     let entries = heal_pending(
         &spec_arc,
@@ -375,6 +446,8 @@ where
         journal.as_ref(),
         &runner,
         &progress,
+        observer,
+        start,
     );
 
     let mut outcomes: Vec<Option<CellOutcome>> = vec![None; shard_cells.len()];
@@ -436,14 +509,34 @@ pub fn run_sweep_healing(
     workers: usize,
     heal: &HealConfig,
 ) -> Result<HealedSweep, SweepError> {
+    run_sweep_healing_observed(spec, workers, heal, &NullFleetObserver)
+}
+
+/// [`run_sweep_healing`] with a [`FleetObserver`] receiving typed cell
+/// events (durable completions with wall latency, in-process retries,
+/// journal resumes). With [`NullFleetObserver`] this monomorphizes to
+/// exactly [`run_sweep_healing`].
+pub fn run_sweep_healing_observed<O>(
+    spec: &SweepSpec,
+    workers: usize,
+    heal: &HealConfig,
+    observer: &O,
+) -> Result<HealedSweep, SweepError>
+where
+    O: FleetObserver + Sync,
+{
     // One analysis memo for the whole healing run: retries and resumed
     // sweeps skip redundant `prepare()` calls exactly like the plain
     // fan-out. Results are unchanged — the cache is keyed on everything
     // the analysis reads (see `TableCache`).
     let cache = Arc::new(TableCache::default());
-    run_sweep_healing_with(spec, workers, heal, move |spec, cell| {
-        run_cell_cached(spec, cell, &cache)
-    })
+    run_sweep_healing_with_observed(
+        spec,
+        workers,
+        heal,
+        move |spec, cell| run_cell_cached(spec, cell, &cache),
+        observer,
+    )
 }
 
 /// [`run_sweep_healing`] with an injectable cell runner — the seam the
@@ -457,6 +550,22 @@ pub fn run_sweep_healing_with<F>(
 ) -> Result<HealedSweep, SweepError>
 where
     F: Fn(&SweepSpec, &CellSpec) -> Result<CellResult, SweepError> + Send + Sync + 'static,
+{
+    run_sweep_healing_with_observed(spec, workers, heal, runner, &NullFleetObserver)
+}
+
+/// The fully general self-healing run: injectable cell runner *and*
+/// fleet observer. Everything else delegates here.
+pub fn run_sweep_healing_with_observed<F, O>(
+    spec: &SweepSpec,
+    workers: usize,
+    heal: &HealConfig,
+    runner: F,
+    observer: &O,
+) -> Result<HealedSweep, SweepError>
+where
+    F: Fn(&SweepSpec, &CellSpec) -> Result<CellResult, SweepError> + Send + Sync + 'static,
+    O: FleetObserver + Sync,
 {
     spec.validate()?;
     let start = Instant::now();
@@ -480,6 +589,13 @@ where
     let budget = heal.max_cells.unwrap_or(usize::MAX);
     let to_run = pending.len().min(budget);
 
+    if O::ENABLED {
+        for cell in cells.iter().filter(|c| recovered.contains_key(&c.index)) {
+            emit(observer, start, || FleetEventKind::CellResumed {
+                cell: cell.index,
+            });
+        }
+    }
     let spec_arc = Arc::new(spec.clone());
     let runner = Arc::new(runner);
     let n_workers = workers.max(1).min(to_run.max(1));
@@ -492,6 +608,8 @@ where
         journal.as_ref(),
         &runner,
         &|_| {},
+        observer,
+        start,
     );
 
     // Collect: journal hits first, then executed slots, lowest failing

@@ -1,0 +1,501 @@
+//! The fleet timeline: a recorded event stream rendered as Chrome Trace
+//! Event Format JSON, loadable at <https://ui.perfetto.dev> — a chaos
+//! recovery as a picture instead of a transcript.
+//!
+//! Track layout (all under pid 0, "mpdp fleet"):
+//!
+//! - one thread track per shard (`shard N`), carrying an `"X"` span per
+//!   worker launch attempt (`launch N`, from [`ShardLaunched`] to the
+//!   event that ended the attempt), `"i"` instants for chaos kills,
+//!   journal tears, and stall kills, and a `"C"` counter series of
+//!   journaled-cell progress from heartbeats;
+//! - one `supervisor` track (tid = shard count) carrying the merge span
+//!   and run-level instants (cell events of in-process healing runs).
+//!
+//! Timestamps are microseconds since the run started, straight from
+//! [`FleetEvent::at`] — wall clock, unlike `obs::chrome`'s simulated
+//! cycles.
+//!
+//! [`ShardLaunched`]: FleetEventKind::ShardLaunched
+
+use std::fmt::Write as _;
+
+use mpdp_obs::escape_json as escape;
+
+use crate::event::{FleetEvent, FleetEventKind};
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+fn us(at: std::time::Duration) -> f64 {
+    at.as_secs_f64() * 1_000_000.0
+}
+
+fn write_instant(out: &mut String, first: &mut bool, tid: usize, at: f64, name: &str, args: &str) {
+    sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{at:.3},\"s\":\"t\",\
+         \"name\":\"{}\",\"cat\":\"fleet\"",
+        escape(name)
+    );
+    if !args.is_empty() {
+        let _ = write!(out, ",\"args\":{{{args}}}");
+    }
+    out.push('}');
+}
+
+fn write_span(
+    out: &mut String,
+    first: &mut bool,
+    tid: usize,
+    start: f64,
+    end: f64,
+    name: &str,
+    cat: &str,
+) {
+    sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{start:.3},\"dur\":{:.3},\
+         \"name\":\"{}\",\"cat\":\"{cat}\"}}",
+        (end - start).max(0.0),
+        escape(name)
+    );
+}
+
+/// An open launch-attempt span on one shard track.
+struct OpenLaunch {
+    start: f64,
+    launch: u32,
+}
+
+/// Renders a recorded fleet event stream as a complete Chrome trace JSON
+/// document. `shards` sizes the track layout (the supervisor track sits
+/// at tid = `shards`); events for shard indices at or beyond `shards`
+/// are clamped onto the supervisor track rather than dropped.
+pub fn fleet_trace_json(events: &[FleetEvent], shards: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+
+    sep(&mut out, &mut first);
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"mpdp fleet\"}}",
+    );
+    for shard in 0..shards {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{shard},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"shard {shard}\"}}}}"
+        );
+    }
+    sep(&mut out, &mut first);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{shards},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"supervisor\"}}}}"
+    );
+
+    let supervisor_tid = shards;
+    let tid_of = |shard: Option<usize>| shard.filter(|s| *s < shards).unwrap_or(supervisor_tid);
+    let mut open: Vec<Option<OpenLaunch>> = (0..shards).map(|_| None).collect();
+    let mut merge_start: Option<f64> = None;
+    let mut last_ts = 0.0f64;
+
+    for event in events {
+        let at = us(event.at);
+        last_ts = last_ts.max(at);
+        let tid = tid_of(event.shard);
+        let slot = event.shard.filter(|s| *s < shards);
+        match &event.kind {
+            FleetEventKind::ShardLaunched { pid, launch, .. } => {
+                if let Some(s) = slot {
+                    // A spawn that failed before producing a process never
+                    // opened a span; a crash reaped in the same poll as the
+                    // relaunch closes below. Close any leftover defensively.
+                    if let Some(prev) = open[s].take() {
+                        write_span(
+                            &mut out,
+                            &mut first,
+                            tid,
+                            prev.start,
+                            at,
+                            &format!("launch {}", prev.launch),
+                            "launch",
+                        );
+                    }
+                    open[s] = Some(OpenLaunch {
+                        start: at,
+                        launch: *launch,
+                    });
+                }
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    tid,
+                    at,
+                    "launched",
+                    &format!("\"pid\":{pid},\"launch\":{launch}"),
+                );
+            }
+            FleetEventKind::Heartbeat { journaled } => {
+                sep(&mut out, &mut first);
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"C\",\"pid\":0,\"tid\":{tid},\"ts\":{at:.3},\
+                     \"name\":\"journaled shard {}\",\"args\":{{\"cells\":{journaled}}}}}",
+                    event.shard.unwrap_or(0)
+                );
+            }
+            FleetEventKind::Stalled { timeout } => {
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    tid,
+                    at,
+                    "stall",
+                    &format!("\"timeout_ms\":{}", timeout.as_millis()),
+                );
+            }
+            FleetEventKind::ChaosKill {
+                journaled,
+                threshold,
+            } => {
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    tid,
+                    at,
+                    "chaos-kill",
+                    &format!("\"journaled\":{journaled},\"threshold\":{threshold}"),
+                );
+            }
+            FleetEventKind::ChaosSkipped { remaining } => {
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    tid,
+                    at,
+                    "chaos-skipped",
+                    &format!("\"remaining\":{remaining}"),
+                );
+            }
+            FleetEventKind::JournalTear => {
+                write_instant(&mut out, &mut first, tid, at, "journal-tear", "");
+            }
+            FleetEventKind::ChaosReaped | FleetEventKind::Retry { .. } => {
+                if let Some(launch) = slot.and_then(|s| open[s].take()) {
+                    write_span(
+                        &mut out,
+                        &mut first,
+                        tid,
+                        launch.start,
+                        at,
+                        &format!("launch {}", launch.launch),
+                        "launch",
+                    );
+                }
+                if let FleetEventKind::Retry { failure, backoff } = &event.kind {
+                    write_instant(
+                        &mut out,
+                        &mut first,
+                        tid,
+                        at,
+                        "retry",
+                        &format!(
+                            "\"failure\":\"{}\",\"backoff_ms\":{}",
+                            escape(&failure.to_string()),
+                            backoff.as_millis()
+                        ),
+                    );
+                }
+            }
+            FleetEventKind::RetriesExhausted { failure, launches } => {
+                if let Some(launch) = slot.and_then(|s| open[s].take()) {
+                    write_span(
+                        &mut out,
+                        &mut first,
+                        tid,
+                        launch.start,
+                        at,
+                        &format!("launch {}", launch.launch),
+                        "launch",
+                    );
+                }
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    tid,
+                    at,
+                    "dead",
+                    &format!(
+                        "\"failure\":\"{}\",\"launches\":{launches}",
+                        escape(&failure.to_string())
+                    ),
+                );
+            }
+            FleetEventKind::Resumed { cells } => {
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    tid,
+                    at,
+                    "resumed",
+                    &format!("\"cells\":{cells}"),
+                );
+            }
+            FleetEventKind::ShardDone { cells, launches } => {
+                if let Some(launch) = slot.and_then(|s| open[s].take()) {
+                    write_span(
+                        &mut out,
+                        &mut first,
+                        tid,
+                        launch.start,
+                        at,
+                        &format!("launch {}", launch.launch),
+                        "launch",
+                    );
+                }
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    tid,
+                    at,
+                    "done",
+                    &format!("\"cells\":{cells},\"launches\":{launches}"),
+                );
+            }
+            FleetEventKind::MergeStarted { .. } => merge_start = Some(at),
+            FleetEventKind::MergeDone {
+                journals,
+                cells,
+                chaos_kills,
+                torn,
+            } => {
+                let start = merge_start.take().unwrap_or(at);
+                write_span(
+                    &mut out,
+                    &mut first,
+                    supervisor_tid,
+                    start,
+                    at,
+                    "merge",
+                    "merge",
+                );
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    supervisor_tid,
+                    at,
+                    "merged",
+                    &format!(
+                        "\"journals\":{journals},\"cells\":{cells},\
+                         \"chaos_kills\":{chaos_kills},\"torn\":{torn}"
+                    ),
+                );
+            }
+            FleetEventKind::CellDone {
+                cell,
+                wall,
+                attempts,
+            } => {
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    tid,
+                    at,
+                    &format!("cell {cell}"),
+                    &format!("\"wall_us\":{},\"attempts\":{attempts}", wall.as_micros()),
+                );
+            }
+            FleetEventKind::CellRetried { cell, backoff } => {
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    tid,
+                    at,
+                    &format!("cell {cell} retry"),
+                    &format!("\"backoff_ms\":{}", backoff.as_millis()),
+                );
+            }
+            FleetEventKind::CellResumed { cell } => {
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    tid,
+                    at,
+                    &format!("cell {cell} resumed"),
+                    "",
+                );
+            }
+        }
+    }
+
+    // A run that ended mid-flight (killed supervisor, recorded stream cut
+    // short) may leave launch spans open; close them at the last
+    // timestamp so the trace still loads.
+    for (shard, launch) in open.into_iter().enumerate() {
+        if let Some(launch) = launch {
+            write_span(
+                &mut out,
+                &mut first,
+                shard,
+                launch.start,
+                last_ts,
+                &format!("launch {}", launch.launch),
+                "launch",
+            );
+        }
+    }
+
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FailureKind;
+    use mpdp_obs::validate_json;
+    use std::time::Duration;
+
+    fn ev(ms: u64, shard: Option<usize>, kind: FleetEventKind) -> FleetEvent {
+        FleetEvent {
+            at: Duration::from_millis(ms),
+            shard,
+            kind,
+        }
+    }
+
+    fn chaos_stream() -> Vec<FleetEvent> {
+        vec![
+            ev(
+                0,
+                Some(0),
+                FleetEventKind::ShardLaunched {
+                    pid: 100,
+                    launch: 1,
+                    cells_start: 0,
+                    cells_end: 5,
+                },
+            ),
+            ev(1, Some(0), FleetEventKind::Heartbeat { journaled: 2 }),
+            ev(
+                2,
+                Some(0),
+                FleetEventKind::ChaosKill {
+                    journaled: 2,
+                    threshold: 2,
+                },
+            ),
+            ev(3, Some(0), FleetEventKind::JournalTear),
+            ev(3, Some(0), FleetEventKind::ChaosReaped),
+            ev(
+                5,
+                Some(0),
+                FleetEventKind::ShardLaunched {
+                    pid: 101,
+                    launch: 2,
+                    cells_start: 0,
+                    cells_end: 5,
+                },
+            ),
+            ev(5, Some(0), FleetEventKind::Resumed { cells: 1 }),
+            ev(
+                9,
+                Some(0),
+                FleetEventKind::ShardDone {
+                    cells: 5,
+                    launches: 2,
+                },
+            ),
+            ev(9, None, FleetEventKind::MergeStarted { journals: 1 }),
+            ev(
+                10,
+                None,
+                FleetEventKind::MergeDone {
+                    journals: 1,
+                    cells: 5,
+                    chaos_kills: 1,
+                    torn: 1,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_fleet_track_layout() {
+        let json = fleet_trace_json(&chaos_stream(), 1);
+        validate_json(&json).expect("trace parses");
+        assert!(json.contains("\"name\":\"mpdp fleet\""));
+        assert!(json.contains("\"name\":\"shard 0\""));
+        assert!(json.contains("\"name\":\"supervisor\""));
+        assert!(json.contains("\"name\":\"launch 1\""));
+        assert!(json.contains("\"name\":\"launch 2\""));
+        assert!(json.contains("\"name\":\"chaos-kill\""));
+        assert!(json.contains("\"name\":\"journal-tear\""));
+        assert!(json.contains("\"name\":\"merge\""));
+        assert!(json.contains("\"ph\":\"C\""), "heartbeat counter series");
+    }
+
+    #[test]
+    fn retry_closes_the_launch_span_and_marks_the_failure() {
+        let events = vec![
+            ev(
+                0,
+                Some(0),
+                FleetEventKind::ShardLaunched {
+                    pid: 7,
+                    launch: 1,
+                    cells_start: 0,
+                    cells_end: 3,
+                },
+            ),
+            ev(
+                4,
+                Some(0),
+                FleetEventKind::Retry {
+                    failure: FailureKind::Crashed { signal: Some(9) },
+                    backoff: Duration::from_millis(50),
+                },
+            ),
+        ];
+        let json = fleet_trace_json(&events, 1);
+        validate_json(&json).expect("trace parses");
+        assert!(json.contains("\"name\":\"retry\""));
+        assert!(json.contains("worker killed by signal 9"));
+        assert!(json.contains("\"dur\":4000.000"), "span closed at 4 ms");
+    }
+
+    #[test]
+    fn truncated_stream_still_loads() {
+        let events = vec![ev(
+            0,
+            Some(0),
+            FleetEventKind::ShardLaunched {
+                pid: 7,
+                launch: 1,
+                cells_start: 0,
+                cells_end: 3,
+            },
+        )];
+        let json = fleet_trace_json(&events, 1);
+        validate_json(&json).expect("trace parses");
+        assert!(json.contains("\"name\":\"launch 1\""), "open span closed");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = chaos_stream();
+        assert_eq!(fleet_trace_json(&events, 1), fleet_trace_json(&events, 1));
+    }
+}

@@ -1,0 +1,261 @@
+//! The compat adapter: typed events back into the supervisor's
+//! human-readable recovery transcript, byte for byte.
+//!
+//! Before this crate existed, `supervise` formatted its transcript
+//! inline and pushed the strings through an `FnMut(&str)` callback.
+//! [`TranscriptObserver`] reproduces exactly those lines from the typed
+//! event stream — [`render`](TranscriptObserver::render) is a pure
+//! function, so a recorded stream replays into the identical transcript,
+//! which is how the golden tests pin the adapter.
+
+use std::sync::Mutex;
+
+use crate::event::{FleetEvent, FleetEventKind};
+use crate::FleetObserver;
+
+/// Renders supervisor events as the classic transcript lines and hands
+/// each line to the wrapped sink.
+///
+/// Events the old transcript never printed ([`Heartbeat`], [`Resumed`],
+/// [`MergeStarted`], and the cell-level events)
+/// render to nothing, so a transcript produced through this adapter is
+/// byte-identical to the pre-telemetry output.
+///
+/// [`Heartbeat`]: FleetEventKind::Heartbeat
+/// [`Resumed`]: FleetEventKind::Resumed
+/// [`MergeStarted`]: FleetEventKind::MergeStarted
+#[derive(Debug)]
+pub struct TranscriptObserver<F: FnMut(&str)> {
+    sink: Mutex<F>,
+}
+
+impl<F: FnMut(&str)> TranscriptObserver<F> {
+    /// Wraps `sink`, which receives one transcript line per renderable
+    /// event.
+    pub fn new(sink: F) -> Self {
+        TranscriptObserver {
+            sink: Mutex::new(sink),
+        }
+    }
+
+    /// The transcript line for `event`, or `None` for events the
+    /// transcript never showed. Pure: rendering a recorded stream
+    /// reproduces a live transcript exactly.
+    pub fn render(event: &FleetEvent) -> Option<String> {
+        let shard = event.shard.unwrap_or(0);
+        match &event.kind {
+            FleetEventKind::ShardLaunched {
+                pid,
+                launch,
+                cells_start,
+                cells_end,
+            } => Some(format!(
+                "shard {shard}: launched worker pid {pid} (launch {launch}, cells {cells_start}..{cells_end})"
+            )),
+            FleetEventKind::Stalled { timeout } => Some(format!(
+                "shard {shard}: heartbeat stalled for {timeout:?}; killing worker"
+            )),
+            FleetEventKind::ChaosKill {
+                journaled,
+                threshold,
+            } => Some(format!(
+                "shard {shard}: chaos SIGKILL at {journaled} journaled cells (threshold {threshold})"
+            )),
+            FleetEventKind::ChaosSkipped { remaining } => Some(format!(
+                "shard {shard}: {remaining} chaos kill(s) skipped (worker finished first)"
+            )),
+            FleetEventKind::JournalTear => Some(format!(
+                "shard {shard}: journal torn mid-record after chaos kill"
+            )),
+            FleetEventKind::ChaosReaped => Some(format!(
+                "shard {shard}: chaos victim reaped; relaunching to resume"
+            )),
+            FleetEventKind::Retry { failure, backoff } => Some(format!(
+                "shard {shard}: {failure}; relaunching in {backoff:?}"
+            )),
+            FleetEventKind::RetriesExhausted { failure, launches } => Some(format!(
+                "shard {shard}: {failure}; retry budget exhausted after {launches} launches"
+            )),
+            FleetEventKind::ShardDone { cells, launches } => Some(format!(
+                "shard {shard}: completed ({cells} cells, {launches} launch(es))"
+            )),
+            FleetEventKind::MergeDone {
+                journals,
+                cells,
+                chaos_kills,
+                torn,
+            } => Some(format!(
+                "merged {journals} shard journal(s): {cells} cells, {chaos_kills} chaos kill(s), {torn} torn journal(s)"
+            )),
+            FleetEventKind::Heartbeat { .. }
+            | FleetEventKind::Resumed { .. }
+            | FleetEventKind::MergeStarted { .. }
+            | FleetEventKind::CellDone { .. }
+            | FleetEventKind::CellRetried { .. }
+            | FleetEventKind::CellResumed { .. } => None,
+        }
+    }
+}
+
+impl<F: FnMut(&str)> FleetObserver for TranscriptObserver<F> {
+    fn event(&self, event: &FleetEvent) {
+        if let Some(line) = Self::render(event) {
+            let mut sink = self.sink.lock().unwrap_or_else(|p| p.into_inner());
+            sink(&line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FailureKind;
+    use std::time::Duration;
+
+    fn ev(shard: Option<usize>, kind: FleetEventKind) -> FleetEvent {
+        FleetEvent {
+            at: Duration::ZERO,
+            shard,
+            kind,
+        }
+    }
+
+    #[test]
+    fn renders_every_transcript_line_exactly() {
+        let cases: Vec<(FleetEvent, &str)> = vec![
+            (
+                ev(
+                    Some(2),
+                    FleetEventKind::ShardLaunched {
+                        pid: 4242,
+                        launch: 1,
+                        cells_start: 18,
+                        cells_end: 27,
+                    },
+                ),
+                "shard 2: launched worker pid 4242 (launch 1, cells 18..27)",
+            ),
+            (
+                ev(
+                    Some(0),
+                    FleetEventKind::Stalled {
+                        timeout: Duration::from_millis(40),
+                    },
+                ),
+                "shard 0: heartbeat stalled for 40ms; killing worker",
+            ),
+            (
+                ev(
+                    Some(1),
+                    FleetEventKind::ChaosKill {
+                        journaled: 5,
+                        threshold: 4,
+                    },
+                ),
+                "shard 1: chaos SIGKILL at 5 journaled cells (threshold 4)",
+            ),
+            (
+                ev(Some(1), FleetEventKind::ChaosSkipped { remaining: 2 }),
+                "shard 1: 2 chaos kill(s) skipped (worker finished first)",
+            ),
+            (
+                ev(Some(3), FleetEventKind::JournalTear),
+                "shard 3: journal torn mid-record after chaos kill",
+            ),
+            (
+                ev(Some(3), FleetEventKind::ChaosReaped),
+                "shard 3: chaos victim reaped; relaunching to resume",
+            ),
+            (
+                ev(
+                    Some(0),
+                    FleetEventKind::Retry {
+                        failure: FailureKind::Crashed { signal: Some(9) },
+                        backoff: Duration::from_millis(50),
+                    },
+                ),
+                "shard 0: worker killed by signal 9; relaunching in 50ms",
+            ),
+            (
+                ev(
+                    Some(0),
+                    FleetEventKind::RetriesExhausted {
+                        failure: FailureKind::Exited { code: 9 },
+                        launches: 3,
+                    },
+                ),
+                "shard 0: worker exited with code 9; retry budget exhausted after 3 launches",
+            ),
+            (
+                ev(
+                    Some(5),
+                    FleetEventKind::ShardDone {
+                        cells: 13,
+                        launches: 2,
+                    },
+                ),
+                "shard 5: completed (13 cells, 2 launch(es))",
+            ),
+            (
+                ev(
+                    None,
+                    FleetEventKind::MergeDone {
+                        journals: 8,
+                        cells: 104,
+                        chaos_kills: 2,
+                        torn: 1,
+                    },
+                ),
+                "merged 8 shard journal(s): 104 cells, 2 chaos kill(s), 1 torn journal(s)",
+            ),
+        ];
+        for (event, expected) in cases {
+            assert_eq!(
+                TranscriptObserver::<fn(&str)>::render(&event).as_deref(),
+                Some(expected)
+            );
+        }
+    }
+
+    #[test]
+    fn silent_events_render_to_nothing() {
+        for kind in [
+            FleetEventKind::Heartbeat { journaled: 3 },
+            FleetEventKind::Resumed { cells: 7 },
+            FleetEventKind::MergeStarted { journals: 2 },
+            FleetEventKind::CellDone {
+                cell: 0,
+                wall: Duration::from_millis(1),
+                attempts: 0,
+            },
+            FleetEventKind::CellRetried {
+                cell: 0,
+                backoff: Duration::from_millis(1),
+            },
+            FleetEventKind::CellResumed { cell: 0 },
+        ] {
+            assert_eq!(
+                TranscriptObserver::<fn(&str)>::render(&ev(Some(0), kind)),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn observer_pushes_rendered_lines_to_the_sink() {
+        let lines = Mutex::new(Vec::new());
+        let obs = TranscriptObserver::new(|line: &str| {
+            lines
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(line.to_string());
+        });
+        obs.event(&ev(Some(0), FleetEventKind::JournalTear));
+        obs.event(&ev(Some(0), FleetEventKind::Heartbeat { journaled: 1 }));
+        let lines = lines.into_inner().unwrap_or_else(|p| p.into_inner());
+        assert_eq!(
+            lines,
+            vec!["shard 0: journal torn mid-record after chaos kill".to_string()]
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests for the fleet metrics merge algebra — the contract
+//! that lets worker processes persist independent snapshots which the
+//! supervisor folds together in any order: histogram and snapshot merge
+//! must be associative, commutative, and shard-order-invariant, and the
+//! worker text format must round-trip exactly.
+
+use proptest::prelude::*;
+
+use mpdp_telemetry::{
+    snapshot_from_text, snapshot_to_text, FleetEvent, FleetEventKind, FleetSnapshot, Histogram,
+};
+use std::time::Duration;
+
+fn histogram(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record_us(s);
+    }
+    h
+}
+
+/// A generated per-shard event batch: the events one worker process (or
+/// one supervised shard) could plausibly emit.
+fn shard_events(shard: usize, seed: u64) -> Vec<FleetEvent> {
+    // Deterministic small mix keyed on (shard, seed) — enough variety to
+    // touch launches, chaos, cells, and failures without a full
+    // event-stream generator.
+    let mut events = vec![FleetEvent {
+        at: Duration::ZERO,
+        shard: Some(shard),
+        kind: FleetEventKind::ShardLaunched {
+            pid: 100 + shard as u32,
+            launch: 1,
+            cells_start: shard * 10,
+            cells_end: shard * 10 + 10,
+        },
+    }];
+    if seed.is_multiple_of(2) {
+        events.push(FleetEvent {
+            at: Duration::from_millis(1),
+            shard: Some(shard),
+            kind: FleetEventKind::ChaosKill {
+                journaled: (seed % 7) as usize,
+                threshold: (seed % 7) as usize,
+            },
+        });
+    }
+    if seed.is_multiple_of(3) {
+        events.push(FleetEvent {
+            at: Duration::from_millis(2),
+            shard: Some(shard),
+            kind: FleetEventKind::Retry {
+                failure: mpdp_telemetry::FailureKind::Crashed { signal: Some(9) },
+                backoff: Duration::from_micros(seed % 10_000),
+            },
+        });
+    }
+    for cell in 0..(seed % 4) {
+        events.push(FleetEvent {
+            at: Duration::from_millis(3 + cell),
+            shard: Some(shard),
+            kind: FleetEventKind::CellDone {
+                cell: shard * 10 + cell as usize,
+                wall: Duration::from_micros(seed.wrapping_mul(cell + 1) % 20_000_000),
+                attempts: 0,
+            },
+        });
+    }
+    events.push(FleetEvent {
+        at: Duration::from_millis(9),
+        shard: Some(shard),
+        kind: FleetEventKind::ShardDone {
+            cells: 10,
+            launches: 1,
+        },
+    });
+    events
+}
+
+fn snapshot_of(batches: &[Vec<FleetEvent>]) -> FleetSnapshot {
+    let mut s = FleetSnapshot::default();
+    for batch in batches {
+        for event in batch {
+            s.apply(event);
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Histogram merge over any partition equals one accumulator over the
+    /// concatenation — exactly, including buckets, sum, min, max.
+    #[test]
+    fn histogram_merge_equals_recompute(
+        samples in prop::collection::vec(0u64..20_000_000, 0..200),
+        split in 0usize..200,
+    ) {
+        let cut = split.min(samples.len());
+        let mut merged = histogram(&samples[..cut]);
+        merged.merge(&histogram(&samples[cut..]));
+        prop_assert_eq!(merged, histogram(&samples));
+    }
+
+    /// Histogram merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(0u64..20_000_000, 0..50),
+        b in prop::collection::vec(0u64..20_000_000, 0..50),
+        c in prop::collection::vec(0u64..20_000_000, 0..50),
+    ) {
+        let (ha, hb, hc) = (histogram(&a), histogram(&b), histogram(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Quantiles are bounded by the exact extremes at every q.
+    #[test]
+    fn histogram_quantiles_stay_within_min_max(
+        samples in prop::collection::vec(0u64..20_000_000, 1..100),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = histogram(&samples);
+        let quantile = h.quantile_us(q).expect("non-empty");
+        prop_assert!(quantile <= h.max_us().expect("non-empty"));
+    }
+
+    /// A fleet snapshot assembled from per-shard snapshots is independent
+    /// of the order the shards are folded in — the property that makes
+    /// collecting worker sidecar files order-free.
+    #[test]
+    fn snapshot_merge_is_shard_order_invariant(
+        seeds in prop::collection::vec(0u64..1000, 1..8),
+        rotate in 0usize..8,
+    ) {
+        let batches: Vec<Vec<FleetEvent>> = seeds
+            .iter()
+            .enumerate()
+            .map(|(shard, &seed)| shard_events(shard, seed))
+            .collect();
+        let mut in_order = FleetSnapshot::default();
+        for batch in &batches {
+            in_order.merge(&snapshot_of(std::slice::from_ref(batch)));
+        }
+        let mut rotated = FleetSnapshot::default();
+        let cut = rotate % batches.len();
+        for batch in batches[cut..].iter().chain(&batches[..cut]) {
+            rotated.merge(&snapshot_of(std::slice::from_ref(batch)));
+        }
+        prop_assert_eq!(&in_order, &rotated);
+        // And merging shard snapshots equals applying the whole stream to
+        // one snapshot.
+        prop_assert_eq!(&in_order, &snapshot_of(&batches));
+    }
+
+    /// Snapshot merge is associative over arbitrary groupings.
+    #[test]
+    fn snapshot_merge_is_associative(
+        seeds in prop::collection::vec(0u64..1000, 3..9),
+        split in 1usize..8,
+    ) {
+        let batches: Vec<Vec<FleetEvent>> = seeds
+            .iter()
+            .enumerate()
+            .map(|(shard, &seed)| shard_events(shard, seed))
+            .collect();
+        let cut = split.min(batches.len() - 1);
+        // ((first group) ⊕ (second group)) vs one flat fold.
+        let mut grouped = snapshot_of(&batches[..cut]);
+        grouped.merge(&snapshot_of(&batches[cut..]));
+        prop_assert_eq!(grouped, snapshot_of(&batches));
+    }
+
+    /// The worker sidecar text format round-trips every reachable
+    /// snapshot exactly, and re-serializing is byte-stable.
+    #[test]
+    fn snapshot_text_round_trips(seeds in prop::collection::vec(0u64..1000, 0..6)) {
+        let batches: Vec<Vec<FleetEvent>> = seeds
+            .iter()
+            .enumerate()
+            .map(|(shard, &seed)| shard_events(shard, seed))
+            .collect();
+        let snapshot = snapshot_of(&batches);
+        let text = snapshot_to_text(&snapshot);
+        let parsed = snapshot_from_text(&text).expect("round-trip parses");
+        prop_assert_eq!(&parsed, &snapshot);
+        prop_assert_eq!(snapshot_to_text(&parsed), text);
+    }
+}
