@@ -1,0 +1,333 @@
+//! Session-level online admission control — the offline tool chain
+//! ([`prepare`], the sensitivity analysis) packaged as an incremental
+//! decision procedure a long-lived service can call per request.
+//!
+//! The paper's dual-priority scheme guarantees the periodic set offline
+//! and admits aperiodic work opportunistically at runtime. An
+//! [`AdmissionSession`] is the analysis-side mirror of that split: it is
+//! created over a *guaranteed* periodic base set (rejected up front if
+//! the base itself is unschedulable), and each aperiodic request then
+//! arrives with a declared demand window — a minimum inter-arrival time —
+//! so its bandwidth `exec / window` is well defined. The admission test
+//! folds the aggregate aperiodic bandwidth into the periodic load as a
+//! uniform scale factor and re-runs the full partition + response-time
+//! analysis ([`is_schedulable_at`]): a request is admitted only if the
+//! *guaranteed* set would survive the extra demand, which is exactly the
+//! criterion that keeps the dual-priority promise at the service level.
+//!
+//! Every decision is a pure function of the session's history, so a
+//! service that journals its requests and replays them after a crash
+//! reaches a byte-identical session state — the property the `mpdpd`
+//! daemon's crash recovery is built on.
+
+use mpdp_core::error::TaskSetError;
+use mpdp_core::task::{AperiodicTask, PeriodicTask, TaskTable};
+use mpdp_core::time::Cycles;
+
+use crate::partition::PartitionHeuristic;
+use crate::sensitivity::{breakdown_utilization, is_schedulable_at};
+use crate::tool::{prepare, ToolOptions};
+
+/// Why an aperiodic request was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// The declared demand window (or execution time) was zero — the
+    /// request's bandwidth is undefined or infinite.
+    InvalidDemand,
+    /// Folding the request in would break the periodic guarantee: the
+    /// scaled set fails partition + RTA at `factor`.
+    Unschedulable {
+        /// The uniform load factor the admission test applied.
+        factor: f64,
+    },
+}
+
+/// The outcome of one admission decision. Decisions are deterministic:
+/// replaying the same sequence of requests yields the same outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionOutcome {
+    /// The request was admitted and is now part of the session.
+    Admitted {
+        /// The request's own bandwidth (`exec / window`).
+        bandwidth: f64,
+        /// Aggregate aperiodic bandwidth after this admission.
+        total_aperiodic: f64,
+    },
+    /// The request was refused; the session is unchanged.
+    Rejected {
+        /// The request's own bandwidth (`exec / window`), when defined.
+        bandwidth: f64,
+        /// Why it was refused.
+        reason: RejectReason,
+    },
+}
+
+impl AdmissionOutcome {
+    /// Whether the request got in.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, AdmissionOutcome::Admitted { .. })
+    }
+}
+
+/// One client's admission state: a guaranteed periodic base set plus the
+/// aperiodic requests admitted so far.
+#[derive(Debug, Clone)]
+pub struct AdmissionSession {
+    periodic: Vec<PeriodicTask>,
+    n_procs: usize,
+    heuristic: PartitionHeuristic,
+    periodic_utilization: f64,
+    admitted: Vec<(AperiodicTask, Cycles)>,
+    aperiodic_bandwidth: f64,
+}
+
+impl AdmissionSession {
+    /// Opens a session over `periodic` on `n_procs` processors.
+    ///
+    /// # Errors
+    ///
+    /// The base set must itself be guaranteed: partition + RTA at factor
+    /// 1.0 must succeed, otherwise the [`TaskSetError`] is returned and
+    /// no session exists (there is no guarantee to protect).
+    pub fn new(
+        periodic: Vec<PeriodicTask>,
+        n_procs: usize,
+        heuristic: PartitionHeuristic,
+    ) -> Result<Self, TaskSetError> {
+        // `prepare` is the authoritative check (it applies RTA); run it
+        // once to validate the base and discard the table.
+        prepare(
+            periodic.clone(),
+            Vec::new(),
+            n_procs,
+            ToolOptions::new().with_heuristic(heuristic),
+        )?;
+        let periodic_utilization = periodic.iter().map(PeriodicTask::utilization).sum();
+        Ok(AdmissionSession {
+            periodic,
+            n_procs,
+            heuristic,
+            periodic_utilization,
+            admitted: Vec::new(),
+            aperiodic_bandwidth: 0.0,
+        })
+    }
+
+    /// The guaranteed periodic base set.
+    pub fn periodic(&self) -> &[PeriodicTask] {
+        &self.periodic
+    }
+
+    /// The aperiodic requests admitted so far, with their demand windows,
+    /// in admission order.
+    pub fn admitted(&self) -> &[(AperiodicTask, Cycles)] {
+        &self.admitted
+    }
+
+    /// Aggregate admitted aperiodic bandwidth (sum of `exec / window`).
+    pub fn aperiodic_bandwidth(&self) -> f64 {
+        self.aperiodic_bandwidth
+    }
+
+    /// Decides one aperiodic request: `task`'s execution demand is
+    /// declared to recur no more often than every `window` cycles. On
+    /// admission the request joins the session; on rejection the session
+    /// is unchanged — rejections are free to retry with a wider window.
+    pub fn try_admit(&mut self, task: AperiodicTask, window: Cycles) -> AdmissionOutcome {
+        if window.is_zero() || task.exec().is_zero() {
+            return AdmissionOutcome::Rejected {
+                bandwidth: 0.0,
+                reason: RejectReason::InvalidDemand,
+            };
+        }
+        let bandwidth = task.exec().as_u64() as f64 / window.as_u64() as f64;
+        let total = self.aperiodic_bandwidth + bandwidth;
+        let admitted = if self.periodic_utilization > 0.0 {
+            // Fold the aggregate aperiodic bandwidth into the guaranteed
+            // load as a uniform scale factor and re-run the analysis: the
+            // periodic set must survive carrying the whole bandwidth.
+            let factor = (self.periodic_utilization + total) / self.periodic_utilization;
+            if is_schedulable_at(&self.periodic, self.n_procs, factor, self.heuristic) {
+                true
+            } else {
+                return AdmissionOutcome::Rejected {
+                    bandwidth,
+                    reason: RejectReason::Unschedulable { factor },
+                };
+            }
+        } else {
+            // No periodic load to scale: bare bandwidth against capacity.
+            total < self.n_procs as f64
+        };
+        if !admitted {
+            return AdmissionOutcome::Rejected {
+                bandwidth,
+                reason: RejectReason::Unschedulable { factor: f64::NAN },
+            };
+        }
+        self.admitted.push((task, window));
+        self.aperiodic_bandwidth = total;
+        AdmissionOutcome::Admitted {
+            bandwidth,
+            total_aperiodic: total,
+        }
+    }
+
+    /// Remaining admissible bandwidth: how much more aperiodic demand the
+    /// guaranteed set can absorb before [`try_admit`](Self::try_admit)
+    /// starts refusing, measured by the sensitivity breakdown search to
+    /// `tolerance`. Zero when the base carries no periodic load headroom
+    /// information (empty base sets report capacity minus current load).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`breakdown_utilization`] search's errors.
+    pub fn headroom(&self, tolerance: f64) -> Result<f64, TaskSetError> {
+        if self.periodic_utilization <= 0.0 {
+            return Ok((self.n_procs as f64 - self.aperiodic_bandwidth).max(0.0));
+        }
+        // `breakdown_utilization` reports the *system* utilization
+        // (Σ C/T / m) at the breakdown point; convert back to load units
+        // to compare against the session's absolute demand.
+        let breakdown =
+            breakdown_utilization(&self.periodic, self.n_procs, self.heuristic, tolerance)?;
+        let capacity = breakdown * self.n_procs as f64;
+        Ok((capacity - self.periodic_utilization - self.aperiodic_bandwidth).max(0.0))
+    }
+
+    /// Builds the validated [`TaskTable`] for the session's current state
+    /// — the guaranteed base plus every admitted aperiodic task — ready
+    /// for either simulator stack.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`prepare`] can reject (the base was validated at open,
+    /// so failures indicate option conflicts, e.g. a WCET margin).
+    pub fn table(&self, options: ToolOptions) -> Result<TaskTable, TaskSetError> {
+        prepare(
+            self.periodic.clone(),
+            self.admitted.iter().map(|(t, _)| t.clone()).collect(),
+            self.n_procs,
+            options,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdp_core::ids::TaskId;
+    use mpdp_core::time::DEFAULT_TICK;
+    use mpdp_workload::automotive_task_set;
+
+    fn session(util: f64, n_procs: usize) -> AdmissionSession {
+        let set = automotive_task_set(util, n_procs, DEFAULT_TICK);
+        AdmissionSession::new(
+            set.periodic,
+            n_procs,
+            PartitionHeuristic::FirstFitDecreasing,
+        )
+        .expect("base set is guaranteed")
+    }
+
+    fn request(id: u32, exec_us: u64) -> AperiodicTask {
+        AperiodicTask::new(
+            TaskId::new(id),
+            format!("ap{id}"),
+            Cycles::from_micros(exec_us),
+        )
+    }
+
+    #[test]
+    fn light_requests_are_admitted_and_accumulate() {
+        let mut s = session(0.4, 3);
+        let window = Cycles::from_millis(100);
+        let first = s.try_admit(request(100, 200), window);
+        assert!(first.is_admitted(), "{first:?}");
+        let second = s.try_admit(request(101, 200), window);
+        assert!(second.is_admitted(), "{second:?}");
+        assert_eq!(s.admitted().len(), 2);
+        assert!(s.aperiodic_bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn overload_is_rejected_and_leaves_the_session_unchanged() {
+        let mut s = session(0.7, 2);
+        // Demand its own processor's worth of bandwidth every window.
+        let heavy = s.try_admit(request(100, 100_000), Cycles::from_micros(100_000));
+        assert!(
+            matches!(
+                heavy,
+                AdmissionOutcome::Rejected {
+                    reason: RejectReason::Unschedulable { .. },
+                    ..
+                }
+            ),
+            "{heavy:?}"
+        );
+        assert!(s.admitted().is_empty());
+        assert_eq!(s.aperiodic_bandwidth(), 0.0);
+        // A modest follow-up still gets in: rejections cost nothing.
+        assert!(s
+            .try_admit(request(100, 50), Cycles::from_millis(50))
+            .is_admitted());
+    }
+
+    #[test]
+    fn zero_window_or_zero_exec_is_invalid_demand() {
+        let mut s = session(0.4, 2);
+        for (exec, window) in [(0, 1_000), (100, 0)] {
+            let out = s.try_admit(request(100, exec), Cycles::from_micros(window));
+            assert!(
+                matches!(
+                    out,
+                    AdmissionOutcome::Rejected {
+                        reason: RejectReason::InvalidDemand,
+                        ..
+                    }
+                ),
+                "{out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_replay_deterministically() {
+        let run = |requests: &[(u32, u64, u64)]| {
+            let mut s = session(0.5, 3);
+            requests
+                .iter()
+                .map(|&(id, exec, win)| s.try_admit(request(id, exec), Cycles::from_micros(win)))
+                .collect::<Vec<_>>()
+        };
+        let script = [
+            (100, 500, 10_000),
+            (101, 90_000, 100_000),
+            (102, 200, 5_000),
+        ];
+        assert_eq!(run(&script), run(&script), "replay is byte-identical");
+    }
+
+    #[test]
+    fn headroom_shrinks_as_requests_are_admitted() {
+        let mut s = session(0.4, 2);
+        let before = s.headroom(0.01).expect("headroom computes");
+        assert!(before > 0.0);
+        assert!(s
+            .try_admit(request(100, 5_000), Cycles::from_millis(50))
+            .is_admitted());
+        let after = s.headroom(0.01).expect("headroom computes");
+        assert!(after < before, "{after} < {before}");
+    }
+
+    #[test]
+    fn session_table_includes_admitted_tasks() {
+        let mut s = session(0.4, 2);
+        assert!(s
+            .try_admit(request(100, 100), Cycles::from_millis(10))
+            .is_admitted());
+        let table = s.table(ToolOptions::new()).expect("table builds");
+        assert_eq!(table.aperiodic().len(), 1);
+        assert_eq!(table.periodic().len(), s.periodic().len());
+    }
+}

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod baselines;
 pub mod partition;
 pub mod polling;
@@ -39,6 +40,7 @@ pub mod report;
 pub mod sensitivity;
 pub mod tool;
 
+pub use admission::{AdmissionOutcome, AdmissionSession, RejectReason};
 pub use baselines::{aperiodic_first, background_service};
 pub use partition::{partition, per_proc_utilization, PartitionHeuristic};
 pub use polling::{polling_server, PollingServerPolicy, ServerKind};

@@ -56,10 +56,7 @@ impl fmt::Display for BaselineError {
                 )
             }
             BaselineError::Schema { path, detail } => {
-                write!(
-                    f,
-                    "baseline {path} is not a {BASELINE_SCHEMA} report: {detail}"
-                )
+                write!(f, "baseline {path} is not a usable bench report: {detail}")
             }
         }
     }
@@ -126,6 +123,21 @@ fn parse_entries(path: &str, doc: &str) -> Result<Vec<(String, f64)>, BaselineEr
 /// what a truncated write looks like), [`BaselineError::Schema`] when it
 /// is JSON but not a recognizable bench report.
 pub fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, BaselineError> {
+    load_baseline_with_schema(path, BASELINE_SCHEMA)
+}
+
+/// [`load_baseline`] generalized over the schema marker, so every gate in
+/// the repo (`bench_sweep`'s `mpdp-bench-sweep/1`, `exp_serve_load`'s
+/// `mpdp-bench-serve/1`) shares one loader and one error taxonomy.
+///
+/// # Errors
+///
+/// The same taxonomy as [`load_baseline`], with the schema check applied
+/// to `schema` instead of [`BASELINE_SCHEMA`].
+pub fn load_baseline_with_schema(
+    path: &str,
+    schema: &str,
+) -> Result<Vec<(String, f64)>, BaselineError> {
     let doc = std::fs::read_to_string(path).map_err(|e| BaselineError::Missing {
         path: path.to_string(),
         detail: e.to_string(),
@@ -136,10 +148,10 @@ pub fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, BaselineError> {
             detail: e.to_string(),
         });
     }
-    if !doc.contains(&format!("\"schema\": \"{BASELINE_SCHEMA}\"")) {
+    if !doc.contains(&format!("\"schema\": \"{schema}\"")) {
         return Err(BaselineError::Schema {
             path: path.to_string(),
-            detail: format!("missing schema marker \"{BASELINE_SCHEMA}\""),
+            detail: format!("missing schema marker \"{schema}\""),
         });
     }
     parse_entries(path, &doc)
@@ -208,6 +220,22 @@ mod tests {
             }
             other => panic!("expected Schema, got {other:?}"),
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn the_schema_marker_is_parameterizable() {
+        let doc = "{\n  \"schema\": \"mpdp-bench-serve/1\",\n  \"benches\": [\n    \
+            {\"name\": \"serve_load\", \"wall_ms\": 42.000, \"rps\": 1000.0}\n  ]\n}\n";
+        let path = temp("serve-schema", Some(doc));
+        let entries =
+            load_baseline_with_schema(&path, "mpdp-bench-serve/1").expect("loads serve schema");
+        assert_eq!(entries, vec![("serve_load".to_string(), 42.0)]);
+        // The sweep-schema loader refuses the serve report, and vice versa.
+        assert!(matches!(
+            load_baseline(&path),
+            Err(BaselineError::Schema { .. })
+        ));
         let _ = std::fs::remove_file(&path);
     }
 

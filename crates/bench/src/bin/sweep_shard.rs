@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release -p mpdp-bench --bin sweep_shard --
 //! supervise --spec fig4|bench104 [--seeds K] [--shards N] [--dir D]
-//! [--retries R] [--stall-timeout-ms MS] [--throttle-ms MS] [--threads T]
+//! [--max-retries R] [--stall-ms MS] [--throttle-ms MS] [--threads T]
 //! [--chaos-kills K --chaos-seed S [--chaos-tear]] [--verify]
 //! [--csv out.csv] [--json out.json] [--telemetry-out m.json]
 //! [--telemetry-prom m.prom] [--telemetry-csv m.csv]
@@ -118,7 +118,9 @@ fn supervise_main(args: &[String]) -> ! {
             "--shards",
             "--dir",
             "--retries",
+            "--max-retries",
             "--stall-timeout-ms",
+            "--stall-ms",
             "--throttle-ms",
             "--threads",
             "--chaos-kills",
@@ -138,7 +140,9 @@ fn supervise_main(args: &[String]) -> ! {
             "--shards",
             "--dir",
             "--retries",
+            "--max-retries",
             "--stall-timeout-ms",
+            "--stall-ms",
             "--throttle-ms",
             "--threads",
             "--chaos-kills",
@@ -157,7 +161,19 @@ fn supervise_main(args: &[String]) -> ! {
     let dir = flag_value(args, "--dir")
         .map(PathBuf::from)
         .unwrap_or_else(|| default_dir(&spec));
-    let retries: u32 = parse_flag(args, "--retries", "a retry count").unwrap_or(2);
+    // `--max-retries` / `--stall-ms` are the documented spellings;
+    // `--retries` / `--stall-timeout-ms` are kept as aliases for existing
+    // scripts. Naming both spellings of one knob is a usage error, not a
+    // silent precedence rule.
+    if has_flag(args, "--retries") && has_flag(args, "--max-retries") {
+        usage_error("--retries and --max-retries are the same knob; name it once");
+    }
+    if has_flag(args, "--stall-timeout-ms") && has_flag(args, "--stall-ms") {
+        usage_error("--stall-timeout-ms and --stall-ms are the same knob; name it once");
+    }
+    let retries: u32 = parse_flag(args, "--max-retries", "a retry count")
+        .or_else(|| parse_flag(args, "--retries", "a retry count"))
+        .unwrap_or(2);
     let throttle =
         Duration::from_millis(parse_flag(args, "--throttle-ms", "milliseconds").unwrap_or(0));
     let threads: usize = parse_flag(args, "--threads", "a thread count").unwrap_or(1);
@@ -165,7 +181,12 @@ fn supervise_main(args: &[String]) -> ! {
         .with_shards(shards)
         .with_dir(dir.clone())
         .with_retries(retries);
-    if let Some(ms) = parse_flag(args, "--stall-timeout-ms", "milliseconds") {
+    let stall_ms: Option<u64> = parse_flag(args, "--stall-ms", "milliseconds")
+        .or_else(|| parse_flag(args, "--stall-timeout-ms", "milliseconds"));
+    if let Some(ms) = stall_ms {
+        if ms == 0 {
+            usage_error("--stall-ms must be positive (0 would kill every heartbeat instantly)");
+        }
         cfg = cfg.with_stall_timeout(Duration::from_millis(ms));
     }
     let chaos_kills: u32 = parse_flag(args, "--chaos-kills", "a kill count").unwrap_or(0);

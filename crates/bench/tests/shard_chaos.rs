@@ -98,6 +98,109 @@ fn committed_golden_matches_the_single_process_run() {
     );
 }
 
+/// A stall interval shorter than the per-cell work (25 ms against 10 ms
+/// throttle plus real sweep work) makes spurious stall kills likely, and
+/// every stall kill burns retry budget — so with a generous
+/// `--max-retries` the fleet must still converge to the byte-identical
+/// single-process output, however many times workers get killed and
+/// relaunched along the way.
+#[test]
+fn a_tiny_stall_interval_still_converges_byte_identically() {
+    let golden = run_sweep(&bench104_spec(), 1).expect("single-process golden run");
+    let dir = std::env::temp_dir().join(format!("mpdp-stall-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let csv_path: PathBuf = dir.join("merged.csv");
+    let json_path: PathBuf = dir.join("merged.json");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_sweep_shard"))
+        .args([
+            "supervise",
+            "--spec",
+            "bench104",
+            "--shards",
+            "2",
+            "--throttle-ms",
+            "10",
+            "--stall-ms",
+            "25",
+            "--max-retries",
+            "10",
+        ])
+        .arg("--dir")
+        .arg(&dir)
+        .arg("--csv")
+        .arg(&csv_path)
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .expect("spawn sweep_shard");
+    let transcript = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        output.status.success(),
+        "tiny-stall run failed (exit {:?}):\n{transcript}",
+        output.status.code()
+    );
+
+    let csv = std::fs::read_to_string(&csv_path).expect("merged CSV written");
+    let json = std::fs::read_to_string(&json_path).expect("merged JSON written");
+    assert_eq!(csv, cells_csv(&golden), "tiny-stall CSV diverged");
+    assert_eq!(json, report_json(&golden), "tiny-stall JSON diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The supervise flag spellings are validated, not silently resolved: a
+/// zero stall interval and double-naming one knob are usage errors
+/// (exit 2) before any worker is spawned.
+#[test]
+fn supervise_flag_misuse_is_a_usage_error() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["supervise", "--spec", "bench104", "--stall-ms", "0"],
+            "--stall-ms must be positive",
+        ),
+        (
+            &[
+                "supervise",
+                "--spec",
+                "bench104",
+                "--retries",
+                "3",
+                "--max-retries",
+                "4",
+            ],
+            "same knob",
+        ),
+        (
+            &[
+                "supervise",
+                "--spec",
+                "bench104",
+                "--stall-ms",
+                "25",
+                "--stall-timeout-ms",
+                "30",
+            ],
+            "same knob",
+        ),
+    ];
+    for (args, needle) in cases {
+        let output = Command::new(env!("CARGO_BIN_EXE_sweep_shard"))
+            .args(*args)
+            .output()
+            .expect("spawn sweep_shard");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{args:?} should be a usage error:\n{stderr}"
+        );
+        assert!(
+            stderr.contains(needle),
+            "{args:?} diagnostic should mention `{needle}`:\n{stderr}"
+        );
+    }
+}
+
 #[test]
 fn chaos_kills_and_a_torn_journal_still_merge_byte_identically() {
     let golden = run_sweep(&bench104_spec(), 1).expect("single-process golden run");

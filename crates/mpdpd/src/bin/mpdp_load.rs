@@ -1,0 +1,225 @@
+//! `mpdp-load` — a closed-loop load generator for the `mpdpd` daemon.
+//!
+//! ```text
+//! mpdp-load --socket /run/mpdpd.sock --clients 4 --requests 200
+//! ```
+//!
+//! Each client opens its own session, then issues a deterministic mix of
+//! guaranteed admissions and best-effort queries/pings, one request in
+//! flight per connection. The summary line reports throughput and latency
+//! quantiles; `errors` counts transport failures and `shed`/`timeout`
+//! typed refusals (which are the daemon *working as designed* under
+//! overload, so they do not fail the run — `--strict` makes them fatal).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mpdp_mpdpd::Client;
+use mpdp_telemetry::Histogram;
+
+const USAGE: &str = "usage: mpdp-load (--socket PATH | --tcp ADDR) [--clients N] [--requests N] \
+ [--util F] [--procs N] [--admit-every N] [--deadline-ms N] [--strict]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("mpdp-load: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+#[derive(Clone)]
+struct Opts {
+    socket: Option<PathBuf>,
+    tcp: Option<String>,
+    clients: usize,
+    requests: usize,
+    util: f64,
+    procs: usize,
+    admit_every: usize,
+    deadline_ms: Option<u64>,
+    strict: bool,
+}
+
+fn parse_args(argv: &[String]) -> Opts {
+    let mut o = Opts {
+        socket: None,
+        tcp: None,
+        clients: 4,
+        requests: 200,
+        util: 0.4,
+        procs: 2,
+        admit_every: 10,
+        deadline_ms: None,
+        strict: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
+                .clone()
+        };
+        let positive = |name: &str, v: String| -> usize {
+            v.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| usage_error(&format!("{name} must be a positive integer")))
+        };
+        match flag.as_str() {
+            "--socket" => o.socket = Some(PathBuf::from(value("--socket"))),
+            "--tcp" => o.tcp = Some(value("--tcp")),
+            "--clients" => o.clients = positive("--clients", value("--clients")),
+            "--requests" => o.requests = positive("--requests", value("--requests")),
+            "--util" => {
+                o.util = value("--util")
+                    .parse()
+                    .ok()
+                    .filter(|u| (0.0..1.0).contains(u) && *u > 0.0)
+                    .unwrap_or_else(|| usage_error("--util must be in (0, 1)"))
+            }
+            "--procs" => o.procs = positive("--procs", value("--procs")),
+            "--admit-every" => o.admit_every = positive("--admit-every", value("--admit-every")),
+            "--deadline-ms" => {
+                o.deadline_ms = Some(positive("--deadline-ms", value("--deadline-ms")) as u64)
+            }
+            "--strict" => o.strict = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+    if o.socket.is_some() == o.tcp.is_some() {
+        usage_error("exactly one of --socket or --tcp is required");
+    }
+    o
+}
+
+#[derive(Default)]
+struct ClientReport {
+    latency: Histogram,
+    ok: u64,
+    refused: u64,
+    errors: u64,
+}
+
+fn connect(o: &Opts) -> std::io::Result<Client> {
+    match (&o.socket, &o.tcp) {
+        (Some(path), _) => Client::connect_unix(path),
+        (_, Some(addr)) => Client::connect_tcp(addr),
+        _ => unreachable!("validated in parse_args"),
+    }
+}
+
+fn drive_client(o: &Opts, index: usize) -> ClientReport {
+    let mut report = ClientReport::default();
+    let mut client = match connect(o) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mpdp-load: client {index}: connect failed: {e}");
+            report.errors += 1;
+            return report;
+        }
+    };
+    let deadline = o
+        .deadline_ms
+        .map(|d| format!(",\"deadline_ms\":{d}"))
+        .unwrap_or_default();
+    let session = format!("load-{index}");
+    let open = format!(
+        "{{\"op\":\"open\",\"session\":\"{session}\",\"util\":{},\"procs\":{}{deadline}}}",
+        o.util, o.procs
+    );
+    match client.call(&open) {
+        Ok(reply) if reply.contains("\"ok\":true") || reply.contains("session_exists") => {}
+        Ok(reply) => {
+            eprintln!("mpdp-load: client {index}: open refused: {reply}");
+            report.errors += 1;
+            return report;
+        }
+        Err(e) => {
+            eprintln!("mpdp-load: client {index}: open failed: {e}");
+            report.errors += 1;
+            return report;
+        }
+    }
+    for i in 0..o.requests {
+        let id = index * 1_000_000 + i;
+        let line = if i % o.admit_every == 0 {
+            // Guaranteed band: a light admission (2 ms every 10 s).
+            format!(
+                "{{\"op\":\"admit\",\"id\":{id},\"session\":\"{session}\",\"task\":{},\
+                 \"exec_us\":2000,\"window_us\":10000000{deadline}}}",
+                100 + i
+            )
+        } else if i % 3 == 1 {
+            format!(
+                "{{\"op\":\"query\",\"id\":{id},\"session\":\"{session}\",\
+                 \"kind\":\"verdict\"{deadline}}}"
+            )
+        } else {
+            format!("{{\"op\":\"ping\",\"id\":{id}{deadline}}}")
+        };
+        let t0 = Instant::now();
+        match client.call(&line) {
+            Ok(reply) => {
+                report.latency.record(t0.elapsed());
+                if reply.contains("\"ok\":true") {
+                    report.ok += 1;
+                } else if reply.contains("\"overloaded\"") || reply.contains("\"timeout\"") {
+                    report.refused += 1;
+                } else {
+                    report.errors += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("mpdp-load: client {index}: request failed: {e}");
+                report.errors += 1;
+                return report;
+            }
+        }
+    }
+    report
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&argv);
+
+    let t0 = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|i| {
+                let o = opts.clone();
+                scope.spawn(move || drive_client(&o, i))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut latency = Histogram::default();
+    let (mut ok, mut refused, mut errors) = (0u64, 0u64, 0u64);
+    for r in &reports {
+        latency.merge(&r.latency);
+        ok += r.ok;
+        refused += r.refused;
+        errors += r.errors;
+    }
+    let answered = latency.count();
+    let rps = answered as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "mpdp-load: clients={} answered={answered} ok={ok} refused={refused} errors={errors} \
+         wall_ms={} rps={rps:.0} p50_us={} p99_us={}",
+        opts.clients,
+        wall.as_millis(),
+        latency.quantile_us(0.50).unwrap_or(0),
+        latency.quantile_us(0.99).unwrap_or(0),
+    );
+    if errors > 0 || (opts.strict && refused > 0) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,266 @@
+//! A flat-object JSON reader for the wire protocol.
+//!
+//! The workspace has no serde, and `mpdp_obs::validate_json` only proves
+//! well-formedness. The daemon additionally needs the *values* of one
+//! newline-delimited request object, so this module parses exactly the
+//! subset the protocol emits: a single non-nested object whose values are
+//! strings, numbers, or booleans. Anything else — nested containers,
+//! `null`, trailing garbage — is a protocol error the caller turns into a
+//! typed `bad_request` response; the parser itself never panics on
+//! untrusted input.
+
+use std::collections::BTreeMap;
+
+/// A scalar field value of a request object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A JSON string (escapes decoded).
+    Str(String),
+    /// A JSON number.
+    Num(f64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k": v, ...}`) into a key → value map.
+/// Duplicate keys keep the last occurrence, mirroring common JSON readers.
+///
+/// # Errors
+///
+/// A static description of the first syntax violation: unterminated or
+/// malformed strings, nested containers, `null`, bad numbers, or trailing
+/// characters after the closing brace.
+pub fn parse_flat_object(input: &str) -> Result<BTreeMap<String, Value>, &'static str> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            out.insert(key, value);
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err("expected ',' or '}' in object"),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing characters after object");
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), &'static str> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(match want {
+                b'{' => "expected '{'",
+                b':' => "expected ':' after key",
+                _ => "unexpected character",
+            })
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, &'static str> {
+        match self.peek() {
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal(b"true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal(b"false").map(|()| Value::Bool(false)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(b'{' | b'[') => Err("nested containers are not part of the protocol"),
+            Some(b'n') => Err("null is not part of the protocol"),
+            _ => Err("expected a value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &'static [u8]) -> Result<(), &'static str> {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err("invalid literal")
+        }
+    }
+
+    fn string(&mut self) -> Result<String, &'static str> {
+        if self.peek() != Some(b'"') {
+            return Err("expected a string");
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            // Surrogate halves are rejected rather than
+                            // paired; the protocol never emits them.
+                            out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err("invalid escape sequence"),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err("unescaped control character"),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are trustworthy).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, &'static str> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number")?;
+        let n: f64 = text.parse().map_err(|_| "bad number")?;
+        if n.is_finite() {
+            Ok(Value::Num(n))
+        } else {
+            Err("bad number")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_request_shapes() {
+        let m =
+            parse_flat_object(r#"{"op":"admit","id":7,"session":"s-1","exec_us":200.5,"ok":true}"#)
+                .expect("parses");
+        assert_eq!(m["op"], Value::Str("admit".into()));
+        assert_eq!(m["id"], Value::Num(7.0));
+        assert_eq!(m["exec_us"], Value::Num(200.5));
+        assert_eq!(m["ok"], Value::Bool(true));
+        assert!(parse_flat_object("{}").expect("empty object").is_empty());
+    }
+
+    #[test]
+    fn decodes_string_escapes() {
+        let m = parse_flat_object(r#"{"k":"a\"b\\c\ndA"}"#).expect("parses");
+        assert_eq!(m["k"], Value::Str("a\"b\\c\ndA".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_and_nested_input() {
+        for bad in [
+            "",
+            "{",
+            "[1]",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            r#"{"a":null}"#,
+            r#"{"a":{"b":1}}"#,
+            r#"{"a":[1]}"#,
+            r#"{"a":1} x"#,
+            r#"{"a":"unterminated}"#,
+            r#"{"a":1e999}"#,
+            r#"{"a":--3}"#,
+            "{\"a\":\"\u{1}\"}",
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn never_panics_on_fuzzed_prefixes() {
+        let doc = r#"{"op":"query","kind":"at","factor":1.25,"session":"x_y-9"}"#;
+        for cut in 0..doc.len() {
+            let _ = parse_flat_object(&doc[..cut]);
+        }
+    }
+}

@@ -96,6 +96,16 @@ pub enum ShardError {
         /// The OS diagnosis.
         detail: String,
     },
+    /// The worker binary could not be spawned for a reason retrying
+    /// cannot heal (missing or non-executable) — the supervisor fails
+    /// fast instead of burning the whole backoff budget on a binary
+    /// that will never start.
+    SpawnFailed {
+        /// Index of the shard whose launch failed.
+        shard: usize,
+        /// The OS diagnosis (e.g. "No such file or directory").
+        detail: String,
+    },
     /// One shard failed every attempt; its journal keeps whatever prefix
     /// completed, so a rerun resumes rather than restarts.
     ShardFailed {
@@ -116,6 +126,11 @@ impl fmt::Display for ShardError {
         match self {
             ShardError::Spec(source) => write!(f, "invalid sweep spec: {source}"),
             ShardError::Io { path, detail } => write!(f, "{path}: {detail}"),
+            ShardError::SpawnFailed { shard, detail } => write!(
+                f,
+                "shard {shard}: worker binary cannot be spawned ({detail}); \
+                 not retryable — check the worker command"
+            ),
             ShardError::ShardFailed {
                 shard,
                 failure,

@@ -435,8 +435,12 @@ where
         .collect();
     let mut total_chaos_kills = 0u32;
     let mut torn = 0u32;
+    // Set when a spawn fails in a way retrying cannot heal (missing or
+    // non-executable binary): the poll loop stops, running children are
+    // reaped, and the run fails fast.
+    let mut fatal_spawn: Option<(usize, String)> = None;
 
-    loop {
+    'poll: loop {
         let mut active = false;
         for s in &mut shards {
             match &mut s.phase {
@@ -478,6 +482,19 @@ where
                         }
                         Err(e) => {
                             s.launches += 1;
+                            // A binary that does not exist or cannot be
+                            // executed will fail every relaunch exactly
+                            // the same way — backing off and retrying
+                            // only delays the inevitable error. Transient
+                            // spawn failures (fd/process exhaustion) stay
+                            // on the retry path.
+                            if matches!(
+                                e.kind(),
+                                io::ErrorKind::NotFound | io::ErrorKind::PermissionDenied
+                            ) {
+                                fatal_spawn = Some((s.plan.index, e.to_string()));
+                                break 'poll;
+                            }
                             s.fail(
                                 ShardFailure::Spawn {
                                     detail: e.to_string(),
@@ -622,6 +639,18 @@ where
             break;
         }
         std::thread::sleep(cfg.poll_interval);
+    }
+
+    if let Some((shard, detail)) = fatal_spawn {
+        // Reap whatever is still running — their journals keep every
+        // completed cell, so fixing the command and rerunning resumes.
+        for s in &mut shards {
+            if let Phase::Running { child, .. } = &mut s.phase {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        return Err(ShardError::SpawnFailed { shard, detail });
     }
 
     let reports: Vec<ShardReport> = shards
@@ -848,6 +877,70 @@ mod tests {
             }
             other => panic!("expected ShardFailed, got {other}"),
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_worker_binary_fails_fast_without_burning_the_backoff_budget() {
+        let spec = spec();
+        let dir = tempdir("no-binary");
+        // A generous budget with a long backoff: under the old behavior
+        // (missing binary treated as a retryable failure) this run would
+        // sit through seconds of pointless backoff before dying.
+        let cfg = quick_cfg(dir.clone())
+            .with_shards(2)
+            .with_retries(10)
+            .with_backoff(Duration::from_secs(2), Duration::from_secs(2));
+        let started = std::time::Instant::now();
+        let err = supervise(
+            &spec,
+            &cfg,
+            |_plan, _attempt, _journal, _hb| {
+                Command::new("/nonexistent/mpdp-no-such-worker").spawn()
+            },
+            |_| {},
+        )
+        .expect_err("spawn must fail");
+        match err {
+            ShardError::SpawnFailed { detail, .. } => {
+                assert!(
+                    started.elapsed() < Duration::from_secs(1),
+                    "fail-fast must not wait out the backoff schedule"
+                );
+                assert!(!detail.is_empty(), "carries the OS diagnosis");
+            }
+            other => panic!("expected SpawnFailed, got {other}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_spawn_errors_stay_on_the_retry_path() {
+        let spec = spec();
+        let dir = tempdir("transient-spawn");
+        let cfg = quick_cfg(dir.clone()).with_shards(1).with_retries(1);
+        let mut attempts = 0;
+        let sup = supervise(
+            &spec,
+            &cfg,
+            |plan, attempt, journal, _hb| {
+                attempts += 1;
+                if attempt == 0 {
+                    // e.g. momentary fd/process exhaustion: worth retrying.
+                    Err(io::Error::other("resource temporarily unavailable"))
+                } else {
+                    fill_journal(&spec, plan, journal);
+                    sh("true")
+                }
+            },
+            |_| {},
+        )
+        .expect("retry succeeds after the transient spawn error");
+        assert_eq!(attempts, 2);
+        assert!(matches!(
+            sup.shards[0].failures.as_slice(),
+            [ShardFailure::Spawn { .. }]
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

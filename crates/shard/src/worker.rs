@@ -18,7 +18,9 @@
 //! way the heartbeat does: as an advisory file next to the journal
 //! (`<journal>.metrics`, the
 //! [`snapshot_to_text`](mpdp_telemetry::snapshot_to_text) format),
-//! rewritten after every durable cell. A relaunched worker preloads the
+//! rewritten atomically (write-temp-then-rename) after every durable
+//! cell, so a kill mid-rewrite leaves the previous complete snapshot
+//! rather than a torn file. A relaunched worker preloads the
 //! previous snapshot, so counters survive crashes; the supervisor-side
 //! binary collects and [`merge`](mpdp_telemetry::FleetSnapshot::merge)s
 //! the per-shard files after the run. Histogram merges are exact, so the
@@ -87,6 +89,23 @@ struct PersistedMetrics<'a> {
     path: &'a Path,
 }
 
+/// Rewrites the sidecar atomically: write the full snapshot to a `.tmp`
+/// sibling, then rename over the live file. A SIGKILL landing between a
+/// journal append and this rewrite (the `CellDone` loss window) can then
+/// leave only the *previous complete* snapshot — never a torn file that
+/// the relaunch would have to discard, resetting `cells_executed` to
+/// zero. The in-window cell itself is re-accounted as a `CellResumed` on
+/// relaunch, so no cell goes missing from the merged fleet counters.
+/// Still advisory: errors are ignored, like the heartbeat's.
+fn persist_snapshot(path: &Path, text: &str) {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
 impl FleetObserver for PersistedMetrics<'_> {
     fn event(&self, event: &FleetEvent) {
         self.registry.event(event);
@@ -94,7 +113,7 @@ impl FleetObserver for PersistedMetrics<'_> {
             event.kind,
             FleetEventKind::CellDone { .. } | FleetEventKind::CellResumed { .. }
         ) {
-            let _ = std::fs::write(self.path, snapshot_to_text(&self.registry.snapshot()));
+            persist_snapshot(self.path, &snapshot_to_text(&self.registry.snapshot()));
         }
     }
 }
@@ -219,6 +238,79 @@ mod tests {
         let resumed = snapshot_from_text(&text).expect("snapshot parses");
         assert_eq!(resumed.cells_executed, 2, "no re-execution");
         assert_eq!(resumed.cells_resumed, 2, "both cells resumed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sigkill_in_the_celldone_window_cannot_lose_executed_counts() {
+        // Regression for the documented `CellDone` loss window: a SIGKILL
+        // between the journal append and the sidecar rewrite. Under the
+        // old non-atomic `std::fs::write` rewrite, the kill could land
+        // mid-write and leave a TORN sidecar; the relaunch discarded it
+        // and `cells_executed` silently reset to zero. The atomic
+        // temp-then-rename rewrite makes every reachable kill state one
+        // of: (a) old complete snapshot (+ maybe a stale `.tmp`), or
+        // (b) new complete snapshot. This test replays both states on
+        // disk and asserts no counters are lost, then replays the OLD
+        // failure state (a torn sidecar) and asserts the crc-guarded
+        // parser rejects it so the journal resume still accounts every
+        // cell instead of half-read garbage poisoning the merge.
+        let mut spec = SweepSpec::figure4();
+        spec.proc_counts = vec![2];
+        spec.utilizations = vec![0.4, 0.5];
+        let dir = tempdir("kill-window");
+        let journal = dir.join("shard.mpdpj");
+        let heartbeat = dir.join("shard.hb");
+        run_worker(&spec, 0..2, &journal, &heartbeat, &WorkerConfig::default())
+            .expect("worker completes");
+        let path = metrics_path(&journal);
+        let text = std::fs::read_to_string(&path).expect("snapshot written");
+        let tmp = {
+            let mut name = path.as_os_str().to_os_string();
+            name.push(".tmp");
+            std::path::PathBuf::from(name)
+        };
+        assert!(!tmp.exists(), "rename consumed the temp file");
+
+        // State (a): killed after the temp write, before the rename — the
+        // live sidecar is the previous complete snapshot and a stale
+        // `.tmp` sits beside it. Relaunch must preload the live file
+        // intact (no under-count) and keep working.
+        std::fs::write(&tmp, "garbage left by a kill before rename").expect("plant stale tmp");
+        run_worker(&spec, 0..2, &journal, &heartbeat, &WorkerConfig::default())
+            .expect("relaunch resumes");
+        let resumed = snapshot_from_text(&std::fs::read_to_string(&path).expect("rewritten"))
+            .expect("sidecar still parses");
+        assert_eq!(
+            resumed.cells_executed, 2,
+            "executed count survived the stale tmp"
+        );
+        assert_eq!(
+            resumed.cells_resumed, 2,
+            "journal resume accounted both cells"
+        );
+        assert!(!tmp.exists(), "stale tmp overwritten and renamed away");
+
+        // State (torn): the OLD failure mode — a kill mid-`fs::write`
+        // truncating the sidecar on a byte boundary. Every strict prefix
+        // must now fail to parse (crc trailer), so the relaunch starts
+        // counters fresh and rebuilds cell accounting from the journal
+        // rather than trusting a half-written file.
+        for cut in [text.len() / 3, text.len() - 1] {
+            assert!(
+                snapshot_from_text(&text[..cut]).is_err(),
+                "torn sidecar (cut at {cut}) must be rejected"
+            );
+        }
+        std::fs::write(&path, &text[..text.len() / 2]).expect("plant torn sidecar");
+        run_worker(&spec, 0..2, &journal, &heartbeat, &WorkerConfig::default())
+            .expect("relaunch after torn sidecar");
+        let rebuilt = snapshot_from_text(&std::fs::read_to_string(&path).expect("rewritten"))
+            .expect("sidecar parses again");
+        assert_eq!(
+            rebuilt.cells_resumed, 2,
+            "counters rebuilt from the journal, not the torn file"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

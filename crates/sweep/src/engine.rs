@@ -157,11 +157,17 @@ type CachedTable = Option<(Arc<TaskTable>, TaskId)>;
 /// race may compute the table; both compute the identical value (purity),
 /// so the second insert is harmless.
 #[derive(Debug, Default)]
-pub(crate) struct TableCache {
+pub struct TableCache {
     tables: Mutex<HashMap<TableKey, CachedTable>>,
 }
 
 impl TableCache {
+    /// An empty cache. One cache serves one spec: keys assume the spec's
+    /// workload and knob list are fixed for the cache's lifetime.
+    pub fn new() -> Self {
+        TableCache::default()
+    }
+
     fn get_or_build(
         &self,
         spec: &SweepSpec,
@@ -364,9 +370,11 @@ pub fn run_cell(spec: &SweepSpec, cell: &CellSpec) -> Result<CellResult, SweepEr
 }
 
 /// [`run_cell`] sharing a sweep-scoped [`TableCache`] — the self-healing
-/// executor's runner, so resumed/retried sweeps get the same analysis
-/// memoization as the plain fan-out.
-pub(crate) fn run_cell_cached(
+/// executor's runner (so resumed/retried sweeps get the same analysis
+/// memoization as the plain fan-out) and the entry point for long-lived
+/// callers like the `mpdpd` admission daemon, whose repeated queries
+/// against one `(workload, procs, knob)` coordinate hit the RTA cache.
+pub fn run_cell_cached(
     spec: &SweepSpec,
     cell: &CellSpec,
     cache: &TableCache,

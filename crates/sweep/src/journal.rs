@@ -25,25 +25,18 @@
 //! byte-identical to an uninterrupted run's.
 
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::path::Path;
 
 use mpdp_core::time::Cycles;
 use mpdp_sim::stats::{ResponseAccumulator, SurvivalStats};
 
 use crate::engine::{CellResult, StackResult};
 use crate::error::SweepError;
+use crate::linejournal::{fnv1a, LineJournal, LineJournalError};
 use crate::spec::SweepSpec;
 
 /// Magic + version tag of the journal header line.
 pub(crate) const MAGIC: &str = "MPDPJ1";
-
-/// The header line (no trailing newline) binding a journal to `fingerprint`.
-pub(crate) fn header_line(fingerprint: u64) -> String {
-    format!("{MAGIC} fp={fingerprint:016x}")
-}
 
 /// Parses a journal header line (no trailing newline) into its spec
 /// fingerprint, `None` if the line is not a well-formed header.
@@ -53,18 +46,6 @@ pub(crate) fn parse_header(line: &str) -> Option<u64> {
         return None;
     }
     u64::from_str_radix(rest, 16).ok()
-}
-
-/// FNV-1a over a byte string; the journal's fingerprint and record
-/// checksum. Not cryptographic — it detects torn writes and accidental
-/// spec drift, which is all a local checkpoint needs.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
 }
 
 /// The fingerprint binding a journal to a spec: FNV-1a over the spec's
@@ -77,10 +58,14 @@ pub fn spec_fingerprint(spec: &SweepSpec) -> u64 {
 /// append handle. Appends are serialized through an internal mutex and
 /// fsynced one by one, so the file is consistent after a kill at any
 /// instant.
+///
+/// The file mechanics (header binding, per-record checksums, torn-tail
+/// truncation, fsync discipline) live in the generic [`LineJournal`];
+/// this type adds the sweep-domain record format and its semantic
+/// validation against the [`SweepSpec`].
 #[derive(Debug)]
 pub struct Journal {
-    path: PathBuf,
-    file: Mutex<File>,
+    inner: LineJournal,
     recovered: BTreeMap<usize, CellResult>,
 }
 
@@ -98,81 +83,27 @@ impl Journal {
     ///
     /// [`SweepError::Journal`] on I/O failure or fingerprint mismatch.
     pub fn open(path: &Path, spec: &SweepSpec) -> Result<Self, SweepError> {
-        let err = |detail: String| SweepError::Journal {
-            path: path.display().to_string(),
-            detail,
-        };
-        let fingerprint = spec_fingerprint(spec);
-        let header = format!("{}\n", header_line(fingerprint));
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
-            .map_err(|e| err(format!("cannot open: {e}")))?;
-        let mut contents = String::new();
-        file.read_to_string(&mut contents)
-            .map_err(|e| err(format!("cannot read: {e}")))?;
-
+        let mut inner =
+            LineJournal::open(path, MAGIC, spec_fingerprint(spec)).map_err(journal_err)?;
+        // Validate recovered bodies domain-side until the first record
+        // that does not parse against the spec, then truncate there:
+        // checksum-clean garbage is dropped exactly like a torn write.
+        // Cells are enumerated once up front: record validation is then
+        // O(1) per record instead of O(grid) per record.
+        let cells = spec.cells();
         let mut recovered = BTreeMap::new();
-        if contents.is_empty() {
-            file.write_all(header.as_bytes())
-                .map_err(|e| err(format!("cannot write header: {e}")))?;
-            file.sync_data()
-                .map_err(|e| err(format!("cannot sync: {e}")))?;
-        } else if !contents.contains('\n') && header.starts_with(&contents) {
-            // A kill landed mid-header-write: the file holds a strict
-            // prefix of the expected header. Nothing was journaled yet, so
-            // reset the file rather than reject it as a different sweep.
-            file.set_len(0)
-                .map_err(|e| err(format!("cannot reset torn header: {e}")))?;
-            file.seek(SeekFrom::Start(0))
-                .map_err(|e| err(format!("cannot seek: {e}")))?;
-            file.write_all(header.as_bytes())
-                .map_err(|e| err(format!("cannot write header: {e}")))?;
-            file.sync_data()
-                .map_err(|e| err(format!("cannot sync: {e}")))?;
-        } else {
-            let mut lines = contents.split_inclusive('\n');
-            let head = lines.next().unwrap_or("");
-            if head.trim_end() != header.trim_end() {
-                return Err(err(format!(
-                    "spec fingerprint mismatch (journal was written for a different sweep); \
-                     expected header `{}`",
-                    header.trim_end()
-                )));
-            }
-            // Parse records until the first malformed line, then truncate
-            // there: a torn final write loses one cell, never the file.
-            // Cells are enumerated once up front: record validation is
-            // then O(1) per record instead of O(grid) per record.
-            let cells = spec.cells();
-            let mut good = head.len() as u64;
-            for line in lines {
-                if !line.ends_with('\n') {
-                    break; // torn tail
+        let mut good = 0usize;
+        for body in inner.recovered() {
+            match parse_record_body(body, spec, &cells) {
+                Some((index, result)) => {
+                    recovered.insert(index, result);
+                    good += 1;
                 }
-                match parse_record_with(line.trim_end(), spec, &cells) {
-                    Some((index, result)) => {
-                        recovered.insert(index, result);
-                        good += line.len() as u64;
-                    }
-                    None => break,
-                }
+                None => break,
             }
-            if good < contents.len() as u64 {
-                file.set_len(good)
-                    .map_err(|e| err(format!("cannot truncate recovered tail: {e}")))?;
-            }
-            file.seek(SeekFrom::End(0))
-                .map_err(|e| err(format!("cannot seek: {e}")))?;
         }
-        Ok(Journal {
-            path: path.to_path_buf(),
-            file: Mutex::new(file),
-            recovered,
-        })
+        inner.truncate_to(good).map_err(journal_err)?;
+        Ok(Journal { inner, recovered })
     }
 
     /// The records recovered from disk at open, keyed by cell index.
@@ -182,7 +113,7 @@ impl Journal {
 
     /// Where the journal lives.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.inner.path()
     }
 
     /// Appends one completed cell and fsyncs. `stream` must be the cell's
@@ -193,16 +124,20 @@ impl Journal {
     ///
     /// [`SweepError::Journal`] on I/O failure.
     pub fn append(&self, stream: u64, result: &CellResult) -> Result<(), SweepError> {
-        let err = |detail: String| SweepError::Journal {
-            path: self.path.display().to_string(),
-            detail,
-        };
-        let line = format_record(stream, result);
-        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        file.write_all(line.as_bytes())
-            .map_err(|e| err(format!("cannot append cell {}: {e}", result.cell.index)))?;
-        file.sync_data()
-            .map_err(|e| err(format!("cannot sync cell {}: {e}", result.cell.index)))
+        self.inner
+            .append(&format_record_body(stream, result))
+            .map_err(|e| SweepError::Journal {
+                path: e.path,
+                detail: format!("cell {}: {}", result.cell.index, e.detail),
+            })
+    }
+}
+
+/// Maps the generic journal error into the sweep error taxonomy.
+fn journal_err(e: LineJournalError) -> SweepError {
+    SweepError::Journal {
+        path: e.path,
+        detail: e.detail,
     }
 }
 
@@ -318,19 +253,22 @@ fn parse_stack(field: &str) -> Option<StackResult> {
     })
 }
 
-fn format_record(stream: u64, result: &CellResult) -> String {
-    let body = format!(
+/// The record body (no checksum suffix, no newline) for one completed
+/// cell; [`LineJournal::append`] adds the checksum.
+fn format_record_body(stream: u64, result: &CellResult) -> String {
+    format!(
         "cell {} {stream:016x} {} {} {}",
         result.cell.index,
         u8::from(result.schedulable),
         format_stack(&result.theoretical),
         format_stack(&result.real)
-    );
-    format!("{body} #{:016x}\n", fnv1a(body.as_bytes()))
+    )
 }
 
-/// Parses one record line (no trailing newline) against a pre-enumerated
-/// cell list. Returns `None` for any malformed, checksum-failing, or
+/// Parses one full record line (with its ` #<16-hex>` checksum suffix, no
+/// trailing newline) against a pre-enumerated cell list — the entry point
+/// for readers that scan journal files without a [`LineJournal`] (the
+/// merge). Returns `None` for any malformed, checksum-failing, or
 /// spec-mismatched record — the caller truncates (or stops reading) there.
 pub(crate) fn parse_record_with(
     line: &str,
@@ -342,6 +280,16 @@ pub(crate) fn parse_record_with(
     if crc != fnv1a(body.as_bytes()) {
         return None;
     }
+    parse_record_body(body, spec, cells)
+}
+
+/// Parses one checksum-verified record body against a pre-enumerated cell
+/// list — the domain half of record validation.
+fn parse_record_body(
+    body: &str,
+    spec: &SweepSpec,
+    cells: &[crate::spec::CellSpec],
+) -> Option<(usize, CellResult)> {
     let mut tokens = body.split(' ');
     if tokens.next()? != "cell" {
         return None;
@@ -383,6 +331,9 @@ mod tests {
     use super::*;
     use crate::engine::run_cell;
     use crate::spec::{ArrivalSpec, Knobs, WorkloadSpec};
+    use std::fs::OpenOptions;
+    use std::io::Write;
+    use std::path::PathBuf;
 
     fn tiny_spec() -> SweepSpec {
         SweepSpec {
@@ -411,8 +362,9 @@ mod tests {
         let cells = spec.cells();
         let result = run_cell(&spec, &cells[0]).expect("cell runs");
         let stream = spec.cell_stream(&cells[0]);
-        let line = format_record(stream, &result);
-        let (index, parsed) = parse_record_with(line.trim_end(), &spec, &cells).expect("parses");
+        let body = format_record_body(stream, &result);
+        let line = format!("{body} #{:016x}", fnv1a(body.as_bytes()));
+        let (index, parsed) = parse_record_with(&line, &spec, &cells).expect("parses");
         assert_eq!(index, 0);
         assert_eq!(parsed, result);
     }
@@ -423,7 +375,8 @@ mod tests {
         let cells = spec.cells();
         let path = tempfile("torn-header");
         // A kill mid-header-write leaves a newline-less header prefix.
-        std::fs::write(&path, &header_line(spec_fingerprint(&spec))[..4]).expect("tear header");
+        let header = format!("{MAGIC} fp={:016x}", spec_fingerprint(&spec));
+        std::fs::write(&path, &header[..4]).expect("tear header");
         let journal = Journal::open(&path, &spec).expect("recovers from a torn header");
         assert!(journal.recovered().is_empty());
         let result = run_cell(&spec, &cells[0]).expect("cell runs");

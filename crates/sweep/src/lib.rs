@@ -54,6 +54,7 @@
 pub mod engine;
 pub mod error;
 pub mod journal;
+pub mod linejournal;
 pub mod merge;
 pub mod report;
 pub mod resilient;
@@ -61,11 +62,12 @@ pub mod shard;
 pub mod spec;
 
 pub use engine::{
-    cell_table, run_cell, run_cell_probed, run_sweep, run_sweep_traced, CellObservation,
-    CellProfile, CellResult, StackResult, SweepReport,
+    cell_table, run_cell, run_cell_cached, run_cell_probed, run_sweep, run_sweep_traced,
+    CellObservation, CellProfile, CellResult, StackResult, SweepReport, TableCache,
 };
 pub use error::SweepError;
 pub use journal::{spec_fingerprint, Journal};
+pub use linejournal::{LineJournal, LineJournalError};
 pub use merge::{merge_journal_files, read_shard_journal, MergeError};
 pub use report::{cells_csv, find_cell, group_summaries, report_json, summary_csv, GroupSummary};
 pub use resilient::{

@@ -38,6 +38,7 @@ pub mod export;
 pub mod metrics;
 pub mod perfetto;
 pub mod recorder;
+pub mod serve;
 pub mod transcript;
 
 pub use event::{FailureKind, FleetEvent, FleetEventKind};
@@ -48,6 +49,10 @@ pub use metrics::{
 };
 pub use perfetto::fleet_trace_json;
 pub use recorder::FleetRecorder;
+pub use serve::{
+    serve_prometheus_text, NullServeObserver, ServeEndpoint, ServeEvent, ServeMetrics,
+    ServeObserver, ServeSnapshot,
+};
 pub use transcript::TranscriptObserver;
 
 /// A sink for [`FleetEvent`]s.

@@ -487,12 +487,28 @@ impl std::error::Error for SnapshotParseError {}
 /// Header line of the worker snapshot text format.
 pub const SNAPSHOT_HEADER: &str = "mpdp-fleet-metrics-text/1";
 
+/// FNV-1a over a byte string — the snapshot trailer checksum. Not
+/// cryptographic: it detects torn writes, which is all an advisory
+/// sidecar file needs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 /// Serializes a snapshot as the line-based text format worker processes
 /// persist next to their journals (`shard-N.metrics`): a version header,
 /// one `counter name value` line per scalar, one
-/// `hist name count sum min max b0..b16` line per histogram, and one
+/// `hist name count sum min max b0..b16` line per histogram, one
 /// `shard index launches relaunches retries chaos_kills journaled done`
-/// line per shard. Round-trips exactly through [`snapshot_from_text`].
+/// line per shard, and a final `crc <16-hex FNV-1a of everything above>`
+/// trailer. The trailer is what makes truncation *detectable*: every
+/// proper prefix of the body is itself well-formed lines, so without it a
+/// torn sidecar would silently parse as a snapshot with lower counters.
+/// Round-trips exactly through [`snapshot_from_text`].
 pub fn snapshot_to_text(snapshot: &FleetSnapshot) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -525,6 +541,8 @@ pub fn snapshot_to_text(snapshot: &FleetSnapshot) -> String {
             u64::from(s.done)
         );
     }
+    let crc = fnv1a(out.as_bytes());
+    let _ = writeln!(out, "crc {crc:016x}");
     out
 }
 
@@ -541,13 +559,43 @@ fn parse_field<T: std::str::FromStr>(
         })
 }
 
+/// Splits off and verifies the `crc` trailer line, returning the body it
+/// covers. The trailer must be the final newline-terminated line of the
+/// text; anything else — no trailing newline (torn mid-line), a missing
+/// trailer (torn at a line boundary), or a checksum mismatch (corrupt
+/// body) — is an error.
+fn verify_crc_trailer(text: &str) -> Result<&str, SnapshotParseError> {
+    let fail = |detail: String| SnapshotParseError {
+        line: text.lines().count().max(1),
+        detail,
+    };
+    let complete = text
+        .strip_suffix('\n')
+        .ok_or_else(|| fail("torn snapshot: no final newline".to_string()))?;
+    let trailer_start = complete.rfind('\n').map_or(0, |i| i + 1);
+    let trailer = &complete[trailer_start..];
+    let crc = trailer
+        .strip_prefix("crc ")
+        .filter(|hex| hex.len() == 16)
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| fail("missing crc trailer (torn or pre-crc snapshot)".to_string()))?;
+    let body = &text[..trailer_start];
+    if crc != fnv1a(body.as_bytes()) {
+        return Err(fail("crc mismatch (torn or corrupt snapshot)".to_string()));
+    }
+    Ok(body)
+}
+
 /// Parses the text format [`snapshot_to_text`] writes.
 ///
 /// Strict: an unknown record kind, counter, or histogram name, a
-/// malformed number, or a wrong bucket count is an error — a torn or
-/// foreign file must never fold garbage into fleet totals.
+/// malformed number, a wrong bucket count, or a missing/mismatched `crc`
+/// trailer is an error — a torn or foreign file must never fold garbage
+/// into fleet totals. The trailer check is what catches truncation at a
+/// line boundary, where every surviving line still parses.
 pub fn snapshot_from_text(text: &str) -> Result<FleetSnapshot, SnapshotParseError> {
-    let mut lines = text.lines().enumerate();
+    let body = verify_crc_trailer(text)?;
+    let mut lines = body.lines().enumerate();
     match lines.next() {
         Some((_, header)) if header == SNAPSHOT_HEADER => {}
         _ => {
@@ -801,6 +849,41 @@ mod tests {
         assert!(snapshot_from_text(&trailing).is_err());
         let torn = format!("{SNAPSHOT_HEADER}\nhist cell_wall_us 1 2 3\n");
         assert!(snapshot_from_text(&torn).is_err(), "short histogram line");
+    }
+
+    #[test]
+    fn every_truncation_of_a_snapshot_is_rejected() {
+        let mut s = FleetSnapshot::default();
+        s.apply(&ev(
+            Some(3),
+            FleetEventKind::CellDone {
+                cell: 0,
+                wall: Duration::from_micros(321),
+                attempts: 1,
+            },
+        ));
+        let text = snapshot_to_text(&s);
+        assert_eq!(snapshot_from_text(&text).expect("full text parses"), s);
+        // Any strict prefix — mid-line or at a line boundary — must fail:
+        // without the crc trailer a boundary truncation would silently
+        // parse as a snapshot with lower counters.
+        for cut in 0..text.len() {
+            assert!(
+                snapshot_from_text(&text[..cut]).is_err(),
+                "truncation at byte {cut} parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshot_body_fails_the_crc() {
+        let text = snapshot_to_text(&FleetSnapshot::default());
+        // Flip one digit inside a counter line; every line still parses,
+        // so only the trailer can catch it.
+        let corrupted = text.replacen("counter launches 0", "counter launches 9", 1);
+        assert_ne!(corrupted, text);
+        let err = snapshot_from_text(&corrupted).expect_err("crc must catch the flip");
+        assert!(err.detail.contains("crc mismatch"), "{err}");
     }
 
     #[test]

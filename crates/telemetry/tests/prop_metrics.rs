@@ -193,4 +193,62 @@ proptest! {
         prop_assert_eq!(&parsed, &snapshot);
         prop_assert_eq!(snapshot_to_text(&parsed), text);
     }
+
+    /// A sidecar torn at ANY byte boundary — the on-disk state a SIGKILL
+    /// mid-`std::fs::write` can leave behind — must be rejected by the
+    /// parser, never half-read into a poisoned `MetricsRegistry`. The crc
+    /// trailer is what makes this hold even at line boundaries, where
+    /// every prefix is well-formed records.
+    #[test]
+    fn torn_sidecars_are_rejected_at_every_truncation_point(
+        seeds in prop::collection::vec(0u64..1000, 1..6),
+        cut_seed in any::<usize>(),
+    ) {
+        let batches: Vec<Vec<FleetEvent>> = seeds
+            .iter()
+            .enumerate()
+            .map(|(shard, &seed)| shard_events(shard, seed))
+            .collect();
+        let text = snapshot_to_text(&snapshot_of(&batches));
+        // Truncate strictly: any cut short of the full file, on any byte.
+        let cut = cut_seed % text.len();
+        let torn = &text[..cut];
+        prop_assert!(
+            snapshot_from_text(torn).is_err(),
+            "truncation at byte {} of {} parsed as a valid snapshot",
+            cut,
+            text.len(),
+        );
+    }
+
+    /// Corrupting any single byte of the sidecar body fails the crc (or
+    /// earlier structural parsing) — a torn-then-overwritten sector can't
+    /// smuggle wrong counters into the merged registry.
+    #[test]
+    fn corrupt_sidecar_bytes_are_rejected(
+        seeds in prop::collection::vec(0u64..1000, 1..4),
+        pos in any::<usize>(),
+        flip in 1u8..=127,
+    ) {
+        let text = snapshot_to_text(&snapshot_of(
+            &seeds
+                .iter()
+                .enumerate()
+                .map(|(shard, &seed)| shard_events(shard, seed))
+                .collect::<Vec<_>>(),
+        ));
+        let trailer_len = "crc 0123456789abcdef\n".len();
+        let body_len = text.len() - trailer_len;
+        prop_assume!(body_len > 0);
+        let target = pos % body_len;
+        let mut bytes = text.clone().into_bytes();
+        let original = bytes[target];
+        let corrupted = original ^ flip;
+        // Keep it valid single-byte UTF-8 and avoid inserting/removing
+        // newlines, which would be a different (structural) failure mode.
+        prop_assume!(corrupted.is_ascii() && corrupted != b'\n' && original != b'\n');
+        bytes[target] = corrupted;
+        let corrupt = String::from_utf8(bytes).expect("ascii flip stays utf-8");
+        prop_assert!(snapshot_from_text(&corrupt).is_err());
+    }
 }
