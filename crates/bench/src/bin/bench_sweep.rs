@@ -3,7 +3,7 @@
 //! `BENCH_sweep.json`, and optionally gates against a committed baseline.
 //!
 //! Run with `cargo run --release -p mpdp-bench --bin bench_sweep --
-//! [--out BENCH_sweep.json] [--repeats N] [--quick]
+//! [--out BENCH_sweep.json] [--repeats N] [--quick] [--cache-dir D]
 //! [--gate baseline.json] [--threshold PCT]`.
 //!
 //! Each measurement is the **minimum** wall-clock over `--repeats` runs
@@ -25,7 +25,7 @@ use mpdp_shard::{
     parse_worker_invocation, run_worker, self_launcher, supervise_observed, SuperviseConfig,
     WorkerConfig,
 };
-use mpdp_sweep::{cells_csv, run_sweep, SweepSpec};
+use mpdp_sweep::{cells_csv, run_sweep, run_sweep_with_cache, CellCache, SweepSpec};
 use mpdp_telemetry::NullFleetObserver;
 
 /// One measured benchmark point.
@@ -73,6 +73,55 @@ fn report_json(benches: &[Bench]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Minimum wall-clock over `repeats` single-worker sweeps of `spec`
+/// through a cell cache rooted at `dir`. Cold repeats start from an
+/// emptied directory (every cell misses, is executed, and is appended);
+/// warm repeats reopen a directory primed by one full run beforehand
+/// (every cell hits). Opening the cache — segment load included — is
+/// inside the timed region, because a real warm rerun pays it too.
+fn time_cached(spec: &SweepSpec, dir: &std::path::Path, repeats: usize, warm: bool) -> f64 {
+    if warm {
+        let _ = std::fs::remove_dir_all(dir);
+        let cache = match CellCache::open(dir) {
+            Ok(cache) => cache,
+            Err(e) => runtime_error(format_args!("cannot open cache dir: {e}")),
+        };
+        if let Err(e) = run_sweep_with_cache(spec, 1, Some(&cache)) {
+            runtime_error(format_args!("cache priming sweep failed: {e}"));
+        }
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        if !warm {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        let start = Instant::now();
+        let cache = match CellCache::open(dir) {
+            Ok(cache) => cache,
+            Err(e) => runtime_error(format_args!("cannot open cache dir: {e}")),
+        };
+        let report = match run_sweep_with_cache(spec, 1, Some(&cache)) {
+            Ok(report) => report,
+            Err(e) => runtime_error(format_args!("cached sweep failed: {e}")),
+        };
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(report.cells.len(), spec.cell_count());
+        let stats = cache.stats();
+        if warm {
+            assert_eq!(stats.hits as usize, spec.cell_count(), "warm run must hit");
+        } else {
+            assert_eq!(
+                stats.misses as usize,
+                spec.cell_count(),
+                "cold run must miss"
+            );
+        }
+        best = best.min(ms);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+    best
 }
 
 /// Minimum wall-clock over `repeats` supervised multi-process sharded
@@ -156,8 +205,16 @@ fn main() {
             "--gate",
             "--threshold",
             "--shards",
+            "--cache-dir",
         ],
-        &["--out", "--repeats", "--gate", "--threshold", "--shards"],
+        &[
+            "--out",
+            "--repeats",
+            "--gate",
+            "--threshold",
+            "--shards",
+            "--cache-dir",
+        ],
     );
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
     let quick = has_flag(&args, "--quick");
@@ -205,6 +262,30 @@ fn main() {
             wall_ms: time_sweep(&grid, 8, repeats),
         },
     ];
+    {
+        // Cache points: cold quantifies the journaling overhead of filling
+        // the cache, warm the speedup of answering every cell from it.
+        let cache_dir = flag_value(&args, "--cache-dir")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("mpdp-bench-cache-{}", std::process::id()))
+            });
+        benches.push(Bench {
+            name: "grid104_cache_cold".to_string(),
+            cells: grid.cell_count(),
+            workers: 1,
+            wall_ms: time_cached(&grid, &cache_dir, repeats, false),
+        });
+        benches.push(Bench {
+            name: "grid104_cache_warm".to_string(),
+            cells: grid.cell_count(),
+            workers: 1,
+            // A warm pass finishes in ~1 ms, so like `fig4_single_cell`
+            // its minimum needs 10× the repeats to stabilize — and warm
+            // repeats are nearly free.
+            wall_ms: time_cached(&grid, &cache_dir, (repeats * 10).max(20), true),
+        });
+    }
     if let Some(n_shards) = shards {
         // Multi-process point: the supervised fleet pays process spawn +
         // journal fsync per cell, so this quantifies the sharding overhead

@@ -6,7 +6,8 @@
 //! Run with `cargo run --release -p mpdp-bench --bin sweep_shard --
 //! supervise --spec fig4|bench104 [--seeds K] [--shards N] [--dir D]
 //! [--max-retries R] [--stall-ms MS] [--throttle-ms MS] [--threads T]
-//! [--chaos-kills K --chaos-seed S [--chaos-tear]] [--verify]
+//! [--chaos-kills K --chaos-seed S [--chaos-tear]] [--cache-dir D]
+//! [--verify]
 //! [--csv out.csv] [--json out.json] [--telemetry-out m.json]
 //! [--telemetry-prom m.prom] [--telemetry-csv m.csv]
 //! [--fleet-trace trace.json]`.
@@ -43,7 +44,9 @@ use std::time::Duration;
 use mpdp_bench::cli::{
     check_known_flags, flag_value, has_flag, parse_flag, runtime_error, usage_error, write_output,
 };
-use mpdp_bench::experiment::{bench104_spec, fig4_seeded_spec, ExperimentConfig};
+use mpdp_bench::experiment::{
+    bench104_edited_spec, bench104_spec, fig4_seeded_spec, ExperimentConfig,
+};
 use mpdp_shard::{
     metrics_path, parse_worker_invocation, run_worker, self_launcher, supervise_observed,
     ChaosPlan, SuperviseConfig, WorkerConfig,
@@ -64,8 +67,9 @@ fn spec_for(name: &str, seeds: usize) -> SweepSpec {
     match name {
         "fig4" => fig4_seeded_spec(&ExperimentConfig::new(), seeds),
         "bench104" => bench104_spec(),
+        "bench104-edited" => bench104_edited_spec(),
         other => usage_error(format_args!(
-            "unknown --spec `{other}` (known: fig4, bench104)"
+            "unknown --spec `{other}` (known: fig4, bench104, bench104-edited)"
         )),
     }
 }
@@ -89,6 +93,7 @@ fn worker_main(args: &[String]) -> ! {
     let cfg = WorkerConfig {
         threads: invocation.threads,
         throttle: invocation.throttle,
+        cache_dir: flag_value(args, "--cache-dir").map(PathBuf::from),
         ..WorkerConfig::default()
     };
     match run_worker(
@@ -126,6 +131,7 @@ fn supervise_main(args: &[String]) -> ! {
             "--chaos-kills",
             "--chaos-seed",
             "--chaos-tear",
+            "--cache-dir",
             "--verify",
             "--csv",
             "--json",
@@ -147,6 +153,7 @@ fn supervise_main(args: &[String]) -> ! {
             "--threads",
             "--chaos-kills",
             "--chaos-seed",
+            "--cache-dir",
             "--csv",
             "--json",
             "--telemetry-out",
@@ -207,6 +214,12 @@ fn supervise_main(args: &[String]) -> ! {
     if seeds > 1 {
         passthrough.push("--seeds".to_string());
         passthrough.push(seeds.to_string());
+    }
+    // Workers share one cache directory, so a warm fleet answers already
+    // computed cells without re-simulating them.
+    if let Some(cache_dir) = flag_value(args, "--cache-dir") {
+        passthrough.push("--cache-dir".to_string());
+        passthrough.push(cache_dir);
     }
     let launch = match self_launcher(passthrough, threads, throttle) {
         Ok(launch) => launch,

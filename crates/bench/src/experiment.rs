@@ -191,6 +191,17 @@ pub fn bench104_spec() -> SweepSpec {
     }
 }
 
+/// [`bench104_spec`] with exactly one grid-axis literal edited: the last
+/// seed value. The edit invalidates the 4 cells that use that seed (2
+/// utilizations × 2 knobs) and leaves the other 100 untouched, so a warm
+/// cell cache primed by `bench104` must answer 100/104 lookups (96.2%
+/// hits) when this spec re-runs. CI's cache job pins that ratio.
+pub fn bench104_edited_spec() -> SweepSpec {
+    let mut spec = bench104_spec();
+    *spec.seeds.last_mut().expect("bench104 has seeds") = 1000;
+    spec
+}
+
 /// Converts one sweep cell into the Figure 4 point shape.
 ///
 /// # Panics

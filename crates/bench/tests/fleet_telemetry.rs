@@ -22,9 +22,10 @@ struct BinaryRun {
     trace_json: Option<String>,
 }
 
-/// Runs `sweep_shard supervise` over the 104-cell grid with chaos armed,
-/// optionally with every telemetry export enabled.
-fn binary_chaos_run(shards: usize, telemetry: bool, tag: &str) -> BinaryRun {
+/// Runs `sweep_shard supervise` over the 104-cell grid with chaos armed
+/// (`tear` adds the mid-record journal truncation on top of the
+/// SIGKILLs), optionally with every telemetry export enabled.
+fn binary_chaos_run(shards: usize, telemetry: bool, tear: bool, tag: &str) -> BinaryRun {
     let dir = std::env::temp_dir().join(format!(
         "mpdp-fleet-tel-{}-s{shards}-{tag}",
         std::process::id()
@@ -46,18 +47,20 @@ fn binary_chaos_run(shards: usize, telemetry: bool, tag: &str) -> BinaryRun {
         "3",
         "--chaos-seed",
         "7",
-        "--chaos-tear",
         "--throttle-ms",
         "10",
         "--retries",
         "4",
-    ])
-    .arg("--dir")
-    .arg(&dir)
-    .arg("--csv")
-    .arg(&csv_path)
-    .arg("--json")
-    .arg(&json_path);
+    ]);
+    if tear {
+        cmd.arg("--chaos-tear");
+    }
+    cmd.arg("--dir")
+        .arg(&dir)
+        .arg("--csv")
+        .arg(&csv_path)
+        .arg("--json")
+        .arg(&json_path);
     if telemetry {
         cmd.arg("--telemetry-out")
             .arg(&tel_path)
@@ -121,8 +124,8 @@ fn telemetry_exports_ride_along_without_changing_a_byte() {
     let golden_json = report_json(&golden);
 
     for shards in [1usize, 8] {
-        let plain = binary_chaos_run(shards, false, "off");
-        let instrumented = binary_chaos_run(shards, true, "on");
+        let plain = binary_chaos_run(shards, false, true, "off");
+        let instrumented = binary_chaos_run(shards, true, true, "on");
 
         // Instrumented or not, the merged exports are the single-process
         // bytes.
@@ -210,6 +213,38 @@ fn telemetry_exports_ride_along_without_changing_a_byte() {
             "trace lacks the supervisor track"
         );
     }
+}
+
+#[test]
+fn kill_only_chaos_counts_every_executed_cell_exactly_once() {
+    // Regression gate for the `CellDone` loss window: a SIGKILL between a
+    // cell's fsynced journal append and the sidecar rewrite used to leave
+    // the persisted snapshot behind the journal, so a resumed shard
+    // undercounted `cells_executed`. The worker now floors its preloaded
+    // counters with the journal's recovered-record count at relaunch,
+    // which makes the fleet total *exact* under kill-only chaos: every
+    // reachable kill point either precedes the journal append (the cell
+    // re-executes and is counted by the relaunch) or follows it (the
+    // floor accounts it). Only `--chaos-tear` breaks exactness — a torn
+    // record legitimately re-executes, pushing the count above 104 —
+    // which is why this run arms kills without tears.
+    let run = binary_chaos_run(8, true, false, "kill-only");
+    assert!(
+        run.transcript.matches("chaos SIGKILL").count() >= 2,
+        "expected ≥2 chaos SIGKILLs:\n{}",
+        run.transcript
+    );
+    assert!(
+        !run.transcript.contains("journal torn"),
+        "kill-only run must not tear journals"
+    );
+    let tel = run.telemetry_json.as_deref().expect("telemetry JSON");
+    assert_eq!(
+        json_counter(tel, "cells_executed"),
+        104,
+        "kill-only chaos must count each cell's execution exactly once:\n{tel}"
+    );
+    assert_eq!(json_counter(tel, "merged_cells"), 104);
 }
 
 /// A 9-cell grid (3 procs × 3 utilizations × 1 seed × 1 knob).

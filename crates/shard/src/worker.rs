@@ -28,9 +28,13 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use mpdp_sweep::{run_shard_healing_observed, HealConfig, ShardRun, SweepError, SweepSpec};
+use mpdp_sweep::{
+    run_shard_healing_observed, CacheStats, CellCache, HealConfig, Journal, ShardRun, SweepError,
+    SweepSpec,
+};
 use mpdp_telemetry::{
     snapshot_from_text, snapshot_to_text, FleetEvent, FleetEventKind, FleetObserver,
     MetricsRegistry, NullFleetObserver,
@@ -51,6 +55,11 @@ pub struct WorkerConfig {
     /// durable cell (advisory, like the heartbeat). Disable for
     /// benchmarking the true zero-telemetry path.
     pub metrics: bool,
+    /// Content-addressed cell-result cache directory, shared by every
+    /// worker of the fleet (per-process segment files — no locking).
+    /// Advisory: a cache that cannot be opened degrades to uncached
+    /// execution rather than failing the shard.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for WorkerConfig {
@@ -60,6 +69,7 @@ impl Default for WorkerConfig {
             retries: 1,
             throttle: Duration::ZERO,
             metrics: true,
+            cache_dir: None,
         }
     }
 }
@@ -87,6 +97,13 @@ fn beat(path: &Path, count: u64) {
 struct PersistedMetrics<'a> {
     registry: &'a MetricsRegistry,
     path: &'a Path,
+    /// The worker's cell cache, polled for counter deltas at each
+    /// persist point; `None` when the worker runs uncached.
+    cache: Option<&'a CellCache>,
+    /// Cache counters as of the last report, so each synthesized
+    /// [`FleetEventKind::CacheReport`] carries deltas — the metrics fold
+    /// adds report events, and running totals would double-count.
+    reported: Mutex<CacheStats>,
 }
 
 /// Rewrites the sidecar atomically: write the full snapshot to a `.tmp`
@@ -113,6 +130,32 @@ impl FleetObserver for PersistedMetrics<'_> {
             event.kind,
             FleetEventKind::CellDone { .. } | FleetEventKind::CellResumed { .. }
         ) {
+            if let Some(cache) = self.cache {
+                let now = cache.stats();
+                let mut last = self.reported.lock().unwrap_or_else(|p| p.into_inner());
+                let kind = FleetEventKind::CacheReport {
+                    hits: now.hits - last.hits,
+                    misses: now.misses - last.misses,
+                    evictions: now.evictions - last.evictions,
+                    bytes: now.bytes.saturating_sub(last.bytes),
+                };
+                *last = now;
+                drop(last);
+                if kind
+                    != (FleetEventKind::CacheReport {
+                        hits: 0,
+                        misses: 0,
+                        evictions: 0,
+                        bytes: 0,
+                    })
+                {
+                    self.registry.event(&FleetEvent {
+                        at: event.at,
+                        shard: event.shard,
+                        kind,
+                    });
+                }
+            }
             persist_snapshot(self.path, &snapshot_to_text(&self.registry.snapshot()));
         }
     }
@@ -142,9 +185,18 @@ pub fn run_worker(
 ) -> Result<ShardRun, SweepError> {
     beat(heartbeat, 0);
     let completed = AtomicU64::new(0);
-    let heal = HealConfig::default()
+    // The cell cache is advisory end to end: an unopenable directory
+    // degrades to uncached execution (results are identical either way).
+    let cache = cfg
+        .cache_dir
+        .as_deref()
+        .and_then(|dir| CellCache::open(dir).ok().map(Arc::new));
+    let mut heal = HealConfig::default()
         .with_retries(cfg.retries)
         .with_journal(journal);
+    if let Some(cc) = &cache {
+        heal = heal.with_cache(Arc::clone(cc));
+    }
     let throttle = cfg.throttle;
     let progress = |_cell: usize| {
         let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
@@ -165,9 +217,21 @@ pub fn run_worker(
             },
             Err(_) => MetricsRegistry::new(),
         };
+        // Reconcile against the journal: the sidecar is persisted *after*
+        // the journal append it accounts, so a SIGKILL in that window
+        // leaves the snapshot one cell behind the journal. The journal's
+        // recovered count is ground truth for durably completed work;
+        // floor the executed counter with it so kill-only chaos can never
+        // undercount. (Best-effort: an unreadable journal changes
+        // nothing — the shard itself will surface real journal errors.)
+        if let Ok(j) = Journal::open(journal, spec) {
+            registry.floor_cells_executed(j.recovered().len() as u64);
+        }
         let observer = PersistedMetrics {
             registry: &registry,
             path: &snapshot_path,
+            cache: cache.as_deref(),
+            reported: Mutex::new(CacheStats::default()),
         };
         run_shard_healing_observed(spec, range, cfg.threads, &heal, progress, &observer)
     } else {
@@ -310,6 +374,57 @@ mod tests {
         assert_eq!(
             rebuilt.cells_resumed, 2,
             "counters rebuilt from the journal, not the torn file"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_cache_worker_skips_execution_and_reports_hits_in_the_sidecar() {
+        let mut spec = SweepSpec::figure4();
+        spec.proc_counts = vec![2];
+        spec.utilizations = vec![0.4, 0.5];
+        let dir = tempdir("cache");
+        let cfg = WorkerConfig {
+            cache_dir: Some(dir.join("cache")),
+            ..WorkerConfig::default()
+        };
+        let cold_journal = dir.join("cold.mpdpj");
+        run_worker(&spec, 0..2, &cold_journal, &dir.join("cold.hb"), &cfg)
+            .expect("cold worker completes");
+        let cold = snapshot_from_text(
+            &std::fs::read_to_string(metrics_path(&cold_journal)).expect("cold sidecar"),
+        )
+        .expect("cold sidecar parses");
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 2));
+
+        // A fresh journal (a brand-new run, not a resume) over the same
+        // spec answers every cell from the shared cache directory.
+        let warm_journal = dir.join("warm.mpdpj");
+        let run = run_worker(&spec, 0..2, &warm_journal, &dir.join("warm.hb"), &cfg)
+            .expect("warm worker completes");
+        assert_eq!(
+            (run.executed, run.resumed),
+            (2, 0),
+            "cache hits count as executed cells, not journal resumes"
+        );
+        let warm = snapshot_from_text(
+            &std::fs::read_to_string(metrics_path(&warm_journal)).expect("warm sidecar"),
+        )
+        .expect("warm sidecar parses");
+        assert_eq!((warm.cache_hits, warm.cache_misses), (2, 0));
+        // Both journals hold the same records: a hit is journaled exactly
+        // like an execution.
+        assert_eq!(
+            std::fs::read_to_string(&cold_journal)
+                .expect("cold journal")
+                .lines()
+                .skip(1)
+                .collect::<Vec<_>>(),
+            std::fs::read_to_string(&warm_journal)
+                .expect("warm journal")
+                .lines()
+                .skip(1)
+                .collect::<Vec<_>>(),
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -235,6 +235,17 @@ fn running_eta(remaining: f64, speed: f64) -> u64 {
     (remaining / speed).ceil().max(1.0) as u64
 }
 
+/// Rebuilds `key` as the memo key for a bus-rate vector: the rates' bit
+/// patterns, with -0.0 canonicalized to +0.0 (`r + 0.0` — IEEE 754
+/// addition returns +0.0 for -0.0 + 0.0). The contention fixed point and
+/// the queueing delay are pure functions of the rate *values*, and -0.0
+/// and +0.0 compare equal, so the two encodings must share one memo
+/// entry; keying on raw `to_bits` split them into duplicates.
+fn rate_memo_key(rates: &[f64], key: &mut Vec<u64>) {
+    key.clear();
+    key.extend(rates.iter().map(|r| (r + 0.0).to_bits()));
+}
+
 /// The prototype simulator.
 ///
 /// Generic over an observability [`Probe`]; the default [`NullProbe`]
@@ -829,8 +840,7 @@ impl<S: Scheduler, P: Probe> PrototypeSim<S, P> {
                 self.rates_scratch = rates;
                 return;
             }
-            self.key_scratch.clear();
-            self.key_scratch.extend(rates.iter().map(|r| r.to_bits()));
+            rate_memo_key(&rates, &mut self.key_scratch);
             match self.speeds_memo.get(&self.key_scratch) {
                 Some(solved) => {
                     self.speeds.clear();
@@ -881,9 +891,7 @@ impl<S: Scheduler, P: Probe> PrototypeSim<S, P> {
         }));
         // The delay is a pure function of the running-task rates; solve
         // once per distinct running set.
-        self.qd_key_scratch.clear();
-        self.qd_key_scratch
-            .extend(running_rates.iter().map(|r| r.to_bits()));
+        rate_memo_key(&running_rates, &mut self.qd_key_scratch);
         let task_wait = match self.qd_memo.get(&self.qd_key_scratch) {
             Some(&value) => value,
             None => {
@@ -1579,6 +1587,27 @@ mod tests {
 
     fn cfg(horizon_ticks: u64) -> PrototypeConfig {
         PrototypeConfig::new(TICK * horizon_ticks).with_tick(TICK)
+    }
+
+    #[test]
+    fn memo_keys_do_not_split_negative_zero_rates() {
+        // An idle processor contributes rate 0.0, and sign propagation in
+        // float arithmetic can legally hand the same processor -0.0. The
+        // two compare equal and solve to identical speeds/delays, so they
+        // must map to one memo entry; the old raw `to_bits` key split
+        // them into duplicates (and doubled the solve work).
+        assert_ne!(
+            (-0.0f64).to_bits(),
+            0.0f64.to_bits(),
+            "raw bit patterns differ — the canonicalization is load-bearing"
+        );
+        let (mut pos, mut neg) = (Vec::new(), Vec::new());
+        rate_memo_key(&[0.4, 0.0], &mut pos);
+        rate_memo_key(&[0.4, -0.0], &mut neg);
+        assert_eq!(pos, neg, "negative zero must key like positive zero");
+        let mut memo: HashMap<Vec<u64>, f64> = HashMap::new();
+        memo.insert(pos, 1.25);
+        assert_eq!(memo.get(&neg), Some(&1.25), "one entry serves both");
     }
 
     #[test]

@@ -42,7 +42,9 @@ use mpdp_sim::theoretical::{run_theoretical_probed, TheoreticalConfig};
 use mpdp_sim::trace::Trace;
 use mpdp_workload::{automotive_task_set, random_task_set, TaskGenConfig};
 
+use crate::cache::CellCache;
 use crate::error::SweepError;
+use crate::report::{StreamingExports, StreamingReport};
 use crate::spec::{ArrivalSpec, CellSpec, Knobs, PolicyKind, SweepSpec, WorkloadSpec};
 
 /// What one simulator stack produced for one cell.
@@ -217,6 +219,24 @@ pub(crate) struct CellScratch {
 /// any cell, or the lowest-indexed cell failure (worker count never
 /// changes *which* error is reported).
 pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepError> {
+    run_sweep_with_cache(spec, workers, None)
+}
+
+/// [`run_sweep`] consulting a persistent [`CellCache`] before each cell:
+/// hits skip both simulators entirely, misses run and then populate the
+/// cache. A hit reconstructs the identical [`CellResult`] a cold run
+/// would produce (the payload is content-addressed by the cell's input
+/// fingerprint), so exports remain byte-identical with any mix of hits
+/// and misses. `None` is exactly [`run_sweep`].
+///
+/// # Errors
+///
+/// Same as [`run_sweep`].
+pub fn run_sweep_with_cache(
+    spec: &SweepSpec,
+    workers: usize,
+    cell_cache: Option<&CellCache>,
+) -> Result<SweepReport, SweepError> {
     type Slot = Mutex<Option<Result<(CellResult, CellProfile), SweepError>>>;
     spec.validate()?;
     let cells = spec.cells();
@@ -233,28 +253,45 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepE
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
                     let t0 = Instant::now();
-                    let result = run_cell_inner(
-                        spec,
-                        cell,
-                        NullProbe,
-                        NullProbe,
-                        Some(&cache),
-                        &mut scratch,
-                    )
-                    .map(|(c, _, _, horizon)| {
-                        let completions = (c.theoretical.aperiodic.len()
-                            + c.theoretical.periodic.len()
-                            + c.real.aperiodic.len()
-                            + c.real.periodic.len())
-                            as u64;
-                        let profile = CellProfile {
-                            index: cell.index,
-                            wall: t0.elapsed(),
-                            sim_cycles: horizon.as_u64(),
-                            completions,
-                        };
-                        (c, profile)
-                    });
+                    let result = match cell_cache.and_then(|cc| cc.lookup(spec, cell)) {
+                        Some(hit) => Ok((
+                            hit,
+                            CellProfile {
+                                index: cell.index,
+                                wall: t0.elapsed(),
+                                // A hit simulates nothing; profiles are run
+                                // metadata and never exported, so the zero
+                                // is honest, not a determinism hazard.
+                                sim_cycles: 0,
+                                completions: 0,
+                            },
+                        )),
+                        None => run_cell_inner(
+                            spec,
+                            cell,
+                            NullProbe,
+                            NullProbe,
+                            Some(&cache),
+                            &mut scratch,
+                        )
+                        .map(|(c, _, _, horizon)| {
+                            if let Some(cc) = cell_cache {
+                                cc.insert(spec, cell, &c);
+                            }
+                            let completions = (c.theoretical.aperiodic.len()
+                                + c.theoretical.periodic.len()
+                                + c.real.aperiodic.len()
+                                + c.real.periodic.len())
+                                as u64;
+                            let profile = CellProfile {
+                                index: cell.index,
+                                wall: t0.elapsed(),
+                                sim_cycles: horizon.as_u64(),
+                                completions,
+                            };
+                            (c, profile)
+                        }),
+                    };
                     // A poisoned slot mutex means another worker panicked
                     // while holding it; the store below is a single
                     // assignment, so recover the guard rather than cascade
@@ -283,6 +320,120 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepE
         workers,
         wall: start.elapsed(),
         profiles,
+    })
+}
+
+/// What [`run_sweep_streaming`] produces: the finished exports plus the
+/// run metadata [`SweepReport`] would have carried. There is no
+/// `cells` vector — per-cell results were folded into the exports and
+/// dropped as they arrived.
+#[derive(Debug, Clone)]
+pub struct StreamedSweep {
+    /// The three export documents, byte-identical to rendering a
+    /// [`SweepReport`] from the same spec.
+    pub exports: StreamingExports,
+    /// Cells executed (the full grid).
+    pub cells: usize,
+    /// Whether any knob injected faults or enforced degradation.
+    pub faulted: bool,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock duration of the fan-out (not exported).
+    pub wall: Duration,
+    /// High-water mark of the reorder buffer — the streaming path's
+    /// extra memory, in buffered cell results (bounded by how far ahead
+    /// of the slowest cell the other workers ran; O(workers) in
+    /// practice, never O(cells)).
+    pub peak_pending: usize,
+}
+
+/// [`run_sweep`] with streaming finalization: cell results are folded
+/// into the growing CSV/JSON exports **as workers finish them** (in
+/// cell-index order, via a small reorder buffer) instead of being
+/// accumulated into a `Vec<CellResult>` and rendered at the end. Memory
+/// is O(workers + open group accumulators); the exports are
+/// byte-identical to the batch path's at any worker count. Pass a
+/// [`CellCache`] to also skip cells whose inputs are already cached.
+///
+/// # Errors
+///
+/// Same as [`run_sweep`]: the spec's validation rejection, or the
+/// lowest-indexed cell failure.
+pub fn run_sweep_streaming(
+    spec: &SweepSpec,
+    workers: usize,
+    cell_cache: Option<&CellCache>,
+) -> Result<StreamedSweep, SweepError> {
+    spec.validate()?;
+    let cells = spec.cells();
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let workers = workers.max(1).min(cells.len().max(1));
+    let cache = TableCache::default();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<CellResult, SweepError>)>();
+    let mut stream = StreamingReport::new(spec.is_faulted());
+    let mut first_error: Option<(usize, SweepError)> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (next, cache) = (&next, &cache);
+            let cells = &cells;
+            scope.spawn(move || {
+                let mut scratch = CellScratch::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let result = match cell_cache.and_then(|cc| cc.lookup(spec, cell)) {
+                        Some(hit) => Ok(hit),
+                        None => run_cell_inner(
+                            spec,
+                            cell,
+                            NullProbe,
+                            NullProbe,
+                            Some(cache),
+                            &mut scratch,
+                        )
+                        .map(|(c, _, _, _)| {
+                            if let Some(cc) = cell_cache {
+                                cc.insert(spec, cell, &c);
+                            }
+                            c
+                        }),
+                    };
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // The fold runs on this thread, concurrently with the workers:
+        // each arriving result is consumed (exported and dropped) here.
+        for (i, result) in rx {
+            match result {
+                Ok(cell) => stream.push(cell),
+                Err(e) => {
+                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_error = Some((i, e));
+                    }
+                }
+            }
+        }
+    });
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    if stream.folded() != cells.len() {
+        return Err(SweepError::MissingCell(stream.folded()));
+    }
+    let peak_pending = stream.peak_pending();
+    Ok(StreamedSweep {
+        exports: stream.finish(),
+        cells: cells.len(),
+        faulted: spec.is_faulted(),
+        workers,
+        wall: start.elapsed(),
+        peak_pending,
     })
 }
 
@@ -684,6 +835,68 @@ mod tests {
             run_sweep_traced(&spec, 1, 99),
             Err(SweepError::MissingCell(99))
         ));
+    }
+
+    #[test]
+    fn streaming_exports_match_batch_at_any_worker_count() {
+        let spec = tiny_spec();
+        let batch = run_sweep(&spec, 1).expect("valid spec");
+        let expected = (
+            crate::report::cells_csv(&batch),
+            crate::report::summary_csv(&batch),
+            crate::report::report_json(&batch),
+        );
+        for workers in [1usize, 8] {
+            let streamed = run_sweep_streaming(&spec, workers, None).expect("valid spec");
+            assert_eq!(streamed.cells, batch.cells.len());
+            assert_eq!(streamed.exports.cells_csv, expected.0, "workers={workers}");
+            assert_eq!(
+                streamed.exports.summary_csv, expected.1,
+                "workers={workers}"
+            );
+            assert_eq!(
+                streamed.exports.report_json, expected.2,
+                "workers={workers}"
+            );
+        }
+        let serial = run_sweep_streaming(&spec, 1, None).expect("valid spec");
+        assert_eq!(serial.peak_pending, 1, "in-order arrivals fold immediately");
+    }
+
+    #[test]
+    fn warm_cache_reruns_hit_every_cell_and_stay_byte_identical() {
+        let spec = tiny_spec();
+        let dir = std::env::temp_dir().join(format!("mpdp-engine-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain = run_sweep(&spec, 1).expect("valid spec");
+        let expected = crate::report::cells_csv(&plain);
+
+        let cache = CellCache::open(&dir).expect("cache opens");
+        let cold = run_sweep_with_cache(&spec, 2, Some(&cache)).expect("cold run");
+        assert_eq!(crate::report::cells_csv(&cold), expected);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses as usize, plain.cells.len());
+
+        let warm = run_sweep_with_cache(&spec, 2, Some(&cache)).expect("warm run");
+        assert_eq!(crate::report::cells_csv(&warm), expected);
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits as usize,
+            plain.cells.len(),
+            "warm run is all hits"
+        );
+        assert_eq!(stats.misses as usize, plain.cells.len());
+
+        // The streaming path shares the same cache and the same bytes.
+        let streamed = run_sweep_streaming(&spec, 2, Some(&cache)).expect("streamed warm");
+        assert_eq!(streamed.exports.cells_csv, expected);
+        assert_eq!(
+            cache.stats().hits as usize,
+            2 * plain.cells.len(),
+            "streamed warm run is all hits too"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! # Format
 //!
 //! ```text
-//! MPDPJ1 fp=<16-hex FNV-1a of the spec's Debug form>
+//! MPDPJ1 fp=<16-hex canonical spec fingerprint>
 //! cell <index> <16-hex stream> <0|1 schedulable> <theoretical> <real> #<16-hex FNV-1a of the line body>
 //! ```
 //!
@@ -32,6 +32,7 @@ use mpdp_sim::stats::{ResponseAccumulator, SurvivalStats};
 
 use crate::engine::{CellResult, StackResult};
 use crate::error::SweepError;
+use crate::fingerprint::spec_fingerprint;
 use crate::linejournal::{fnv1a, LineJournal, LineJournalError};
 use crate::spec::SweepSpec;
 
@@ -46,12 +47,6 @@ pub(crate) fn parse_header(line: &str) -> Option<u64> {
         return None;
     }
     u64::from_str_radix(rest, 16).ok()
-}
-
-/// The fingerprint binding a journal to a spec: FNV-1a over the spec's
-/// `Debug` form, which covers every field that shapes a cell's inputs.
-pub fn spec_fingerprint(spec: &SweepSpec) -> u64 {
-    fnv1a(format!("{spec:?}").as_bytes())
 }
 
 /// An open checkpoint journal: the records recovered from disk plus an
@@ -226,7 +221,7 @@ fn parse_survival(field: &str) -> Option<SurvivalStats> {
     })
 }
 
-fn format_stack(s: &StackResult) -> String {
+pub(crate) fn format_stack(s: &StackResult) -> String {
     format!(
         "{};{};{};{};{};{}",
         format_accumulator(&s.aperiodic),
@@ -238,7 +233,7 @@ fn format_stack(s: &StackResult) -> String {
     )
 }
 
-fn parse_stack(field: &str) -> Option<StackResult> {
+pub(crate) fn parse_stack(field: &str) -> Option<StackResult> {
     let parts: Vec<&str> = field.split(';').collect();
     let [ap, pe, sw, sp, cw, sv] = parts.as_slice() else {
         return None;

@@ -51,8 +51,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod fingerprint;
 pub mod journal;
 pub mod linejournal;
 pub mod merge;
@@ -61,15 +63,21 @@ pub mod resilient;
 pub mod shard;
 pub mod spec;
 
+pub use cache::{CacheStats, CellCache, DEFAULT_CACHE_CAP_BYTES};
 pub use engine::{
-    cell_table, run_cell, run_cell_cached, run_cell_probed, run_sweep, run_sweep_traced,
-    CellObservation, CellProfile, CellResult, StackResult, SweepReport, TableCache,
+    cell_table, run_cell, run_cell_cached, run_cell_probed, run_sweep, run_sweep_streaming,
+    run_sweep_traced, run_sweep_with_cache, CellObservation, CellProfile, CellResult, StackResult,
+    StreamedSweep, SweepReport, TableCache,
 };
 pub use error::SweepError;
-pub use journal::{spec_fingerprint, Journal};
+pub use fingerprint::{cell_fingerprint, spec_fingerprint, ENGINE_VERSION};
+pub use journal::Journal;
 pub use linejournal::{LineJournal, LineJournalError};
 pub use merge::{merge_journal_files, read_shard_journal, MergeError};
-pub use report::{cells_csv, find_cell, group_summaries, report_json, summary_csv, GroupSummary};
+pub use report::{
+    cells_csv, find_cell, group_summaries, report_json, summary_csv, GroupSummary,
+    StreamingExports, StreamingReport,
+};
 pub use resilient::{
     run_shard_healing, run_shard_healing_observed, run_sweep_healing, run_sweep_healing_observed,
     run_sweep_healing_with, run_sweep_healing_with_observed, CellOutcome, HealConfig, HealedSweep,

@@ -26,7 +26,8 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use crate::engine::{CellResult, SweepReport};
-use crate::journal::{parse_header, parse_record_with, spec_fingerprint};
+use crate::fingerprint::spec_fingerprint;
+use crate::journal::{parse_header, parse_record_with};
 use crate::spec::SweepSpec;
 
 /// Why shard journals could not be merged.

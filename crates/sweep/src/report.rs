@@ -61,42 +61,48 @@ impl GroupSummary {
 pub fn group_summaries(report: &SweepReport) -> Vec<GroupSummary> {
     let mut groups: Vec<GroupSummary> = Vec::new();
     for cell in &report.cells {
-        let key = (
-            cell.knob_label.as_str(),
-            cell.cell.n_procs,
-            cell.cell.utilization,
-        );
-        let at = match groups
-            .iter()
-            .position(|g| (g.knob_label.as_str(), g.n_procs, g.utilization) == key)
-        {
-            Some(p) => p,
-            None => {
-                groups.push(GroupSummary {
-                    knob_label: cell.knob_label.clone(),
-                    n_procs: cell.cell.n_procs,
-                    utilization: cell.cell.utilization,
-                    cells: 0,
-                    unschedulable: 0,
-                    theoretical: ResponseAccumulator::new(),
-                    real: ResponseAccumulator::new(),
-                    periodic: ResponseAccumulator::new(),
-                    survival: SurvivalStats::default(),
-                });
-                groups.len() - 1
-            }
-        };
-        let group = &mut groups[at];
-        group.cells += 1;
-        if !cell.schedulable {
-            group.unschedulable += 1;
-        }
-        group.theoretical.merge(&cell.theoretical.aperiodic);
-        group.real.merge(&cell.real.aperiodic);
-        group.periodic.merge(&cell.real.periodic);
-        group.survival.merge(&cell.real.survival);
+        fold_into_groups(&mut groups, cell);
     }
     groups
+}
+
+/// Merges one cell into the running group aggregates — the single fold
+/// step shared by [`group_summaries`] and [`StreamingReport`].
+fn fold_into_groups(groups: &mut Vec<GroupSummary>, cell: &CellResult) {
+    let key = (
+        cell.knob_label.as_str(),
+        cell.cell.n_procs,
+        cell.cell.utilization,
+    );
+    let at = match groups
+        .iter()
+        .position(|g| (g.knob_label.as_str(), g.n_procs, g.utilization) == key)
+    {
+        Some(p) => p,
+        None => {
+            groups.push(GroupSummary {
+                knob_label: cell.knob_label.clone(),
+                n_procs: cell.cell.n_procs,
+                utilization: cell.cell.utilization,
+                cells: 0,
+                unschedulable: 0,
+                theoretical: ResponseAccumulator::new(),
+                real: ResponseAccumulator::new(),
+                periodic: ResponseAccumulator::new(),
+                survival: SurvivalStats::default(),
+            });
+            groups.len() - 1
+        }
+    };
+    let group = &mut groups[at];
+    group.cells += 1;
+    if !cell.schedulable {
+        group.unschedulable += 1;
+    }
+    group.theoretical.merge(&cell.theoretical.aperiodic);
+    group.real.merge(&cell.real.aperiodic);
+    group.periodic.merge(&cell.real.periodic);
+    group.survival.merge(&cell.real.survival);
 }
 
 fn fmt_opt(value: Option<f64>) -> String {
@@ -197,6 +203,15 @@ fn csv_stack(out: &mut String, acc: &ResponseAccumulator) {
 /// `{theo,real}_{jobs,mean_s,p50_s,p95_s,p99_s,p999_s,max_s}`, then
 /// `slowdown_pct,periodic_misses,miss_ratio,theo_switches,real_switches,sched_passes,context_words`.
 pub fn cells_csv(report: &SweepReport) -> String {
+    let mut out = cells_csv_header(report.faulted);
+    for c in &report.cells {
+        csv_cell_row(&mut out, c, report.faulted);
+    }
+    out
+}
+
+/// The `cells.csv` header line (with trailing newline).
+fn cells_csv_header(faulted: bool) -> String {
     let mut out = String::from(
         "cell,knob,n_procs,utilization,seed,schedulable,\
          theo_jobs,theo_mean_s,theo_p50_s,theo_p95_s,theo_p99_s,theo_p999_s,theo_max_s,\
@@ -204,48 +219,50 @@ pub fn cells_csv(report: &SweepReport) -> String {
          slowdown_pct,periodic_misses,miss_ratio,\
          theo_switches,real_switches,sched_passes,context_words",
     );
-    if report.faulted {
+    if faulted {
         out.push_str(&survival_header("theo"));
         out.push_str(&survival_header("real"));
     }
     out.push('\n');
-    for c in &report.cells {
-        let _ = write!(
-            out,
-            "{},{},{},{:.4},{},{},",
-            c.cell.index,
-            c.knob_label,
-            c.cell.n_procs,
-            c.cell.utilization,
-            c.cell.seed,
-            c.schedulable
-        );
-        csv_stack(&mut out, &c.theoretical.aperiodic);
-        out.push(',');
-        csv_stack(&mut out, &c.real.aperiodic);
-        let _ = write!(
-            out,
-            ",{},{},{:.6},{},{},{},{}",
-            fmt_opt(c.slowdown_pct()),
-            c.real.periodic.misses(),
-            c.real.periodic.miss_ratio(),
-            c.theoretical.switches,
-            c.real.switches,
-            c.real.sched_passes,
-            c.real.context_words
-        );
-        if report.faulted {
-            csv_survival(&mut out, &c.theoretical.survival);
-            csv_survival(&mut out, &c.real.survival);
-        }
-        out.push('\n');
-    }
     out
+}
+
+/// One `cells.csv` row (with trailing newline).
+fn csv_cell_row(out: &mut String, c: &CellResult, faulted: bool) {
+    let _ = write!(
+        out,
+        "{},{},{},{:.4},{},{},",
+        c.cell.index, c.knob_label, c.cell.n_procs, c.cell.utilization, c.cell.seed, c.schedulable
+    );
+    csv_stack(out, &c.theoretical.aperiodic);
+    out.push(',');
+    csv_stack(out, &c.real.aperiodic);
+    let _ = write!(
+        out,
+        ",{},{},{:.6},{},{},{},{}",
+        fmt_opt(c.slowdown_pct()),
+        c.real.periodic.misses(),
+        c.real.periodic.miss_ratio(),
+        c.theoretical.switches,
+        c.real.switches,
+        c.real.sched_passes,
+        c.real.context_words
+    );
+    if faulted {
+        csv_survival(out, &c.theoretical.survival);
+        csv_survival(out, &c.real.survival);
+    }
+    out.push('\n');
 }
 
 /// One CSV row per group aggregate, with the percentile curve of the
 /// prototype stack's aperiodic responses.
 pub fn summary_csv(report: &SweepReport) -> String {
+    summary_csv_from(&group_summaries(report), report.faulted)
+}
+
+/// Renders `summary.csv` from already-folded group aggregates.
+fn summary_csv_from(groups: &[GroupSummary], faulted: bool) -> String {
     let mut out = String::from(
         "knob,n_procs,utilization,cells,unschedulable,\
          theo_jobs,theo_mean_s,theo_p50_s,theo_p95_s,theo_p99_s,theo_p999_s,theo_max_s,\
@@ -253,11 +270,11 @@ pub fn summary_csv(report: &SweepReport) -> String {
          slowdown_pct,periodic_misses,miss_ratio,\
          real_p25_s,real_p50c_s,real_p75_s,real_p90_s,real_p95c_s,real_p99_s",
     );
-    if report.faulted {
+    if faulted {
         out.push_str(&survival_header("real"));
     }
     out.push('\n');
-    for g in &group_summaries(report) {
+    for g in groups {
         let _ = write!(
             out,
             "{},{},{:.4},{},{},",
@@ -281,7 +298,7 @@ pub fn summary_csv(report: &SweepReport) -> String {
             }
             None => out.push_str(",,,,,,"),
         }
-        if report.faulted {
+        if faulted {
             csv_survival(&mut out, &g.survival);
         }
         out.push('\n');
@@ -321,37 +338,49 @@ pub fn report_json(report: &SweepReport) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(
-            out,
-            "{{\"cell\":{},\"knob\":\"{}\",\"n_procs\":{},\"utilization\":{:.4},\"seed\":{},\"schedulable\":{},\"theoretical\":",
-            c.cell.index, c.knob_label, c.cell.n_procs, c.cell.utilization, c.cell.seed, c.schedulable
-        );
-        json_stack(&mut out, &c.theoretical.aperiodic);
+        json_cell_fragment(&mut out, c, report.faulted);
+    }
+    json_groups_tail(&mut out, &group_summaries(report), report.faulted);
+    out
+}
+
+/// One cell object of the JSON `cells` array (no separating comma).
+fn json_cell_fragment(out: &mut String, c: &CellResult, faulted: bool) {
+    let _ = write!(
+        out,
+        "{{\"cell\":{},\"knob\":\"{}\",\"n_procs\":{},\"utilization\":{:.4},\"seed\":{},\"schedulable\":{},\"theoretical\":",
+        c.cell.index, c.knob_label, c.cell.n_procs, c.cell.utilization, c.cell.seed, c.schedulable
+    );
+    json_stack(out, &c.theoretical.aperiodic);
+    out.push_str(",\"real\":");
+    json_stack(out, &c.real.aperiodic);
+    out.push_str(",\"slowdown_pct\":");
+    json_opt(out, c.slowdown_pct());
+    let _ = write!(
+        out,
+        ",\"periodic_misses\":{},\"miss_ratio\":{:.6},\"theo_switches\":{},\"real_switches\":{},\"sched_passes\":{},\"context_words\":{}",
+        c.real.periodic.misses(),
+        c.real.periodic.miss_ratio(),
+        c.theoretical.switches,
+        c.real.switches,
+        c.real.sched_passes,
+        c.real.context_words
+    );
+    if faulted {
+        out.push_str(",\"survival\":{\"theoretical\":");
+        json_survival(out, &c.theoretical.survival);
         out.push_str(",\"real\":");
-        json_stack(&mut out, &c.real.aperiodic);
-        out.push_str(",\"slowdown_pct\":");
-        json_opt(&mut out, c.slowdown_pct());
-        let _ = write!(
-            out,
-            ",\"periodic_misses\":{},\"miss_ratio\":{:.6},\"theo_switches\":{},\"real_switches\":{},\"sched_passes\":{},\"context_words\":{}",
-            c.real.periodic.misses(),
-            c.real.periodic.miss_ratio(),
-            c.theoretical.switches,
-            c.real.switches,
-            c.real.sched_passes,
-            c.real.context_words
-        );
-        if report.faulted {
-            out.push_str(",\"survival\":{\"theoretical\":");
-            json_survival(&mut out, &c.theoretical.survival);
-            out.push_str(",\"real\":");
-            json_survival(&mut out, &c.real.survival);
-            out.push('}');
-        }
+        json_survival(out, &c.real.survival);
         out.push('}');
     }
+    out.push('}');
+}
+
+/// Closes the `cells` array and renders the `groups` array plus the
+/// document's closing brace.
+fn json_groups_tail(out: &mut String, groups: &[GroupSummary], faulted: bool) {
     out.push_str("],\"groups\":[");
-    for (i, g) in group_summaries(report).iter().enumerate() {
+    for (i, g) in groups.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -360,11 +389,11 @@ pub fn report_json(report: &SweepReport) -> String {
             "{{\"knob\":\"{}\",\"n_procs\":{},\"utilization\":{:.4},\"cells\":{},\"unschedulable\":{},\"theoretical\":",
             g.knob_label, g.n_procs, g.utilization, g.cells, g.unschedulable
         );
-        json_stack(&mut out, &g.theoretical);
+        json_stack(out, &g.theoretical);
         out.push_str(",\"real\":");
-        json_stack(&mut out, &g.real);
+        json_stack(out, &g.real);
         out.push_str(",\"slowdown_pct\":");
-        json_opt(&mut out, g.slowdown_pct());
+        json_opt(out, g.slowdown_pct());
         let _ = write!(
             out,
             ",\"periodic_misses\":{},\"miss_ratio\":{:.6},\"curve\":",
@@ -384,14 +413,123 @@ pub fn report_json(report: &SweepReport) -> String {
             }
             None => out.push_str("null"),
         }
-        if report.faulted {
+        if faulted {
             out.push_str(",\"survival\":");
-            json_survival(&mut out, &g.survival);
+            json_survival(out, &g.survival);
         }
         out.push('}');
     }
     out.push_str("]}");
-    out
+}
+
+/// Finished exports of a [`StreamingReport`] — the same three documents
+/// [`cells_csv`], [`summary_csv`], and [`report_json`] produce, byte for
+/// byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingExports {
+    /// Per-cell CSV (see [`cells_csv`]).
+    pub cells_csv: String,
+    /// Group-aggregate CSV (see [`summary_csv`]).
+    pub summary_csv: String,
+    /// The full JSON document (see [`report_json`]).
+    pub report_json: String,
+}
+
+/// Streaming export finalization: folds cell results **as they arrive**
+/// into the growing CSV/JSON documents and the running group aggregates,
+/// instead of accumulating every [`CellResult`] and rendering at the end.
+///
+/// Results may be pushed in any order; a small reorder buffer (bounded by
+/// how far ahead of the lowest unfinished cell the workers run — in
+/// practice O(workers)) holds early arrivals until the next cell in index
+/// order lands, then each folded cell is **dropped**. Memory is therefore
+/// O(open accumulators + groups), not O(cells).
+///
+/// The exports are byte-identical to the batch renderers by construction:
+/// both call the same row/fragment writers, and the fold consumes cells
+/// in exactly the cell-index order the batch path iterates in.
+#[derive(Debug, Clone)]
+pub struct StreamingReport {
+    faulted: bool,
+    next_index: usize,
+    folded: usize,
+    peak_pending: usize,
+    pending: std::collections::BTreeMap<usize, CellResult>,
+    groups: Vec<GroupSummary>,
+    cells_csv: String,
+    json_cells: String,
+}
+
+impl StreamingReport {
+    /// An empty stream. `faulted` must match the spec's
+    /// [`is_faulted`](crate::SweepSpec::is_faulted) (it gates the
+    /// survivability columns, which are part of the header).
+    pub fn new(faulted: bool) -> Self {
+        StreamingReport {
+            faulted,
+            next_index: 0,
+            folded: 0,
+            peak_pending: 0,
+            pending: std::collections::BTreeMap::new(),
+            groups: Vec::new(),
+            cells_csv: cells_csv_header(faulted),
+            json_cells: String::from("{\"cells\":["),
+        }
+    }
+
+    /// Accepts one cell result, in any order. Duplicate indices are
+    /// last-write-wins while buffered; a duplicate of an already-folded
+    /// index is silently dropped (it was already exported).
+    pub fn push(&mut self, result: CellResult) {
+        if result.cell.index < self.next_index {
+            return;
+        }
+        self.pending.insert(result.cell.index, result);
+        self.peak_pending = self.peak_pending.max(self.pending.len());
+        while let Some(cell) = self.pending.remove(&self.next_index) {
+            self.fold(&cell);
+            self.next_index += 1;
+        }
+    }
+
+    fn fold(&mut self, cell: &CellResult) {
+        csv_cell_row(&mut self.cells_csv, cell, self.faulted);
+        if self.folded > 0 {
+            self.json_cells.push(',');
+        }
+        json_cell_fragment(&mut self.json_cells, cell, self.faulted);
+        fold_into_groups(&mut self.groups, cell);
+        self.folded += 1;
+    }
+
+    /// Cells folded into the exports so far.
+    pub fn folded(&self) -> usize {
+        self.folded
+    }
+
+    /// Results buffered waiting for a lower index to arrive.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// High-water mark of the reorder buffer over the stream's lifetime —
+    /// the observable bound on the streaming path's extra memory.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Renders the group aggregates and closes the documents. Buffered
+    /// out-of-order results whose predecessors never arrived are
+    /// discarded — the exports only ever contain a gap-free index prefix.
+    pub fn finish(mut self) -> StreamingExports {
+        let summary_csv = summary_csv_from(&self.groups, self.faulted);
+        json_groups_tail(&mut self.json_cells, &self.groups, self.faulted);
+        StreamingExports {
+            cells_csv: self.cells_csv,
+            summary_csv,
+            report_json: self.json_cells,
+        }
+    }
 }
 
 /// Convenience: find one cell by grid coordinates (first match in index
@@ -493,6 +631,49 @@ mod tests {
         assert_eq!(report_json(&r), report_json(&timed));
         assert_eq!(cells_csv(&r), cells_csv(&timed));
         assert_eq!(summary_csv(&r), summary_csv(&timed));
+    }
+
+    #[test]
+    fn streaming_exports_match_batch_bytes_even_out_of_order() {
+        for faulted in [false, true] {
+            let mut cells = vec![
+                cell(0, 0, &[100], &[150]),
+                cell(1, 1, &[200], &[250]),
+                cell(2, 0, &[300], &[350]),
+                cell(3, 1, &[400], &[450]),
+            ];
+            for c in &mut cells[2..] {
+                c.cell.n_procs = 4; // a second group
+            }
+            let mut r = report(cells.clone());
+            r.faulted = faulted;
+
+            let mut stream = StreamingReport::new(faulted);
+            for i in [2usize, 0, 3, 1] {
+                stream.push(cells[i].clone());
+            }
+            assert_eq!(stream.folded(), 4);
+            assert_eq!(stream.pending(), 0);
+            // Worst moment: {1,2,3} buffered just before 1 unblocks the drain.
+            assert_eq!(stream.peak_pending(), 3);
+            let exports = stream.finish();
+            assert_eq!(exports.cells_csv, cells_csv(&r));
+            assert_eq!(exports.summary_csv, summary_csv(&r));
+            assert_eq!(exports.report_json, report_json(&r));
+        }
+    }
+
+    #[test]
+    fn streaming_ignores_duplicates_of_folded_cells() {
+        let cells = vec![cell(0, 0, &[100], &[150]), cell(1, 1, &[200], &[250])];
+        let r = report(cells.clone());
+        let mut stream = StreamingReport::new(false);
+        stream.push(cells[0].clone());
+        stream.push(cells[0].clone()); // already folded: dropped
+        stream.push(cells[1].clone());
+        let exports = stream.finish();
+        assert_eq!(exports.cells_csv, cells_csv(&r));
+        assert_eq!(exports.report_json, report_json(&r));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use mpdp_telemetry::{FleetEvent, FleetEventKind, FleetObserver, NullFleetObserver};
 
+use crate::cache::CellCache;
 use crate::engine::{run_cell_cached, CellProfile, CellResult, SweepReport, TableCache};
 use crate::error::SweepError;
 use crate::journal::Journal;
@@ -91,6 +92,12 @@ pub struct HealConfig {
     /// completed work safely journaled — the test hook for kill-and-resume,
     /// and a practical "run 30 more cells tonight" lever.
     pub max_cells: Option<usize>,
+    /// Content-addressed cell-result cache consulted before each pending
+    /// cell: a hit skips the runner (and both simulators) but still
+    /// journals, emits `CellDone`, and reports progress — downstream, a
+    /// cached cell is indistinguishable from an executed one. Cells
+    /// recovered from the checkpoint journal never consult the cache.
+    pub cache: Option<Arc<CellCache>>,
 }
 
 impl Default for HealConfig {
@@ -102,6 +109,7 @@ impl Default for HealConfig {
             backoff_cap: Duration::from_secs(1),
             journal: None,
             max_cells: None,
+            cache: None,
         }
     }
 }
@@ -128,6 +136,12 @@ impl HealConfig {
     /// Caps the number of cells executed this run.
     pub fn with_max_cells(mut self, max: usize) -> Self {
         self.max_cells = Some(max);
+        self
+    }
+
+    /// Sets the content-addressed cell-result cache.
+    pub fn with_cache(mut self, cache: Arc<CellCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -252,57 +266,75 @@ where
                 let cell = pending[i];
                 let t0 = Instant::now();
                 let mut failed_attempts = 0u32;
-                let entry = loop {
-                    match attempt_cell(runner, spec_arc, cell, heal.cell_timeout) {
-                        Attempt::Done(result) => {
-                            let outcome = if failed_attempts == 0 {
-                                CellOutcome::Ok
-                            } else {
-                                CellOutcome::Retried {
-                                    attempts: failed_attempts,
+                // One cache consult per pending cell, ahead of the attempt
+                // loop: a hit replaces the runner's result wholesale and
+                // everything downstream (journal append, CellDone,
+                // progress) treats it exactly like an executed cell.
+                let cached = heal
+                    .cache
+                    .as_deref()
+                    .and_then(|cc| cc.lookup(spec_arc, &cell));
+                let from_cache = cached.is_some();
+                let entry = if let Some(hit) = cached {
+                    (Ok(hit), CellOutcome::Ok, t0.elapsed())
+                } else {
+                    loop {
+                        match attempt_cell(runner, spec_arc, cell, heal.cell_timeout) {
+                            Attempt::Done(result) => {
+                                let outcome = if failed_attempts == 0 {
+                                    CellOutcome::Ok
+                                } else {
+                                    CellOutcome::Retried {
+                                        attempts: failed_attempts,
+                                    }
+                                };
+                                break (*result, outcome, t0.elapsed());
+                            }
+                            Attempt::Panicked(message) => {
+                                if failed_attempts >= heal.retries {
+                                    abort.store(true, Ordering::Relaxed);
+                                    break (
+                                        Err(SweepError::CellPanicked {
+                                            cell: cell.index,
+                                            message: message.clone(),
+                                        }),
+                                        CellOutcome::Panicked { message },
+                                        t0.elapsed(),
+                                    );
                                 }
-                            };
-                            break (*result, outcome, t0.elapsed());
-                        }
-                        Attempt::Panicked(message) => {
-                            if failed_attempts >= heal.retries {
-                                abort.store(true, Ordering::Relaxed);
-                                break (
-                                    Err(SweepError::CellPanicked {
-                                        cell: cell.index,
-                                        message: message.clone(),
-                                    }),
-                                    CellOutcome::Panicked { message },
-                                    t0.elapsed(),
-                                );
+                                let backoff = heal.backoff_for(failed_attempts);
+                                emit(observer, start, || FleetEventKind::CellRetried {
+                                    cell: cell.index,
+                                    backoff,
+                                });
+                                std::thread::sleep(backoff);
+                                failed_attempts += 1;
                             }
-                            let backoff = heal.backoff_for(failed_attempts);
-                            emit(observer, start, || FleetEventKind::CellRetried {
-                                cell: cell.index,
-                                backoff,
-                            });
-                            std::thread::sleep(backoff);
-                            failed_attempts += 1;
-                        }
-                        Attempt::TimedOut => {
-                            if failed_attempts >= heal.retries {
-                                abort.store(true, Ordering::Relaxed);
-                                break (
-                                    Err(SweepError::CellTimedOut { cell: cell.index }),
-                                    CellOutcome::TimedOut,
-                                    t0.elapsed(),
-                                );
+                            Attempt::TimedOut => {
+                                if failed_attempts >= heal.retries {
+                                    abort.store(true, Ordering::Relaxed);
+                                    break (
+                                        Err(SweepError::CellTimedOut { cell: cell.index }),
+                                        CellOutcome::TimedOut,
+                                        t0.elapsed(),
+                                    );
+                                }
+                                let backoff = heal.backoff_for(failed_attempts);
+                                emit(observer, start, || FleetEventKind::CellRetried {
+                                    cell: cell.index,
+                                    backoff,
+                                });
+                                std::thread::sleep(backoff);
+                                failed_attempts += 1;
                             }
-                            let backoff = heal.backoff_for(failed_attempts);
-                            emit(observer, start, || FleetEventKind::CellRetried {
-                                cell: cell.index,
-                                backoff,
-                            });
-                            std::thread::sleep(backoff);
-                            failed_attempts += 1;
                         }
                     }
                 };
+                if !from_cache {
+                    if let (Some(cc), Ok(result)) = (heal.cache.as_deref(), &entry.0) {
+                        cc.insert(spec_arc, &cell, result);
+                    }
+                }
                 // Journal successes immediately so a later kill loses
                 // nothing that finished.
                 if let (Some(j), Ok(result)) = (&journal, &entry.0) {
@@ -821,6 +853,31 @@ mod tests {
         assert_eq!(recovered[&1], plain.cells[1]);
         assert_eq!(recovered[&2], plain.cells[2]);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn healing_runs_share_the_cell_cache_across_fresh_journals() {
+        let spec = tiny_spec();
+        let dir = std::env::temp_dir().join(format!("mpdp-resilient-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain = crate::run_sweep(&spec, 1).expect("plain run");
+        let cache = Arc::new(CellCache::open(&dir).expect("cache opens"));
+
+        let cold = run_sweep_healing(&spec, 2, &quick_heal().with_cache(Arc::clone(&cache)))
+            .expect("cold run");
+        assert_eq!(cold.report.cells, plain.cells);
+        assert_eq!(cache.stats().hits, 0);
+
+        let warm = run_sweep_healing(&spec, 2, &quick_heal().with_cache(Arc::clone(&cache)))
+            .expect("warm run");
+        assert_eq!(
+            warm.report.cells, plain.cells,
+            "hits rebuild identical cells"
+        );
+        assert_eq!(cache.stats().hits as usize, plain.cells.len());
+        assert_eq!(warm.resumed, 0, "cache hits are not journal resumes");
+        assert!(warm.outcomes.iter().all(|o| *o == CellOutcome::Ok));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -210,6 +210,19 @@ pub enum FleetEventKind {
         /// Cell index in the canonical enumeration.
         cell: usize,
     },
+    /// Content-addressed cell-cache activity since the previous report
+    /// (**deltas**, not running totals — the metrics fold adds them, so
+    /// repeated reports from one worker must not double-count).
+    CacheReport {
+        /// Lookups answered from the cache since the last report.
+        hits: u64,
+        /// Lookups that fell through to execution since the last report.
+        misses: u64,
+        /// Records dropped by segment eviction since the last report.
+        evictions: u64,
+        /// Segment bytes loaded or appended since the last report.
+        bytes: u64,
+    },
 }
 
 #[cfg(test)]

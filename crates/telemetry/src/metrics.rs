@@ -212,6 +212,15 @@ pub struct FleetSnapshot {
     pub cells_resumed: u64,
     /// Failed cell attempts that were retried in-process.
     pub cell_retries: u64,
+    /// Cell-cache lookups answered from the content-addressed cache.
+    pub cache_hits: u64,
+    /// Cell-cache lookups that fell through to execution.
+    pub cache_misses: u64,
+    /// Cache records dropped by capped-size segment eviction.
+    pub cache_evictions: u64,
+    /// Bytes of cache segment data loaded plus appended (high-water,
+    /// reported as deltas by workers so merge stays additive).
+    pub cache_bytes: u64,
     /// Wall latency of successful cell attempt chains.
     pub cell_wall_us: Histogram,
     /// Backoff sleeps scheduled (supervisor relaunches and in-process
@@ -246,6 +255,10 @@ const COUNTERS: &[CounterAccessor] = &[
     ("cells_executed", |s| s.cells_executed),
     ("cells_resumed", |s| s.cells_resumed),
     ("cell_retries", |s| s.cell_retries),
+    ("cache_hits", |s| s.cache_hits),
+    ("cache_misses", |s| s.cache_misses),
+    ("cache_evictions", |s| s.cache_evictions),
+    ("cache_bytes", |s| s.cache_bytes),
 ];
 
 impl FleetSnapshot {
@@ -285,6 +298,10 @@ impl FleetSnapshot {
             "cells_executed" => &mut self.cells_executed,
             "cells_resumed" => &mut self.cells_resumed,
             "cell_retries" => &mut self.cell_retries,
+            "cache_hits" => &mut self.cache_hits,
+            "cache_misses" => &mut self.cache_misses,
+            "cache_evictions" => &mut self.cache_evictions,
+            "cache_bytes" => &mut self.cache_bytes,
             _ => return None,
         })
     }
@@ -400,6 +417,17 @@ impl FleetSnapshot {
                     .record_us(u64::try_from(backoff.as_micros()).unwrap_or(u64::MAX));
             }
             FleetEventKind::CellResumed { .. } => self.cells_resumed += 1,
+            FleetEventKind::CacheReport {
+                hits,
+                misses,
+                evictions,
+                bytes,
+            } => {
+                self.cache_hits += hits;
+                self.cache_misses += misses;
+                self.cache_evictions += evictions;
+                self.cache_bytes += bytes;
+            }
         }
     }
 
@@ -455,6 +483,20 @@ impl MetricsRegistry {
     /// The current counters, cloned coherently.
     pub fn snapshot(&self) -> FleetSnapshot {
         self.inner.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Raises `cells_executed` to at least `floor` — the relaunch
+    /// reconciliation hook. The sidecar snapshot a worker resumes from is
+    /// persisted *after* the journal append that the counter books, so a
+    /// kill in that window leaves the snapshot one behind the journal.
+    /// The journal's recovered-record count is ground truth for work
+    /// durably completed; a relaunching worker floors the counter with it
+    /// so kill-only chaos never undercounts. (Never lowers the counter:
+    /// re-executions after a journal tear legitimately exceed the
+    /// journal's count.)
+    pub fn floor_cells_executed(&self, floor: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.cells_executed = inner.cells_executed.max(floor);
     }
 }
 
@@ -835,6 +877,46 @@ mod tests {
         let parsed = snapshot_from_text(&text).expect("round-trip parses");
         assert_eq!(parsed, s);
         assert_eq!(snapshot_to_text(&parsed), text);
+    }
+
+    #[test]
+    fn cache_reports_fold_as_deltas_and_floor_never_lowers() {
+        let mut s = FleetSnapshot::default();
+        s.apply(&ev(
+            None,
+            FleetEventKind::CacheReport {
+                hits: 3,
+                misses: 2,
+                evictions: 1,
+                bytes: 100,
+            },
+        ));
+        s.apply(&ev(
+            Some(1),
+            FleetEventKind::CacheReport {
+                hits: 1,
+                misses: 0,
+                evictions: 0,
+                bytes: 20,
+            },
+        ));
+        assert_eq!(
+            (
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.cache_bytes
+            ),
+            (4, 2, 1, 120)
+        );
+        let text = snapshot_to_text(&s);
+        assert_eq!(snapshot_from_text(&text).expect("round-trips"), s);
+
+        let reg = MetricsRegistry::preloaded(s);
+        reg.floor_cells_executed(5);
+        assert_eq!(reg.snapshot().cells_executed, 5);
+        reg.floor_cells_executed(2);
+        assert_eq!(reg.snapshot().cells_executed, 5, "floor never lowers");
     }
 
     #[test]

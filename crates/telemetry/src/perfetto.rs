@@ -337,6 +337,24 @@ pub fn fleet_trace_json(events: &[FleetEvent], shards: usize) -> String {
                     "",
                 );
             }
+            FleetEventKind::CacheReport {
+                hits,
+                misses,
+                evictions,
+                bytes,
+            } => {
+                write_instant(
+                    &mut out,
+                    &mut first,
+                    tid,
+                    at,
+                    "cache report",
+                    &format!(
+                        "\"hits\":{hits},\"misses\":{misses},\
+                         \"evictions\":{evictions},\"bytes\":{bytes}"
+                    ),
+                );
+            }
         }
     }
 

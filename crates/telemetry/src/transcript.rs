@@ -92,7 +92,8 @@ impl<F: FnMut(&str)> TranscriptObserver<F> {
             | FleetEventKind::MergeStarted { .. }
             | FleetEventKind::CellDone { .. }
             | FleetEventKind::CellRetried { .. }
-            | FleetEventKind::CellResumed { .. } => None,
+            | FleetEventKind::CellResumed { .. }
+            | FleetEventKind::CacheReport { .. } => None,
         }
     }
 }
